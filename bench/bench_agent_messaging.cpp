@@ -1,0 +1,134 @@
+// EXP-A1 — agent messaging under disconnection: deputies at work.
+//
+// Section 2: "depending on their connectivity and network QoS, agents can
+// deploy deputies that will provide features of transcoding or
+// disconnection management."  A burst of envelopes crosses a flapping
+// multi-hop path under each deputy; we report delivery rate, latency, and
+// bytes on the wire.
+#include <iostream>
+#include <memory>
+
+#include "agent/platform.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "net/churn.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace pgrid;
+
+enum class DeputyKind { kDirect, kStoreAndForward, kTranscoding };
+
+const char* name_of(DeputyKind kind) {
+  switch (kind) {
+    case DeputyKind::kDirect: return "direct";
+    case DeputyKind::kStoreAndForward: return "store-and-forward";
+    case DeputyKind::kTranscoding: return "transcoding";
+  }
+  return "?";
+}
+
+std::unique_ptr<agent::AgentDeputy> make_deputy(DeputyKind kind) {
+  switch (kind) {
+    case DeputyKind::kDirect:
+      return std::make_unique<agent::DirectDeputy>();
+    case DeputyKind::kStoreAndForward:
+      return std::make_unique<agent::StoreAndForwardDeputy>(
+          sim::SimTime::seconds(1.0), sim::SimTime::seconds(120.0));
+    case DeputyKind::kTranscoding:
+      return std::make_unique<agent::TranscodingDeputy>(1e6, 0.25);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  common::print_banner(std::cout,
+                       "EXP-A1: envelope delivery under churn, per deputy");
+  std::cout << "Paper: deputies add disconnection management and "
+               "transcoding under a uniform deliver() abstraction.\n\n";
+
+  common::Table table({"deputy", "churn", "delivered", "of", "rate",
+                       "mean latency (s)", "bytes on wire"});
+
+  for (bool churn_on : {false, true}) {
+    for (auto kind : {DeputyKind::kDirect, DeputyKind::kStoreAndForward,
+                      DeputyKind::kTranscoding}) {
+      sim::Simulator sim;
+      net::Network network(sim, common::Rng(8));
+      agent::AgentPlatform platform(network);
+
+      // 5-hop chain of low-rate sensor radios between sender and receiver.
+      std::vector<net::NodeId> chain;
+      for (int i = 0; i < 6; ++i) {
+        net::NodeConfig c;
+        c.pos = {20.0 * i, 0, 0};
+        c.radio = net::LinkClass::sensor_radio();
+        c.unlimited_energy = true;
+        chain.push_back(network.add_node(c));
+      }
+      const auto sender = platform.register_agent(
+          std::make_unique<agent::LambdaAgent>(
+              "sender", chain.front(),
+              [](agent::LambdaAgent&, const agent::Envelope&) {}));
+      std::size_t received = 0;
+      const auto receiver = platform.register_agent(
+          std::make_unique<agent::LambdaAgent>(
+              "receiver", chain.back(),
+              [&](agent::LambdaAgent&, const agent::Envelope&) {
+                ++received;
+              }),
+          make_deputy(kind));
+
+      // Middle hops flap when churn is on.
+      std::unique_ptr<net::NodeChurn> churn;
+      if (churn_on) {
+        net::ChurnConfig config;
+        config.mean_up = sim::SimTime::seconds(8.0);
+        config.mean_down = sim::SimTime::seconds(4.0);
+        config.horizon = sim::SimTime::seconds(200.0);
+        churn = std::make_unique<net::NodeChurn>(
+            network, std::vector<net::NodeId>{chain[2], chain[3]}, config,
+            common::Rng(99));
+        churn->start();
+      }
+
+      const std::size_t kMessages = 50;
+      std::size_t delivered = 0;
+      common::Accumulator latency;
+      for (std::size_t i = 0; i < kMessages; ++i) {
+        sim.schedule(sim::SimTime::seconds(2.0 * double(i)), [&, i] {
+          agent::Envelope env;
+          env.sender = sender;
+          env.receiver = receiver;
+          env.performative = agent::Performative::kInform;
+          env.payload = std::string(1000, 'd');  // a 1 kB sensor report
+          const auto sent_at = sim.now();
+          platform.send(env, [&, sent_at](bool ok) {
+            if (ok) {
+              ++delivered;
+              latency.add((sim.now() - sent_at).to_seconds());
+            }
+          });
+        });
+      }
+      sim.run_until(sim::SimTime::seconds(400.0));
+      sim.clear();
+
+      table.add_row({name_of(kind), churn_on ? "on" : "off",
+                     common::Table::num(std::uint64_t(delivered)),
+                     common::Table::num(std::uint64_t(kMessages)),
+                     common::Table::num(double(delivered) / kMessages, 2),
+                     common::Table::num(latency.mean(), 3),
+                     common::Table::num(network.stats().bytes_sent)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: under churn, store-and-forward delivers far "
+               "more than direct (at higher latency); transcoding moves "
+               "~1/4 of the payload bytes per hop.\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// EXP-C1 — composition fault tolerance and graceful degradation.
+//
+// "If a network service breaks down, the architecture should be able to
+// detect this and resort to fault control mechanisms ... The composition
+// platform should degrade gracefully as more and more services become
+// unavailable."  A 5-stage composite runs against provider pools with
+// rising per-invocation failure probability, with and without the fault
+// manager's re-binding.
+#include <iostream>
+#include <memory>
+
+#include "agent/platform.hpp"
+#include "common/table.hpp"
+#include "compose/manager.hpp"
+#include "compose/provider.hpp"
+#include "discovery/broker.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace pgrid;
+  common::print_banner(std::cout,
+                       "EXP-C1: composition under service failures");
+  std::cout << "Paper: fault detection + re-binding keeps composites "
+               "available; optional stages degrade instead of failing.\n\n";
+
+  common::Table table({"fail prob", "rebinds allowed", "success rate",
+                       "avg service level", "avg rebinds"});
+
+  for (double fail_prob : {0.0, 0.1, 0.2, 0.3, 0.5}) {
+    for (std::size_t max_rebinds : {std::size_t{0}, std::size_t{3}}) {
+      const int kTrials = 40;
+      int successes = 0;
+      double level_sum = 0.0;
+      double rebind_sum = 0.0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        sim::Simulator sim;
+        net::Network network(sim, common::Rng(100 + trial));
+        agent::AgentPlatform platform(network);
+        auto ontology = discovery::make_standard_ontology();
+
+        auto add_node = [&](double x) {
+          net::NodeConfig c;
+          c.pos = {x, 0, 0};
+          c.radio = net::LinkClass::wifi();
+          c.unlimited_energy = true;
+          return network.add_node(c);
+        };
+        const auto hub = add_node(0);
+        auto broker = std::make_unique<discovery::BrokerAgent>("broker", hub,
+                                                               ontology);
+        const auto broker_id = platform.register_agent(std::move(broker));
+        const auto client = platform.register_agent(
+            std::make_unique<agent::LambdaAgent>(
+                "client", hub,
+                [](agent::LambdaAgent&, const agent::Envelope&) {}));
+
+        // Three redundant providers per stage class, all equally flaky.
+        const char* kStageClasses[] = {"DecisionTreeMiner",
+                                       "FourierSpectrumService",
+                                       "ClusteringService"};
+        common::Rng fault_rng(777 + trial);
+        for (int provider = 0; provider < 3; ++provider) {
+          for (const char* cls : kStageClasses) {
+            discovery::ServiceDescription service;
+            service.name =
+                std::string(cls) + "-" + std::to_string(provider);
+            service.service_class = cls;
+            auto agent_ptr = std::make_unique<compose::ServiceProviderAgent>(
+                service.name, add_node(10.0 + provider), service, 1e8);
+            auto* raw = agent_ptr.get();
+            const auto id = platform.register_agent(std::move(agent_ptr));
+            raw->service().provider = id;
+            raw->set_failure_probability(fail_prob, fault_rng.fork());
+            discovery::advertise(platform, id, broker_id, raw->service());
+          }
+        }
+        sim.run();
+
+        // 5-stage pipeline: required mine->fft->cluster plus two optional
+        // enrichment stages (graceful degradation).
+        compose::TaskGraph graph;
+        auto stage = [&](const char* name, const char* cls, bool optional) {
+          compose::TaskSpec spec;
+          spec.name = name;
+          spec.service_class = cls;
+          spec.optional = optional;
+          return graph.add_task(spec);
+        };
+        const auto t0 = stage("mine", "DecisionTreeMiner", false);
+        const auto t1 = stage("fft", "FourierSpectrumService", false);
+        const auto t2 = stage("cluster", "ClusteringService", false);
+        const auto t3 = stage("enrich-1", "FourierSpectrumService", true);
+        const auto t4 = stage("enrich-2", "ClusteringService", true);
+        graph.add_edge(t0, t1);
+        graph.add_edge(t1, t2);
+        graph.add_edge(t1, t3);
+        graph.add_edge(t2, t4);
+
+        compose::CompositionOptions options;
+        options.max_rebinds_per_task = max_rebinds;
+        options.invoke_timeout = sim::SimTime::seconds(10.0);
+        compose::CompositionManager manager(platform, client, broker_id);
+        compose::CompositionReport report;
+        manager.execute(graph, options,
+                        [&](compose::CompositionReport r) { report = r; });
+        sim.run();
+        if (report.success) {
+          ++successes;
+          level_sum += report.service_level();
+        }
+        rebind_sum += static_cast<double>(report.rebinds);
+      }
+      table.add_row(
+          {common::Table::num(fail_prob, 2),
+           common::Table::num(std::uint64_t(max_rebinds)),
+           common::Table::num(double(successes) / kTrials, 2),
+           common::Table::num(successes ? level_sum / successes : 0.0, 2),
+           common::Table::num(rebind_sum / kTrials, 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: without rebinds, success collapses as "
+               "failures rise; with 3 rebinds the composite survives far "
+               "deeper, degrading (service level < 1) before failing.\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// EXP-C2 — proactive vs reactive composition by request frequency.
+//
+// "We might want to pro-actively compute some generic information about
+// services required to execute a query which is requested with a high
+// frequency. The other approach is to re-actively integrate and execute
+// services."  We repeat a composite request and compare latency and
+// discovery traffic; proactive pays one precompute, then amortizes.
+#include <iostream>
+#include <memory>
+
+#include "agent/platform.hpp"
+#include "common/table.hpp"
+#include "compose/manager.hpp"
+#include "compose/planner.hpp"
+#include "compose/provider.hpp"
+#include "discovery/broker.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace pgrid;
+  common::print_banner(std::cout,
+                       "EXP-C2: proactive vs reactive composition");
+  std::cout << "Paper: proactive pre-binding suits high-frequency requests; "
+               "reactive binding suits one-shots and volatile services.\n\n";
+
+  common::Table table({"requests", "mode", "total latency (s)",
+                       "discovery round-trips", "latency/request (s)"});
+
+  for (std::size_t request_count : {1, 5, 25}) {
+    for (int mode_index = 0; mode_index < 3; ++mode_index) {
+      const bool proactive = mode_index == 1;
+      const bool negotiated = mode_index == 2;
+      sim::Simulator sim;
+      net::Network network(sim, common::Rng(55));
+      agent::AgentPlatform platform(network);
+      auto ontology = discovery::make_standard_ontology();
+
+      auto add_node = [&](double x) {
+        net::NodeConfig c;
+        c.pos = {x, 0, 0};
+        c.radio = net::LinkClass::wifi();
+        c.unlimited_energy = true;
+        return network.add_node(c);
+      };
+      const auto hub = add_node(0);
+      auto broker =
+          std::make_unique<discovery::BrokerAgent>("broker", hub, ontology);
+      const auto broker_id = platform.register_agent(std::move(broker));
+      const auto client = platform.register_agent(
+          std::make_unique<agent::LambdaAgent>(
+              "client", add_node(80),
+              [](agent::LambdaAgent&, const agent::Envelope&) {}));
+      // Two providers per class at very different speeds: negotiation can
+      // tell them apart; plain discovery ranking cannot.
+      for (const char* cls :
+           {"DecisionTreeMiner", "FourierSpectrumService",
+            "DataMiningService"}) {
+        for (int speed_tier = 0; speed_tier < 2; ++speed_tier) {
+          discovery::ServiceDescription service;
+          service.name = std::string("svc-") + cls +
+                         (speed_tier ? "-fast" : "-slow");
+          service.service_class = cls;
+          auto agent_ptr = std::make_unique<compose::ServiceProviderAgent>(
+              service.name, add_node(40), service,
+              speed_tier ? 1e9 : 2e7);
+          auto* raw = agent_ptr.get();
+          const auto id = platform.register_agent(std::move(agent_ptr));
+          raw->service().provider = id;
+          discovery::advertise(platform, id, broker_id, raw->service());
+        }
+      }
+      sim.run();
+
+      auto plan = compose::make_stream_mining_planner().plan(
+          "mine-data-stream");
+      compose::CompositionManager manager(platform, client, broker_id);
+      compose::CompositionOptions options;
+      options.mode = proactive    ? compose::CompositionMode::kProactive
+                     : negotiated ? compose::CompositionMode::kNegotiated
+                                  : compose::CompositionMode::kReactive;
+
+      double total_latency = 0.0;
+      std::size_t total_discoveries = 0;
+      if (proactive) {
+        // One precompute round (counted as discovery traffic).
+        const auto before = sim.now();
+        std::size_t resolved = 0;
+        manager.precompute(plan.value(),
+                           [&](std::size_t n) { resolved = n; });
+        sim.run();
+        total_latency += (sim.now() - before).to_seconds();
+        total_discoveries += plan.value().size();
+      }
+      for (std::size_t r = 0; r < request_count; ++r) {
+        const auto before = sim.now();
+        compose::CompositionReport report;
+        manager.execute(plan.value(), options,
+                        [&](compose::CompositionReport rep) { report = rep; });
+        sim.run();
+        total_latency += (sim.now() - before).to_seconds();
+        total_discoveries += report.discoveries;
+        if (!report.success) {
+          std::cerr << "composite failed: " << report.failure_reason << '\n';
+          return 1;
+        }
+      }
+      table.add_row(
+          {common::Table::num(std::uint64_t(request_count)),
+           proactive ? "proactive" : (negotiated ? "negotiated" : "reactive"),
+           common::Table::num(total_latency, 4),
+           common::Table::num(std::uint64_t(total_discoveries)),
+           common::Table::num(total_latency / double(request_count), 4)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: proactive discovery traffic stays constant "
+               "(one precompute) while reactive's grows linearly with "
+               "requests; negotiated pays a contract-net round per task but "
+               "binds the committed-fastest provider, beating reactive's "
+               "registry-order binding when provider speeds differ.\n";
+  return 0;
+}

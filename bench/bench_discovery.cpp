@@ -1,0 +1,118 @@
+// EXP-D1 — semantic matching vs the Jini / Bluetooth-SDP state of the art.
+//
+// Section 3: existing systems "are either tied to a language ..., or
+// describe services entirely in syntactic terms ... Moreover, they return
+// 'exact' matches and can only handle equality constraints."  We quantify
+// that on a service corpus with ground-truth relevance: recall, precision,
+// rank quality, and the paper's printer example.
+#include <algorithm>
+#include <set>
+
+#include "bench_util.hpp"
+#include "discovery/matcher.hpp"
+
+namespace {
+
+using namespace pgrid;
+using namespace pgrid::discovery;
+
+ServiceDescription printer(const std::string& name, const std::string& cls,
+                           double queue, double distance, double cost) {
+  ServiceDescription s;
+  s.name = name;
+  s.service_class = cls;
+  s.properties["queue_length"] = queue;
+  s.properties["distance_m"] = distance;
+  s.properties["cost_per_page"] = cost;
+  s.interfaces = {"printIt()"};
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::experiment_banner(
+      "EXP-D1: semantic vs Jini-exact vs SDP-UUID service matching",
+      "semantic matching subsumes, ranks, and honours inequality "
+      "constraints; exact/UUID matching misses subclasses and over-returns");
+
+  auto ontology = make_standard_ontology();
+
+  // Corpus: printers of several classes plus sensor-branch distractors.
+  std::vector<ServiceDescription> corpus;
+  corpus.push_back(printer("color-1", "ColorPrinter", 5, 40, 0.10));
+  corpus.push_back(printer("color-2", "ColorPrinter", 0, 25, 0.15));
+  corpus.push_back(printer("color-3", "ColorPrinter", 2, 80, 0.30));
+  corpus.push_back(printer("combo-1", "ColorLaserPrinter", 1, 30, 0.12));
+  corpus.push_back(printer("combo-2", "ColorLaserPrinter", 7, 10, 0.09));
+  corpus.push_back(printer("mono-1", "LaserPrinter", 0, 5, 0.02));
+  corpus.push_back(printer("mono-2", "LaserPrinter", 3, 15, 0.03));
+  for (int i = 0; i < 10; ++i) {
+    ServiceDescription s;
+    s.name = "sensor-" + std::to_string(i);
+    s.service_class = "TemperatureSensor";
+    s.uuid = Uuid{7u, static_cast<std::uint64_t>(i)};
+    corpus.push_back(s);
+  }
+
+  // Ground truth for "a color-capable printer under 0.2/page":
+  const std::set<std::string> relevant = {"color-1", "color-2", "combo-1",
+                                          "combo-2"};
+
+  ServiceRequest request;
+  request.desired_class = "ColorPrinter";
+  request.constraints.push_back(
+      {"cost_per_page", ConstraintOp::kLe, 0.2, true});
+  request.preferences.push_back({"queue_length", true, 1.0});
+  request.max_results = 20;
+  // The Jini view of the same need (equality templates + interface).
+  ServiceRequest jini_request = request;
+  jini_request.required_interfaces = {"printIt()"};
+  // The SDP view: you must already know the provider's UUID; the client
+  // guesses one printer UUID it has cached (none registered here).
+  ServiceRequest sdp_request;
+  sdp_request.uuid = Uuid{123, 456};
+
+  SemanticMatcher semantic(ontology);
+  ExactInterfaceMatcher jini;
+  UuidMatcher sdp;
+
+  common::Table table({"matcher", "returned", "relevant found", "precision",
+                       "recall", "top hit"});
+  auto evaluate = [&](const std::string& name,
+                      const std::vector<Match>& matches) {
+    std::size_t hits = 0;
+    for (const auto& match : matches) {
+      if (relevant.count(match.service.name)) ++hits;
+    }
+    const double precision =
+        matches.empty() ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(matches.size());
+    const double recall =
+        static_cast<double>(hits) / static_cast<double>(relevant.size());
+    table.add_row({name, common::Table::num(std::uint64_t(matches.size())),
+                   common::Table::num(std::uint64_t(hits)),
+                   common::Table::num(precision, 2),
+                   common::Table::num(recall, 2),
+                   matches.empty() ? "-" : matches.front().service.name});
+  };
+
+  evaluate("semantic", semantic.match(corpus, request));
+  evaluate("jini-exact", jini.match(corpus, jini_request));
+  evaluate("sdp-uuid", sdp.match(corpus, sdp_request));
+  table.print(std::cout);
+
+  // The paper's sentence, verbatim, as a check: "find a printer service
+  // that has the shortest print queue ... within a prespecified cost
+  // constraint".
+  const auto ranked = semantic.match(corpus, request);
+  std::cout << "\nPaper's printer example: semantic top hit is '"
+            << (ranked.empty() ? "-" : ranked.front().service.name)
+            << "' (shortest queue among color-capable printers under "
+               "0.2/page; expected color-2).\n";
+  std::cout << "Jini cannot rank by queue or filter cost<=0.2 (equality "
+               "only) and misses the ColorLaserPrinters when asked for "
+               "ColorPrinter; SDP finds nothing without the exact UUID.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// EXP-G1 — grid solver ablation: Jacobi vs CG, serial vs thread pool.
+//
+// The offload economics of EXP-P4 assume the grid really is fast; this
+// bench measures the actual kernels on the host (google-benchmark) and
+// reports the algorithmic gap (CG iterations << Jacobi sweeps) that the
+// flop estimators encode.
+#include <iostream>
+#include <sstream>
+#include <benchmark/benchmark.h>
+
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "grid/solvers.hpp"
+#include "grid/temperature.hpp"
+
+namespace {
+
+using namespace pgrid;
+
+grid::HeatProblem make_problem(std::size_t n, bool three_d) {
+  grid::HeatProblem problem(n, n, three_d ? n : 1, 20.0);
+  problem.fix(n / 2, n / 2, three_d ? n / 2 : 0, 500.0);
+  problem.fix(n / 4, n / 3, 0, 180.0);
+  return problem;
+}
+
+void BM_Jacobi2D(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto problem = make_problem(n, false);
+  for (auto _ : state) {
+    std::vector<double> u;
+    auto stats = grid::jacobi_solve(problem, u, 1e-6, 200000);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_Jacobi2D)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Cg2D(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto problem = make_problem(n, false);
+  for (auto _ : state) {
+    std::vector<double> u;
+    auto stats = grid::cg_solve(problem, u, 1e-8);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_Cg2D)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Cg3DThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  auto problem = make_problem(32, true);
+  common::ThreadPool pool(threads);
+  for (auto _ : state) {
+    std::vector<double> u;
+    auto stats = grid::cg_solve(problem, u, 1e-8, 10000, &pool);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_Cg3DThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void iteration_table() {
+  common::Table table({"grid", "jacobi iters", "cg iters", "jacobi flops",
+                       "cg flops", "flop ratio"});
+  for (std::size_t n : {16, 32, 64}) {
+    auto problem = make_problem(n, false);
+    std::vector<double> uj;
+    std::vector<double> uc;
+    const auto js = grid::jacobi_solve(problem, uj, 1e-6, 500000);
+    const auto cs = grid::cg_solve(problem, uc, 1e-8);
+    std::ostringstream dims;
+    dims << n << "x" << n;
+    table.add_row({dims.str(),
+                   common::Table::num(std::uint64_t(js.iterations)),
+                   common::Table::num(std::uint64_t(cs.iterations)),
+                   common::Table::num(js.flops, 0),
+                   common::Table::num(cs.flops, 0),
+                   common::Table::num(js.flops / cs.flops, 1)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::print_banner(std::cout,
+                       "EXP-G1: grid PDE solver ablation (Jacobi vs CG)");
+  std::cout << "Design choice under test: the complex-query flop estimator "
+               "assumes CG; Jacobi's O(n^2) sweep count would shift the "
+               "EXP-P4 crossover.\n\n";
+  iteration_table();
+  std::cout << '\n';
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// EXP-P2 — response time per query type per solution model.
+//
+// "For real-time queries, the turn around time is crucial. Hence estimate
+// of the response time of the query in each of the above approach is
+// needed."  Measured turnaround includes wireless collection, backhaul
+// transfers, queueing and compute.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace pgrid;
+  bench::experiment_banner(
+      "EXP-P2: response time per query type x solution model",
+      "compute placement dominates complex-query latency (grid >> base >> "
+      "handheld in speed); collection latency dominates aggregates");
+
+  auto config = bench::standard_config(100);
+  config.pde_resolution = 33;  // heavy enough that placement matters
+  core::PervasiveGridRuntime runtime(config);
+  bench::ignite_standard_fire(runtime);
+
+  struct QueryCase {
+    const char* label;
+    const char* text;
+  };
+  const QueryCase cases[] = {
+      {"simple", "SELECT temp FROM sensors WHERE sensor = 42"},
+      {"aggregate", "SELECT AVG(temp) FROM sensors"},
+      {"complex", "SELECT TEMP_DISTRIBUTION(temp) FROM sensors"},
+  };
+
+  common::Table table({"query", "model", "time est (s)", "time act (s)",
+                       "collect (s)", "compute+transfer (s)"});
+  for (const auto& query_case : cases) {
+    auto parsed = query::parse_query(query_case.text);
+    const auto cls = runtime.classifier().classify(parsed.value());
+
+    // Collection-only reference: the tree/all-to-base gather cost.
+    double collect_reference = 0.0;
+    {
+      const auto outcome = runtime.submit_and_run(
+          query_case.text, partition::candidates_for(cls.inner).front());
+      collect_reference = outcome.actual.response_s;
+      runtime.reset_energy();
+    }
+
+    for (auto model : partition::candidates_for(cls.inner)) {
+      const auto outcome = runtime.submit_and_run(query_case.text, model);
+      if (!outcome.ok) {
+        std::cerr << "FAILED: " << query_case.label << " on "
+                  << to_string(model) << ": " << outcome.error << '\n';
+        return 1;
+      }
+      table.add_row(
+          {query_case.label, to_string(model),
+           common::Table::num(outcome.estimate.response_s, 3),
+           common::Table::num(outcome.actual.response_s, 3),
+           common::Table::num(std::min(collect_reference,
+                                       outcome.actual.response_s), 3),
+           common::Table::num(std::max(0.0, outcome.actual.response_s -
+                                                collect_reference), 3)});
+      runtime.reset_energy();
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: for complex queries handheld > all-to-base "
+               "(base CPU) > grid-offload once the PDE is big enough.\n";
+  return 0;
+}

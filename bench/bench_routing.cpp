@@ -1,0 +1,79 @@
+// EXP-P7 — routing technique matters: flooding vs gossiping vs tree routes.
+//
+// "The data routing technique used in the network would not be the same for
+// all networks. A particular network may use flooding technique to route
+// data, while another may use gossiping."  We disseminate a query packet
+// from the base station under each technique and report coverage,
+// transmissions and energy.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "net/routing.hpp"
+
+int main() {
+  using namespace pgrid;
+  bench::experiment_banner(
+      "EXP-P7: dissemination under flooding / gossip / tree routing",
+      "flooding reaches everyone at maximum cost; gossip trades coverage "
+      "for energy; tree dissemination is cheapest per reached node");
+
+  common::Table table({"sensors", "technique", "reached", "transmissions",
+                       "energy (J)"});
+  for (std::size_t n : {49, 100, 225}) {
+    for (int technique = 0; technique < 4; ++technique) {
+      core::PervasiveGridRuntime runtime(bench::standard_config(n));
+      auto& net = runtime.network();
+      auto& snet = runtime.sensors();
+      const auto base = snet.base_station();
+      constexpr std::uint64_t kQueryBytes = 48;
+
+      std::size_t reached = 0;
+      std::string name;
+      switch (technique) {
+        case 0: {
+          name = "flooding";
+          net.flood(base, kQueryBytes, nullptr,
+                    [&](std::size_t r) { reached = r; });
+          break;
+        }
+        case 1: {
+          name = "gossip f=2";
+          net.gossip(base, kQueryBytes, 2, nullptr,
+                     [&](std::size_t r) { reached = r; });
+          break;
+        }
+        case 2: {
+          name = "gossip f=3";
+          net.gossip(base, kQueryBytes, 3, nullptr,
+                     [&](std::size_t r) { reached = r; });
+          break;
+        }
+        case 3: {
+          name = "tree routes";
+          // One unicast down every tree path (install-query traffic).
+          const auto& tree = snet.tree();
+          for (auto sensor : snet.sensors()) {
+            auto route = tree.route_to_sink(sensor);
+            if (route.empty()) continue;
+            std::reverse(route.begin(), route.end());
+            net.send_route(route, kQueryBytes,
+                           [&](bool ok, std::size_t) { reached += ok ? 1 : 0; });
+          }
+          break;
+        }
+      }
+      runtime.simulator().run();
+      table.add_row({common::Table::num(std::uint64_t(n)), name,
+                     common::Table::num(std::uint64_t(reached)),
+                     common::Table::num(net.stats().transmissions),
+                     common::Table::num(net.battery_energy_consumed(), 6)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: flooding reaches the whole connected "
+               "component (sensors + infrastructure) with one rebroadcast "
+               "per node; gossip coverage rises with fanout; per-node tree "
+               "unicast is the most transmission-heavy (no broadcast "
+               "reuse).\n";
+  return 0;
+}

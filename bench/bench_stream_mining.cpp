@@ -1,0 +1,123 @@
+// EXP-M1 — the stream-mining pipeline of Kargupta & Park [17], which the
+// paper uses as its running composition example: "generating decision
+// trees, computing their Fourier spectra, choosing the dominant
+// components, and combining them to create a single tree."
+//
+// Part A: accuracy vs dominant-coefficient budget — the communication/
+// accuracy trade that motivates shipping spectra instead of raw data or
+// whole trees in a mobile environment.
+// Part B: concept drift — the ensemble retrained on recent windows
+// recovers, a frozen model decays.
+#include <iostream>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "mining/ensemble.hpp"
+
+int main() {
+  using namespace pgrid;
+  using namespace pgrid::mining;
+
+  common::print_banner(std::cout,
+                       "EXP-M1: stream mining via Fourier spectra [17]");
+  std::cout << "Paper: decision-tree ensembles combine in the Fourier "
+               "domain; dominant coefficients are cheap to ship over "
+               "wireless links.\n\n";
+
+  // Part A: coefficient budget sweep.
+  const std::size_t kDims = 10;
+  StreamGenerator gen(kDims, common::Rng(2003), 0.15);
+  std::vector<Window> windows;
+  for (int w = 0; w < 6; ++w) windows.push_back(gen.next_window(500));
+  Window test_window = gen.next_window(3000);
+  for (auto& instance : test_window) {
+    instance.label = gen.truth(instance.features);  // noise-free evaluation
+  }
+
+  common::Table budget({"coefficients", "accuracy", "energy captured",
+                        "bytes shipped", "vs raw data"});
+  for (std::size_t m : {4, 8, 16, 32, 64, 128, 256}) {
+    EnsembleConfig config;
+    config.dimensions = kDims;
+    config.tree_max_depth = 5;
+    config.dominant_coefficients = m;
+    const auto result = mine_stream(windows, config);
+    const double acc = accuracy(
+        [&](const std::vector<bool>& x) { return result.predict(x); },
+        test_window);
+    std::ostringstream ratio;
+    ratio << common::Table::num(
+                 double(result.raw_data_bytes) /
+                     double(std::max<std::size_t>(1, result.spectrum_bytes)),
+                 0)
+          << "x cheaper";
+    budget.add_row({common::Table::num(std::uint64_t(m)),
+                    common::Table::num(acc, 3),
+                    common::Table::num(result.captured_energy, 3),
+                    common::Table::num(std::uint64_t(result.spectrum_bytes)),
+                    ratio.str()});
+  }
+  budget.print(std::cout);
+
+  // Baselines at a fixed budget.
+  {
+    EnsembleConfig config;
+    config.dimensions = kDims;
+    config.tree_max_depth = 5;
+    config.dominant_coefficients = 64;
+    const auto result = mine_stream(windows, config);
+    const double single = result.trees.front().accuracy_on(test_window);
+    const double vote = accuracy(
+        [&](const std::vector<bool>& x) { return result.majority(x); },
+        test_window);
+    const double combined = accuracy(
+        [&](const std::vector<bool>& x) { return result.predict(x); },
+        test_window);
+    std::cout << "\nBaselines (6 windows, 15% label noise): single tree "
+              << common::Table::num(single, 3) << ", majority vote "
+              << common::Table::num(vote, 3) << ", Fourier-combined "
+              << common::Table::num(combined, 3) << " at "
+              << result.spectrum_bytes << " B vs " << result.tree_bytes
+              << " B for all trees.\n\n";
+  }
+
+  // Part B: drift — frozen vs retrained, window by window.
+  StreamGenerator drift_gen(kDims, common::Rng(1977), 0.1);
+  EnsembleConfig config;
+  config.dimensions = kDims;
+  config.tree_max_depth = 5;
+  config.dominant_coefficients = 64;
+
+  std::vector<Window> history;
+  for (int w = 0; w < 3; ++w) history.push_back(drift_gen.next_window(500));
+  const auto frozen = mine_stream(history, config);
+
+  common::Table drift({"window", "phase", "frozen model", "retrained model"});
+  for (int w = 0; w < 8; ++w) {
+    if (w == 4) drift_gen.drift();  // the concept changes under us
+    auto window = drift_gen.next_window(500);
+    Window clean = window;
+    for (auto& instance : clean) {
+      instance.label = drift_gen.truth(instance.features);
+    }
+    // Retrained: slide the history window.
+    history.push_back(window);
+    if (history.size() > 3) history.erase(history.begin());
+    const auto retrained = mine_stream(history, config);
+    const double frozen_acc = accuracy(
+        [&](const std::vector<bool>& x) { return frozen.predict(x); }, clean);
+    const double retrained_acc = accuracy(
+        [&](const std::vector<bool>& x) { return retrained.predict(x); },
+        clean);
+    drift.add_row({common::Table::num(std::int64_t(w)),
+                   w < 4 ? "stable" : "after drift",
+                   common::Table::num(frozen_acc, 3),
+                   common::Table::num(retrained_acc, 3)});
+  }
+  drift.print(std::cout);
+  std::cout << "\nShape check: accuracy rises with the coefficient budget "
+               "and saturates near the full-spectrum value; after the drift "
+               "the frozen model decays toward chance while the retrained "
+               "ensemble recovers within ~3 windows.\n";
+  return 0;
+}

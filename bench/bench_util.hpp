@@ -1,0 +1,49 @@
+// Shared scaffolding for the experiment binaries: standard deployments,
+// fire setup, and labelled output so every bench prints uniform series.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/runtime.hpp"
+
+namespace pgrid::bench {
+
+/// Standard deployment: `n` sensors on a square floor sized so the grid
+/// pitch stays inside radio range, base at a corner, two grid machines.
+inline core::RuntimeConfig standard_config(std::size_t sensors,
+                                           std::uint64_t seed = 42) {
+  core::RuntimeConfig config;
+  config.seed = seed;
+  config.sensors.sensor_count = sensors;
+  // ~15 m pitch regardless of n (sensor radio reaches 25 m).
+  const auto side = static_cast<double>(
+      static_cast<std::size_t>(std::ceil(std::sqrt(double(sensors)))));
+  config.sensors.width_m = 15.0 * (side - 1) + 1.0;
+  config.sensors.height_m = config.sensors.width_m;
+  config.sensors.base_pos = {-5.0, -5.0, 0.0};
+  config.sensors.noise_std = 0.2;
+  config.advertise_sensor_services = false;  // keep startup light
+  return config;
+}
+
+/// Ignites a fully-developed, non-spreading fire at ~2/3 of the floor.
+inline void ignite_standard_fire(core::PervasiveGridRuntime& runtime) {
+  sensornet::FireSource fire;
+  fire.pos = {runtime.config().sensors.width_m * 0.66,
+              runtime.config().sensors.height_m * 0.6, 0.0};
+  fire.start = sim::SimTime::seconds(-3600.0);
+  fire.spread_m_per_s = 0.0;
+  runtime.field().ignite(fire);
+}
+
+/// Experiment header: id, paper claim, and what we print.
+inline void experiment_banner(const std::string& id,
+                              const std::string& claim) {
+  common::print_banner(std::cout, id);
+  std::cout << "Paper: " << claim << "\n\n";
+}
+
+}  // namespace pgrid::bench

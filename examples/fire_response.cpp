@@ -1,0 +1,147 @@
+// Fire response: the paper's Section 4 scenario, played out over time.
+//
+// "Consider a building with temperature sensors embedded at various
+// locations ... Suppose the building is on fire. Fire fighters with
+// handheld devices arrive, and want to query the sensor network in the
+// building to plan their response."
+//
+// Timeline:
+//   t=0      building is quiet; firefighters install a continuous AVG watch
+//   t=120 s  a fire ignites in the north-east quadrant and grows
+//   t=600 s  firefighters ask for MAX and for the full temperature
+//            distribution (the complex PDE query) to locate the seat of the
+//            fire, under different COST preferences
+//   finally  the adaptive decision maker's calibration state is printed
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/runtime.hpp"
+#include "query/window.hpp"
+
+int main() {
+  using namespace pgrid;
+
+  core::RuntimeConfig config;
+  config.sensors.sensor_count = 144;  // 12x12 over a large floor
+  config.sensors.width_m = 220.0;
+  config.sensors.height_m = 220.0;
+  config.sensors.base_pos = {-5.0, -5.0, 0.0};
+  config.pde_resolution = 33;
+  config.continuous_epochs = 6;
+  core::PervasiveGridRuntime runtime(config);
+
+  common::print_banner(std::cout, "Fire response scenario (Figure 1)");
+
+  // Phase 1: quiet building — a continuous average-temperature watch
+  // feeding a sliding-window alarm (the Fjords-style windowed operator at
+  // the base station).
+  query::WindowAlarm alarm(3, 25.0, 22.0);  // fire when windowed mean > 25 C
+  auto watch = runtime.submit_and_run(
+      "SELECT AVG(temp) FROM sensors EPOCH DURATION 20");
+  for (const auto& epoch : watch.epochs) alarm.push(epoch.value);
+  std::cout << "t=" << runtime.simulator().now().to_seconds()
+            << "s  continuous AVG watch (" << watch.epochs.size()
+            << " epochs, model " << to_string(watch.model)
+            << "): last avg = " << watch.actual.value
+            << " C, alarm fires so far: " << alarm.fires() << "\n";
+  runtime.reset_energy();
+
+  // Phase 2: fire ignites at t=120 and develops over 3 minutes.
+  sensornet::FireSource fire;
+  fire.pos = {160.0, 150.0, 0.0};
+  fire.start = runtime.simulator().now() + sim::SimTime::seconds(120.0);
+  fire.ramp_seconds = 180.0;
+  fire.peak_celsius = 750.0;
+  fire.spread_m_per_s = 0.08;
+  runtime.field().ignite(fire);
+
+  // The watch keeps running while the fire develops; the window alarm is
+  // what actually summons the firefighters.
+  auto growing = runtime.submit_and_run(
+      "SELECT AVG(temp) FROM sensors EPOCH DURATION 60");
+  int alarm_epoch = -1;
+  for (std::size_t e = 0; e < growing.epochs.size(); ++e) {
+    if (alarm.push(growing.epochs[e].value) && alarm_epoch < 0) {
+      alarm_epoch = static_cast<int>(e);
+    }
+  }
+  runtime.reset_energy();
+  if (alarm_epoch >= 0) {
+    std::cout << "t=" << runtime.simulator().now().to_seconds()
+              << "s  WINDOW ALARM: floor-average window crossed 25 C at "
+                 "watch epoch "
+              << alarm_epoch << " — dispatching firefighters\n";
+  }
+
+  // Let the fire develop further before the situational queries.
+  runtime.simulator().run_until(runtime.simulator().now() +
+                                sim::SimTime::seconds(240.0));
+
+  // Phase 3: situational queries.
+  common::Table table({"t (s)", "query", "model", "answer", "energy (J)",
+                       "response (s)", "accuracy"});
+  auto ask = [&](const std::string& text) {
+    const auto outcome = runtime.submit_and_run(text);
+    table.add_row({common::Table::num(runtime.simulator().now().to_seconds(), 0),
+                   text.substr(0, 44), to_string(outcome.model),
+                   common::Table::num(outcome.actual.value, 1),
+                   common::Table::num(outcome.actual.energy_j, 6),
+                   common::Table::num(outcome.handheld_response_s, 3),
+                   common::Table::num(outcome.actual.accuracy, 2)});
+    runtime.reset_energy();
+    return outcome;
+  };
+
+  ask("SELECT AVG(temp) FROM sensors");
+  ask("SELECT MAX(temp) FROM sensors");
+  // Energy-conscious distribution (hybrid region model wins).
+  ask("SELECT TEMP_DISTRIBUTION(temp) FROM sensors COST energy 0.5");
+  // Time-critical distribution (grid offload wins).
+  auto dist =
+      ask("SELECT TEMP_DISTRIBUTION(temp) FROM sensors COST time 5");
+
+  std::cout << '\n';
+  table.print(std::cout);
+
+  // Locate the seat of the fire from the solved field.
+  if (dist.actual.distribution) {
+    const auto& grid_field = *dist.actual.distribution;
+    double best = -1e9;
+    double bx = 0, by = 0;
+    for (std::size_t iy = 0; iy < grid_field.ny; ++iy) {
+      for (std::size_t ix = 0; ix < grid_field.nx; ++ix) {
+        if (grid_field.at(ix, iy) > best) {
+          best = grid_field.at(ix, iy);
+          bx = grid_field.width_m * static_cast<double>(ix) /
+               static_cast<double>(grid_field.nx - 1);
+          by = grid_field.height_m * static_cast<double>(iy) /
+               static_cast<double>(grid_field.ny - 1);
+        }
+      }
+    }
+    std::cout << "\nSeat of the fire located near (" << bx << ", " << by
+              << ") at " << best << " C (actual fire at (160, 150)).\n";
+  }
+
+  // Phase 4: adaptation — what the runtime learned from its own estimates.
+  common::Table calibration({"class", "model", "observations", "energy cal",
+                             "response cal"});
+  for (auto inner :
+       {query::QueryClass::kSimple, query::QueryClass::kAggregate,
+        query::QueryClass::kComplex}) {
+    for (auto model : partition::all_models()) {
+      const auto& maker = runtime.decision_maker();
+      if (maker.observations(inner, model) == 0) continue;
+      calibration.add_row(
+          {query::to_string(inner), to_string(model),
+           common::Table::num(
+               std::uint64_t(maker.observations(inner, model))),
+           common::Table::num(maker.energy_calibration(inner, model), 3),
+           common::Table::num(maker.response_calibration(inner, model), 3)});
+    }
+  }
+  std::cout << "\nAdaptive calibration (actual/estimated ratios learned "
+               "from feedback):\n";
+  calibration.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,190 @@
+// pgrid_shell: an interactive console for the pervasive grid — the closest
+// thing to the firefighter's handheld you can run at a desk.
+//
+// Reads queries from stdin (one per line), executes them against a standard
+// burning-building deployment, and prints the decision maker's choice and
+// the measured costs.  The learner's experience persists to
+// pgrid_experience.txt across sessions, so repeated use sharpens the
+// estimates (the paper's "historic data").
+//
+// Commands:
+//   <query>           e.g. SELECT AVG(temp) FROM sensors WHERE room = 210
+//   :models <query>   run the query under every supported model and compare
+//   :whatif <query>   same comparison on a scratch clone — burns NO real
+//                     sensor battery (the paper's Simulator component)
+//   :state            deployment + learner status
+//   :help             language summary
+//   :quit
+//
+// Also usable non-interactively:  echo "SELECT ..." | pgrid_shell
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/runtime.hpp"
+#include "partition/persistence.hpp"
+
+namespace {
+
+constexpr const char* kExperienceFile = "pgrid_experience.txt";
+
+void print_help() {
+  std::cout <<
+      "Query language (the paper's Section 4 format):\n"
+      "  SELECT {func(), attrs} FROM sensors\n"
+      "    [WHERE <attr> <op> <value> [AND ...]]   attrs: sensor, room,\n"
+      "                                            floor, x, y, temp\n"
+      "    [COST energy|time|accuracy <limit>]\n"
+      "    [EPOCH DURATION <seconds>]\n"
+      "Functions: MIN MAX AVG SUM COUNT TEMP_DISTRIBUTION\n"
+      "Examples:\n"
+      "  SELECT temp FROM sensors WHERE sensor = 10\n"
+      "  SELECT AVG(temp) FROM sensors WHERE room = 210\n"
+      "  SELECT TEMP_DISTRIBUTION(temp) FROM sensors COST time 5\n"
+      "  SELECT MAX(temp) FROM sensors EPOCH DURATION 10\n";
+}
+
+void print_outcome(const pgrid::core::QueryOutcome& outcome) {
+  using pgrid::common::Table;
+  if (!outcome.ok) {
+    std::cout << "error: " << outcome.error << '\n';
+    return;
+  }
+  std::cout << "  class   " << to_string(outcome.classification.primary)
+            << "\n  model   " << to_string(outcome.model) << "\n  answer  "
+            << Table::num(outcome.actual.value, 2) << "\n  energy  "
+            << Table::num(outcome.actual.energy_j, 6) << " J (estimated "
+            << Table::num(outcome.estimate.energy_j, 6) << ")\n  time    "
+            << Table::num(outcome.handheld_response_s, 3)
+            << " s at the handheld\n";
+  if (outcome.actual.distribution) {
+    const auto& dist = *outcome.actual.distribution;
+    std::cout << "  field   " << dist.nx << "x" << dist.ny
+              << (dist.nz > 1 ? "x" + std::to_string(dist.nz) : "")
+              << ", min " << Table::num(dist.min_value(), 1) << " C, max "
+              << Table::num(dist.max_value(), 1) << " C\n";
+  }
+  if (!outcome.epochs.empty()) {
+    std::cout << "  epochs  " << outcome.epochs.size() << " (last value "
+              << Table::num(outcome.epochs.back().value, 2) << ")\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace pgrid;
+
+  core::RuntimeConfig config;
+  config.sensors.sensor_count = 100;
+  config.sensors.width_m = 135.0;
+  config.sensors.height_m = 135.0;
+  config.sensors.room_size_m = 15.0;
+  config.sensors.base_pos = {-5, -5, 0};
+  core::PervasiveGridRuntime runtime(config);
+
+  sensornet::FireSource fire;
+  fire.pos = {90.0, 75.0, 0.0};
+  fire.start = sim::SimTime::seconds(-900.0);
+  runtime.field().ignite(fire);
+
+  // Restore learned experience from previous sessions.
+  {
+    std::ifstream in(kExperienceFile);
+    if (in) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      auto loaded =
+          partition::load_experience(buffer.str(), runtime.decision_maker());
+      if (loaded.ok() && loaded.value() > 0) {
+        std::cout << "(restored " << loaded.value()
+                  << " training samples from " << kExperienceFile << ")\n";
+      }
+    }
+  }
+
+  std::cout << "pervasive grid shell — 100 sensors on a 135x135 m floor, "
+               "fire burning near (90, 75); :help for the language\n";
+
+  std::string line;
+  while (std::cout << "pgrid> " << std::flush, std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ":quit" || line == ":q") break;
+    if (line == ":help") {
+      print_help();
+      continue;
+    }
+    if (line == ":state") {
+      std::cout << "  sensors alive  " << runtime.sensors().alive_sensors()
+                << "/" << runtime.sensors().sensors().size()
+                << "\n  grid machines  "
+                << (runtime.grid() ? runtime.grid()->machine_count() : 0)
+                << "\n  services       " << runtime.broker().registry().size()
+                << "\n  experience     "
+                << runtime.decision_maker().experience() << " samples, tree "
+                << (runtime.decision_maker().tree_trained() ? "trained"
+                                                            : "untrained")
+                << "\n  sim clock      "
+                << runtime.simulator().now().to_seconds() << " s\n";
+      continue;
+    }
+    if (line.rfind(":whatif ", 0) == 0) {
+      const auto outcomes = runtime.what_if_all(line.substr(8));
+      if (outcomes.size() == 1 && !outcomes[0].ok) {
+        std::cout << "error: " << outcomes[0].error << '\n';
+        continue;
+      }
+      common::Table table({"model", "answer", "energy (J)", "time (s)",
+                           "accuracy"});
+      for (const auto& outcome : outcomes) {
+        table.add_row({to_string(outcome.model),
+                       outcome.ok
+                           ? common::Table::num(outcome.actual.value, 2)
+                           : "FAILED",
+                       common::Table::num(outcome.actual.energy_j, 6),
+                       common::Table::num(outcome.handheld_response_s, 3),
+                       common::Table::num(outcome.actual.accuracy, 2)});
+      }
+      table.print(std::cout);
+      std::cout << "(simulated on a clone; no real battery spent)\n";
+      continue;
+    }
+    if (line.rfind(":models ", 0) == 0) {
+      const std::string text = line.substr(8);
+      auto parsed = query::parse_query(text);
+      if (!parsed.ok()) {
+        std::cout << "error: " << parsed.error() << '\n';
+        continue;
+      }
+      const auto cls = runtime.classifier().classify(parsed.value());
+      common::Table table({"model", "answer", "energy (J)", "time (s)",
+                           "accuracy"});
+      for (auto model : partition::candidates_for(cls.inner)) {
+        const auto outcome = runtime.submit_and_run(text, model);
+        table.add_row({to_string(model),
+                       outcome.ok ? common::Table::num(outcome.actual.value, 2)
+                                  : "FAILED",
+                       common::Table::num(outcome.actual.energy_j, 6),
+                       common::Table::num(outcome.handheld_response_s, 3),
+                       common::Table::num(outcome.actual.accuracy, 2)});
+        runtime.reset_energy();
+      }
+      table.print(std::cout);
+      continue;
+    }
+
+    const auto outcome = runtime.submit_and_run(line);
+    print_outcome(outcome);
+    runtime.reset_energy();
+  }
+
+  // Persist what this session learned.
+  {
+    std::ofstream out(kExperienceFile);
+    out << partition::save_experience(runtime.decision_maker());
+  }
+  std::cout << "\n(saved experience to " << kExperienceFile << ")\n";
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include "agent/agent.hpp"
+
+namespace pgrid::agent {
+
+std::string to_string(AgentRole role) {
+  switch (role) {
+    case AgentRole::kBroker: return "broker";
+    case AgentRole::kServiceProvider: return "service-provider";
+    case AgentRole::kServiceConsumer: return "service-consumer";
+    case AgentRole::kMediator: return "mediator";
+    case AgentRole::kSensor: return "sensor";
+    case AgentRole::kPlanner: return "planner";
+    case AgentRole::kExecutor: return "executor";
+  }
+  return "?";
+}
+
+}  // namespace pgrid::agent

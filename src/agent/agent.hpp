@@ -1,0 +1,98 @@
+// Ronin agents and their attribute model.
+//
+// Section 2 of the paper: "There is a set of attributes associated with each
+// Ronin Agent. ... Agent Attributes define the generic functionality of an
+// agent in domain independent fashion. For example, an agent could be a
+// broker, or a service provider. ... Agent Domain Attributes define the
+// domain specific functionality of an agent" (types/semantics left to the
+// domain).  Agent attributes bootstrap interaction between heterogeneous
+// domains; domain attributes carry ontology-specific descriptions.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "agent/envelope.hpp"
+#include "net/network.hpp"
+
+namespace pgrid::agent {
+
+class AgentPlatform;
+
+/// Domain-independent generic roles (types and semantics fixed by the
+/// framework, per the paper).
+enum class AgentRole {
+  kBroker,
+  kServiceProvider,
+  kServiceConsumer,
+  kMediator,
+  kSensor,
+  kPlanner,
+  kExecutor,
+};
+
+std::string to_string(AgentRole role);
+
+/// Framework-defined attribute set.
+using AgentAttributes = std::set<AgentRole>;
+
+/// Domain-specific attributes; the framework stores but does not interpret
+/// them ("The framework neither defines the Domain Attribute types nor their
+/// semantics").
+using DomainAttributes = std::map<std::string, std::string>;
+
+/// Base class for all agents.  An agent lives on a network node; the
+/// platform invokes on_envelope() when a message is delivered to it.
+class Agent {
+ public:
+  Agent(std::string name, net::NodeId node) : name_(std::move(name)), node_(node) {}
+  virtual ~Agent() = default;
+
+  AgentId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  net::NodeId node() const { return node_; }
+
+  AgentAttributes& attributes() { return attributes_; }
+  const AgentAttributes& attributes() const { return attributes_; }
+  bool has_role(AgentRole role) const { return attributes_.count(role) > 0; }
+
+  DomainAttributes& domain_attributes() { return domain_attributes_; }
+  const DomainAttributes& domain_attributes() const { return domain_attributes_; }
+
+  /// Message delivery entry point; override in concrete agents.
+  virtual void on_envelope(const Envelope& envelope) = 0;
+
+  /// Called once when registered; default does nothing.
+  virtual void on_registered() {}
+
+  AgentPlatform* platform() { return platform_; }
+
+ private:
+  friend class AgentPlatform;
+  AgentId id_ = kInvalidAgent;
+  std::string name_;
+  net::NodeId node_;
+  AgentAttributes attributes_;
+  DomainAttributes domain_attributes_;
+  AgentPlatform* platform_ = nullptr;
+};
+
+/// An agent whose behaviour is provided as a callable; convenient in tests
+/// and small examples.
+class LambdaAgent final : public Agent {
+ public:
+  using Handler = std::function<void(LambdaAgent&, const Envelope&)>;
+
+  LambdaAgent(std::string name, net::NodeId node, Handler handler)
+      : Agent(std::move(name), node), handler_(std::move(handler)) {}
+
+  void on_envelope(const Envelope& envelope) override {
+    if (handler_) handler_(*this, envelope);
+  }
+
+ private:
+  Handler handler_;
+};
+
+}  // namespace pgrid::agent

@@ -1,0 +1,148 @@
+#include "agent/contract_net.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+namespace pgrid::agent {
+
+std::string serialize(const Proposal& proposal) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "bidder=" << proposal.bidder << '\n'
+      << "cost=" << proposal.cost << '\n'
+      << "latency=" << proposal.latency_s << '\n'
+      << "note=" << proposal.note << '\n';
+  return out.str();
+}
+
+std::optional<Proposal> parse_proposal(const std::string& text) {
+  Proposal proposal;
+  bool has_cost = false;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    try {
+      if (key == "bidder") {
+        proposal.bidder = static_cast<AgentId>(std::stoul(value));
+      } else if (key == "cost") {
+        proposal.cost = std::stod(value);
+        has_cost = true;
+      } else if (key == "latency") {
+        proposal.latency_s = std::stod(value);
+      } else if (key == "note") {
+        proposal.note = value;
+      }
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  if (!has_cost) return std::nullopt;
+  return proposal;
+}
+
+void negotiate(AgentPlatform& platform, AgentId initiator,
+               const std::vector<AgentId>& participants,
+               const std::string& task, sim::SimTime bid_deadline,
+               std::function<void(NegotiationResult)> done,
+               AwardPolicy policy) {
+  if (!policy) policy = [](const Proposal& p) { return p.cost; };
+  struct State {
+    NegotiationResult result;
+    std::size_t outstanding = 0;
+  };
+  auto state = std::make_shared<State>();
+  auto done_shared =
+      std::make_shared<std::function<void(NegotiationResult)>>(
+          std::move(done));
+  auto policy_shared = std::make_shared<AwardPolicy>(std::move(policy));
+
+  if (participants.empty()) {
+    platform.simulator().schedule(sim::SimTime::zero(),
+                                  [state, done_shared] {
+                                    (*done_shared)(state->result);
+                                  });
+    return;
+  }
+  state->outstanding = participants.size();
+
+  auto finish = [&platform, initiator, state, done_shared, policy_shared] {
+    auto& proposals = state->result.proposals;
+    if (!proposals.empty()) {
+      auto best = std::min_element(
+          proposals.begin(), proposals.end(),
+          [&](const Proposal& a, const Proposal& b) {
+            return (*policy_shared)(a) < (*policy_shared)(b);
+          });
+      state->result.awarded = *best;
+      for (const auto& proposal : proposals) {
+        Envelope decision;
+        decision.sender = initiator;
+        decision.receiver = proposal.bidder;
+        decision.performative = proposal.bidder == best->bidder
+                                    ? Performative::kAcceptProposal
+                                    : Performative::kRejectProposal;
+        decision.content_type = ContractNetProtocol::kAward;
+        decision.ontology = ContractNetProtocol::kOntology;
+        platform.send(decision);
+      }
+    }
+    (*done_shared)(state->result);
+  };
+
+  for (AgentId participant : participants) {
+    Envelope cfp;
+    cfp.sender = initiator;
+    cfp.receiver = participant;
+    cfp.performative = Performative::kQueryRef;
+    cfp.content_type = ContractNetProtocol::kCfp;
+    cfp.ontology = ContractNetProtocol::kOntology;
+    cfp.payload = task;
+    platform.request(
+        cfp, bid_deadline,
+        [state, finish](common::Result<Envelope> reply) {
+          if (reply.ok() &&
+              reply.value().performative == Performative::kPropose) {
+            if (auto proposal = parse_proposal(reply.value().payload)) {
+              proposal->bidder = reply.value().sender;
+              state->result.proposals.push_back(*proposal);
+            }
+          }
+          if (--state->outstanding == 0) finish();
+        });
+  }
+}
+
+BidderAgent::BidderAgent(std::string name, net::NodeId node, BidFunction bid)
+    : Agent(std::move(name), node), bid_(std::move(bid)) {
+  attributes().insert(AgentRole::kServiceProvider);
+}
+
+void BidderAgent::on_envelope(const Envelope& envelope) {
+  if (envelope.content_type == ContractNetProtocol::kCfp &&
+      envelope.performative == Performative::kQueryRef) {
+    ++cfps_;
+    auto proposal = bid_ ? bid_(envelope.payload) : std::nullopt;
+    if (proposal) {
+      proposal->bidder = id();
+      Envelope reply =
+          make_reply(envelope, Performative::kPropose, serialize(*proposal));
+      reply.content_type = ContractNetProtocol::kBid;
+      platform()->send(reply);
+    } else {
+      platform()->send(
+          make_reply(envelope, Performative::kRejectProposal, "decline"));
+    }
+    return;
+  }
+  if (envelope.content_type == ContractNetProtocol::kAward) {
+    if (envelope.performative == Performative::kAcceptProposal) ++awards_;
+    if (envelope.performative == Performative::kRejectProposal) ++rejections_;
+  }
+}
+
+}  // namespace pgrid::agent

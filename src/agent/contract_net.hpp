@@ -1,0 +1,80 @@
+// Contract-net negotiation over the agent platform.
+//
+// Section 2: the framework must let agents "negotiate with other agents
+// about appropriate mediating interfaces or performance commitments".  This
+// is the classic contract-net conversation: an initiator issues a call for
+// proposals, bidders answer with performance commitments (cost, latency),
+// the initiator awards the best bid and notifies the rest.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "agent/platform.hpp"
+
+namespace pgrid::agent {
+
+/// Envelope vocabulary of the negotiation protocol.
+struct ContractNetProtocol {
+  static constexpr const char* kOntology = "pgrid-contract-net";
+  static constexpr const char* kCfp = "pgrid/cfp";
+  static constexpr const char* kBid = "pgrid/bid";
+  static constexpr const char* kAward = "pgrid/award";
+};
+
+/// A bidder's performance commitment.
+struct Proposal {
+  AgentId bidder = kInvalidAgent;
+  double cost = 0.0;       ///< price of doing the task
+  double latency_s = 0.0;  ///< committed completion time
+  std::string note;        ///< free-form (e.g. the mediating interface)
+};
+
+std::string serialize(const Proposal& proposal);
+std::optional<Proposal> parse_proposal(const std::string& text);
+
+/// Outcome of one negotiation.
+struct NegotiationResult {
+  std::vector<Proposal> proposals;  ///< every bid received in time
+  std::optional<Proposal> awarded;  ///< empty when nobody bid
+};
+
+/// Scores a proposal; lowest score wins.  Default: cost.
+using AwardPolicy = std::function<double(const Proposal&)>;
+
+/// Runs one contract-net round: CFP to every participant, collect bids
+/// until all answer / decline / time out, award the best (accept-proposal
+/// to the winner, reject-proposal to the rest), then invoke `done`.
+void negotiate(AgentPlatform& platform, AgentId initiator,
+               const std::vector<AgentId>& participants,
+               const std::string& task, sim::SimTime bid_deadline,
+               std::function<void(NegotiationResult)> done,
+               AwardPolicy policy = nullptr);
+
+/// An agent that answers CFPs via a bid function (return nullopt to
+/// decline) and records awards it wins.
+class BidderAgent final : public Agent {
+ public:
+  /// The bid function sees the task description.
+  using BidFunction =
+      std::function<std::optional<Proposal>(const std::string& task)>;
+
+  BidderAgent(std::string name, net::NodeId node, BidFunction bid);
+
+  void on_envelope(const Envelope& envelope) override;
+
+  std::size_t cfps_seen() const { return cfps_; }
+  std::size_t awards_won() const { return awards_; }
+  std::size_t rejections() const { return rejections_; }
+
+ private:
+  BidFunction bid_;
+  std::size_t cfps_ = 0;
+  std::size_t awards_ = 0;
+  std::size_t rejections_ = 0;
+};
+
+}  // namespace pgrid::agent

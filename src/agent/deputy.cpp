@@ -1,0 +1,5 @@
+#include "agent/deputy.hpp"
+
+// Deputy implementations live in platform.cpp next to the routing helpers
+// they use; this TU anchors the header.
+namespace pgrid::agent {}

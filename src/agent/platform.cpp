@@ -1,0 +1,207 @@
+#include "agent/platform.hpp"
+
+#include <utility>
+
+#include "net/routing.hpp"
+
+namespace pgrid::agent {
+
+AgentPlatform::AgentPlatform(net::Network& network) : network_(network) {}
+
+AgentId AgentPlatform::register_agent(std::unique_ptr<Agent> agent,
+                                      std::unique_ptr<AgentDeputy> deputy) {
+  const AgentId id = next_agent_id_++;
+  agent->id_ = id;
+  agent->platform_ = this;
+  if (!deputy) deputy = std::make_unique<DirectDeputy>();
+  Agent* raw = agent.get();
+  agents_[id] = Registration{std::move(agent), std::move(deputy)};
+  raw->on_registered();
+  return id;
+}
+
+void AgentPlatform::unregister_agent(AgentId id) { agents_.erase(id); }
+
+Agent* AgentPlatform::find(AgentId id) {
+  auto it = agents_.find(id);
+  return it == agents_.end() ? nullptr : it->second.agent.get();
+}
+
+Agent* AgentPlatform::find_by_name(const std::string& name) {
+  for (auto& [id, reg] : agents_) {
+    if (reg.agent->name() == name) return reg.agent.get();
+  }
+  return nullptr;
+}
+
+AgentDeputy* AgentPlatform::deputy_of(AgentId id) {
+  auto it = agents_.find(id);
+  return it == agents_.end() ? nullptr : it->second.deputy.get();
+}
+
+std::vector<AgentId> AgentPlatform::agents_with_role(AgentRole role) const {
+  std::vector<AgentId> out;
+  for (const auto& [id, reg] : agents_) {
+    if (reg.agent->has_role(role)) out.push_back(id);
+  }
+  return out;
+}
+
+void AgentPlatform::send(Envelope envelope, SendCallback on_result) {
+  ++stats_.sent;
+  auto sender_it = agents_.find(envelope.sender);
+  auto receiver_it = agents_.find(envelope.receiver);
+  if (receiver_it == agents_.end()) {
+    ++stats_.failed;
+    simulator().schedule(sim::SimTime::zero(), [on_result] {
+      if (on_result) on_result(false);
+    });
+    return;
+  }
+  const net::NodeId src = sender_it == agents_.end()
+                              ? receiver_it->second.agent->node()
+                              : sender_it->second.agent->node();
+  const net::NodeId dst = receiver_it->second.agent->node();
+  AgentDeputy& deputy = *receiver_it->second.deputy;
+  auto env = std::make_shared<Envelope>(std::move(envelope));
+  deputy.deliver(*this, src, dst, *env,
+                 [this, env, on_result](bool delivered) {
+                   if (delivered) {
+                     ++stats_.delivered;
+                     dispatch(*env);
+                   } else {
+                     ++stats_.failed;
+                   }
+                   if (on_result) on_result(delivered);
+                 });
+}
+
+void AgentPlatform::request(Envelope envelope, sim::SimTime timeout,
+                            ResponseCallback on_response) {
+  const std::uint64_t token = next_token();
+  envelope.reply_with = token;
+  if (envelope.conversation_id == 0) envelope.conversation_id = token;
+  const AgentId requester = envelope.sender;
+
+  auto timeout_handle = simulator().schedule(timeout, [this, token] {
+    auto it = pending_.find(token);
+    if (it == pending_.end()) return;
+    auto callback = std::move(it->second.callback);
+    pending_.erase(it);
+    ++stats_.timed_out;
+    callback(common::Result<Envelope>::failure("request timed out"));
+  });
+  pending_[token] =
+      PendingRequest{requester, std::move(on_response), timeout_handle};
+
+  send(std::move(envelope), [this, token](bool delivered) {
+    if (delivered) return;
+    auto it = pending_.find(token);
+    if (it == pending_.end()) return;
+    auto callback = std::move(it->second.callback);
+    simulator().cancel(it->second.timeout);
+    pending_.erase(it);
+    callback(common::Result<Envelope>::failure("request undeliverable"));
+  });
+}
+
+void AgentPlatform::dispatch(const Envelope& envelope) {
+  if (envelope.in_reply_to != 0) {
+    auto it = pending_.find(envelope.in_reply_to);
+    if (it != pending_.end() && it->second.requester == envelope.receiver) {
+      auto callback = std::move(it->second.callback);
+      simulator().cancel(it->second.timeout);
+      pending_.erase(it);
+      callback(common::Result<Envelope>(envelope));
+      return;
+    }
+  }
+  if (Agent* target = find(envelope.receiver)) target->on_envelope(envelope);
+}
+
+void AgentPlatform::route_and_transmit(net::NodeId src, net::NodeId dst,
+                                       std::uint64_t bytes,
+                                       std::function<void(bool)> done) {
+  if (src == dst) {
+    // Local delivery is instantaneous but still asynchronous.
+    simulator().schedule(sim::SimTime::zero(),
+                         [done = std::move(done)] { done(true); });
+    return;
+  }
+  auto route = net::shortest_path(network_, src, dst);
+  if (route.empty()) {
+    simulator().schedule(sim::SimTime::zero(),
+                         [done = std::move(done)] { done(false); });
+    return;
+  }
+  network_.send_route(route, bytes,
+                      [done = std::move(done)](bool ok, std::size_t) { done(ok); });
+}
+
+// ---------------------------------------------------------------------------
+// Deputies
+// ---------------------------------------------------------------------------
+
+void DirectDeputy::deliver(AgentPlatform& platform, net::NodeId src_node,
+                           net::NodeId dest_node, const Envelope& envelope,
+                           DeliverCallback done) {
+  platform.route_and_transmit(src_node, dest_node, envelope.wire_size(),
+                              std::move(done));
+}
+
+void StoreAndForwardDeputy::deliver(AgentPlatform& platform,
+                                    net::NodeId src_node,
+                                    net::NodeId dest_node,
+                                    const Envelope& envelope,
+                                    DeliverCallback done) {
+  const std::uint64_t bytes = envelope.wire_size();
+  const sim::SimTime deadline = platform.simulator().now() + give_up_after_;
+  auto attempt = std::make_shared<std::function<void()>>();
+  auto done_shared = std::make_shared<DeliverCallback>(std::move(done));
+  *attempt = [this, &platform, src_node, dest_node, bytes, deadline, attempt,
+              done_shared]() {
+    platform.route_and_transmit(
+        src_node, dest_node, bytes,
+        [this, &platform, deadline, attempt, done_shared](bool ok) {
+          if (ok) {
+            (*done_shared)(true);
+            return;
+          }
+          // Destination unreachable: hold the envelope and retry, modelling
+          // disconnection management at the deputy.
+          if (platform.simulator().now() + retry_every_ > deadline) {
+            (*done_shared)(false);
+            return;
+          }
+          ++queued_;
+          platform.simulator().schedule(retry_every_, [this, attempt] {
+            --queued_;
+            (*attempt)();
+          });
+        });
+  };
+  (*attempt)();
+}
+
+void TranscodingDeputy::deliver(AgentPlatform& platform, net::NodeId src_node,
+                                net::NodeId dest_node,
+                                const Envelope& envelope,
+                                DeliverCallback done) {
+  std::uint64_t bytes = envelope.wire_size();
+  // Inspect the first hop the route would take; a thin channel triggers
+  // payload transcoding before transmission.
+  auto route = net::shortest_path(platform.network(), src_node, dest_node);
+  if (route.size() >= 2) {
+    auto link = platform.network().link_between(route[0], route[1]);
+    if (link && link->bandwidth_bps < threshold_bps_) {
+      const auto header = bytes - envelope.payload.size();
+      const auto shrunk = static_cast<std::uint64_t>(
+          static_cast<double>(envelope.payload.size()) * shrink_factor_);
+      bytes = header + shrunk;
+      ++transcoded_;
+    }
+  }
+  platform.route_and_transmit(src_node, dest_node, bytes, std::move(done));
+}
+
+}  // namespace pgrid::agent

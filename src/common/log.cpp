@@ -1,0 +1,32 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace pgrid::common {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  std::cerr << "[pgrid " << tag(level) << "] " << message << '\n';
+}
+
+}  // namespace pgrid::common

@@ -1,0 +1,45 @@
+// Leveled logging.  Off by default so tests and benches stay quiet; the
+// examples switch it on to narrate the scenario.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pgrid::common {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr with a level tag. Prefer the PGRID_LOG macro.
+void log_line(LogLevel level, const std::string& message);
+
+}  // namespace pgrid::common
+
+/// Usage: PGRID_LOG(kInfo) << "query " << id << " chose " << model;
+#define PGRID_LOG(level)                                                      \
+  if (::pgrid::common::LogLevel::level < ::pgrid::common::log_level()) {     \
+  } else                                                                     \
+    ::pgrid::common::LogStream(::pgrid::common::LogLevel::level)
+
+namespace pgrid::common {
+
+/// RAII stream that emits on destruction; used via PGRID_LOG.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, out_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    out_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+}  // namespace pgrid::common

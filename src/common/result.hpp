@@ -1,0 +1,56 @@
+// Minimal expected-style result type (std::expected is C++23; this library
+// targets C++20).  Errors are strings: every failure in this library is a
+// diagnostic for a human or a test, not a recoverable code path taxonomy.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pgrid::common {
+
+/// Error payload carried by Result<T>.
+struct Error {
+  std::string message;
+};
+
+/// Value-or-error. Intentionally small: check ok(), then value()/error().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Result failure(std::string message) {
+    return Result(Error{std::move(message)});
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Throws std::runtime_error when called on a failed result.
+  const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error());
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    if (!ok()) throw std::runtime_error("Result::take on error: " + error());
+    return std::get<T>(std::move(data_));
+  }
+
+  const std::string& error() const {
+    static const std::string kNone = "(no error)";
+    if (ok()) return kNone;
+    return std::get<Error>(data_).message;
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace pgrid::common

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic behaviour in the library flows through pgrid::common::Rng so
+// that a simulation seeded with the same value replays identically.  The
+// generator is xoshiro256** (Blackman & Vigna), seeded via splitmix64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pgrid::common {
+
+/// Deterministic 64-bit PRNG (xoshiro256**) with convenience distributions.
+///
+/// Not thread-safe; give each concurrent component its own stream via fork().
+class Rng {
+ public:
+  /// Seeds the state from a single 64-bit value using splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with the given rate (lambda). Mean is 1/rate.
+  double exponential(double rate);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Uniformly chosen index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher-Yates shuffle of a span in place.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Derives an independent child stream; deterministic given the parent
+  /// state. Use to hand sub-components their own generators.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// splitmix64 step, exposed for seeding utilities and hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace pgrid::common

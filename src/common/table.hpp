@@ -1,0 +1,42 @@
+// Aligned console tables for the benchmark harness.  Every experiment binary
+// prints its series through Table so bench output stays uniform and easy to
+// diff against EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pgrid::common {
+
+/// Column-aligned text table with an optional CSV rendering.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string num(double value, int precision = 3);
+  static std::string num(std::int64_t value);
+  static std::string num(std::uint64_t value);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a separator line under the header.
+  std::string str() const;
+  std::string csv() const;
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints an underlined section banner; experiments use this to label each
+/// reproduced figure/table.
+void print_banner(std::ostream& out, const std::string& title);
+
+}  // namespace pgrid::common

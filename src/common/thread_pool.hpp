@@ -1,0 +1,47 @@
+// Fixed-size worker pool used by the grid's PDE solvers (the "heavy
+// computation" side of the pervasive grid).  Simulation code stays single
+// threaded and deterministic; only numeric kernels parallelize.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pgrid::common {
+
+/// Simple task-queue thread pool.  Tasks must not throw.
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it completes.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Splits [0, n) into contiguous chunks across the pool and blocks until
+  /// every chunk completes.  body(first, last) processes [first, last).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace pgrid::common

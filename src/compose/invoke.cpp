@@ -1,0 +1,60 @@
+#include "compose/invoke.hpp"
+
+#include "compose/provider.hpp"
+
+namespace pgrid::compose {
+
+using agent::Envelope;
+using agent::Performative;
+
+std::uint64_t paradigm_overhead_bytes(
+    discovery::InvocationParadigm paradigm) {
+  switch (paradigm) {
+    case discovery::InvocationParadigm::kAgentAcl: return 96;
+    case discovery::InvocationParadigm::kRemoteInvocation: return 512;
+    case discovery::InvocationParadigm::kMessagePassing: return 32;
+  }
+  return 96;
+}
+
+void invoke_service(agent::AgentPlatform& platform, agent::AgentId client,
+                    const discovery::ServiceDescription& service,
+                    double compute_ops, std::uint64_t input_bytes,
+                    std::uint64_t output_bytes, sim::SimTime timeout,
+                    InvokeCallback done) {
+  Envelope call;
+  call.sender = client;
+  call.receiver = service.provider;
+  call.performative = Performative::kRequest;
+  call.ontology = InvokeProtocol::kOntology;
+  switch (service.paradigm) {
+    case discovery::InvocationParadigm::kAgentAcl:
+      call.content_type = InvokeProtocol::kAclCall;
+      break;
+    case discovery::InvocationParadigm::kRemoteInvocation:
+      call.content_type = InvokeProtocol::kRmiCall;
+      break;
+    case discovery::InvocationParadigm::kMessagePassing:
+      call.content_type = InvokeProtocol::kMsgCall;
+      break;
+  }
+  const std::uint64_t framing = paradigm_overhead_bytes(service.paradigm);
+  call.payload = encode_call(compute_ops, output_bytes + framing,
+                             input_bytes + framing);
+
+  platform.request(
+      call, timeout, [done = std::move(done)](common::Result<Envelope> result) {
+        if (!result.ok()) {
+          done(InvokeResult{false, 0, result.error()});
+          return;
+        }
+        const Envelope& reply = result.value();
+        if (reply.performative == Performative::kFailure) {
+          done(InvokeResult{false, 0, reply.payload});
+          return;
+        }
+        done(InvokeResult{true, reply.payload.size(), ""});
+      });
+}
+
+}  // namespace pgrid::compose

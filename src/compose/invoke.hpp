@@ -1,0 +1,42 @@
+// Invocation adapters for heterogeneous information-exchange paradigms.
+//
+// "We need different services following different information exchange
+// mechanisms to operate together ... services that follow the
+// message-passing paradigm ... remote method invocation mechanism like
+// SOAP or agent-based services that follow a certain agent language"
+// (Section 3).  All three adapters present one callback interface to the
+// composer; they differ in framing overhead and in how the result returns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "agent/platform.hpp"
+#include "discovery/service.hpp"
+
+namespace pgrid::compose {
+
+/// Result of one service invocation.
+struct InvokeResult {
+  bool success = false;
+  std::uint64_t result_bytes = 0;
+  std::string error;
+};
+
+using InvokeCallback = std::function<void(InvokeResult)>;
+
+/// SOAP-style XML envelopes roughly triple small-payload framing; ACL adds
+/// a FIPA header; bare message passing is leanest.  These constants only
+/// shift wire cost, not semantics.
+std::uint64_t paradigm_overhead_bytes(discovery::InvocationParadigm paradigm);
+
+/// Invokes `service` from `client` with the given work request, adapting to
+/// the service's paradigm.  Exactly one callback, on success, provider
+/// failure, unreachability, or timeout.
+void invoke_service(agent::AgentPlatform& platform, agent::AgentId client,
+                    const discovery::ServiceDescription& service,
+                    double compute_ops, std::uint64_t input_bytes,
+                    std::uint64_t output_bytes, sim::SimTime timeout,
+                    InvokeCallback done);
+
+}  // namespace pgrid::compose

@@ -1,0 +1,117 @@
+// The composition manager: coordinates discovery, binding, execution,
+// fault handling and graceful degradation for a task graph.
+//
+// Section 3 requirements implemented here:
+//  - "Every service composition platform must have some entity coordinating
+//    the different services involved" — this class.
+//  - "If a network service breaks down, the architecture should be able to
+//    detect this and resort to fault control mechanisms" — failed
+//    invocations trigger re-discovery and re-binding to alternates.
+//  - "The composition platform should degrade gracefully as more and more
+//    services become unavailable" — optional tasks are skipped instead of
+//    failing the composite.
+//  - "We might want to pro-actively compute some generic information about
+//    services required to execute a query which is requested with a high
+//    frequency. The other approach is to re-actively integrate and execute"
+//    — kReactive discovers at execution time; kProactive uses pre-resolved
+//    bindings and falls back to re-discovery when they are stale.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "agent/platform.hpp"
+#include "compose/invoke.hpp"
+#include "compose/task.hpp"
+#include "discovery/broker.hpp"
+
+namespace pgrid::compose {
+
+/// kReactive discovers and binds the top-ranked service at execution time;
+/// kProactive uses pre-resolved bindings; kNegotiated discovers candidates
+/// then runs a contract-net round among their providers and binds the best
+/// performance commitment (cost + committed latency) — Section 2's
+/// negotiation, composed with Section 3's discovery.
+enum class CompositionMode { kReactive, kProactive, kNegotiated };
+
+struct CompositionOptions {
+  CompositionMode mode = CompositionMode::kReactive;
+  std::size_t max_rebinds_per_task = 2;
+  /// Skip failed *optional* tasks instead of failing the composite.
+  bool allow_degraded = true;
+  sim::SimTime discover_timeout = sim::SimTime::seconds(5.0);
+  sim::SimTime invoke_timeout = sim::SimTime::seconds(30.0);
+};
+
+/// Outcome of one composite execution.
+struct CompositionReport {
+  bool success = false;
+  std::size_t tasks_total = 0;
+  std::size_t tasks_completed = 0;
+  std::size_t tasks_skipped = 0;  ///< optional tasks dropped (degradation)
+  std::size_t rebinds = 0;        ///< fault-recovery re-bindings
+  std::size_t discoveries = 0;    ///< broker round-trips
+  std::size_t negotiations = 0;   ///< contract-net rounds run
+  double elapsed_s = 0.0;
+  std::string failure_reason;
+
+  /// 1.0 = full service; lower values = degraded composite.
+  double service_level() const {
+    if (tasks_total == 0) return 1.0;
+    return static_cast<double>(tasks_completed) /
+           static_cast<double>(tasks_total);
+  }
+};
+
+class CompositionManager {
+ public:
+  using ReportCallback = std::function<void(CompositionReport)>;
+
+  /// `client` is the agent on whose behalf invocations are made; `broker`
+  /// answers discovery queries.
+  CompositionManager(agent::AgentPlatform& platform, agent::AgentId client,
+                     agent::AgentId broker);
+
+  /// Executes the graph; the callback fires exactly once when the composite
+  /// finishes, fails, or degrades to completion.
+  void execute(const TaskGraph& graph, CompositionOptions options,
+               ReportCallback done);
+
+  /// Resolves bindings for every task now and caches them (proactive mode).
+  /// `done(resolved_count)` fires when all lookups complete.
+  void precompute(const TaskGraph& graph,
+                  std::function<void(std::size_t resolved)> done);
+
+  /// Drops the proactive binding cache.
+  void invalidate_cache() { cache_.clear(); }
+  std::size_t cached_bindings() const { return cache_.size(); }
+
+ private:
+  struct RunState;
+
+  void start_task(const std::shared_ptr<RunState>& run, std::size_t index);
+  void bind_and_invoke(const std::shared_ptr<RunState>& run,
+                       std::size_t index, std::size_t rebinds_left);
+  /// Contract-net binding among discovered candidates.
+  void negotiate_and_invoke(const std::shared_ptr<RunState>& run,
+                            std::size_t index, std::size_t rebinds_left,
+                            std::vector<discovery::Match> candidates);
+  void invoke_bound(const std::shared_ptr<RunState>& run, std::size_t index,
+                    const discovery::ServiceDescription& service,
+                    std::size_t rebinds_left);
+  void complete_task(const std::shared_ptr<RunState>& run, std::size_t index,
+                     bool completed);
+  void fail_run(const std::shared_ptr<RunState>& run, std::string reason);
+  void finish_if_done(const std::shared_ptr<RunState>& run);
+
+  agent::AgentPlatform& platform_;
+  agent::AgentId client_;
+  agent::AgentId broker_;
+  /// Proactive bindings keyed by task name.
+  std::map<std::string, discovery::ServiceDescription> cache_;
+};
+
+}  // namespace pgrid::compose

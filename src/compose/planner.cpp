@@ -1,0 +1,127 @@
+#include "compose/planner.hpp"
+
+namespace pgrid::compose {
+
+void HtnPlanner::add_primitive(const std::string& name, TaskSpec spec) {
+  spec.name = name;
+  primitives_[name] = std::move(spec);
+}
+
+void HtnPlanner::add_method(const std::string& name,
+                            std::vector<std::string> subtasks,
+                            MethodMode mode) {
+  methods_[name] = Method{std::move(subtasks), mode};
+}
+
+bool HtnPlanner::knows(const std::string& name) const {
+  return primitives_.count(name) > 0 || methods_.count(name) > 0;
+}
+
+common::Result<TaskGraph> HtnPlanner::plan(const std::string& goal,
+                                           std::size_t max_depth) const {
+  TaskGraph graph;
+  auto fragment = expand(goal, graph, 0, max_depth);
+  if (!fragment.ok()) {
+    return common::Result<TaskGraph>::failure(fragment.error());
+  }
+  return graph;
+}
+
+common::Result<HtnPlanner::Fragment> HtnPlanner::expand(
+    const std::string& name, TaskGraph& graph, std::size_t depth,
+    std::size_t max_depth) const {
+  if (depth > max_depth) {
+    return common::Result<Fragment>::failure(
+        "decomposition exceeds max depth (recursive method?): " + name);
+  }
+  if (auto it = primitives_.find(name); it != primitives_.end()) {
+    const std::size_t index = graph.add_task(it->second);
+    return Fragment{{index}, {index}};
+  }
+  auto method_it = methods_.find(name);
+  if (method_it == methods_.end()) {
+    return common::Result<Fragment>::failure("unknown task: " + name);
+  }
+  const Method& method = method_it->second;
+  if (method.subtasks.empty()) {
+    return common::Result<Fragment>::failure("empty method: " + name);
+  }
+
+  Fragment result;
+  Fragment previous;
+  bool first = true;
+  for (const auto& subtask : method.subtasks) {
+    auto sub = expand(subtask, graph, depth + 1, max_depth);
+    if (!sub.ok()) return sub;
+    const Fragment& fragment = sub.value();
+    if (method.mode == MethodMode::kSequence) {
+      if (first) {
+        result.sources = fragment.sources;
+      } else {
+        // Chain: every sink of the previous step precedes every source of
+        // this one.
+        for (std::size_t sink : previous.sinks) {
+          for (std::size_t source : fragment.sources) {
+            graph.add_edge(sink, source);
+          }
+        }
+      }
+      previous = fragment;
+      result.sinks = fragment.sinks;
+    } else {  // kParallel: all fragments are independent siblings
+      result.sources.insert(result.sources.end(), fragment.sources.begin(),
+                            fragment.sources.end());
+      result.sinks.insert(result.sinks.end(), fragment.sinks.begin(),
+                          fragment.sinks.end());
+    }
+    first = false;
+  }
+  return result;
+}
+
+HtnPlanner make_stream_mining_planner() {
+  HtnPlanner planner;
+
+  TaskSpec build_tree;
+  build_tree.service_class = "DecisionTreeMiner";
+  build_tree.input_bytes = 4096;   // a window of the stream
+  build_tree.output_bytes = 512;   // a serialized tree
+  build_tree.compute_ops = 5e6;
+  planner.add_primitive("build-decision-tree", build_tree);
+
+  TaskSpec fourier;
+  fourier.service_class = "FourierSpectrumService";
+  fourier.input_bytes = 512;
+  fourier.output_bytes = 256;
+  fourier.compute_ops = 2e6;
+  planner.add_primitive("compute-fourier-spectrum", fourier);
+
+  TaskSpec choose;
+  choose.service_class = "DataMiningService";
+  choose.input_bytes = 768;  // the spectra
+  choose.output_bytes = 128;
+  choose.compute_ops = 1e6;
+  planner.add_primitive("choose-dominant-components", choose);
+
+  TaskSpec combine;
+  combine.service_class = "DataMiningService";
+  combine.input_bytes = 384;
+  combine.output_bytes = 512;  // the single combined tree
+  combine.compute_ops = 1e6;
+  planner.add_primitive("combine-into-single-tree", combine);
+
+  // Three trees of the ensemble are built in parallel, then the pipeline
+  // runs: spectra -> dominant components -> combined tree.
+  planner.add_method("build-tree-ensemble",
+                     {"build-decision-tree", "build-decision-tree",
+                      "build-decision-tree"},
+                     MethodMode::kParallel);
+  planner.add_method("mine-data-stream",
+                     {"build-tree-ensemble", "compute-fourier-spectrum",
+                      "choose-dominant-components",
+                      "combine-into-single-tree"},
+                     MethodMode::kSequence);
+  return planner;
+}
+
+}  // namespace pgrid::compose

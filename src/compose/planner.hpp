@@ -1,0 +1,67 @@
+// HTN-lite planner: decomposes compound task names into task graphs.
+//
+// "First the system needs to figure out that this task has several
+// components ... For task categories that are well understood a-priori,
+// this can be done by hard coding specific decompositions. However, in the
+// more general case, this requires the use of a planner" (Section 3; the
+// paper plans to integrate SPIE-2 and deems existing planning techniques
+// adequate).  This planner supports primitive tasks and compound methods
+// that expand into sequences or parallel groups of subtasks, recursively.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "compose/task.hpp"
+
+namespace pgrid::compose {
+
+/// How a method's subtasks relate.
+enum class MethodMode { kSequence, kParallel };
+
+class HtnPlanner {
+ public:
+  /// Registers a primitive task (a leaf the composer can bind to a service).
+  void add_primitive(const std::string& name, TaskSpec spec);
+
+  /// Registers a compound method: `name` decomposes into `subtasks` (each
+  /// primitive or compound), executed in sequence or in parallel.
+  void add_method(const std::string& name, std::vector<std::string> subtasks,
+                  MethodMode mode = MethodMode::kSequence);
+
+  bool knows(const std::string& name) const;
+
+  /// Expands `goal` into a DAG of primitive tasks.  Fails on unknown names,
+  /// empty methods, or recursive decompositions deeper than `max_depth`.
+  common::Result<TaskGraph> plan(const std::string& goal,
+                                 std::size_t max_depth = 32) const;
+
+ private:
+  struct Method {
+    std::vector<std::string> subtasks;
+    MethodMode mode;
+  };
+
+  /// Expands `name` into `graph`; returns the fragment's source and sink
+  /// indices so callers can splice it into a larger graph.
+  struct Fragment {
+    std::vector<std::size_t> sources;
+    std::vector<std::size_t> sinks;
+  };
+  common::Result<Fragment> expand(const std::string& name, TaskGraph& graph,
+                                  std::size_t depth,
+                                  std::size_t max_depth) const;
+
+  std::map<std::string, TaskSpec> primitives_;
+  std::map<std::string, Method> methods_;
+};
+
+/// The decomposition used as the paper's running example: mining a data
+/// stream by building an ensemble of decision trees, computing their
+/// Fourier spectra, choosing dominant components, and combining them into a
+/// single tree (Kargupta & Park [17]).
+HtnPlanner make_stream_mining_planner();
+
+}  // namespace pgrid::compose

@@ -1,0 +1,109 @@
+#include "compose/provider.hpp"
+
+#include <sstream>
+
+#include "agent/contract_net.hpp"
+
+namespace pgrid::compose {
+
+using agent::Envelope;
+using agent::Performative;
+
+std::string encode_call(double ops, std::uint64_t output_bytes,
+                        std::uint64_t input_bytes) {
+  std::ostringstream out;
+  out << "ops=" << ops << ";out=" << output_bytes << ";";
+  // Pad to the declared input size so the network is charged realistically.
+  const std::string header = out.str();
+  std::string payload = header;
+  if (payload.size() < input_bytes) {
+    payload.append(input_bytes - payload.size(), '.');
+  }
+  return payload;
+}
+
+bool decode_call(const std::string& payload, double& ops,
+                 std::uint64_t& output_bytes) {
+  const auto ops_pos = payload.find("ops=");
+  const auto out_pos = payload.find(";out=");
+  if (ops_pos != 0 || out_pos == std::string::npos) return false;
+  try {
+    ops = std::stod(payload.substr(4, out_pos - 4));
+    const auto tail = payload.find(';', out_pos + 5);
+    output_bytes = std::stoull(
+        payload.substr(out_pos + 5, tail - (out_pos + 5)));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+ServiceProviderAgent::ServiceProviderAgent(
+    std::string name, net::NodeId node,
+    discovery::ServiceDescription service, double ops_per_second)
+    : Agent(std::move(name), node),
+      service_(std::move(service)),
+      ops_per_second_(ops_per_second) {
+  attributes().insert(agent::AgentRole::kServiceProvider);
+  service_.node = node;
+}
+
+void ServiceProviderAgent::on_envelope(const Envelope& envelope) {
+  if (dead_) return;  // silent departure: requesters see a timeout
+
+  // Contract-net: answer a CFP with this host's performance commitment.
+  if (envelope.content_type == agent::ContractNetProtocol::kCfp &&
+      envelope.performative == Performative::kQueryRef) {
+    double ops = 1e6;
+    const auto pos = envelope.payload.find("ops=");
+    if (pos != std::string::npos) {
+      try {
+        ops = std::stod(envelope.payload.substr(pos + 4));
+      } catch (...) {
+        // keep the default estimate
+      }
+    }
+    agent::Proposal proposal;
+    proposal.bidder = id();
+    proposal.cost = service_.cost;
+    proposal.latency_s = ops / ops_per_second_;
+    proposal.note = service_.name;
+    Envelope reply = make_reply(envelope, Performative::kPropose,
+                                agent::serialize(proposal));
+    reply.content_type = agent::ContractNetProtocol::kBid;
+    platform()->send(reply);
+    return;
+  }
+
+  if (envelope.performative != Performative::kRequest) return;
+  const bool is_call = envelope.content_type == InvokeProtocol::kAclCall ||
+                       envelope.content_type == InvokeProtocol::kRmiCall ||
+                       envelope.content_type == InvokeProtocol::kMsgCall;
+  if (!is_call) return;
+
+  double ops = 0.0;
+  std::uint64_t output_bytes = 0;
+  if (!decode_call(envelope.payload, ops, output_bytes)) {
+    platform()->send(
+        make_reply(envelope, Performative::kFailure, "bad invocation"));
+    return;
+  }
+  ++invocations_;
+  if (failure_prob_ > 0.0 && rng_.bernoulli(failure_prob_)) {
+    ++failures_injected_;
+    platform()->send(
+        make_reply(envelope, Performative::kFailure, "service fault"));
+    return;
+  }
+  const auto delay = sim::SimTime::seconds(ops / ops_per_second_);
+  const Envelope saved = envelope;
+  platform()->simulator().schedule(delay, [this, saved, output_bytes] {
+    if (dead_) return;
+    Envelope reply = make_reply(saved, Performative::kInform,
+                                std::string(output_bytes, 'r'));
+    reply.content_type = InvokeProtocol::kResult;
+    platform()->send(reply);
+  });
+}
+
+}  // namespace pgrid::compose

@@ -1,0 +1,82 @@
+// Service provider agents: the executable endpoints a composition binds to.
+//
+// A provider hosts one service (compute, data, or sensing), advertises it
+// through a broker, and answers invocation envelopes after a simulated
+// compute delay proportional to the requested work.  Fault injection (a
+// per-invocation failure probability) feeds the EXP-C1 fault-tolerance
+// study.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "agent/agent.hpp"
+#include "agent/platform.hpp"
+#include "common/rng.hpp"
+#include "discovery/service.hpp"
+
+namespace pgrid::compose {
+
+/// Envelope vocabulary of the invocation protocol.
+struct InvokeProtocol {
+  static constexpr const char* kOntology = "pgrid-invoke";
+  /// content types per paradigm; the provider accepts all three.
+  static constexpr const char* kAclCall = "pgrid/invoke-acl";
+  static constexpr const char* kRmiCall = "pgrid/invoke-rmi";
+  static constexpr const char* kMsgCall = "pgrid/invoke-msg";
+  static constexpr const char* kResult = "pgrid/invoke-result";
+};
+
+/// Invocation request payload: "ops=<double>;out=<bytes>" followed by the
+/// opaque input data.
+std::string encode_call(double ops, std::uint64_t output_bytes,
+                        std::uint64_t input_bytes);
+bool decode_call(const std::string& payload, double& ops,
+                 std::uint64_t& output_bytes);
+
+/// An agent that executes invocations of the service it hosts.  Also
+/// answers contract-net CFPs (payload "ops=<double>") with a performance
+/// commitment — cost from the service description, latency from its own
+/// speed — so compositions can bind by negotiation (Section 2).
+class ServiceProviderAgent final : public agent::Agent {
+ public:
+  /// `ops_per_second` models the host device: ~1e6 for a sensor mote, ~1e8
+  /// for a handheld, ~1e9+ for a grid machine.
+  ServiceProviderAgent(std::string name, net::NodeId node,
+                       discovery::ServiceDescription service,
+                       double ops_per_second);
+
+  void on_envelope(const agent::Envelope& envelope) override;
+
+  double ops_per_second() const { return ops_per_second_; }
+
+  const discovery::ServiceDescription& service() const { return service_; }
+  /// Updated description (e.g. current queue_length) for re-advertisement.
+  discovery::ServiceDescription& service() { return service_; }
+
+  /// Probability that one invocation fails (crash fault); default 0.
+  void set_failure_probability(double p, common::Rng rng) {
+    failure_prob_ = p;
+    rng_ = rng;
+  }
+
+  /// Administrative kill switch: a dead provider never answers, modelling
+  /// silent service departure.
+  void set_dead(bool dead) { dead_ = dead; }
+  bool dead() const { return dead_; }
+
+  std::size_t invocations() const { return invocations_; }
+  std::size_t failures_injected() const { return failures_injected_; }
+
+ private:
+  discovery::ServiceDescription service_;
+  double ops_per_second_;
+  double failure_prob_ = 0.0;
+  common::Rng rng_{0};
+  bool dead_ = false;
+  std::size_t invocations_ = 0;
+  std::size_t failures_injected_ = 0;
+};
+
+}  // namespace pgrid::compose

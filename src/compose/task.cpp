@@ -1,0 +1,91 @@
+#include "compose/task.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace pgrid::compose {
+
+std::size_t TaskGraph::add_task(TaskSpec spec) {
+  tasks_.push_back(std::move(spec));
+  return tasks_.size() - 1;
+}
+
+void TaskGraph::add_edge(std::size_t before, std::size_t after) {
+  edges_.emplace_back(before, after);
+}
+
+std::vector<std::size_t> TaskGraph::predecessors(std::size_t index) const {
+  std::vector<std::size_t> out;
+  for (const auto& [before, after] : edges_) {
+    if (after == index) out.push_back(before);
+  }
+  return out;
+}
+
+std::vector<std::size_t> TaskGraph::successors(std::size_t index) const {
+  std::vector<std::size_t> out;
+  for (const auto& [before, after] : edges_) {
+    if (before == index) out.push_back(after);
+  }
+  return out;
+}
+
+common::Result<std::vector<std::size_t>> TaskGraph::topo_order() const {
+  std::vector<std::size_t> indegree(tasks_.size(), 0);
+  for (const auto& [before, after] : edges_) {
+    if (before >= tasks_.size() || after >= tasks_.size()) {
+      return common::Result<std::vector<std::size_t>>::failure(
+          "edge references unknown task");
+    }
+    ++indegree[after];
+  }
+  std::queue<std::size_t> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const std::size_t at = ready.front();
+    ready.pop();
+    order.push_back(at);
+    for (std::size_t next : successors(at)) {
+      if (--indegree[next] == 0) ready.push(next);
+    }
+  }
+  if (order.size() != tasks_.size()) {
+    return common::Result<std::vector<std::size_t>>::failure(
+        "task graph contains a cycle");
+  }
+  return order;
+}
+
+std::vector<std::size_t> TaskGraph::sources() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (predecessors(i).empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> TaskGraph::sinks() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (successors(i).empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::uint64_t TaskGraph::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& t : tasks_) total += t.input_bytes + t.output_bytes;
+  return total;
+}
+
+double TaskGraph::total_ops() const {
+  double total = 0.0;
+  for (const auto& t : tasks_) total += t.compute_ops;
+  return total;
+}
+
+}  // namespace pgrid::compose

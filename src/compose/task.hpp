@@ -1,0 +1,69 @@
+// Task graphs: the unit the composition platform executes.
+//
+// "Given a certain ordering of several sub tasks that may be executed to
+// derive the result of a complex request, the problem is how these
+// heterogeneous tasks can be integrated and executed ..." (Section 3).  A
+// TaskGraph is a DAG of primitive tasks; each task names the ontology class
+// of the service that can perform it, plus its data/compute footprint so
+// invocation can be charged to the network and the provider.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+#include "discovery/service.hpp"
+
+namespace pgrid::compose {
+
+/// One primitive step of a composite request.
+struct TaskSpec {
+  std::string name;
+  std::string service_class;  ///< ontology class of the required service
+  std::vector<discovery::Constraint> constraints;  ///< extra requirements
+  std::uint64_t input_bytes = 256;    ///< payload shipped to the provider
+  std::uint64_t output_bytes = 256;   ///< result shipped back
+  double compute_ops = 1e6;           ///< work the provider performs
+  /// Optional tasks may be dropped for graceful degradation instead of
+  /// failing the whole composite.
+  bool optional = false;
+};
+
+/// A DAG of tasks.  Edges point from prerequisite to dependent.
+class TaskGraph {
+ public:
+  std::size_t add_task(TaskSpec spec);
+  /// Adds a dependency: `before` must complete before `after` starts.
+  void add_edge(std::size_t before, std::size_t after);
+
+  std::size_t size() const { return tasks_.size(); }
+  bool empty() const { return tasks_.empty(); }
+  const TaskSpec& task(std::size_t index) const { return tasks_.at(index); }
+  TaskSpec& task(std::size_t index) { return tasks_.at(index); }
+  const std::vector<std::pair<std::size_t, std::size_t>>& edges() const {
+    return edges_;
+  }
+
+  std::vector<std::size_t> predecessors(std::size_t index) const;
+  std::vector<std::size_t> successors(std::size_t index) const;
+
+  /// Kahn topological sort; fails on cycles.
+  common::Result<std::vector<std::size_t>> topo_order() const;
+
+  /// Tasks with no predecessors / successors.
+  std::vector<std::size_t> sources() const;
+  std::vector<std::size_t> sinks() const;
+
+  /// Total bytes moved (inputs + outputs) and total compute across tasks —
+  /// inputs to the composition cost estimators.
+  std::uint64_t total_bytes() const;
+  double total_ops() const;
+
+ private:
+  std::vector<TaskSpec> tasks_;
+  std::vector<std::pair<std::size_t, std::size_t>> edges_;
+};
+
+}  // namespace pgrid::compose

@@ -1,0 +1,381 @@
+#include "core/runtime.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "compose/provider.hpp"
+
+namespace pgrid::core {
+
+namespace {
+constexpr const char* kQueryContent = "pgrid/query";
+constexpr const char* kQueryResult = "pgrid/query-result";
+}  // namespace
+
+// Pending outcomes keyed by conversation id live outside the header to keep
+// the public surface small.
+struct RuntimePending {
+  std::map<std::uint64_t, QueryOutcome> by_conversation;
+};
+
+PervasiveGridRuntime::PervasiveGridRuntime(RuntimeConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  network_ = std::make_unique<net::Network>(sim_, rng_.fork());
+  sensors_ = std::make_unique<sensornet::SensorNetwork>(
+      *network_, config_.sensors, rng_.fork());
+  field_ = std::make_unique<sensornet::BuildingTemperatureField>(
+      config_.ambient_celsius);
+  if (!config_.grid_machines.empty()) {
+    grid_ = std::make_unique<grid::GridInfrastructure>(
+        *network_, sensors_->base_station(), config_.grid_machines);
+  }
+  platform_ = std::make_unique<agent::AgentPlatform>(*network_);
+  ontology_ = discovery::make_standard_ontology();
+  pool_ = std::make_unique<common::ThreadPool>(0);
+  pending_ = std::make_unique<RuntimePending>();
+
+  register_agents();
+  // Let registrations and advertisements play out, then start experiments
+  // from full batteries.
+  sim_.run();
+  network_->reset_energy();
+}
+
+PervasiveGridRuntime::~PervasiveGridRuntime() = default;
+
+partition::ExecutionContext PervasiveGridRuntime::execution_context() {
+  partition::ExecutionContext ctx{*sensors_, *field_};
+  ctx.grid = grid_.get();
+  ctx.base_ops_per_s = config_.base_ops_per_s;
+  ctx.handheld_ops_per_s = config_.handheld_ops_per_s;
+  ctx.pde_nx = config_.pde_resolution;
+  ctx.pde_ny = config_.pde_resolution;
+  ctx.pde_nz =
+      config_.sensors.floors > 1 ? config_.pde_depth_resolution : 1;
+  ctx.ambient = config_.ambient_celsius;
+  ctx.pool = pool_.get();
+  return ctx;
+}
+
+void PervasiveGridRuntime::register_agents() {
+  const net::NodeId base = sensors_->base_station();
+
+  // The discovery broker lives at the base station.
+  auto broker =
+      std::make_unique<discovery::BrokerAgent>("broker", base, ontology_);
+  broker_ = broker.get();
+  broker_id_ = platform_->register_agent(std::move(broker));
+
+  // The firefighter's handheld: a wifi node next to the base station.
+  net::NodeConfig handheld_config;
+  handheld_config.kind = net::NodeKind::kHandheld;
+  handheld_config.radio = net::LinkClass::wifi();
+  handheld_config.pos = config_.sensors.base_pos + net::Vec3{2.0, 0.0, 0.0};
+  handheld_config.unlimited_energy = true;
+  handheld_node_ = network_->add_node(handheld_config);
+  // The base station needs a wifi-capable path to the handheld; model the
+  // base's edge interface as a wired link to keep the sensor radio intact.
+  network_->add_wired_link(base, handheld_node_, net::LinkClass::wifi());
+
+  handheld_agent_ = platform_->register_agent(
+      std::make_unique<agent::LambdaAgent>(
+          "handheld", handheld_node_,
+          [](agent::LambdaAgent&, const agent::Envelope&) {}));
+
+  // The base station's query-processor agent: receives query text from the
+  // handheld, runs the pipeline, replies with the answer.
+  base_agent_ = platform_->register_agent(
+      std::make_unique<agent::LambdaAgent>(
+          "base-query-processor", base,
+          [this](agent::LambdaAgent&, const agent::Envelope& envelope) {
+            if (envelope.performative != agent::Performative::kRequest ||
+                envelope.content_type != kQueryContent) {
+              return;
+            }
+            // Payload: "model=<name|->\n<query text>".
+            std::optional<partition::SolutionModel> forced;
+            std::string text = envelope.payload;
+            if (text.rfind("model=", 0) == 0) {
+              const auto newline = text.find('\n');
+              const std::string name = text.substr(6, newline - 6);
+              text = newline == std::string::npos ? ""
+                                                  : text.substr(newline + 1);
+              forced = partition::model_from_string(name);
+            }
+            const agent::Envelope saved = envelope;
+            run_pipeline(text, forced, [this, saved](QueryOutcome outcome) {
+              std::ostringstream summary;
+              summary << "value=" << outcome.actual.value
+                      << ";model=" << to_string(outcome.model)
+                      << ";ok=" << (outcome.ok ? 1 : 0);
+              pending_->by_conversation[saved.conversation_id] =
+                  std::move(outcome);
+              agent::Envelope reply = agent::make_reply(
+                  saved, agent::Performative::kInform, summary.str());
+              reply.content_type = kQueryResult;
+              platform_->send(reply);
+            });
+          }));
+
+  auto make_provider_agent = [this](const std::string& name,
+                                    net::NodeId node,
+                                    const std::string& service_class,
+                                    double ops) {
+    discovery::ServiceDescription service;
+    service.name = name;
+    service.service_class = service_class;
+    service.node = node;
+    service.properties["ops_per_second"] = ops;
+    auto agent_ptr = std::make_unique<compose::ServiceProviderAgent>(
+        name, node, service, ops);
+    auto* raw = agent_ptr.get();
+    const auto id = platform_->register_agent(std::move(agent_ptr));
+    raw->service().provider = id;
+    discovery::advertise(*platform_, id, broker_id_, raw->service());
+    return id;
+  };
+
+  // Compute services: an aggregation service at the base station and a heat
+  // equation solver on the fastest grid machine.
+  make_provider_agent("base-aggregator", base, "AggregationService",
+                      config_.base_ops_per_s);
+  if (grid_ && grid_->machine_count() > 0) {
+    std::size_t fastest = 0;
+    for (std::size_t i = 1; i < grid_->machine_count(); ++i) {
+      if (grid_->machine(i).flops_per_s >
+          grid_->machine(fastest).flops_per_s) {
+        fastest = i;
+      }
+    }
+    make_provider_agent("grid-heat-solver", grid_->machine_node(fastest),
+                        "HeatEquationSolver",
+                        grid_->machine(fastest).flops_per_s);
+  }
+
+  // One sensing service per sensor (short registration burst, then the
+  // constructor resets energy).
+  if (config_.advertise_sensor_services) {
+    for (std::size_t i = 0; i < sensors_->sensors().size(); ++i) {
+      const net::NodeId node = sensors_->sensors()[i];
+      discovery::ServiceDescription service;
+      service.name = "temp-sensor-" + std::to_string(i);
+      service.service_class = "TemperatureSensor";
+      service.node = node;
+      service.properties["sensor_index"] = static_cast<double>(i);
+      service.properties["x"] = network_->node(node).pos.x;
+      service.properties["y"] = network_->node(node).pos.y;
+      auto agent_ptr = std::make_unique<compose::ServiceProviderAgent>(
+          service.name, node, service, 1e6);
+      auto* raw = agent_ptr.get();
+      const auto id = platform_->register_agent(std::move(agent_ptr));
+      raw->service().provider = id;
+      discovery::advertise(*platform_, id, broker_id_, raw->service());
+    }
+  }
+}
+
+void PervasiveGridRuntime::run_pipeline(
+    const std::string& text, std::optional<partition::SolutionModel> forced,
+    std::function<void(QueryOutcome)> done) {
+  auto outcome = std::make_shared<QueryOutcome>();
+  auto parsed = query::parse_query(text);
+  if (!parsed.ok()) {
+    outcome->error = parsed.error();
+    sim_.schedule(sim::SimTime::zero(), [outcome, done = std::move(done)] {
+      done(*outcome);
+    });
+    return;
+  }
+  outcome->parsed = std::move(parsed).take();
+  outcome->classification = classifier_.classify(outcome->parsed);
+
+  // The context must outlive the asynchronous execution.
+  auto ctx = std::make_shared<partition::ExecutionContext>(
+      execution_context());
+  const auto profile = partition::profile_from(*ctx, outcome->classification);
+  const auto metric = outcome->parsed.cost.metric;
+  outcome->model =
+      forced ? *forced
+             : decision_maker_.decide(outcome->classification.inner, metric,
+                                      profile);
+  outcome->estimate = decision_maker_.calibrated_estimate(
+      profile, outcome->classification.inner, outcome->model);
+  // Raw (uncalibrated) estimate for the feedback loop.
+  const auto raw_estimate = partition::estimate_cost(
+      profile, outcome->classification.inner, outcome->model);
+
+  auto finish = [this, outcome, raw_estimate,
+                 done = std::move(done)]() {
+    // Continuous queries feed back per epoch (the summary sums energy over
+    // all epochs, which would skew a per-epoch calibration ratio).
+    if (!outcome->classification.continuous) {
+      decision_maker_.observe(outcome->classification.inner, outcome->model,
+                              raw_estimate, outcome->actual.energy_j,
+                              outcome->actual.response_s);
+    }
+    done(*outcome);
+  };
+
+  if (outcome->classification.continuous) {
+    auto summarize = [outcome, ctx, finish](
+                         std::vector<partition::ActualCost> epochs,
+                         std::vector<partition::SolutionModel> models) {
+      outcome->epochs = std::move(epochs);
+      outcome->epoch_models = std::move(models);
+      if (!outcome->epoch_models.empty()) {
+        outcome->model = outcome->epoch_models.back();
+      }
+      partition::ActualCost total;
+      total.ok = !outcome->epochs.empty();
+      double response_sum = 0.0;
+      for (const auto& epoch : outcome->epochs) {
+        total.ok = total.ok && epoch.ok;
+        total.energy_j += epoch.energy_j;
+        total.data_bytes += epoch.data_bytes;
+        total.compute_ops += epoch.compute_ops;
+        response_sum += epoch.response_s;
+        total.value = epoch.value;  // latest epoch's answer
+      }
+      if (!outcome->epochs.empty()) {
+        total.response_s =
+            response_sum / static_cast<double>(outcome->epochs.size());
+        total.accuracy = outcome->epochs.back().accuracy;
+      }
+      outcome->actual = std::move(total);
+      outcome->ok = outcome->actual.ok;
+      finish();
+    };
+
+    const auto inner = outcome->classification.inner;
+    // Every epoch feeds the learner; unforced queries also re-decide the
+    // model each epoch (Section 4's adaptation, during execution).
+    auto per_epoch_observe = [this, inner, profile](
+                                 std::size_t, partition::SolutionModel model,
+                                 const partition::ActualCost& actual) {
+      const auto epoch_estimate =
+          partition::estimate_cost(profile, inner, model);
+      decision_maker_.observe(inner, model, epoch_estimate, actual.energy_j,
+                              actual.response_s);
+    };
+    if (forced) {
+      partition::execute_continuous_adaptive(
+          *ctx, outcome->parsed, outcome->classification,
+          config_.continuous_epochs,
+          [model = *forced](std::size_t) { return model; },
+          std::move(per_epoch_observe), std::move(summarize));
+      return;
+    }
+    partition::execute_continuous_adaptive(
+        *ctx, outcome->parsed, outcome->classification,
+        config_.continuous_epochs,
+        [this, inner, metric, profile](std::size_t) {
+          return decision_maker_.decide(inner, metric, profile);
+        },
+        std::move(per_epoch_observe), std::move(summarize));
+    return;
+  }
+
+  partition::execute_query(
+      *ctx, outcome->parsed, outcome->classification, outcome->model,
+      [outcome, ctx, finish](partition::ActualCost actual) {
+        outcome->actual = std::move(actual);
+        outcome->ok = outcome->actual.ok;
+        if (!outcome->ok && outcome->error.empty()) {
+          outcome->error = outcome->actual.error;
+        }
+        finish();
+      });
+}
+
+void PervasiveGridRuntime::submit(const std::string& query_text,
+                                  std::function<void(QueryOutcome)> done) {
+  submit_internal(query_text, "-", std::move(done));
+}
+
+void PervasiveGridRuntime::submit_with_model(
+    const std::string& query_text, partition::SolutionModel model,
+    std::function<void(QueryOutcome)> done) {
+  submit_internal(query_text, to_string(model), std::move(done));
+}
+
+void PervasiveGridRuntime::submit_internal(
+    const std::string& query_text, const std::string& model_name,
+    std::function<void(QueryOutcome)> done) {
+  // Model name "-" means "let the decision maker choose".
+  agent::Envelope env;
+  env.sender = handheld_agent_;
+  env.receiver = base_agent_;
+  env.performative = agent::Performative::kRequest;
+  env.content_type = kQueryContent;
+  env.ontology = "pgrid-runtime";
+  env.payload = "model=" + model_name + "\n" + query_text;
+
+  const sim::SimTime sent = sim_.now();
+  platform_->request(
+      env, sim::SimTime::seconds(3600.0),
+      [this, sent, done = std::move(done)](
+          common::Result<agent::Envelope> reply) {
+        QueryOutcome outcome;
+        if (!reply.ok()) {
+          outcome.error = reply.error();
+          done(outcome);
+          return;
+        }
+        auto it =
+            pending_->by_conversation.find(reply.value().conversation_id);
+        if (it != pending_->by_conversation.end()) {
+          outcome = std::move(it->second);
+          pending_->by_conversation.erase(it);
+        } else {
+          outcome.error = "internal: outcome not recorded";
+        }
+        outcome.handheld_response_s = (sim_.now() - sent).to_seconds();
+        done(std::move(outcome));
+      });
+}
+
+QueryOutcome PervasiveGridRuntime::submit_and_run(
+    const std::string& query_text) {
+  QueryOutcome result;
+  submit(query_text, [&](QueryOutcome outcome) { result = std::move(outcome); });
+  sim_.run();
+  return result;
+}
+
+QueryOutcome PervasiveGridRuntime::submit_and_run(
+    const std::string& query_text, partition::SolutionModel model) {
+  QueryOutcome result;
+  submit_with_model(query_text, model,
+                    [&](QueryOutcome outcome) { result = std::move(outcome); });
+  sim_.run();
+  return result;
+}
+
+QueryOutcome PervasiveGridRuntime::what_if(const std::string& query_text,
+                                           partition::SolutionModel model) {
+  // A scratch deployment from the same config and seed mirrors this one's
+  // topology exactly; the physical field is copied so the clone observes
+  // the same world (fires included).
+  PervasiveGridRuntime clone(config_);
+  *clone.field_ = *field_;
+  return clone.submit_and_run(query_text, model);
+}
+
+std::vector<QueryOutcome> PervasiveGridRuntime::what_if_all(
+    const std::string& query_text) {
+  std::vector<QueryOutcome> outcomes;
+  auto parsed = query::parse_query(query_text);
+  if (!parsed.ok()) {
+    QueryOutcome failed;
+    failed.error = parsed.error();
+    outcomes.push_back(std::move(failed));
+    return outcomes;
+  }
+  const auto cls = classifier_.classify(parsed.value());
+  for (auto model : partition::candidates_for(cls.inner)) {
+    outcomes.push_back(what_if(query_text, model));
+  }
+  return outcomes;
+}
+
+}  // namespace pgrid::core

@@ -1,0 +1,163 @@
+// PervasiveGridRuntime: the paper's contribution, assembled.
+//
+// Figure 1 end to end: a handheld device submits a query to the base
+// station over the wireless edge; the query processor classifies it; the
+// decision maker picks a solution model from analytic estimates, learned
+// calibrations and the decision tree; the executor runs it across the
+// sensor network, the base station, and the wired grid; actual costs flow
+// back into the learner.  Agents mediate the handheld<->base conversation
+// and services (sensors, solvers, aggregators) are advertised to the broker
+// so discovery and composition operate over the same deployment.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/platform.hpp"
+#include "common/rng.hpp"
+#include "discovery/broker.hpp"
+#include "grid/infrastructure.hpp"
+#include "partition/decision_maker.hpp"
+#include "partition/executor.hpp"
+#include "query/classifier.hpp"
+#include "query/parser.hpp"
+#include "sensornet/sensor_network.hpp"
+
+namespace pgrid::core {
+
+struct RuntimePending;  // pending outcomes keyed by conversation (internal)
+
+struct RuntimeConfig {
+  std::uint64_t seed = 42;
+  sensornet::SensorNetworkConfig sensors;
+  /// Grid machines behind the base station; empty = no grid (edge-only).
+  std::vector<grid::GridMachineSpec> grid_machines = {
+      {"workstation", 1e9}, {"hpc", 5e9}};
+  double base_ops_per_s = 5e7;
+  double handheld_ops_per_s = 1e7;
+  /// PDE resolution for complex (temperature distribution) queries; the
+  /// vertical resolution kicks in (3-D solve) when the building has
+  /// multiple floors and pde_depth_resolution > 1.
+  std::size_t pde_resolution = 21;
+  std::size_t pde_depth_resolution = 1;
+  double ambient_celsius = 20.0;
+  /// Advertise one sensing service per sensor to the broker at startup.
+  /// Registration traffic is simulated, then energy is reset so experiments
+  /// start from full batteries.
+  bool advertise_sensor_services = true;
+  /// Epochs to run when a continuous query is submitted.
+  std::size_t continuous_epochs = 10;
+};
+
+/// Everything known about one answered query.
+struct QueryOutcome {
+  bool ok = false;
+  std::string error;
+  query::Query parsed;
+  query::Classification classification;
+  partition::SolutionModel model = partition::SolutionModel::kAllToBase;
+  /// Estimate the decision maker saw before running.
+  partition::CostEstimate estimate;
+  /// Measured ground truth (summed over epochs for continuous queries).
+  partition::ActualCost actual;
+  /// Per-epoch actuals for continuous queries.
+  std::vector<partition::ActualCost> epochs;
+  /// Per-epoch model choices: for unforced continuous queries the decision
+  /// maker re-decides every epoch, so a standing query migrates between
+  /// models as calibration converges or the network changes.
+  std::vector<partition::SolutionModel> epoch_models;
+  /// End-to-end response seen by the handheld (includes the edge hop).
+  double handheld_response_s = 0.0;
+};
+
+class PervasiveGridRuntime {
+ public:
+  explicit PervasiveGridRuntime(RuntimeConfig config);
+  ~PervasiveGridRuntime();
+
+  // --- the headline API ---------------------------------------------------
+
+  /// Submits query text from the handheld; the callback fires (in simulated
+  /// time) when the answer returns to the handheld.  The decision maker
+  /// picks the solution model.
+  void submit(const std::string& query_text,
+              std::function<void(QueryOutcome)> done);
+
+  /// Forces a specific solution model (benches, oracle construction).
+  void submit_with_model(const std::string& query_text,
+                         partition::SolutionModel model,
+                         std::function<void(QueryOutcome)> done);
+
+  /// Convenience: submit + run the simulator until the answer arrives.
+  QueryOutcome submit_and_run(const std::string& query_text);
+  QueryOutcome submit_and_run(const std::string& query_text,
+                              partition::SolutionModel model);
+
+  /// The paper's third component: "The simulator simulates the solution
+  /// model for the query and returns the results."  Runs `query_text`
+  /// under `model` on a scratch clone of this deployment (same seed, same
+  /// physical field) — real batteries, traffic counters and learner state
+  /// are untouched.  Use it to trial a model before committing, or to
+  /// label oracle training data.
+  QueryOutcome what_if(const std::string& query_text,
+                       partition::SolutionModel model);
+
+  /// Trials every supported model for the query on clones and returns the
+  /// outcomes in candidate order — the measured basis for an oracle label.
+  std::vector<QueryOutcome> what_if_all(const std::string& query_text);
+
+  // --- world & subsystem access -------------------------------------------
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return *network_; }
+  sensornet::SensorNetwork& sensors() { return *sensors_; }
+  sensornet::BuildingTemperatureField& field() { return *field_; }
+  grid::GridInfrastructure* grid() { return grid_.get(); }
+  agent::AgentPlatform& agents() { return *platform_; }
+  discovery::BrokerAgent& broker() { return *broker_; }
+  discovery::Ontology& ontology() { return ontology_; }
+  partition::DecisionMaker& decision_maker() { return decision_maker_; }
+  query::QueryClassifier& classifier() { return classifier_; }
+  net::NodeId handheld_node() const { return handheld_node_; }
+  const RuntimeConfig& config() const { return config_; }
+
+  /// Execution context for direct (agent-less) execution — benches use this
+  /// to sweep models without the messaging overhead.
+  partition::ExecutionContext execution_context();
+
+  /// Resets batteries and traffic counters (between experiment runs).
+  void reset_energy() { network_->reset_energy(); }
+
+ private:
+  void register_agents();
+  void run_pipeline(const std::string& text,
+                    std::optional<partition::SolutionModel> forced,
+                    std::function<void(QueryOutcome)> done);
+  /// Sends the query envelope; model_name "-" lets the decision maker pick.
+  void submit_internal(const std::string& query_text,
+                       const std::string& model_name,
+                       std::function<void(QueryOutcome)> done);
+
+  RuntimeConfig config_;
+  sim::Simulator sim_;
+  common::Rng rng_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<sensornet::SensorNetwork> sensors_;
+  std::unique_ptr<sensornet::BuildingTemperatureField> field_;
+  std::unique_ptr<grid::GridInfrastructure> grid_;
+  std::unique_ptr<agent::AgentPlatform> platform_;
+  discovery::Ontology ontology_;
+  discovery::BrokerAgent* broker_ = nullptr;  ///< owned by the platform
+  agent::AgentId broker_id_ = agent::kInvalidAgent;
+  agent::AgentId handheld_agent_ = agent::kInvalidAgent;
+  agent::AgentId base_agent_ = agent::kInvalidAgent;
+  net::NodeId handheld_node_ = net::kInvalidNode;
+  query::QueryClassifier classifier_;
+  partition::DecisionMaker decision_maker_;
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::unique_ptr<RuntimePending> pending_;
+};
+
+}  // namespace pgrid::core

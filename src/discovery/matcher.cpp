@@ -1,0 +1,176 @@
+#include "discovery/matcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pgrid::discovery {
+
+std::vector<Match> SemanticMatcher::match(
+    std::span<const ServiceDescription> services,
+    const ServiceRequest& request) const {
+  struct Candidate {
+    const ServiceDescription* service;
+    double class_score;
+    double soft_score;
+  };
+  std::vector<Candidate> candidates;
+
+  ClassId desired = kInvalidClass;
+  if (!request.desired_class.empty()) {
+    const auto found = ontology_.find(request.desired_class);
+    if (!found) return {};  // unknown class: nothing can match
+    desired = *found;
+  }
+
+  for (const auto& service : services) {
+    // Class-level filter.
+    double class_score = 1.0;
+    if (desired != kInvalidClass) {
+      auto service_class = ontology_.find(service.service_class);
+      if (!service_class) continue;
+      if (ontology_.is_a(*service_class, desired)) {
+        class_score = 1.0;  // subsumption: a ColorLaserPrinter IS a ColorPrinter
+      } else {
+        if (request.require_subsumption) continue;
+        class_score = ontology_.similarity(*service_class, desired);
+        if (class_score < min_class_similarity_) continue;
+      }
+    }
+
+    // Two-way matching: the service's own requirements must be met by what
+    // the requester offers.
+    if (request.enforce_requirements &&
+        !requirements_met(service, request.offered)) {
+      continue;
+    }
+
+    // Constraints: hard ones gate, soft ones grade.
+    bool rejected = false;
+    std::size_t soft_total = 0;
+    std::size_t soft_satisfied = 0;
+    for (const auto& constraint : request.constraints) {
+      const bool ok = satisfies(service, constraint);
+      if (constraint.hard) {
+        if (!ok) {
+          rejected = true;
+          break;
+        }
+      } else {
+        ++soft_total;
+        if (ok) ++soft_satisfied;
+      }
+    }
+    if (rejected) continue;
+    const double soft_score =
+        soft_total == 0 ? 1.0
+                        : static_cast<double>(soft_satisfied) /
+                              static_cast<double>(soft_total);
+    candidates.push_back(Candidate{&service, class_score, soft_score});
+  }
+
+  // Preference scores are relative to the surviving candidate set.
+  std::vector<double> pref_scores(candidates.size(), 1.0);
+  if (!request.preferences.empty() && candidates.size() > 0) {
+    std::fill(pref_scores.begin(), pref_scores.end(), 0.0);
+    double weight_total = 0.0;
+    for (const auto& pref : request.preferences) {
+      weight_total += pref.weight;
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      std::vector<double> values(candidates.size(),
+                                 std::numeric_limits<double>::quiet_NaN());
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        auto it = candidates[i].service->properties.find(pref.property);
+        if (it == candidates[i].service->properties.end()) continue;
+        if (const auto* d = std::get_if<double>(&it->second)) {
+          values[i] = *d;
+          lo = std::min(lo, *d);
+          hi = std::max(hi, *d);
+        }
+      }
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (std::isnan(values[i])) continue;  // missing property scores 0
+        double normalized =
+            hi > lo ? (values[i] - lo) / (hi - lo) : 1.0;
+        if (pref.minimize) normalized = 1.0 - normalized;
+        // When hi == lo every candidate ties at full preference credit.
+        if (hi <= lo) normalized = 1.0;
+        pref_scores[i] += pref.weight * normalized;
+      }
+    }
+    if (weight_total > 0) {
+      for (auto& score : pref_scores) score /= weight_total;
+    }
+  }
+
+  std::vector<Match> matches;
+  matches.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double score = 0.5 * candidates[i].class_score +
+                         0.3 * candidates[i].soft_score +
+                         0.2 * pref_scores[i];
+    matches.push_back(Match{*candidates[i].service, score});
+  }
+  std::stable_sort(matches.begin(), matches.end(),
+                   [](const Match& a, const Match& b) {
+                     return a.score > b.score;
+                   });
+  if (matches.size() > request.max_results) {
+    matches.resize(request.max_results);
+  }
+  return matches;
+}
+
+std::vector<Match> ExactInterfaceMatcher::match(
+    std::span<const ServiceDescription> services,
+    const ServiceRequest& request) const {
+  std::vector<Match> matches;
+  for (const auto& service : services) {
+    // Exact class-name equality only — no subsumption reasoning.
+    if (!request.desired_class.empty() &&
+        service.service_class != request.desired_class) {
+      continue;
+    }
+    // Every requested interface must appear verbatim.
+    bool all_interfaces = true;
+    for (const auto& iface : request.required_interfaces) {
+      if (std::find(service.interfaces.begin(), service.interfaces.end(),
+                    iface) == service.interfaces.end()) {
+        all_interfaces = false;
+        break;
+      }
+    }
+    if (!all_interfaces) continue;
+    // Equality constraints only; inequality templates are inexpressible in
+    // Jini-style matching and are skipped, losing selectivity.
+    bool ok = true;
+    for (const auto& constraint : request.constraints) {
+      if (constraint.op != ConstraintOp::kEq) continue;
+      if (!satisfies(service, constraint)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    matches.push_back(Match{service, 1.0});  // unranked
+    if (matches.size() >= request.max_results) break;
+  }
+  return matches;
+}
+
+std::vector<Match> UuidMatcher::match(
+    std::span<const ServiceDescription> services,
+    const ServiceRequest& request) const {
+  std::vector<Match> matches;
+  if (!request.uuid) return matches;
+  for (const auto& service : services) {
+    if (service.uuid == *request.uuid) {
+      matches.push_back(Match{service, 1.0});
+      if (matches.size() >= request.max_results) break;
+    }
+  }
+  return matches;
+}
+
+}  // namespace pgrid::discovery

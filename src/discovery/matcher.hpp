@@ -1,0 +1,71 @@
+// The three service-matching strategies compared in EXP-D1.
+//
+// SemanticMatcher is the paper's contribution: fuzzy, subsumption-aware,
+// handles inequality constraints and returns a ranked list.  The baselines
+// reproduce the state of the art the paper criticizes: Jini-style exact
+// interface matching ("sufficient for service clients to find a service
+// that implements printIt(), [not] a printer service that has the shortest
+// print queue") and Bluetooth-SDP 128-bit UUID equality ("clearly
+// inadequate").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "discovery/ontology.hpp"
+#include "discovery/service.hpp"
+
+namespace pgrid::discovery {
+
+/// Strategy interface so brokers and benches can swap matchers.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+  virtual std::vector<Match> match(
+      std::span<const ServiceDescription> services,
+      const ServiceRequest& request) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Semantic fuzzy matcher over the ontology.
+///
+/// Scoring: hard-constraint violations and class similarity below
+/// `min_class_similarity` reject a candidate; survivors score
+///   0.5 * class_score + 0.3 * soft-constraint fraction + 0.2 * preference
+/// where class_score is 1 for subsumption matches and Wu-Palmer similarity
+/// otherwise, and preferences are normalized per candidate set.
+class SemanticMatcher final : public Matcher {
+ public:
+  explicit SemanticMatcher(const Ontology& ontology,
+                           double min_class_similarity = 0.5)
+      : ontology_(ontology), min_class_similarity_(min_class_similarity) {}
+
+  std::vector<Match> match(std::span<const ServiceDescription> services,
+                           const ServiceRequest& request) const override;
+  std::string name() const override { return "semantic"; }
+
+ private:
+  const Ontology& ontology_;
+  double min_class_similarity_;
+};
+
+/// Jini-style matcher: exact class-name equality (when requested), all
+/// required interfaces present, equality constraints only — inequality
+/// constraints and preferences are ignored (that is the point), and every
+/// match scores 1.0 (no ranking).
+class ExactInterfaceMatcher final : public Matcher {
+ public:
+  std::vector<Match> match(std::span<const ServiceDescription> services,
+                           const ServiceRequest& request) const override;
+  std::string name() const override { return "jini-exact"; }
+};
+
+/// Bluetooth-SDP-style matcher: 128-bit UUID equality, nothing else.
+class UuidMatcher final : public Matcher {
+ public:
+  std::vector<Match> match(std::span<const ServiceDescription> services,
+                           const ServiceRequest& request) const override;
+  std::string name() const override { return "sdp-uuid"; }
+};
+
+}  // namespace pgrid::discovery

@@ -1,0 +1,140 @@
+#include "discovery/ontology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace pgrid::discovery {
+
+ClassId Ontology::add_class(const std::string& name,
+                            const std::vector<std::string>& parents) {
+  if (auto existing = find(name)) return *existing;
+  std::vector<ClassId> parent_ids;
+  std::size_t min_parent_depth = std::numeric_limits<std::size_t>::max();
+  for (const auto& parent : parents) {
+    auto id = find(parent);
+    if (!id) throw std::invalid_argument("unknown parent class: " + parent);
+    parent_ids.push_back(*id);
+    min_parent_depth = std::min(min_parent_depth, depth_[*id]);
+  }
+  const auto id = static_cast<ClassId>(names_.size());
+  names_.push_back(name);
+  parents_.push_back(std::move(parent_ids));
+  depth_.push_back(parents.empty() ? 0 : min_parent_depth + 1);
+  by_name_[name] = id;
+  return id;
+}
+
+std::optional<ClassId> Ontology::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Ontology::name(ClassId id) const { return names_.at(id); }
+
+bool Ontology::is_a(ClassId child, ClassId ancestor) const {
+  if (child >= names_.size() || ancestor >= names_.size()) return false;
+  if (child == ancestor) return true;
+  for (ClassId parent : parents_[child]) {
+    if (is_a(parent, ancestor)) return true;
+  }
+  return false;
+}
+
+bool Ontology::is_a(const std::string& child,
+                    const std::string& ancestor) const {
+  auto c = find(child);
+  auto a = find(ancestor);
+  return c && a && is_a(*c, *a);
+}
+
+std::size_t Ontology::depth(ClassId id) const { return depth_.at(id); }
+
+std::vector<ClassId> Ontology::ancestors(ClassId id) const {
+  std::vector<ClassId> out;
+  std::vector<ClassId> stack{id};
+  while (!stack.empty()) {
+    const ClassId at = stack.back();
+    stack.pop_back();
+    if (std::find(out.begin(), out.end(), at) != out.end()) continue;
+    out.push_back(at);
+    for (ClassId parent : parents_[at]) stack.push_back(parent);
+  }
+  return out;
+}
+
+double Ontology::similarity(ClassId a, ClassId b) const {
+  if (a >= names_.size() || b >= names_.size()) return 0.0;
+  if (a == b) return 1.0;
+  const auto ancestors_a = ancestors(a);
+  const auto ancestors_b = ancestors(b);
+  // Least common subsumer = shared ancestor of maximal depth.
+  std::size_t lcs_depth = 0;
+  bool found = false;
+  for (ClassId ca : ancestors_a) {
+    if (std::find(ancestors_b.begin(), ancestors_b.end(), ca) !=
+        ancestors_b.end()) {
+      lcs_depth = std::max(lcs_depth, depth_[ca]);
+      found = true;
+    }
+  }
+  if (!found) return 0.0;
+  const double da = static_cast<double>(depth_[a]);
+  const double db = static_cast<double>(depth_[b]);
+  if (da + db == 0.0) return 0.0;
+  return 2.0 * static_cast<double>(lcs_depth) / (da + db);
+}
+
+double Ontology::similarity(const std::string& a, const std::string& b) const {
+  auto ia = find(a);
+  auto ib = find(b);
+  if (!ia || !ib) return 0.0;
+  return similarity(*ia, *ib);
+}
+
+Ontology make_standard_ontology() {
+  Ontology o;
+  o.add_class("Service");
+
+  // Sensing branch (Section 4 scenario).
+  o.add_class("SensorService", {"Service"});
+  o.add_class("TemperatureSensor", {"SensorService"});
+  o.add_class("SmokeSensor", {"SensorService"});
+  o.add_class("ToxinSensor", {"SensorService"});
+  o.add_class("PathogenSensor", {"SensorService"});
+  o.add_class("HumiditySensor", {"SensorService"});
+  o.add_class("AcousticSensor", {"SensorService"});
+
+  // Computation branch (the grid side).
+  o.add_class("ComputeService", {"Service"});
+  o.add_class("PdeSolver", {"ComputeService"});
+  o.add_class("HeatEquationSolver", {"PdeSolver"});
+  o.add_class("NavierStokesSolver", {"PdeSolver"});
+  o.add_class("AggregationService", {"ComputeService"});
+  o.add_class("CycleProvider", {"ComputeService"});
+
+  // Data mining branch (the stream-analysis scenario of Section 1).
+  o.add_class("DataMiningService", {"ComputeService"});
+  o.add_class("DecisionTreeMiner", {"DataMiningService"});
+  o.add_class("FourierSpectrumService", {"DataMiningService"});
+  o.add_class("ClusteringService", {"DataMiningService"});
+  o.add_class("PredictiveScoringService", {"DataMiningService"});
+
+  // Data/storage branch ("data/information, or even CPU cycles / storage").
+  o.add_class("DataService", {"Service"});
+  o.add_class("StorageService", {"DataService"});
+  o.add_class("HospitalRecordsService", {"DataService"});
+  o.add_class("WeatherForecastService", {"DataService"});
+  o.add_class("MapService", {"DataService"});
+
+  // Printer branch (the paper's Jini expressiveness example).
+  o.add_class("PrinterService", {"Service"});
+  o.add_class("ColorPrinter", {"PrinterService"});
+  o.add_class("LaserPrinter", {"PrinterService"});
+  o.add_class("ColorLaserPrinter", {"ColorPrinter", "LaserPrinter"});
+
+  return o;
+}
+
+}  // namespace pgrid::discovery

@@ -1,0 +1,64 @@
+// DAML-lite ontology: a class hierarchy with subsumption and a semantic
+// similarity measure.
+//
+// Section 3: services "describe themselves (at a semantic level)"; matching
+// "is semantic and uses the DAML descriptions. This matching is fuzzy, and
+// often recommends a ranked list of matches."  This module is the C++
+// substitute for DAML+OIL: named classes, multiple parents, is-a reasoning,
+// and Wu-Palmer similarity for fuzzy scores.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pgrid::discovery {
+
+using ClassId = std::uint32_t;
+inline constexpr ClassId kInvalidClass = 0xffffffffu;
+
+/// A class taxonomy with multiple inheritance.  Root classes have no
+/// parents; depth of a class is the shortest path to a root.
+class Ontology {
+ public:
+  /// Adds a class; parent names must already exist.  Re-adding an existing
+  /// name returns its id unchanged.
+  ClassId add_class(const std::string& name,
+                    const std::vector<std::string>& parents = {});
+
+  std::optional<ClassId> find(const std::string& name) const;
+  const std::string& name(ClassId id) const;
+  std::size_t size() const { return names_.size(); }
+
+  /// Reflexive-transitive subsumption: is `child` a kind of `ancestor`?
+  bool is_a(ClassId child, ClassId ancestor) const;
+  bool is_a(const std::string& child, const std::string& ancestor) const;
+
+  /// Shortest distance to a root (root = 0).
+  std::size_t depth(ClassId id) const;
+
+  /// Wu-Palmer similarity in [0, 1]: 2*depth(lcs) / (depth(a)+depth(b)
+  /// measured through the lcs).  1.0 for identical classes, 0.0 when the
+  /// only shared subsumer is a root at depth 0 or none exists.
+  double similarity(ClassId a, ClassId b) const;
+  double similarity(const std::string& a, const std::string& b) const;
+
+  /// All ancestors of a class, including itself.
+  std::vector<ClassId> ancestors(ClassId id) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<ClassId>> parents_;
+  std::vector<std::size_t> depth_;
+  std::unordered_map<std::string, ClassId> by_name_;
+};
+
+/// The default pervasive-grid service taxonomy used by the examples and
+/// benches: sensing, computation, data-mining, printing and storage
+/// branches under a single Service root (printing reproduces the paper's
+/// Jini printer discussion).
+Ontology make_standard_ontology();
+
+}  // namespace pgrid::discovery

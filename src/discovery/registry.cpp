@@ -1,0 +1,47 @@
+#include "discovery/registry.hpp"
+
+#include <algorithm>
+
+namespace pgrid::discovery {
+
+bool ServiceRegistry::register_service(ServiceDescription service) {
+  for (auto& existing : services_) {
+    if (existing.name == service.name) {
+      existing = std::move(service);
+      return true;
+    }
+  }
+  services_.push_back(std::move(service));
+  return false;
+}
+
+bool ServiceRegistry::unregister_service(const std::string& name) {
+  const auto before = services_.size();
+  services_.erase(std::remove_if(services_.begin(), services_.end(),
+                                 [&](const ServiceDescription& s) {
+                                   return s.name == name;
+                                 }),
+                  services_.end());
+  return services_.size() != before;
+}
+
+std::size_t ServiceRegistry::sweep(sim::SimTime now) {
+  const auto before = services_.size();
+  services_.erase(std::remove_if(services_.begin(), services_.end(),
+                                 [&](const ServiceDescription& s) {
+                                   return s.lease_expiry.us != 0 &&
+                                          s.lease_expiry <= now;
+                                 }),
+                  services_.end());
+  return before - services_.size();
+}
+
+std::optional<ServiceDescription> ServiceRegistry::find(
+    const std::string& name) const {
+  for (const auto& service : services_) {
+    if (service.name == name) return service;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pgrid::discovery

@@ -1,0 +1,41 @@
+// In-memory service registry with lease expiry.
+//
+// Short-lived services ("different short-lived services which stay in the
+// vicinity for a finite amount of time and then disappear") register with a
+// finite lease; sweep() drops expired entries so compositions re-bind.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "discovery/service.hpp"
+#include "sim/time.hpp"
+
+namespace pgrid::discovery {
+
+class ServiceRegistry {
+ public:
+  /// Inserts or replaces by service name. Returns true when replaced.
+  bool register_service(ServiceDescription service);
+
+  /// Removes by name; returns true when something was removed.
+  bool unregister_service(const std::string& name);
+
+  /// Drops every service whose lease expired at or before `now`.  Returns
+  /// the number removed.
+  std::size_t sweep(sim::SimTime now);
+
+  std::optional<ServiceDescription> find(const std::string& name) const;
+
+  const std::vector<ServiceDescription>& all() const { return services_; }
+  std::size_t size() const { return services_.size(); }
+  bool empty() const { return services_.empty(); }
+  void clear() { services_.clear(); }
+
+ private:
+  std::vector<ServiceDescription> services_;
+};
+
+}  // namespace pgrid::discovery

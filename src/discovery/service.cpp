@@ -1,0 +1,340 @@
+#include "discovery/service.hpp"
+
+#include <charconv>
+#include <limits>
+#include <sstream>
+
+namespace pgrid::discovery {
+
+namespace {
+
+std::string encode_value(const PropertyValue& value) {
+  if (const auto* d = std::get_if<double>(&value)) {
+    std::ostringstream out;
+    // max_digits10 so decode(encode(x)) == x for every double.
+    out.precision(std::numeric_limits<double>::max_digits10);
+    out << "d:" << *d;
+    return out.str();
+  }
+  if (const auto* b = std::get_if<bool>(&value)) {
+    return std::string("b:") + (*b ? "1" : "0");
+  }
+  return "s:" + std::get<std::string>(value);
+}
+
+std::optional<PropertyValue> decode_value(const std::string& text) {
+  if (text.size() < 2 || text[1] != ':') return std::nullopt;
+  const std::string body = text.substr(2);
+  switch (text[0]) {
+    case 'd': {
+      try {
+        return PropertyValue(std::stod(body));
+      } catch (...) {
+        return std::nullopt;
+      }
+    }
+    case 'b':
+      return PropertyValue(body == "1");
+    case 's':
+      return PropertyValue(body);
+    default:
+      return std::nullopt;
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> split_lines(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    out.emplace_back(line.substr(0, eq), line.substr(eq + 1));
+  }
+  return out;
+}
+
+std::string paradigm_code(InvocationParadigm paradigm) {
+  switch (paradigm) {
+    case InvocationParadigm::kAgentAcl: return "acl";
+    case InvocationParadigm::kRemoteInvocation: return "rmi";
+    case InvocationParadigm::kMessagePassing: return "msg";
+  }
+  return "acl";
+}
+
+InvocationParadigm parse_paradigm(const std::string& code) {
+  if (code == "rmi") return InvocationParadigm::kRemoteInvocation;
+  if (code == "msg") return InvocationParadigm::kMessagePassing;
+  return InvocationParadigm::kAgentAcl;
+}
+
+std::string op_code(ConstraintOp op) {
+  switch (op) {
+    case ConstraintOp::kEq: return "eq";
+    case ConstraintOp::kNe: return "ne";
+    case ConstraintOp::kLt: return "lt";
+    case ConstraintOp::kLe: return "le";
+    case ConstraintOp::kGt: return "gt";
+    case ConstraintOp::kGe: return "ge";
+  }
+  return "eq";
+}
+
+std::optional<ConstraintOp> parse_op(const std::string& code) {
+  if (code == "eq") return ConstraintOp::kEq;
+  if (code == "ne") return ConstraintOp::kNe;
+  if (code == "lt") return ConstraintOp::kLt;
+  if (code == "le") return ConstraintOp::kLe;
+  if (code == "gt") return ConstraintOp::kGt;
+  if (code == "ge") return ConstraintOp::kGe;
+  return std::nullopt;
+}
+
+std::vector<std::string> split_on(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string::size_type start = 0;
+  for (;;) {
+    const auto pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+std::string to_string(const PropertyValue& value) {
+  if (const auto* d = std::get_if<double>(&value)) {
+    std::ostringstream out;
+    out << *d;
+    return out.str();
+  }
+  if (const auto* b = std::get_if<bool>(&value)) return *b ? "true" : "false";
+  return std::get<std::string>(value);
+}
+
+std::string to_string(InvocationParadigm paradigm) {
+  switch (paradigm) {
+    case InvocationParadigm::kAgentAcl: return "agent-acl";
+    case InvocationParadigm::kRemoteInvocation: return "remote-invocation";
+    case InvocationParadigm::kMessagePassing: return "message-passing";
+  }
+  return "?";
+}
+
+std::string to_string(ConstraintOp op) { return op_code(op); }
+
+bool satisfies(const ServiceDescription& service,
+               const Constraint& constraint) {
+  auto it = service.properties.find(constraint.property);
+  if (it == service.properties.end()) return false;
+  const PropertyValue& have = it->second;
+  const PropertyValue& want = constraint.value;
+  if (have.index() != want.index()) return false;
+
+  const auto compare = [&](auto cmp) {
+    if (const auto* d = std::get_if<double>(&have)) {
+      return cmp(*d, std::get<double>(want));
+    }
+    if (const auto* b = std::get_if<bool>(&have)) {
+      return cmp(static_cast<int>(*b), static_cast<int>(std::get<bool>(want)));
+    }
+    return cmp(std::get<std::string>(have), std::get<std::string>(want));
+  };
+
+  switch (constraint.op) {
+    case ConstraintOp::kEq: return compare([](auto a, auto b) { return a == b; });
+    case ConstraintOp::kNe: return compare([](auto a, auto b) { return a != b; });
+    case ConstraintOp::kLt: return compare([](auto a, auto b) { return a < b; });
+    case ConstraintOp::kLe: return compare([](auto a, auto b) { return a <= b; });
+    case ConstraintOp::kGt: return compare([](auto a, auto b) { return a > b; });
+    case ConstraintOp::kGe: return compare([](auto a, auto b) { return a >= b; });
+  }
+  return false;
+}
+
+std::string serialize(const ServiceDescription& service) {
+  std::ostringstream out;
+  out << "name=" << service.name << '\n';
+  out << "class=" << service.service_class << '\n';
+  for (const auto& [key, value] : service.properties) {
+    out << "prop." << key << '=' << encode_value(value) << '\n';
+  }
+  for (const auto& [key, value] : service.requirements) {
+    out << "req." << key << '=' << encode_value(value) << '\n';
+  }
+  for (const auto& iface : service.interfaces) out << "iface=" << iface << '\n';
+  out << "uuid=" << service.uuid.hi << ':' << service.uuid.lo << '\n';
+  out << "paradigm=" << paradigm_code(service.paradigm) << '\n';
+  out << "provider=" << service.provider << '\n';
+  out << "node=" << service.node << '\n';
+  out << "cost=" << service.cost << '\n';
+  out << "lease=" << service.lease_expiry.us << '\n';
+  return out.str();
+}
+
+std::optional<ServiceDescription> parse_service(const std::string& text) {
+  ServiceDescription service;
+  bool has_name = false;
+  for (const auto& [key, value] : split_lines(text)) {
+    if (key == "name") {
+      service.name = value;
+      has_name = true;
+    } else if (key == "class") {
+      service.service_class = value;
+    } else if (key.rfind("prop.", 0) == 0) {
+      auto decoded = decode_value(value);
+      if (!decoded) return std::nullopt;
+      service.properties[key.substr(5)] = *decoded;
+    } else if (key.rfind("req.", 0) == 0) {
+      auto decoded = decode_value(value);
+      if (!decoded) return std::nullopt;
+      service.requirements[key.substr(4)] = *decoded;
+    } else if (key == "iface") {
+      service.interfaces.push_back(value);
+    } else if (key == "uuid") {
+      const auto parts = split_on(value, ':');
+      if (parts.size() != 2) return std::nullopt;
+      try {
+        service.uuid.hi = std::stoull(parts[0]);
+        service.uuid.lo = std::stoull(parts[1]);
+      } catch (...) {
+        return std::nullopt;
+      }
+    } else if (key == "paradigm") {
+      service.paradigm = parse_paradigm(value);
+    } else if (key == "provider") {
+      service.provider = static_cast<agent::AgentId>(std::stoul(value));
+    } else if (key == "node") {
+      service.node = static_cast<net::NodeId>(std::stoul(value));
+    } else if (key == "cost") {
+      service.cost = std::stod(value);
+    } else if (key == "lease") {
+      service.lease_expiry = sim::SimTime{std::stoll(value)};
+    }
+  }
+  if (!has_name) return std::nullopt;
+  return service;
+}
+
+bool requirements_met(const ServiceDescription& service,
+                      const std::map<std::string, PropertyValue>& offered) {
+  for (const auto& [key, required] : service.requirements) {
+    auto it = offered.find(key);
+    if (it == offered.end()) return false;
+    const PropertyValue& have = it->second;
+    if (have.index() != required.index()) return false;
+    if (const auto* d = std::get_if<double>(&required)) {
+      if (std::get<double>(have) < *d) return false;
+    } else if (have != required) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string serialize(const ServiceRequest& request) {
+  std::ostringstream out;
+  out << "class=" << request.desired_class << '\n';
+  for (const auto& [key, value] : request.offered) {
+    out << "offer." << key << '=' << encode_value(value) << '\n';
+  }
+  if (request.enforce_requirements) out << "enforce=1\n";
+  for (const auto& c : request.constraints) {
+    out << "constraint=" << c.property << '|' << op_code(c.op) << '|'
+        << encode_value(c.value) << '|' << (c.hard ? "hard" : "soft") << '\n';
+  }
+  for (const auto& p : request.preferences) {
+    out << "pref=" << p.property << '|' << (p.minimize ? "min" : "max") << '|'
+        << p.weight << '\n';
+  }
+  for (const auto& iface : request.required_interfaces) {
+    out << "iface=" << iface << '\n';
+  }
+  if (request.uuid) {
+    out << "uuid=" << request.uuid->hi << ':' << request.uuid->lo << '\n';
+  }
+  out << "max=" << request.max_results << '\n';
+  if (request.require_subsumption) out << "strict=1\n";
+  return out.str();
+}
+
+std::optional<ServiceRequest> parse_request(const std::string& text) {
+  ServiceRequest request;
+  for (const auto& [key, value] : split_lines(text)) {
+    if (key == "class") {
+      request.desired_class = value;
+    } else if (key == "constraint") {
+      const auto parts = split_on(value, '|');
+      if (parts.size() != 4) return std::nullopt;
+      auto op = parse_op(parts[1]);
+      auto decoded = decode_value(parts[2]);
+      if (!op || !decoded) return std::nullopt;
+      request.constraints.push_back(
+          Constraint{parts[0], *op, *decoded, parts[3] == "hard"});
+    } else if (key == "pref") {
+      const auto parts = split_on(value, '|');
+      if (parts.size() != 3) return std::nullopt;
+      request.preferences.push_back(
+          Preference{parts[0], parts[1] == "min", std::stod(parts[2])});
+    } else if (key == "iface") {
+      request.required_interfaces.push_back(value);
+    } else if (key == "uuid") {
+      const auto parts = split_on(value, ':');
+      if (parts.size() != 2) return std::nullopt;
+      request.uuid = Uuid{std::stoull(parts[0]), std::stoull(parts[1])};
+    } else if (key == "max") {
+      request.max_results = std::stoul(value);
+    } else if (key == "strict") {
+      request.require_subsumption = value == "1";
+    } else if (key.rfind("offer.", 0) == 0) {
+      auto decoded = decode_value(value);
+      if (!decoded) return std::nullopt;
+      request.offered[key.substr(6)] = *decoded;
+    } else if (key == "enforce") {
+      request.enforce_requirements = value == "1";
+    }
+  }
+  return request;
+}
+
+std::string serialize_matches(const std::vector<Match>& matches) {
+  std::ostringstream out;
+  for (const auto& match : matches) {
+    out << "score=" << match.score << '\n';
+    out << serialize(match.service);
+    out << "---\n";
+  }
+  return out.str();
+}
+
+std::vector<Match> parse_matches(const std::string& text) {
+  std::vector<Match> out;
+  std::istringstream in(text);
+  std::string line;
+  std::string block;
+  double score = 0.0;
+  while (std::getline(in, line)) {
+    if (line == "---") {
+      if (auto service = parse_service(block)) {
+        out.push_back(Match{std::move(*service), score});
+      }
+      block.clear();
+      score = 0.0;
+    } else if (line.rfind("score=", 0) == 0) {
+      score = std::stod(line.substr(6));
+    } else {
+      block += line;
+      block += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace pgrid::discovery

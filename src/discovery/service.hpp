@@ -1,0 +1,133 @@
+// Service descriptions and requests.
+//
+// A "service" is deliberately broad, as in the paper: "it could be a
+// computational component which executes, data/information, or even CPU
+// cycles / storage capacity that one entity is willing to provide".
+// Descriptions carry semantic class + typed properties (the DAML level),
+// syntactic interface signatures (the Jini baseline level), and a 128-bit
+// UUID (the Bluetooth SDP baseline level), so the three matchers in
+// matcher.hpp can be compared on identical corpora.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "agent/envelope.hpp"
+#include "net/network.hpp"
+#include "sim/time.hpp"
+
+namespace pgrid::discovery {
+
+/// Typed property value (DAML datatype property stand-in).
+using PropertyValue = std::variant<double, std::string, bool>;
+
+std::string to_string(const PropertyValue& value);
+
+/// 128-bit UUID as used by Bluetooth SDP.
+struct Uuid {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  friend bool operator==(const Uuid&, const Uuid&) = default;
+};
+
+/// How a service is invoked; the composition platform adapts between these
+/// ("message-passing paradigm ... remote method invocation mechanism like
+/// SOAP or agent-based services").
+enum class InvocationParadigm { kAgentAcl, kRemoteInvocation, kMessagePassing };
+
+std::string to_string(InvocationParadigm paradigm);
+
+/// Everything a component registers about itself: capabilities (what it
+/// provides) and constraints/requirements (what it needs, what it costs).
+struct ServiceDescription {
+  std::string name;            ///< unique instance name
+  std::string service_class;   ///< ontology class term
+  std::map<std::string, PropertyValue> properties;  ///< capabilities
+  std::map<std::string, PropertyValue> requirements; ///< what it needs to run
+  std::vector<std::string> interfaces;  ///< syntactic signatures (Jini level)
+  Uuid uuid;                            ///< SDP level
+  InvocationParadigm paradigm = InvocationParadigm::kAgentAcl;
+  agent::AgentId provider = agent::kInvalidAgent;
+  net::NodeId node = net::kInvalidNode;
+  double cost = 0.0;  ///< abstract cost of invoking the service
+  /// Lease expiry (sim time); zero means permanent.  Short-lived mobile
+  /// services register with finite leases.
+  sim::SimTime lease_expiry = sim::SimTime::zero();
+};
+
+/// Relational constraint over one property — the expressiveness the paper
+/// finds missing from Jini/SLP/SDP ("they return exact matches and can only
+/// handle equality constraints").
+enum class ConstraintOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string to_string(ConstraintOp op);
+
+struct Constraint {
+  std::string property;
+  ConstraintOp op = ConstraintOp::kEq;
+  PropertyValue value;
+  /// Hard constraints reject non-satisfying services; soft ones only lower
+  /// the score.
+  bool hard = true;
+};
+
+/// Evaluates `op` against a service property; missing properties fail.
+bool satisfies(const ServiceDescription& service, const Constraint& constraint);
+
+/// Ranking preference: minimize/maximize a numeric property (shortest print
+/// queue, nearest printer, ...).
+struct Preference {
+  std::string property;
+  bool minimize = true;
+  double weight = 1.0;
+};
+
+/// A discovery request at all three description levels.
+struct ServiceRequest {
+  std::string desired_class;                 ///< semantic level
+  std::vector<Constraint> constraints;
+  std::vector<Preference> preferences;
+  std::vector<std::string> required_interfaces;  ///< Jini level
+  std::optional<Uuid> uuid;                      ///< SDP level
+  std::size_t max_results = 10;
+  /// When set, only services whose class IS-A desired_class match; fuzzy
+  /// sibling-class approximations are rejected.  Composition binding uses
+  /// this; exploratory discovery leaves it off.
+  bool require_subsumption = false;
+  /// What the requesting environment offers (hardware, bandwidth, runtime).
+  /// With enforce_requirements set, a service matches only if every entry
+  /// of its `requirements` is satisfied here — DAML's two-way matching
+  /// ("what software/hardware they need to run").  Numeric requirements are
+  /// satisfied by offered >= required; bool/string by equality.
+  std::map<std::string, PropertyValue> offered;
+  bool enforce_requirements = false;
+};
+
+/// True when `offered` satisfies every requirement of `service`.
+bool requirements_met(const ServiceDescription& service,
+                      const std::map<std::string, PropertyValue>& offered);
+
+/// One ranked match.
+struct Match {
+  ServiceDescription service;
+  double score = 0.0;
+};
+
+// --- wire format -----------------------------------------------------------
+// Line-oriented key=value serialization so descriptions/requests travel in
+// envelope payloads (the content language of the discovery ontology).
+
+std::string serialize(const ServiceDescription& service);
+std::optional<ServiceDescription> parse_service(const std::string& text);
+
+std::string serialize(const ServiceRequest& request);
+std::optional<ServiceRequest> parse_request(const std::string& text);
+
+std::string serialize_matches(const std::vector<Match>& matches);
+std::vector<Match> parse_matches(const std::string& text);
+
+}  // namespace pgrid::discovery

@@ -1,0 +1,60 @@
+#include "grid/heat_problem.hpp"
+
+namespace pgrid::grid {
+
+HeatProblem::HeatProblem(std::size_t nx, std::size_t ny, std::size_t nz,
+                         double ambient)
+    : nx_(nx), ny_(ny), nz_(nz == 0 ? 1 : nz), ambient_(ambient) {
+  values_.assign(nx_ * ny_ * nz_, ambient_);
+  fixed_.assign(values_.size(), false);
+  // Outer boundary is Dirichlet at ambient (walls of the building).
+  for (std::size_t iz = 0; iz < nz_; ++iz) {
+    for (std::size_t iy = 0; iy < ny_; ++iy) {
+      for (std::size_t ix = 0; ix < nx_; ++ix) {
+        const bool edge = ix == 0 || ix + 1 == nx_ || iy == 0 ||
+                          iy + 1 == ny_ ||
+                          (nz_ > 1 && (iz == 0 || iz + 1 == nz_));
+        if (edge) fix(ix, iy, iz, ambient_);
+      }
+    }
+  }
+}
+
+void HeatProblem::fix(std::size_t ix, std::size_t iy, std::size_t iz,
+                      double value) {
+  fix_index(index(ix, iy, iz), value);
+}
+
+void HeatProblem::fix_index(std::size_t cell, double value) {
+  if (!fixed_[cell]) {
+    fixed_[cell] = true;
+    ++fixed_count_;
+  }
+  values_[cell] = value;
+}
+
+std::size_t HeatProblem::neighbors(std::size_t cell, std::size_t* out) const {
+  const std::size_t layer = nx_ * ny_;
+  const std::size_t iz = cell / layer;
+  const std::size_t rem = cell % layer;
+  const std::size_t iy = rem / nx_;
+  const std::size_t ix = rem % nx_;
+  std::size_t count = 0;
+  if (ix > 0) out[count++] = cell - 1;
+  if (ix + 1 < nx_) out[count++] = cell + 1;
+  if (iy > 0) out[count++] = cell - nx_;
+  if (iy + 1 < ny_) out[count++] = cell + nx_;
+  if (iz > 0) out[count++] = cell - layer;
+  if (iz + 1 < nz_) out[count++] = cell + layer;
+  return count;
+}
+
+std::vector<double> HeatProblem::initial_guess() const {
+  std::vector<double> u(values_.size(), ambient_);
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (fixed_[i]) u[i] = values_[i];
+  }
+  return u;
+}
+
+}  // namespace pgrid::grid

@@ -1,0 +1,62 @@
+// Discretized steady-state heat (Laplace) problem with Dirichlet cells.
+//
+// The paper's Complex Query: "To answer this query, a 3D partial
+// differential equation needs to be set up, grid points populated by data
+// from the sensors and static data about building material and boundary
+// conditions, and then solved."  We do exactly that: a regular grid over
+// the building, outer boundary fixed at ambient, sensor readings pinned as
+// interior Dirichlet cells, Laplace interpolation everywhere else.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pgrid::grid {
+
+/// A 2-D or 3-D (nz > 1) cell grid.  Cell (ix, iy, iz) is addressed
+/// row-major; fixed cells carry Dirichlet values.
+class HeatProblem {
+ public:
+  /// Constructs with every outer-boundary cell fixed to `ambient`.
+  HeatProblem(std::size_t nx, std::size_t ny, std::size_t nz,
+              double ambient);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  std::size_t cells() const { return values_.size(); }
+  bool is_3d() const { return nz_ > 1; }
+
+  std::size_t index(std::size_t ix, std::size_t iy, std::size_t iz = 0) const {
+    return (iz * ny_ + iy) * nx_ + ix;
+  }
+
+  /// Pins a cell to a Dirichlet value (sensor reading, boundary condition).
+  void fix(std::size_t ix, std::size_t iy, std::size_t iz, double value);
+  void fix_index(std::size_t cell, double value);
+
+  bool is_fixed(std::size_t cell) const { return fixed_[cell]; }
+  double fixed_value(std::size_t cell) const { return values_[cell]; }
+  std::size_t fixed_count() const { return fixed_count_; }
+  std::size_t free_count() const { return cells() - fixed_count_; }
+
+  /// Up to 6 orthogonal neighbours of a cell; returns the count written
+  /// into `out` (callers pass a std::size_t[6]).
+  std::size_t neighbors(std::size_t cell, std::size_t* out) const;
+
+  double ambient() const { return ambient_; }
+
+  /// Initial guess: ambient everywhere, Dirichlet values at fixed cells.
+  std::vector<double> initial_guess() const;
+
+ private:
+  std::size_t nx_;
+  std::size_t ny_;
+  std::size_t nz_;
+  double ambient_;
+  std::vector<double> values_;  ///< meaningful only where fixed_
+  std::vector<bool> fixed_;
+  std::size_t fixed_count_ = 0;
+};
+
+}  // namespace pgrid::grid

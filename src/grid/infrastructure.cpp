@@ -1,0 +1,136 @@
+#include "grid/infrastructure.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+namespace pgrid::grid {
+
+GridInfrastructure::GridInfrastructure(net::Network& network,
+                                       net::NodeId gateway,
+                                       std::vector<GridMachineSpec> machines,
+                                       net::LinkClass backhaul)
+    : network_(network), gateway_(gateway) {
+  const net::Vec3 gateway_pos = network_.node(gateway).pos;
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    net::NodeConfig config;
+    config.kind = net::NodeKind::kGrid;
+    // Placed nominally; wired links ignore distance.
+    config.pos = gateway_pos + net::Vec3{1000.0 + 10.0 * i, 0.0, 0.0};
+    config.radio = net::LinkClass::wired();
+    config.unlimited_energy = true;
+    const net::NodeId node = network_.add_node(config);
+    network_.add_wired_link(gateway, node, backhaul);
+    machines_.push_back(Machine{machines[i], node});
+  }
+}
+
+double GridInfrastructure::peak_flops_per_s() const {
+  double peak = 0.0;
+  for (const auto& m : machines_) {
+    peak = std::max(peak, m.spec.flops_per_s);
+  }
+  return peak;
+}
+
+std::size_t GridInfrastructure::pick_machine(double flops) const {
+  std::size_t best = 0;
+  double best_finish = std::numeric_limits<double>::infinity();
+  const double now_s = network_.simulator().now().to_seconds();
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    const double start =
+        std::max(now_s, machines_[i].busy_until.to_seconds());
+    const double finish = start + flops / machines_[i].spec.flops_per_s;
+    if (finish < best_finish) {
+      best_finish = finish;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double GridInfrastructure::estimate_compute_wait_s(double flops) const {
+  if (machines_.empty()) return std::numeric_limits<double>::infinity();
+  const std::size_t chosen = pick_machine(flops);
+  const double now_s = network_.simulator().now().to_seconds();
+  const double start =
+      std::max(now_s, machines_[chosen].busy_until.to_seconds());
+  return (start - now_s) + flops / machines_[chosen].spec.flops_per_s;
+}
+
+void GridInfrastructure::submit(double flops, std::uint64_t input_bytes,
+                                std::uint64_t output_bytes,
+                                std::function<void(JobResult)> done) {
+  auto result = std::make_shared<JobResult>();
+  if (machines_.empty()) {
+    network_.simulator().schedule(
+        sim::SimTime::zero(),
+        [result, done = std::move(done)] { done(*result); });
+    return;
+  }
+  const sim::SimTime submitted = network_.simulator().now();
+  const std::size_t chosen = pick_machine(flops);
+  Machine& machine = machines_[chosen];
+  const net::NodeId node = machine.node;
+  // Reserve the machine now so a batch of submissions spreads across
+  // machines instead of piling onto one.
+  const double compute_s = flops / machine.spec.flops_per_s;
+  const sim::SimTime reserved_start = std::max(submitted, machine.busy_until);
+  machine.busy_until = reserved_start + sim::SimTime::seconds(compute_s);
+
+  auto done_shared =
+      std::make_shared<std::function<void(JobResult)>>(std::move(done));
+  auto fail = [this, result, done_shared] {
+    network_.simulator().schedule(sim::SimTime::zero(),
+                                  [result, done_shared] {
+                                    result->ok = false;
+                                    (*done_shared)(*result);
+                                  });
+  };
+
+  // Phase 1: ship the input over the backhaul.
+  network_.transmit(gateway_, node, input_bytes, [this, result, done_shared,
+                                                  fail, compute_s,
+                                                  reserved_start, output_bytes,
+                                                  chosen, node,
+                                                  submitted](bool ok) {
+    if (!ok) {
+      fail();
+      return;
+    }
+    Machine& m = machines_[chosen];
+    const sim::SimTime now = network_.simulator().now();
+    result->transfer_in_s = (now - submitted).to_seconds();
+    // Phase 2: queue + compute.  The input may arrive after the reserved
+    // slot; in that case the job starts on arrival and the machine's
+    // reservation slides.
+    const sim::SimTime start = std::max(now, reserved_start);
+    result->queue_s = (start - now).to_seconds();
+    result->compute_s = compute_s;
+    const sim::SimTime finish =
+        start + sim::SimTime::seconds(result->compute_s);
+    if (finish > m.busy_until) m.busy_until = finish;
+    network_.simulator().schedule_at(finish, [this, result, done_shared,
+                                              fail, output_bytes, node,
+                                              submitted] {
+      // Phase 3: ship the result back.
+      const sim::SimTime before_out = network_.simulator().now();
+      network_.transmit(node, gateway_, output_bytes,
+                        [this, result, done_shared, fail, submitted,
+                         before_out](bool ok_out) {
+                          if (!ok_out) {
+                            fail();
+                            return;
+                          }
+                          const sim::SimTime now = network_.simulator().now();
+                          result->transfer_out_s =
+                              (now - before_out).to_seconds();
+                          result->total_s = (now - submitted).to_seconds();
+                          result->ok = true;
+                          (*done_shared)(*result);
+                        });
+    });
+  });
+}
+
+}  // namespace pgrid::grid

@@ -1,0 +1,81 @@
+// The wired grid substrate: heterogeneous compute machines behind the base
+// station, reachable over a high-bandwidth backhaul (Figure 1's "Grid
+// Infrastructure" box).  A small scheduler queues jobs per machine and
+// charges data transfer plus compute time in simulated time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace pgrid::grid {
+
+/// One machine of the grid ("from the ASCI terraflop machines to
+/// workstations").
+struct GridMachineSpec {
+  std::string name = "workstation";
+  double flops_per_s = 1e9;
+};
+
+/// Result of a grid job.
+struct JobResult {
+  bool ok = false;
+  double transfer_in_s = 0.0;   ///< base -> machine input shipping
+  double compute_s = 0.0;       ///< pure compute time on the machine
+  double queue_s = 0.0;         ///< waiting behind earlier jobs
+  double transfer_out_s = 0.0;  ///< machine -> base result shipping
+  double total_s = 0.0;
+};
+
+/// Grid machines attached to a gateway node by wired links, with a
+/// least-finish-time scheduler.
+class GridInfrastructure {
+ public:
+  /// Creates one network node per machine and wires each to `gateway`.
+  GridInfrastructure(net::Network& network, net::NodeId gateway,
+                     std::vector<GridMachineSpec> machines,
+                     net::LinkClass backhaul = net::LinkClass::wired());
+
+  std::size_t machine_count() const { return machines_.size(); }
+  const GridMachineSpec& machine(std::size_t index) const {
+    return machines_[index].spec;
+  }
+  net::NodeId machine_node(std::size_t index) const {
+    return machines_[index].node;
+  }
+  net::NodeId gateway() const { return gateway_; }
+
+  /// Submits a job: ship input from the gateway, compute, ship the result
+  /// back.  The callback fires at (simulated) completion.
+  void submit(double flops, std::uint64_t input_bytes,
+              std::uint64_t output_bytes,
+              std::function<void(JobResult)> done);
+
+  /// Fastest machine's speed — used by the cost estimators.
+  double peak_flops_per_s() const;
+
+  /// Queue-aware estimate of when a job of `flops` would finish if
+  /// submitted now (seconds from now, excluding transfers).
+  double estimate_compute_wait_s(double flops) const;
+
+ private:
+  struct Machine {
+    GridMachineSpec spec;
+    net::NodeId node;
+    sim::SimTime busy_until = sim::SimTime::zero();
+  };
+
+  /// Index of the machine that would finish `flops` earliest.
+  std::size_t pick_machine(double flops) const;
+
+  net::Network& network_;
+  net::NodeId gateway_;
+  std::vector<Machine> machines_;
+};
+
+}  // namespace pgrid::grid

@@ -1,0 +1,196 @@
+#include "grid/solvers.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+namespace pgrid::grid {
+
+namespace {
+
+/// Runs body over [0, n) — through the pool when given, inline otherwise —
+/// and returns the max of per-chunk partial results.
+double run_chunks_max(
+    common::ThreadPool* pool, std::size_t n,
+    const std::function<double(std::size_t, std::size_t)>& body) {
+  if (!pool) return body(0, n);
+  std::vector<double> partials(pool->size() * 4, 0.0);
+  std::atomic<std::size_t> slot{0};
+  pool->parallel_for(n, [&](std::size_t first, std::size_t last) {
+    const std::size_t mine = slot.fetch_add(1);
+    partials[mine % partials.size()] =
+        std::max(partials[mine % partials.size()], body(first, last));
+  });
+  double result = 0.0;
+  for (double p : partials) result = std::max(result, p);
+  return result;
+}
+
+double run_chunks_sum(
+    common::ThreadPool* pool, std::size_t n,
+    const std::function<double(std::size_t, std::size_t)>& body) {
+  if (!pool) return body(0, n);
+  std::vector<double> partials(pool->size() * 4, 0.0);
+  std::atomic<std::size_t> slot{0};
+  pool->parallel_for(n, [&](std::size_t first, std::size_t last) {
+    const std::size_t mine = slot.fetch_add(1);
+    partials[mine % partials.size()] += body(first, last);
+  });
+  double result = 0.0;
+  for (double p : partials) result += p;
+  return result;
+}
+
+}  // namespace
+
+SolveStats jacobi_solve(const HeatProblem& problem, std::vector<double>& u,
+                        double tolerance, std::size_t max_iterations,
+                        common::ThreadPool* pool) {
+  SolveStats stats;
+  const std::size_t n = problem.cells();
+  if (u.size() != n) u = problem.initial_guess();
+  std::vector<double> next = u;
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    const double max_delta = run_chunks_max(
+        pool, n, [&](std::size_t first, std::size_t last) {
+          double local_max = 0.0;
+          std::size_t nb[6];
+          for (std::size_t i = first; i < last; ++i) {
+            if (problem.is_fixed(i)) {
+              next[i] = problem.fixed_value(i);
+              continue;
+            }
+            const std::size_t count = problem.neighbors(i, nb);
+            double sum = 0.0;
+            for (std::size_t k = 0; k < count; ++k) sum += u[nb[k]];
+            const double updated = sum / static_cast<double>(count);
+            local_max = std::max(local_max, std::abs(updated - u[i]));
+            next[i] = updated;
+          }
+          return local_max;
+        });
+    u.swap(next);
+    ++stats.iterations;
+    // ~8 flops per free cell per sweep (adds + divide + delta).
+    stats.flops += 8.0 * static_cast<double>(problem.free_count());
+    stats.residual = max_delta;
+    if (max_delta < tolerance) {
+      stats.converged = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+SolveStats cg_solve(const HeatProblem& problem, std::vector<double>& u,
+                    double tolerance, std::size_t max_iterations,
+                    common::ThreadPool* pool) {
+  SolveStats stats;
+  const std::size_t n = problem.cells();
+  if (u.size() != n) u = problem.initial_guess();
+
+  // Compact indexing of free cells.
+  std::vector<std::size_t> free_cells;
+  std::vector<std::size_t> compact(n, SIZE_MAX);
+  free_cells.reserve(problem.free_count());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!problem.is_fixed(i)) {
+      compact[i] = free_cells.size();
+      free_cells.push_back(i);
+    }
+  }
+  const std::size_t m = free_cells.size();
+  if (m == 0) {
+    stats.converged = true;
+    return stats;
+  }
+
+  // System: A x = b, A_ii = #neighbors, A_ij = -1 for free neighbour j,
+  // b_i = sum of fixed neighbour values.  SPD for connected Dirichlet
+  // problems.
+  std::vector<double> b(m, 0.0);
+  {
+    std::size_t nb[6];
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t cell = free_cells[k];
+      const std::size_t count = problem.neighbors(cell, nb);
+      for (std::size_t j = 0; j < count; ++j) {
+        if (problem.is_fixed(nb[j])) b[k] += problem.fixed_value(nb[j]);
+      }
+    }
+  }
+
+  auto apply_A = [&](const std::vector<double>& x, std::vector<double>& out) {
+    run_chunks_sum(pool, m, [&](std::size_t first, std::size_t last) {
+      std::size_t nb[6];
+      for (std::size_t k = first; k < last; ++k) {
+        const std::size_t cell = free_cells[k];
+        const std::size_t count = problem.neighbors(cell, nb);
+        double acc = static_cast<double>(count) * x[k];
+        for (std::size_t j = 0; j < count; ++j) {
+          const std::size_t cj = compact[nb[j]];
+          if (cj != SIZE_MAX) acc -= x[cj];
+        }
+        out[k] = acc;
+      }
+      return 0.0;
+    });
+    stats.flops += 8.0 * static_cast<double>(m);
+  };
+
+  auto dot = [&](const std::vector<double>& a, const std::vector<double>& c) {
+    const double result =
+        run_chunks_sum(pool, m, [&](std::size_t first, std::size_t last) {
+          double acc = 0.0;
+          for (std::size_t k = first; k < last; ++k) acc += a[k] * c[k];
+          return acc;
+        });
+    stats.flops += 2.0 * static_cast<double>(m);
+    return result;
+  };
+
+  std::vector<double> x(m);
+  for (std::size_t k = 0; k < m; ++k) x[k] = u[free_cells[k]];
+
+  std::vector<double> r(m);
+  std::vector<double> Ax(m);
+  apply_A(x, Ax);
+  for (std::size_t k = 0; k < m; ++k) r[k] = b[k] - Ax[k];
+  std::vector<double> p = r;
+  std::vector<double> Ap(m);
+
+  const double b_norm = std::sqrt(std::max(dot(b, b), 1e-300));
+  double rr = dot(r, r);
+  stats.residual = std::sqrt(rr) / b_norm;
+  if (stats.residual < tolerance) stats.converged = true;
+
+  for (std::size_t iter = 0; iter < max_iterations && !stats.converged;
+       ++iter) {
+    apply_A(p, Ap);
+    const double pAp = dot(p, Ap);
+    if (pAp <= 0.0) break;  // loss of positive-definiteness: bail out
+    const double alpha = rr / pAp;
+    for (std::size_t k = 0; k < m; ++k) {
+      x[k] += alpha * p[k];
+      r[k] -= alpha * Ap[k];
+    }
+    stats.flops += 4.0 * static_cast<double>(m);
+    const double rr_next = dot(r, r);
+    const double beta = rr_next / rr;
+    rr = rr_next;
+    for (std::size_t k = 0; k < m; ++k) p[k] = r[k] + beta * p[k];
+    stats.flops += 2.0 * static_cast<double>(m);
+    ++stats.iterations;
+    stats.residual = std::sqrt(rr) / b_norm;
+    if (stats.residual < tolerance) stats.converged = true;
+  }
+
+  for (std::size_t k = 0; k < m; ++k) u[free_cells[k]] = x[k];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (problem.is_fixed(i)) u[i] = problem.fixed_value(i);
+  }
+  return stats;
+}
+
+}  // namespace pgrid::grid

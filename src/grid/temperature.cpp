@@ -1,0 +1,88 @@
+#include "grid/temperature.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pgrid::grid {
+
+namespace {
+
+std::size_t clamp_cell(double frac, std::size_t n) {
+  if (n <= 1) return 0;
+  const auto idx = static_cast<std::int64_t>(
+      std::round(frac * static_cast<double>(n - 1)));
+  return static_cast<std::size_t>(
+      std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(n - 1)));
+}
+
+}  // namespace
+
+double TemperatureGrid::value_at(net::Vec3 pos) const {
+  const std::size_t ix = clamp_cell(width_m > 0 ? pos.x / width_m : 0, nx);
+  const std::size_t iy = clamp_cell(height_m > 0 ? pos.y / height_m : 0, ny);
+  const std::size_t iz = clamp_cell(depth_m > 0 ? pos.z / depth_m : 0, nz);
+  return at(ix, iy, iz);
+}
+
+double TemperatureGrid::max_value() const {
+  return values.empty() ? 0.0
+                        : *std::max_element(values.begin(), values.end());
+}
+
+double TemperatureGrid::min_value() const {
+  return values.empty() ? 0.0
+                        : *std::min_element(values.begin(), values.end());
+}
+
+DistributionResult solve_temperature_distribution(
+    const std::vector<Reading>& readings, double width_m, double height_m,
+    double depth_m, std::size_t nx, std::size_t ny, std::size_t nz,
+    double ambient, SolverKind solver, common::ThreadPool* pool) {
+  if (depth_m <= 0.0) nz = 1;
+  nx = std::max<std::size_t>(nx, 3);
+  ny = std::max<std::size_t>(ny, 3);
+  if (nz != 1) nz = std::max<std::size_t>(nz, 3);
+
+  HeatProblem problem(nx, ny, nz, ambient);
+  for (const auto& reading : readings) {
+    const std::size_t ix =
+        clamp_cell(width_m > 0 ? reading.pos.x / width_m : 0, nx);
+    const std::size_t iy =
+        clamp_cell(height_m > 0 ? reading.pos.y / height_m : 0, ny);
+    const std::size_t iz =
+        clamp_cell(depth_m > 0 ? reading.pos.z / depth_m : 0, nz);
+    problem.fix(ix, iy, iz, reading.value);
+  }
+
+  DistributionResult result;
+  std::vector<double> u = problem.initial_guess();
+  switch (solver) {
+    case SolverKind::kJacobi:
+      result.stats = jacobi_solve(problem, u, 1e-6, 50000, pool);
+      break;
+    case SolverKind::kCg:
+      result.stats = cg_solve(problem, u, 1e-8, 20000, pool);
+      break;
+  }
+
+  result.grid.nx = nx;
+  result.grid.ny = ny;
+  result.grid.nz = nz;
+  result.grid.width_m = width_m;
+  result.grid.height_m = height_m;
+  result.grid.depth_m = depth_m;
+  result.grid.values = std::move(u);
+  return result;
+}
+
+double estimate_distribution_flops(std::size_t nx, std::size_t ny,
+                                   std::size_t nz, SolverKind solver) {
+  const double n = static_cast<double>(nx * ny * std::max<std::size_t>(nz, 1));
+  const double side = std::cbrt(n);
+  // Jacobi needs O(side^2) sweeps at ~8n flops; CG converges in O(side)
+  // iterations at ~16n flops per iteration (matvec + dots + axpys).
+  if (solver == SolverKind::kJacobi) return 8.0 * n * side * side * 2.0;
+  return 16.0 * n * side * 3.0;
+}
+
+}  // namespace pgrid::grid

@@ -1,0 +1,64 @@
+// The paper's Complex Query, end to end: "Find Temperature Distribution in
+// room #210" — scattered sensor readings become interior Dirichlet cells of
+// a heat problem; the solved field is the distribution.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "grid/heat_problem.hpp"
+#include "grid/solvers.hpp"
+#include "net/geometry.hpp"
+
+namespace pgrid::grid {
+
+/// One sensor observation pinned into the PDE.
+struct Reading {
+  net::Vec3 pos;
+  double value = 0.0;
+};
+
+/// The solved field on a regular grid over [0,width] x [0,height]
+/// (x [0,depth] when nz > 1).
+struct TemperatureGrid {
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  std::size_t nz = 1;
+  double width_m = 0.0;
+  double height_m = 0.0;
+  double depth_m = 0.0;
+  std::vector<double> values;
+
+  double at(std::size_t ix, std::size_t iy, std::size_t iz = 0) const {
+    return values.at((iz * ny + iy) * nx + ix);
+  }
+  /// Nearest-cell lookup of a physical position.
+  double value_at(net::Vec3 pos) const;
+  double max_value() const;
+  double min_value() const;
+};
+
+enum class SolverKind { kJacobi, kCg };
+
+struct DistributionResult {
+  TemperatureGrid grid;
+  SolveStats stats;
+};
+
+/// Builds and solves the interpolation problem.  `depth_m` <= 0 selects a
+/// 2-D slab (nz forced to 1).  Flop counts in `stats` drive the simulated
+/// compute-time charge wherever the solve is placed (grid machine, base
+/// station, or handheld).
+DistributionResult solve_temperature_distribution(
+    const std::vector<Reading>& readings, double width_m, double height_m,
+    double depth_m, std::size_t nx, std::size_t ny, std::size_t nz,
+    double ambient, SolverKind solver = SolverKind::kCg,
+    common::ThreadPool* pool = nullptr);
+
+/// Analytic flop estimate for a distribution solve of the given size —
+/// what the Decision Maker uses *before* running anything.
+double estimate_distribution_flops(std::size_t nx, std::size_t ny,
+                                   std::size_t nz, SolverKind solver);
+
+}  // namespace pgrid::grid

@@ -1,0 +1,86 @@
+#include "mining/correlate.hpp"
+
+#include <cmath>
+
+namespace pgrid::mining {
+
+double pearson(const std::deque<double>& a, const std::deque<double>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+CorrelationDetector::CorrelationDetector(std::size_t window,
+                                         std::size_t max_lag,
+                                         double threshold,
+                                         std::size_t min_persistence)
+    : window_(window < 3 ? 3 : window),
+      max_lag_(max_lag),
+      threshold_(threshold),
+      min_persistence_(min_persistence) {}
+
+CorrelationDetector::Report CorrelationDetector::push(double a, double b) {
+  a_.push_back(a);
+  b_.push_back(b);
+  const std::size_t keep = window_ + max_lag_;
+  while (a_.size() > keep) a_.pop_front();
+  while (b_.size() > keep) b_.pop_front();
+
+  Report report;
+  if (b_.size() < window_) return report;
+
+  // For lag L, correlate a[t-L] against b[t] over the trailing window:
+  // stream A leading stream B by L samples.
+  double best = 0.0;
+  std::size_t best_lag = 0;
+  for (std::size_t lag = 0; lag <= max_lag_; ++lag) {
+    if (a_.size() < window_ + lag) break;
+    std::deque<double> lead;
+    std::deque<double> follow;
+    const std::size_t b_start = b_.size() - window_;
+    const std::size_t a_start = a_.size() - window_ - lag;
+    for (std::size_t i = 0; i < window_; ++i) {
+      lead.push_back(a_[a_start + i]);
+      follow.push_back(b_[b_start + i]);
+    }
+    const double r = pearson(lead, follow);
+    if (std::abs(r) > std::abs(best)) {
+      best = r;
+      best_lag = lag;
+    }
+  }
+  report.correlation = best;
+  report.lag = best_lag;
+
+  if (std::abs(best) >= threshold_) {
+    ++streak_;
+  } else {
+    streak_ = 0;
+  }
+  if (streak_ == min_persistence_) {
+    report.alert = true;
+    ++alerts_;
+  }
+  return report;
+}
+
+}  // namespace pgrid::mining

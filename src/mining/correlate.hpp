@@ -1,0 +1,56 @@
+// Cross-stream correlation — the proactive epidemiology of Section 1.
+//
+// "Given these disparate data streams, one could analyze them to see if
+// correlates can be found, alerting experts to potential cause-effect
+// relations (Pfiesteria found in Chesapeake Bay and hospitals report many
+// people with upset stomach...)".  This module watches two numeric streams
+// over aligned sliding windows, computes lagged Pearson correlation, and
+// raises an alert when a strong correlate persists.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+
+namespace pgrid::mining {
+
+/// Pearson correlation of two equal-length sequences; 0 when degenerate
+/// (fewer than two points or zero variance).
+double pearson(const std::deque<double>& a, const std::deque<double>& b);
+
+/// Watches two streams sampled at the same cadence (e.g. daily toxin index
+/// and daily hospital admissions) and reports the strongest correlation
+/// across non-negative lags of the first stream ("toxin leads admissions
+/// by `lag` samples").
+class CorrelationDetector {
+ public:
+  /// `window`: samples per correlation window; `max_lag`: largest lead of
+  /// stream A over stream B considered; `threshold`: |r| that raises an
+  /// alert; `min_persistence`: consecutive over-threshold updates required.
+  CorrelationDetector(std::size_t window, std::size_t max_lag,
+                      double threshold, std::size_t min_persistence = 2);
+
+  struct Report {
+    double correlation = 0.0;  ///< strongest r across lags (signed)
+    std::size_t lag = 0;       ///< samples by which stream A leads
+    bool alert = false;        ///< persistence criterion met this update
+  };
+
+  /// Feeds one aligned sample pair; returns the current report.
+  Report push(double a, double b);
+
+  std::size_t alerts_raised() const { return alerts_; }
+
+ private:
+  std::size_t window_;
+  std::size_t max_lag_;
+  double threshold_;
+  std::size_t min_persistence_;
+  std::deque<double> a_;
+  std::deque<double> b_;
+  std::size_t streak_ = 0;
+  std::size_t alerts_ = 0;
+};
+
+}  // namespace pgrid::mining

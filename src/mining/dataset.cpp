@@ -1,0 +1,75 @@
+#include "mining/dataset.hpp"
+
+namespace pgrid::mining {
+
+Concept random_dnf(std::size_t dimensions, std::size_t terms,
+                   std::size_t literals_per_term, common::Rng& rng) {
+  // Each term: a set of (attribute, required value) literals.
+  struct Literal {
+    std::size_t attribute;
+    bool value;
+  };
+  std::vector<std::vector<Literal>> dnf;
+  dnf.reserve(terms);
+  for (std::size_t t = 0; t < terms; ++t) {
+    std::vector<Literal> term;
+    for (std::size_t l = 0; l < literals_per_term; ++l) {
+      term.push_back(Literal{rng.index(dimensions), rng.bernoulli(0.5)});
+    }
+    dnf.push_back(std::move(term));
+  }
+  return [dnf](const std::vector<bool>& x) {
+    for (const auto& term : dnf) {
+      bool satisfied = true;
+      for (const auto& literal : term) {
+        if (x[literal.attribute] != literal.value) {
+          satisfied = false;
+          break;
+        }
+      }
+      if (satisfied) return true;
+    }
+    return false;
+  };
+}
+
+StreamGenerator::StreamGenerator(std::size_t dimensions, common::Rng rng,
+                                 double label_noise)
+    : dimensions_(dimensions), rng_(rng), label_noise_(label_noise) {
+  drift();
+}
+
+void StreamGenerator::drift(std::size_t terms,
+                            std::size_t literals_per_term) {
+  concept_ = random_dnf(dimensions_, terms, literals_per_term, rng_);
+}
+
+Window StreamGenerator::next_window(std::size_t count) {
+  Window window;
+  window.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Instance instance;
+    instance.features.resize(dimensions_);
+    for (std::size_t d = 0; d < dimensions_; ++d) {
+      instance.features[d] = rng_.bernoulli(0.5);
+    }
+    instance.label = concept_(instance.features);
+    if (label_noise_ > 0.0 && rng_.bernoulli(label_noise_)) {
+      instance.label = !instance.label;
+    }
+    window.push_back(std::move(instance));
+  }
+  return window;
+}
+
+double accuracy(const std::function<bool(const std::vector<bool>&)>& classify,
+                const Window& window) {
+  if (window.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& instance : window) {
+    if (classify(instance.features) == instance.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(window.size());
+}
+
+}  // namespace pgrid::mining

@@ -1,0 +1,173 @@
+#include "mining/decision_tree.hpp"
+
+#include <cmath>
+
+namespace pgrid::mining {
+
+namespace {
+
+double entropy(std::size_t positives, std::size_t total) {
+  if (total == 0 || positives == 0 || positives == total) return 0.0;
+  const double p = static_cast<double>(positives) / static_cast<double>(total);
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+std::size_t count_positive(const std::vector<const Instance*>& subset) {
+  std::size_t count = 0;
+  for (const auto* instance : subset) count += instance->label ? 1 : 0;
+  return count;
+}
+
+}  // namespace
+
+void BooleanDecisionTree::train(const Window& window, std::size_t dimensions,
+                                std::size_t max_depth) {
+  dimensions_ = dimensions;
+  root_.reset();
+  if (window.empty()) return;
+  std::vector<const Instance*> subset;
+  subset.reserve(window.size());
+  for (const auto& instance : window) subset.push_back(&instance);
+  root_ = build(std::move(subset), std::vector<bool>(dimensions, false), 0,
+                max_depth);
+}
+
+std::unique_ptr<BooleanDecisionTree::Node> BooleanDecisionTree::build(
+    std::vector<const Instance*> subset, std::vector<bool> used,
+    std::size_t depth, std::size_t max_depth) {
+  auto node = std::make_unique<Node>();
+  const std::size_t positives = count_positive(subset);
+  node->label = positives * 2 >= subset.size();
+
+  const double base = entropy(positives, subset.size());
+  if (base == 0.0 || (max_depth > 0 && depth >= max_depth)) return node;
+
+  // Best split by information gain.
+  int best = -1;
+  double best_gain = 1e-12;
+  for (std::size_t attribute = 0; attribute < dimensions_; ++attribute) {
+    if (used[attribute]) continue;
+    std::size_t n1 = 0;
+    std::size_t p1 = 0;
+    std::size_t p0 = 0;
+    for (const auto* instance : subset) {
+      if (instance->features[attribute]) {
+        ++n1;
+        p1 += instance->label ? 1 : 0;
+      } else {
+        p0 += instance->label ? 1 : 0;
+      }
+    }
+    const std::size_t n0 = subset.size() - n1;
+    const double conditional =
+        (static_cast<double>(n0) * entropy(p0, n0) +
+         static_cast<double>(n1) * entropy(p1, n1)) /
+        static_cast<double>(subset.size());
+    const double gain = base - conditional;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best = static_cast<int>(attribute);
+    }
+  }
+  if (best < 0) {
+    // No attribute has positive gain but the node is impure (e.g. XOR):
+    // split anyway on the first unused attribute that actually separates
+    // the data, so deeper interactions become learnable.
+    for (std::size_t attribute = 0; attribute < dimensions_; ++attribute) {
+      if (used[attribute]) continue;
+      bool saw_zero = false;
+      bool saw_one = false;
+      for (const auto* instance : subset) {
+        (instance->features[attribute] ? saw_one : saw_zero) = true;
+        if (saw_zero && saw_one) break;
+      }
+      if (saw_zero && saw_one) {
+        best = static_cast<int>(attribute);
+        break;
+      }
+    }
+    if (best < 0) return node;
+  }
+
+  std::vector<const Instance*> zero_side;
+  std::vector<const Instance*> one_side;
+  for (const auto* instance : subset) {
+    (instance->features[static_cast<std::size_t>(best)] ? one_side
+                                                        : zero_side)
+        .push_back(instance);
+  }
+  if (zero_side.empty() || one_side.empty()) return node;
+
+  node->attribute = best;
+  used[static_cast<std::size_t>(best)] = true;
+  node->zero = build(std::move(zero_side), used, depth + 1, max_depth);
+  node->one = build(std::move(one_side), used, depth + 1, max_depth);
+  return node;
+}
+
+bool BooleanDecisionTree::predict(const std::vector<bool>& features) const {
+  const Node* node = root_.get();
+  if (node == nullptr) return false;
+  while (node->attribute >= 0) {
+    node = features[static_cast<std::size_t>(node->attribute)]
+               ? node->one.get()
+               : node->zero.get();
+  }
+  return node->label;
+}
+
+double BooleanDecisionTree::accuracy_on(const Window& window) const {
+  return accuracy([this](const std::vector<bool>& x) { return predict(x); },
+                  window);
+}
+
+std::size_t BooleanDecisionTree::node_count() const {
+  std::size_t count = 0;
+  std::vector<const Node*> stack;
+  if (root_) stack.push_back(root_.get());
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++count;
+    if (node->zero) stack.push_back(node->zero.get());
+    if (node->one) stack.push_back(node->one.get());
+  }
+  return count;
+}
+
+std::size_t BooleanDecisionTree::leaf_count() const {
+  std::size_t count = 0;
+  std::vector<const Node*> stack;
+  if (root_) stack.push_back(root_.get());
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->attribute < 0) {
+      ++count;
+    } else {
+      stack.push_back(node->zero.get());
+      stack.push_back(node->one.get());
+    }
+  }
+  return count;
+}
+
+std::size_t BooleanDecisionTree::depth() const {
+  struct Frame {
+    const Node* node;
+    std::size_t depth;
+  };
+  std::size_t deepest = 0;
+  std::vector<Frame> stack;
+  if (root_) stack.push_back({root_.get(), 1});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    deepest = std::max(deepest, frame.depth);
+    if (frame.node->zero) stack.push_back({frame.node->zero.get(), frame.depth + 1});
+    if (frame.node->one) stack.push_back({frame.node->one.get(), frame.depth + 1});
+  }
+  return deepest;
+}
+
+}  // namespace pgrid::mining

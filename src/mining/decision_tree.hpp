@@ -1,0 +1,49 @@
+// Binary decision trees over boolean attributes — the per-window learner
+// of the Kargupta-Park stream-mining pipeline [17].
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mining/dataset.hpp"
+
+namespace pgrid::mining {
+
+/// ID3 over boolean attributes, entropy splits, optional depth cap.
+class BooleanDecisionTree {
+ public:
+  /// Trains on a window; `max_depth` == 0 means unbounded.
+  void train(const Window& window, std::size_t dimensions,
+             std::size_t max_depth = 0);
+
+  bool trained() const { return root_ != nullptr; }
+  bool predict(const std::vector<bool>& features) const;
+  double accuracy_on(const Window& window) const;
+
+  std::size_t node_count() const;
+  std::size_t leaf_count() const;
+  std::size_t depth() const;
+
+  /// Serialized size on the wire: the mobile-environment motivation of
+  /// [17] is that whole trees (or raw data) are expensive to ship; each
+  /// internal node costs ~3 bytes (attribute + child refs) and each leaf 1.
+  std::size_t wire_bytes() const { return 3 * node_count(); }
+
+ private:
+  struct Node {
+    int attribute = -1;  ///< -1 = leaf
+    bool label = false;
+    std::unique_ptr<Node> zero;
+    std::unique_ptr<Node> one;
+  };
+
+  std::unique_ptr<Node> build(std::vector<const Instance*> subset,
+                              std::vector<bool> used, std::size_t depth,
+                              std::size_t max_depth);
+
+  std::unique_ptr<Node> root_;
+  std::size_t dimensions_ = 0;
+};
+
+}  // namespace pgrid::mining

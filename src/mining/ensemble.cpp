@@ -1,0 +1,40 @@
+#include "mining/ensemble.hpp"
+
+namespace pgrid::mining {
+
+bool EnsembleResult::majority(const std::vector<bool>& features) const {
+  std::size_t votes = 0;
+  for (const auto& tree : trees) {
+    votes += tree.predict(features) ? 1 : 0;
+  }
+  return votes * 2 > trees.size();
+}
+
+EnsembleResult mine_stream(const std::vector<Window>& windows,
+                           const EnsembleConfig& config) {
+  EnsembleResult result;
+  std::vector<std::vector<double>> spectra;
+  spectra.reserve(windows.size());
+
+  for (const auto& window : windows) {
+    BooleanDecisionTree tree;
+    tree.train(window, config.dimensions, config.tree_max_depth);
+    result.raw_data_bytes += window.size() * (config.dimensions / 8 + 2);
+    result.tree_bytes += tree.wire_bytes();
+    spectra.push_back(full_spectrum(
+        as_sign([&tree](const std::vector<bool>& x) {
+          return tree.predict(x);
+        }),
+        config.dimensions));
+    result.trees.push_back(std::move(tree));
+  }
+
+  const auto averaged = average_spectra(spectra);
+  auto kept = dominant(averaged, config.dominant_coefficients);
+  result.captured_energy = captured_energy(kept);
+  result.combined = SpectrumClassifier(std::move(kept));
+  result.spectrum_bytes = result.combined.wire_bytes();
+  return result;
+}
+
+}  // namespace pgrid::mining

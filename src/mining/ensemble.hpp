@@ -1,0 +1,41 @@
+// The full Kargupta-Park pipeline: "generating decision trees, computing
+// their Fourier spectra, choosing the dominant components, and combining
+// them to create a single tree" (Section 3, citing [17]).
+#pragma once
+
+#include <vector>
+
+#include "mining/decision_tree.hpp"
+#include "mining/fourier.hpp"
+
+namespace pgrid::mining {
+
+struct EnsembleConfig {
+  std::size_t dimensions = 10;
+  std::size_t tree_max_depth = 0;       ///< 0 = unbounded
+  std::size_t dominant_coefficients = 32;
+};
+
+/// Result of one pipeline run.
+struct EnsembleResult {
+  std::vector<BooleanDecisionTree> trees;
+  SpectrumClassifier combined;
+  double captured_energy = 0.0;  ///< of the averaged spectrum, by dominants
+  /// Communication comparison (the mobile motivation of [17]):
+  std::size_t raw_data_bytes = 0;    ///< shipping every window
+  std::size_t tree_bytes = 0;        ///< shipping every tree
+  std::size_t spectrum_bytes = 0;    ///< shipping dominant coefficients
+
+  bool predict(const std::vector<bool>& features) const {
+    return combined.predict(features);
+  }
+  /// Majority vote over the raw trees (the non-Fourier baseline).
+  bool majority(const std::vector<bool>& features) const;
+};
+
+/// Runs the pipeline: one tree per window, spectra averaged, dominant
+/// coefficients kept.
+EnsembleResult mine_stream(const std::vector<Window>& windows,
+                           const EnsembleConfig& config);
+
+}  // namespace pgrid::mining

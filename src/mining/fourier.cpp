@@ -1,0 +1,105 @@
+#include "mining/fourier.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace pgrid::mining {
+
+SignFunction as_sign(std::function<bool(const std::vector<bool>&)> classify) {
+  return [classify = std::move(classify)](const std::vector<bool>& x) {
+    return classify(x) ? 1 : -1;
+  };
+}
+
+std::vector<double> full_spectrum(const SignFunction& f,
+                                  std::size_t dimensions) {
+  if (dimensions > 20) {
+    throw std::invalid_argument("full_spectrum: dimensions > 20");
+  }
+  const std::size_t size = std::size_t{1} << dimensions;
+  std::vector<double> values(size);
+  std::vector<bool> features(dimensions);
+  for (std::size_t x = 0; x < size; ++x) {
+    for (std::size_t d = 0; d < dimensions; ++d) {
+      features[d] = (x >> d) & 1u;
+    }
+    values[x] = static_cast<double>(f(features));
+  }
+  // In-place fast Walsh-Hadamard transform.
+  for (std::size_t len = 1; len < size; len <<= 1) {
+    for (std::size_t block = 0; block < size; block += len << 1) {
+      for (std::size_t i = block; i < block + len; ++i) {
+        const double a = values[i];
+        const double b = values[i + len];
+        values[i] = a + b;
+        values[i + len] = a - b;
+      }
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(size);
+  for (auto& v : values) v *= scale;
+  return values;
+}
+
+std::vector<Coefficient> dominant(const std::vector<double>& spectrum,
+                                  std::size_t k) {
+  std::vector<Coefficient> all;
+  all.reserve(spectrum.size());
+  for (std::size_t z = 0; z < spectrum.size(); ++z) {
+    all.push_back(Coefficient{static_cast<std::uint32_t>(z), spectrum[z]});
+  }
+  const std::size_t keep = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(keep),
+                    all.end(), [](const Coefficient& a, const Coefficient& b) {
+                      const double ma = std::abs(a.value);
+                      const double mb = std::abs(b.value);
+                      if (ma != mb) return ma > mb;
+                      return order_of(a.index) < order_of(b.index);
+                    });
+  all.resize(keep);
+  return all;
+}
+
+double captured_energy(const std::vector<Coefficient>& coefficients) {
+  double energy = 0.0;
+  for (const auto& c : coefficients) energy += c.value * c.value;
+  return energy;
+}
+
+std::size_t order_of(std::uint32_t index) {
+  return static_cast<std::size_t>(std::popcount(index));
+}
+
+double SpectrumClassifier::score(const std::vector<bool>& features) const {
+  double sum = 0.0;
+  for (const auto& c : coefficients_) {
+    int parity = 0;
+    std::uint32_t z = c.index;
+    while (z) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(z));
+      if (bit < features.size() && features[bit]) parity ^= 1;
+      z &= z - 1;
+    }
+    sum += parity ? -c.value : c.value;
+  }
+  return sum;
+}
+
+bool SpectrumClassifier::predict(const std::vector<bool>& features) const {
+  return score(features) > 0.0;
+}
+
+std::vector<double> average_spectra(
+    const std::vector<std::vector<double>>& spectra) {
+  if (spectra.empty()) return {};
+  std::vector<double> out(spectra.front().size(), 0.0);
+  for (const auto& spectrum : spectra) {
+    for (std::size_t z = 0; z < out.size(); ++z) out[z] += spectrum[z];
+  }
+  const double scale = 1.0 / static_cast<double>(spectra.size());
+  for (auto& v : out) v *= scale;
+  return out;
+}
+
+}  // namespace pgrid::mining

@@ -1,0 +1,74 @@
+// Fourier (Walsh-Hadamard) spectra of boolean classifiers.
+//
+// The heart of the Kargupta-Park pipeline [17]: a decision tree's decision
+// function f: {0,1}^d -> {-1,+1} has the Fourier expansion
+//     f(x) = sum_z  w_z * psi_z(x),    psi_z(x) = (-1)^{z . x}
+// with w_z = 2^-d sum_x f(x) psi_z(x).  Trees have energy concentrated in
+// few low-order coefficients, so shipping the dominant coefficients (not
+// the raw data, not whole trees) is cheap in a mobile environment, and
+// spectra of an ensemble AVERAGE (Fourier is linear), which is exactly how
+// the "combine into a single tree" step works.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mining/dataset.hpp"
+
+namespace pgrid::mining {
+
+/// A classifier viewed as a ±1 function.
+using SignFunction = std::function<int(const std::vector<bool>&)>;
+
+/// Wraps a boolean classifier as ±1 (true -> +1).
+SignFunction as_sign(std::function<bool(const std::vector<bool>&)> classify);
+
+/// Full spectrum via the fast Walsh-Hadamard transform: 2^d coefficients,
+/// index z interpreted bitwise (bit i of z selects attribute i).
+/// O(d * 2^d); d <= 20 enforced.
+std::vector<double> full_spectrum(const SignFunction& f,
+                                  std::size_t dimensions);
+
+/// One sparse Fourier coefficient.
+struct Coefficient {
+  std::uint32_t index = 0;  ///< bitmask z
+  double value = 0.0;
+};
+
+/// The k coefficients of largest magnitude (ties toward lower order).
+std::vector<Coefficient> dominant(const std::vector<double>& spectrum,
+                                  std::size_t k);
+
+/// Fraction of total spectral energy captured by `coefficients`
+/// (Parseval: total energy of a ±1 function is exactly 1).
+double captured_energy(const std::vector<Coefficient>& coefficients);
+
+/// Number of set bits in z — the coefficient's order.
+std::size_t order_of(std::uint32_t index);
+
+/// Classifier reconstructed from a sparse spectrum:
+/// sign(sum w_z psi_z(x)); ties (sum==0) classify as false.
+class SpectrumClassifier {
+ public:
+  SpectrumClassifier() = default;
+  explicit SpectrumClassifier(std::vector<Coefficient> coefficients)
+      : coefficients_(std::move(coefficients)) {}
+
+  bool predict(const std::vector<bool>& features) const;
+  double score(const std::vector<bool>& features) const;
+  const std::vector<Coefficient>& coefficients() const {
+    return coefficients_;
+  }
+  /// Wire size: 4-byte index + 8-byte value per coefficient.
+  std::size_t wire_bytes() const { return coefficients_.size() * 12; }
+
+ private:
+  std::vector<Coefficient> coefficients_;
+};
+
+/// Averages several full spectra (the ensemble-combination step).
+std::vector<double> average_spectra(
+    const std::vector<std::vector<double>>& spectra);
+
+}  // namespace pgrid::mining

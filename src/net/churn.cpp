@@ -1,0 +1,31 @@
+#include "net/churn.hpp"
+
+namespace pgrid::net {
+
+NodeChurn::NodeChurn(Network& network, std::vector<NodeId> targets,
+                     ChurnConfig config, common::Rng rng)
+    : network_(network),
+      targets_(std::move(targets)),
+      config_(config),
+      rng_(rng) {}
+
+void NodeChurn::start() {
+  for (NodeId id : targets_) schedule_toggle(id, network_.node(id).up);
+}
+
+void NodeChurn::schedule_toggle(NodeId id, bool currently_up) {
+  const sim::SimTime mean = currently_up ? config_.mean_up : config_.mean_down;
+  const double rate = 1.0 / std::max(1e-9, mean.to_seconds());
+  const auto delay = sim::SimTime::seconds(rng_.exponential(rate));
+  const sim::SimTime when = network_.simulator().now() + delay;
+  if (config_.horizon.us > 0 && when > config_.horizon) return;
+  network_.simulator().schedule(delay, [this, id, currently_up] {
+    const bool next_up = !currently_up;
+    network_.set_node_up(id, next_up);
+    ++transitions_;
+    if (on_transition_) on_transition_(id, next_up);
+    schedule_toggle(id, next_up);
+  });
+}
+
+}  // namespace pgrid::net

@@ -1,0 +1,53 @@
+// Topology churn injection: nodes and links flap with exponential up/down
+// holding times.  Models the paper's "frequent disconnections and network
+// topology changes" and the short-lived services "which stay in the vicinity
+// for a finite amount of time and then disappear".
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace pgrid::net {
+
+/// Configuration for one churn process.
+struct ChurnConfig {
+  /// Mean time a node stays up before failing.
+  sim::SimTime mean_up = sim::SimTime::seconds(60.0);
+  /// Mean time a node stays down before recovering.
+  sim::SimTime mean_down = sim::SimTime::seconds(10.0);
+  /// Stop toggling after this time (zero = forever).
+  sim::SimTime horizon = sim::SimTime::zero();
+};
+
+/// Drives up/down flapping for a set of nodes.  Deterministic given the rng.
+class NodeChurn {
+ public:
+  using TransitionCallback = std::function<void(NodeId, bool up)>;
+
+  NodeChurn(Network& network, std::vector<NodeId> targets, ChurnConfig config,
+            common::Rng rng);
+
+  /// Schedules the first failures; transitions then self-perpetuate.
+  void start();
+
+  /// Invoked after each applied transition (tests, composition fault mgr).
+  void set_transition_callback(TransitionCallback cb) { on_transition_ = std::move(cb); }
+
+  std::size_t transitions() const { return transitions_; }
+
+ private:
+  void schedule_toggle(NodeId id, bool currently_up);
+
+  Network& network_;
+  std::vector<NodeId> targets_;
+  ChurnConfig config_;
+  common::Rng rng_;
+  TransitionCallback on_transition_;
+  std::size_t transitions_ = 0;
+};
+
+}  // namespace pgrid::net

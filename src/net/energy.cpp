@@ -1,0 +1,5 @@
+#include "net/energy.hpp"
+
+// Header-only behaviour today; the translation unit anchors the library and
+// leaves room for calibration tables later.
+namespace pgrid::net {}

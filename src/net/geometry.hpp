@@ -1,0 +1,32 @@
+// Small 3-D geometry helpers for node placement and radio range checks.
+#pragma once
+
+#include <cmath>
+
+namespace pgrid::net {
+
+/// Position or displacement in metres.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend constexpr Vec3 operator+(Vec3 a, Vec3 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr Vec3 operator-(Vec3 a, Vec3 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr Vec3 operator*(Vec3 a, double s) {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+  friend constexpr bool operator==(Vec3 a, Vec3 b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+
+  double norm() const { return std::sqrt(x * x + y * y + z * z); }
+};
+
+inline double distance(Vec3 a, Vec3 b) { return (a - b).norm(); }
+
+}  // namespace pgrid::net

@@ -1,0 +1,49 @@
+// Link classes model the paper's spectrum of "thin or thick communication
+// channels": short-range ad-hoc radios (Bluetooth-like), local wireless
+// (802.11-like), and the wired grid backhaul.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace pgrid::net {
+
+/// Bandwidth/latency/loss/range envelope of a link technology.
+struct LinkClass {
+  std::string name;
+  double bandwidth_bps = 1e6;
+  sim::SimTime latency = sim::SimTime::milliseconds(5);
+  double loss_prob = 0.0;   ///< per-attempt frame loss probability
+  double range_m = 30.0;    ///< wireless reach; ignored for wired links
+  bool wireless = true;
+
+  /// One-attempt transfer time for a payload.
+  sim::SimTime transfer_time(std::uint64_t bytes) const {
+    const double seconds =
+        static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+    return latency + sim::SimTime::seconds(seconds);
+  }
+
+  /// Low-power sensor mote radio (TinyOS-era): ~38.4 kbps, short range.
+  static LinkClass sensor_radio() {
+    return {"sensor", 38.4e3, sim::SimTime::milliseconds(10), 0.02, 25.0,
+            true};
+  }
+  /// Bluetooth-like short-range link (paper's PocketPC prototype).
+  static LinkClass bluetooth() {
+    return {"bluetooth", 723e3, sim::SimTime::milliseconds(20), 0.01, 10.0,
+            true};
+  }
+  /// 802.11b-like local wireless.
+  static LinkClass wifi() {
+    return {"wifi", 11e6, sim::SimTime::milliseconds(3), 0.005, 100.0, true};
+  }
+  /// Wired grid backhaul (vBNS/Internet2-era): high bandwidth, reliable.
+  static LinkClass wired() {
+    return {"wired", 100e6, sim::SimTime::milliseconds(2), 0.0, 0.0, false};
+  }
+};
+
+}  // namespace pgrid::net

@@ -1,0 +1,364 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <span>
+
+namespace pgrid::net {
+
+std::string to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kSensor: return "sensor";
+    case NodeKind::kBaseStation: return "base-station";
+    case NodeKind::kHandheld: return "handheld";
+    case NodeKind::kGrid: return "grid";
+    case NodeKind::kGeneric: return "generic";
+  }
+  return "?";
+}
+
+Network::Network(sim::Simulator& simulator, common::Rng rng)
+    : sim_(simulator), rng_(rng) {}
+
+NodeId Network::add_node(const NodeConfig& config) {
+  Node node;
+  node.id = static_cast<NodeId>(nodes_.size());
+  node.pos = config.pos;
+  node.kind = config.kind;
+  node.radio = config.radio;
+  node.energy = config.unlimited_energy ? EnergyMeter::unlimited()
+                                        : EnergyMeter(config.battery_j);
+  nodes_.push_back(std::move(node));
+  ++topology_version_;
+  return nodes_.back().id;
+}
+
+void Network::add_wired_link(NodeId a, NodeId b, LinkClass link) {
+  link.wireless = false;
+  wired_.push_back(WiredLink{a, b, std::move(link), true});
+  ++topology_version_;
+}
+
+bool Network::alive(NodeId id) const {
+  const Node& n = nodes_.at(id);
+  return n.up && !n.energy.dead();
+}
+
+const Network::WiredLink* Network::find_wired(NodeId a, NodeId b) const {
+  for (const auto& w : wired_) {
+    if ((w.a == a && w.b == b) || (w.a == b && w.b == a)) return &w;
+  }
+  return nullptr;
+}
+
+bool Network::connected(NodeId a, NodeId b) const {
+  if (a == b || !alive(a) || !alive(b)) return false;
+  if (const WiredLink* w = find_wired(a, b)) return w->up;
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  if (!na.radio.wireless || !nb.radio.wireless) return false;
+  const double d = distance(na.pos, nb.pos);
+  return d <= std::min(na.radio.range_m, nb.radio.range_m);
+}
+
+std::vector<NodeId> Network::neighbors(NodeId id) const {
+  std::vector<NodeId> out;
+  if (!alive(id)) return out;
+  for (const auto& other : nodes_) {
+    if (other.id != id && connected(id, other.id)) out.push_back(other.id);
+  }
+  return out;
+}
+
+std::optional<LinkClass> Network::link_between(NodeId a, NodeId b) const {
+  if (const WiredLink* w = find_wired(a, b)) {
+    if (!w->up) return std::nullopt;
+    return w->link;
+  }
+  if (!connected(a, b)) return std::nullopt;
+  // Wireless: the slower radio bounds the hop.
+  const LinkClass& la = nodes_[a].radio;
+  const LinkClass& lb = nodes_[b].radio;
+  return la.bandwidth_bps <= lb.bandwidth_bps ? la : lb;
+}
+
+void Network::charge_tx(Node& sender, std::uint64_t bytes, double distance_m) {
+  if (sender.energy.is_unlimited()) return;
+  sender.energy.consume(sender.radio.wireless
+                            ? RadioEnergyModel{}.tx_energy(bytes * 8, distance_m)
+                            : 0.0);
+}
+
+void Network::charge_rx(Node& receiver, std::uint64_t bytes) {
+  if (receiver.energy.is_unlimited()) return;
+  receiver.energy.consume(
+      receiver.radio.wireless ? RadioEnergyModel{}.rx_energy(bytes * 8) : 0.0);
+}
+
+void Network::transmit(NodeId from, NodeId to, std::uint64_t bytes,
+                       DeliveryCallback cb) {
+  auto link = link_between(from, to);
+  if (!link) {
+    // No usable link: fail asynchronously so callers see uniform semantics.
+    sim_.schedule(sim::SimTime::zero(), [cb = std::move(cb)] { cb(false); });
+    return;
+  }
+
+  Node& sender = nodes_[from];
+  Node& receiver = nodes_[to];
+  const double dist = distance(sender.pos, receiver.pos);
+  const RadioEnergyModel radio_model;
+
+  // Decide attempts up front; deterministic given the rng stream.
+  std::size_t attempts = 1;
+  bool success = true;
+  while (rng_.bernoulli(link->loss_prob)) {
+    if (attempts > max_retries_) {
+      success = false;
+      break;
+    }
+    ++attempts;
+  }
+
+  sim::SimTime total = sim::SimTime::zero();
+  bool sender_alive = true;
+  for (std::size_t i = 0; i < attempts && sender_alive; ++i) {
+    total += link->transfer_time(bytes);
+    ++stats_.transmissions;
+    stats_.bytes_sent += bytes;
+    sender.tx_bytes += bytes;
+    ++sender.tx_count;
+    if (!sender.energy.is_unlimited() && link->wireless) {
+      const double e = radio_model.tx_energy(bytes * 8, dist);
+      stats_.energy_j += e;
+      if (!sender.energy.consume(e)) sender_alive = false;
+    }
+  }
+  if (!sender_alive) success = false;
+
+  if (success) {
+    receiver.rx_bytes += bytes;
+    ++receiver.rx_count;
+    if (!receiver.energy.is_unlimited() && link->wireless) {
+      const double e = radio_model.rx_energy(bytes * 8);
+      stats_.energy_j += e;
+      if (!receiver.energy.consume(e)) success = false;
+    }
+  }
+
+  if (success) {
+    ++stats_.delivered;
+  } else {
+    ++stats_.dropped;
+  }
+  sim_.schedule(total, [cb = std::move(cb), success] { cb(success); });
+}
+
+void Network::send_route(const std::vector<NodeId>& route, std::uint64_t bytes,
+                         RouteCallback cb) {
+  if (route.size() < 2) {
+    sim_.schedule(sim::SimTime::zero(),
+                  [cb = std::move(cb), n = route.size()] { cb(n == 1, 0); });
+    return;
+  }
+  // Hop-by-hop continuation: each delivery schedules the next hop.
+  auto state = std::make_shared<std::size_t>(0);
+  auto route_copy = std::make_shared<std::vector<NodeId>>(route);
+  auto step = std::make_shared<std::function<void()>>();
+  auto shared_cb = std::make_shared<RouteCallback>(std::move(cb));
+  *step = [this, state, route_copy, bytes, step, shared_cb]() {
+    const std::size_t hop = *state;
+    if (hop + 1 >= route_copy->size()) {
+      (*shared_cb)(true, hop);
+      return;
+    }
+    transmit((*route_copy)[hop], (*route_copy)[hop + 1], bytes,
+             [state, step, shared_cb](bool ok) {
+               if (!ok) {
+                 (*shared_cb)(false, *state);
+                 return;
+               }
+               ++(*state);
+               (*step)();
+             });
+  };
+  (*step)();
+}
+
+struct Network::SpreadState {
+  std::uint64_t bytes = 0;
+  std::size_t fanout = 0;  // 0 = flood (all neighbours)
+  std::vector<bool> visited;
+  std::size_t reached = 0;
+  std::size_t in_flight = 0;
+  VisitCallback on_visit;
+  DoneCallback done;
+  bool done_fired = false;
+};
+
+void Network::spread_from(const std::shared_ptr<SpreadState>& state,
+                          NodeId at) {
+  auto targets = neighbors(at);
+  if (state->fanout > 0 && targets.size() > state->fanout) {
+    rng_.shuffle(std::span<NodeId>(targets));
+    targets.resize(state->fanout);
+  }
+  for (NodeId next : targets) {
+    if (state->visited[next]) continue;
+    // Mark before the transfer completes so concurrent branches do not
+    // duplicate delivery (mirrors suppression of already-seen flood ids).
+    state->visited[next] = true;
+    ++state->in_flight;
+    transmit(at, next, state->bytes, [this, state, next](bool ok) {
+      --state->in_flight;
+      if (ok) {
+        ++state->reached;
+        if (state->on_visit) state->on_visit(next);
+        spread_from(state, next);
+      }
+      if (state->in_flight == 0 && !state->done_fired) {
+        state->done_fired = true;
+        if (state->done) state->done(state->reached);
+      }
+    });
+  }
+  if (state->in_flight == 0 && !state->done_fired) {
+    state->done_fired = true;
+    if (state->done) state->done(state->reached);
+  }
+}
+
+void Network::flood(NodeId src, std::uint64_t bytes, VisitCallback on_visit,
+                    DoneCallback done) {
+  auto state = std::make_shared<SpreadState>();
+  state->bytes = bytes;
+  state->fanout = 0;
+  state->visited.assign(nodes_.size(), false);
+  state->on_visit = std::move(on_visit);
+  state->done = std::move(done);
+  if (!alive(src)) {
+    sim_.schedule(sim::SimTime::zero(), [state] {
+      if (state->done) state->done(0);
+    });
+    return;
+  }
+  state->visited[src] = true;
+  state->reached = 1;
+  if (state->on_visit) state->on_visit(src);
+  spread_from(state, src);
+}
+
+void Network::gossip(NodeId src, std::uint64_t bytes, std::size_t fanout,
+                     VisitCallback on_visit, DoneCallback done) {
+  auto state = std::make_shared<SpreadState>();
+  state->bytes = bytes;
+  state->fanout = std::max<std::size_t>(1, fanout);
+  state->visited.assign(nodes_.size(), false);
+  state->on_visit = std::move(on_visit);
+  state->done = std::move(done);
+  if (!alive(src)) {
+    sim_.schedule(sim::SimTime::zero(), [state] {
+      if (state->done) state->done(0);
+    });
+    return;
+  }
+  state->visited[src] = true;
+  state->reached = 1;
+  if (state->on_visit) state->on_visit(src);
+  spread_from(state, src);
+}
+
+void Network::set_node_up(NodeId id, bool up) {
+  Node& n = nodes_.at(id);
+  if (n.up != up) {
+    n.up = up;
+    ++topology_version_;
+  }
+}
+
+void Network::move_node(NodeId id, Vec3 position) {
+  Node& n = nodes_.at(id);
+  if (!(n.pos == position)) {
+    n.pos = position;
+    ++topology_version_;
+  }
+}
+
+void Network::set_wired_link_up(NodeId a, NodeId b, bool up) {
+  for (auto& w : wired_) {
+    if ((w.a == a && w.b == b) || (w.a == b && w.b == a)) {
+      if (w.up != up) {
+        w.up = up;
+        ++topology_version_;
+      }
+      return;
+    }
+  }
+}
+
+void Network::reset_stats() {
+  stats_ = NetworkStats{};
+  for (auto& n : nodes_) {
+    n.tx_bytes = n.rx_bytes = 0;
+    n.tx_count = n.rx_count = 0;
+  }
+}
+
+void Network::reset_energy() {
+  reset_stats();
+  for (auto& n : nodes_) n.energy.reset();
+  ++topology_version_;
+}
+
+double Network::battery_energy_consumed() const {
+  double total = 0.0;
+  for (const auto& n : nodes_) {
+    if (!n.energy.is_unlimited()) total += n.energy.consumed();
+  }
+  return total;
+}
+
+std::size_t Network::dead_node_count() const {
+  std::size_t count = 0;
+  for (const auto& n : nodes_) {
+    if (!n.energy.is_unlimited() && n.energy.dead()) ++count;
+  }
+  return count;
+}
+
+std::vector<NodeId> deploy_grid(Network& network, std::size_t count,
+                                double width_m, double height_m,
+                                const NodeConfig& base_config) {
+  std::vector<NodeId> ids;
+  ids.reserve(count);
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(count))));
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t row = i / side;
+    const std::size_t col = i % side;
+    NodeConfig config = base_config;
+    const double denom = side > 1 ? static_cast<double>(side - 1) : 1.0;
+    config.pos = Vec3{width_m * static_cast<double>(col) / denom,
+                      height_m * static_cast<double>(row) / denom, 0.0};
+    ids.push_back(network.add_node(config));
+  }
+  return ids;
+}
+
+std::vector<NodeId> deploy_random(Network& network, std::size_t count,
+                                  double width_m, double height_m,
+                                  const NodeConfig& base_config,
+                                  common::Rng& rng) {
+  std::vector<NodeId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    NodeConfig config = base_config;
+    config.pos =
+        Vec3{rng.uniform(0.0, width_m), rng.uniform(0.0, height_m), 0.0};
+    ids.push_back(network.add_node(config));
+  }
+  return ids;
+}
+
+}  // namespace pgrid::net

@@ -1,0 +1,185 @@
+// Simulated network of wireless and wired nodes.
+//
+// Models exactly the transport-level pathologies the paper requires the
+// runtime to tolerate: "low bandwidth, high latency, frequent disconnections
+// and network topology changes" (Section 1), plus the per-bit radio energy
+// accounting that drives the dynamic-partitioning study (Section 4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/energy.hpp"
+#include "net/geometry.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace pgrid::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Coarse role of a node; upper layers attach richer metadata.
+enum class NodeKind { kSensor, kBaseStation, kHandheld, kGrid, kGeneric };
+
+std::string to_string(NodeKind kind);
+
+/// Parameters for creating a node.
+struct NodeConfig {
+  Vec3 pos;
+  NodeKind kind = NodeKind::kGeneric;
+  LinkClass radio = LinkClass::sensor_radio();
+  /// Battery budget in joules; ignored when unlimited_energy is set.
+  double battery_j = 2.0;
+  /// Mains-powered nodes (base stations, grid machines, handhelds during a
+  /// short incident) never run out.
+  bool unlimited_energy = false;
+};
+
+/// Runtime state of a node.
+struct Node {
+  NodeId id = kInvalidNode;
+  Vec3 pos;
+  NodeKind kind = NodeKind::kGeneric;
+  LinkClass radio;
+  EnergyMeter energy;
+  bool up = true;
+
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_count = 0;
+  std::uint64_t rx_count = 0;
+};
+
+/// Aggregate traffic/energy counters for one experiment run.
+struct NetworkStats {
+  std::uint64_t transmissions = 0;  ///< link-layer attempts (incl. retries)
+  std::uint64_t delivered = 0;      ///< successful single-hop deliveries
+  std::uint64_t dropped = 0;        ///< single-hop failures after retries
+  std::uint64_t bytes_sent = 0;     ///< payload bytes over all attempts
+  double energy_j = 0.0;            ///< radio energy across battery nodes
+};
+
+/// The simulated network.  All sends are asynchronous: callbacks fire from
+/// the simulator when the (simulated) transfer completes.
+class Network {
+ public:
+  using DeliveryCallback = std::function<void(bool delivered)>;
+  using RouteCallback = std::function<void(bool delivered, std::size_t hops)>;
+  using VisitCallback = std::function<void(NodeId)>;
+  using DoneCallback = std::function<void(std::size_t reached)>;
+
+  Network(sim::Simulator& simulator, common::Rng rng);
+
+  NodeId add_node(const NodeConfig& config);
+  /// Adds an explicit bidirectional wired link (grid backhaul etc.).
+  void add_wired_link(NodeId a, NodeId b, LinkClass link = LinkClass::wired());
+
+  std::size_t size() const { return nodes_.size(); }
+  Node& node(NodeId id) { return nodes_.at(id); }
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+
+  /// Node is administratively up and has battery left.
+  bool alive(NodeId id) const;
+
+  /// Usable direct link exists right now (both alive; wireless in range or a
+  /// wired link is up).
+  bool connected(NodeId a, NodeId b) const;
+
+  /// All nodes directly reachable from `id` right now.
+  std::vector<NodeId> neighbors(NodeId id) const;
+
+  /// The link class a transmission a->b would use (wired link preferred).
+  std::optional<LinkClass> link_between(NodeId a, NodeId b) const;
+
+  /// Single-hop transfer with loss + bounded retransmission. Consumes radio
+  /// energy on battery nodes; cb(false) after max_retries failed attempts or
+  /// if no usable link exists.
+  void transmit(NodeId from, NodeId to, std::uint64_t bytes,
+                DeliveryCallback cb);
+
+  /// Sends a payload hop by hop along an explicit route (route includes both
+  /// endpoints).  Fails fast when a hop breaks.
+  void send_route(const std::vector<NodeId>& route, std::uint64_t bytes,
+                  RouteCallback cb);
+
+  /// Flooding dissemination: every reached node rebroadcasts once.
+  /// `on_visit` fires per reached node (including src); `done` fires when the
+  /// flood quiesces with the count of reached nodes.
+  void flood(NodeId src, std::uint64_t bytes, VisitCallback on_visit,
+             DoneCallback done);
+
+  /// Gossip dissemination: each reached node forwards to up to `fanout`
+  /// random neighbours.  Cheaper than flooding, probabilistic coverage.
+  void gossip(NodeId src, std::uint64_t bytes, std::size_t fanout,
+              VisitCallback on_visit, DoneCallback done);
+
+  /// Administrative up/down, used by the churn models.  Bumps the topology
+  /// version so routing caches invalidate.
+  void set_node_up(NodeId id, bool up);
+  void set_wired_link_up(NodeId a, NodeId b, bool up);
+
+  /// Moves a node (mobility); bumps the topology version.
+  void move_node(NodeId id, Vec3 position);
+
+  /// Incremented on every topology-affecting change.
+  std::uint64_t topology_version() const { return topology_version_; }
+
+  std::size_t max_retries() const { return max_retries_; }
+  void set_max_retries(std::size_t retries) { max_retries_ = retries; }
+
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats();
+  /// Also clears per-node counters and refills batteries.
+  void reset_energy();
+
+  /// Sum of energy consumed by battery-powered nodes.
+  double battery_energy_consumed() const;
+  /// Count of battery nodes whose budget is exhausted.
+  std::size_t dead_node_count() const;
+
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  struct WiredLink {
+    NodeId a;
+    NodeId b;
+    LinkClass link;
+    bool up = true;
+  };
+
+  struct SpreadState;  // shared bookkeeping for flood/gossip
+
+  const WiredLink* find_wired(NodeId a, NodeId b) const;
+  void charge_tx(Node& sender, std::uint64_t bytes, double distance_m);
+  void charge_rx(Node& receiver, std::uint64_t bytes);
+  void spread_from(const std::shared_ptr<SpreadState>& state, NodeId at);
+
+  sim::Simulator& sim_;
+  common::Rng rng_;
+  std::vector<Node> nodes_;
+  std::vector<WiredLink> wired_;
+  NetworkStats stats_;
+  std::size_t max_retries_ = 3;
+  std::uint64_t topology_version_ = 0;
+};
+
+/// Places `count` nodes on a uniform grid inside [0,width]x[0,height] at
+/// z = 0; returns their ids.  Convenience for the building scenarios.
+std::vector<NodeId> deploy_grid(Network& network, std::size_t count,
+                                double width_m, double height_m,
+                                const NodeConfig& base_config);
+
+/// Places nodes uniformly at random in the same rectangle.
+std::vector<NodeId> deploy_random(Network& network, std::size_t count,
+                                  double width_m, double height_m,
+                                  const NodeConfig& base_config,
+                                  common::Rng& rng);
+
+}  // namespace pgrid::net

@@ -1,0 +1,120 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace pgrid::net {
+
+namespace {
+constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
+}
+
+std::vector<NodeId> shortest_path(const Network& network, NodeId src,
+                                  NodeId dst) {
+  const std::size_t n = network.size();
+  if (src >= n || dst >= n || !network.alive(src) || !network.alive(dst)) {
+    return {};
+  }
+  if (src == dst) return {src};
+
+  // Dijkstra with cost = (hops, total distance).
+  using Cost = std::pair<std::size_t, double>;
+  std::vector<Cost> best(n, {kUnreachable, 0.0});
+  std::vector<NodeId> prev(n, kInvalidNode);
+  using QueueEntry = std::pair<Cost, NodeId>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  best[src] = {0, 0.0};
+  pq.push({{0, 0.0}, src});
+
+  while (!pq.empty()) {
+    auto [cost, at] = pq.top();
+    pq.pop();
+    if (cost > best[at]) continue;
+    if (at == dst) break;
+    for (NodeId next : network.neighbors(at)) {
+      const double d =
+          distance(network.node(at).pos, network.node(next).pos);
+      Cost candidate{cost.first + 1, cost.second + d};
+      if (candidate < best[next]) {
+        best[next] = candidate;
+        prev[next] = at;
+        pq.push({candidate, next});
+      }
+    }
+  }
+
+  if (best[dst].first == kUnreachable) return {};
+  std::vector<NodeId> route;
+  for (NodeId at = dst; at != kInvalidNode; at = prev[at]) {
+    route.push_back(at);
+    if (at == src) break;
+  }
+  std::reverse(route.begin(), route.end());
+  if (route.front() != src) return {};
+  return route;
+}
+
+SinkTree::SinkTree(const Network& network, NodeId sink)
+    : sink_(sink),
+      parent_(network.size(), kInvalidNode),
+      children_(network.size()),
+      depth_(network.size(), kUnreachable),
+      version_(network.topology_version()) {
+  if (sink >= network.size() || !network.alive(sink)) return;
+  depth_[sink] = 0;
+  order_.push_back(sink);
+  std::queue<NodeId> frontier;
+  frontier.push(sink);
+  while (!frontier.empty()) {
+    const NodeId at = frontier.front();
+    frontier.pop();
+    // Deterministic child order: neighbors() iterates by ascending id.
+    for (NodeId next : network.neighbors(at)) {
+      if (depth_[next] != kUnreachable) continue;
+      depth_[next] = depth_[at] + 1;
+      parent_[next] = at;
+      children_[at].push_back(next);
+      order_.push_back(next);
+      frontier.push(next);
+    }
+  }
+}
+
+bool SinkTree::contains(NodeId id) const {
+  return id < depth_.size() && depth_[id] != kUnreachable;
+}
+
+NodeId SinkTree::parent(NodeId id) const {
+  return id < parent_.size() ? parent_[id] : kInvalidNode;
+}
+
+const std::vector<NodeId>& SinkTree::children(NodeId id) const {
+  static const std::vector<NodeId> kEmpty;
+  return id < children_.size() ? children_[id] : kEmpty;
+}
+
+std::size_t SinkTree::depth(NodeId id) const {
+  return id < depth_.size() ? depth_[id] : kUnreachable;
+}
+
+std::size_t SinkTree::max_depth() const {
+  std::size_t deepest = 0;
+  for (auto d : depth_) {
+    if (d != kUnreachable) deepest = std::max(deepest, d);
+  }
+  return deepest;
+}
+
+std::vector<NodeId> SinkTree::route_to_sink(NodeId id) const {
+  if (!contains(id)) return {};
+  std::vector<NodeId> route;
+  for (NodeId at = id; at != kInvalidNode; at = parent_[at]) {
+    route.push_back(at);
+    if (at == sink_) break;
+  }
+  if (route.back() != sink_) return {};
+  return route;
+}
+
+}  // namespace pgrid::net

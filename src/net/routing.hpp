@@ -1,0 +1,59 @@
+// Routing over the simulated network: shortest-path unicast routes and
+// sink-rooted routing trees.
+//
+// The paper notes "the data routing technique used in the network would not
+// be the same for all networks. A particular network may use flooding ... ,
+// while another may use gossiping."  Flooding and gossip live on Network
+// itself (they are dissemination processes, not route computations); this
+// header provides the deterministic route-based alternatives, including the
+// aggregation-tree substrate used by the TAG-style solution models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace pgrid::net {
+
+/// Dijkstra shortest path by hop count with distance tie-break.  Returns an
+/// empty vector when no route exists.  Both endpoints are included.
+std::vector<NodeId> shortest_path(const Network& network, NodeId src,
+                                  NodeId dst);
+
+/// A routing tree rooted at a sink (base station), built over the current
+/// topology.  This is the substrate for TAG-style in-network aggregation:
+/// children report partial aggregates to parents, epoch by epoch.
+class SinkTree {
+ public:
+  /// Builds a BFS tree (min-hop, nearest-parent tie-break) rooted at sink.
+  SinkTree(const Network& network, NodeId sink);
+
+  NodeId sink() const { return sink_; }
+  bool contains(NodeId id) const;
+  /// Parent on the path to the sink; kInvalidNode for the sink itself or
+  /// unreachable nodes.
+  NodeId parent(NodeId id) const;
+  const std::vector<NodeId>& children(NodeId id) const;
+  /// Hop distance from the sink; SIZE_MAX if unreachable.
+  std::size_t depth(NodeId id) const;
+  std::size_t max_depth() const;
+  /// Route from `id` up to the sink (inclusive both ends); empty when
+  /// unreachable.
+  std::vector<NodeId> route_to_sink(NodeId id) const;
+  /// All reachable node ids, sink first, in breadth-first order.  Iterating
+  /// in reverse visits leaves before their parents (aggregation order).
+  const std::vector<NodeId>& bfs_order() const { return order_; }
+  /// Topology version the tree was built against (staleness check).
+  std::uint64_t built_at_version() const { return version_; }
+
+ private:
+  NodeId sink_;
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<std::size_t> depth_;
+  std::vector<NodeId> order_;
+  std::uint64_t version_;
+};
+
+}  // namespace pgrid::net

@@ -1,0 +1,201 @@
+#include "partition/cost_model.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "net/energy.hpp"
+
+namespace pgrid::partition {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::uint64_t kRequestBytes = 32;
+
+/// One-hop radio energy (tx + rx) for a payload at a given distance.
+double hop_energy_j(const NetworkProfile& p, std::uint64_t bytes) {
+  const net::RadioEnergyModel radio;
+  const std::uint64_t bits = bytes * 8;
+  return radio.tx_energy(bits, p.avg_hop_distance_m) + radio.rx_energy(bits);
+}
+
+/// One-hop transfer time for a payload on the sensor radio.
+double hop_time_s(const NetworkProfile& p, std::uint64_t bytes) {
+  return p.sensor_radio.transfer_time(bytes).to_seconds();
+}
+
+double n_of(const NetworkProfile& p) {
+  return static_cast<double>(p.sensor_count);
+}
+
+CostEstimate unsupported() {
+  CostEstimate e;
+  e.energy_j = kInf;
+  e.response_s = kInf;
+  e.accuracy = 0.0;
+  return e;
+}
+
+CostEstimate estimate_all_to_base(const NetworkProfile& p,
+                                  query::QueryClass inner) {
+  CostEstimate e;
+  const double n = n_of(p);
+  if (inner == query::QueryClass::kSimple) {
+    // One request down, one sample up, avg_depth hops each way.
+    e.energy_j = p.avg_depth_hops * (hop_energy_j(p, kRequestBytes) +
+                                     hop_energy_j(p, p.sample_bytes));
+    e.response_s = p.avg_depth_hops * (hop_time_s(p, kRequestBytes) +
+                                       hop_time_s(p, p.sample_bytes));
+    e.data_bytes = p.avg_depth_hops *
+                   static_cast<double>(kRequestBytes + p.sample_bytes);
+    e.compute_ops = 1.0;
+    return e;
+  }
+  // Every reading crosses avg_depth hops to the base.
+  e.energy_j = n * p.avg_depth_hops * hop_energy_j(p, p.sample_bytes);
+  e.data_bytes =
+      n * p.avg_depth_hops * static_cast<double>(p.sample_bytes);
+  e.response_s = p.max_depth_hops * hop_time_s(p, p.sample_bytes);
+  // Base-station compute.
+  e.compute_ops = std::max(p.query_compute_ops, n);
+  e.response_s += e.compute_ops / p.base_ops_per_s;
+  return e;
+}
+
+CostEstimate estimate_tree(const NetworkProfile& p) {
+  CostEstimate e;
+  const double n = n_of(p);
+  // Each node transmits exactly one constant-size partial state, one hop.
+  e.energy_j = n * hop_energy_j(p, p.state_bytes);
+  e.data_bytes = n * static_cast<double>(p.state_bytes);
+  // Levels fire in sequence, deepest first.
+  e.response_s = p.max_depth_hops * hop_time_s(p, p.state_bytes);
+  e.compute_ops = n;  // in-network merging
+  return e;
+}
+
+CostEstimate estimate_cluster(const NetworkProfile& p) {
+  CostEstimate e;
+  const double n = n_of(p);
+  const double k =
+      std::max(1.0, static_cast<double>(p.cluster_count));
+  // Members reach their head in ~1 hop; heads reach the base over the tree.
+  e.energy_j = (n - k) * hop_energy_j(p, p.sample_bytes) +
+               k * p.avg_depth_hops * hop_energy_j(p, p.state_bytes);
+  e.data_bytes = (n - k) * static_cast<double>(p.sample_bytes) +
+                 k * p.avg_depth_hops * static_cast<double>(p.state_bytes);
+  e.response_s = hop_time_s(p, p.sample_bytes) +
+                 p.max_depth_hops * hop_time_s(p, p.state_bytes);
+  e.compute_ops = n;
+  return e;
+}
+
+CostEstimate estimate_grid_offload(const NetworkProfile& p,
+                                   query::QueryClass inner) {
+  if (p.grid_flops_per_s <= 0.0) return unsupported();
+  CostEstimate e = estimate_all_to_base(p, inner);
+  // Remove the base-compute term; the grid computes instead.
+  const double base_compute = std::max(p.query_compute_ops, n_of(p));
+  e.response_s -= base_compute / p.base_ops_per_s;
+  const auto in_bytes = static_cast<std::uint64_t>(
+      n_of(p) * static_cast<double>(p.sample_bytes));
+  e.response_s += p.backhaul.transfer_time(in_bytes).to_seconds();
+  e.response_s += base_compute / p.grid_flops_per_s;
+  e.response_s += p.backhaul.transfer_time(p.result_bytes).to_seconds();
+  e.data_bytes += static_cast<double>(in_bytes + p.result_bytes);
+  e.compute_ops = base_compute;
+  return e;
+}
+
+CostEstimate estimate_handheld(const NetworkProfile& p,
+                               query::QueryClass inner) {
+  CostEstimate e = estimate_all_to_base(p, inner);
+  const double compute = std::max(p.query_compute_ops, n_of(p));
+  e.response_s -= compute / p.base_ops_per_s;
+  const auto in_bytes = static_cast<std::uint64_t>(
+      n_of(p) * static_cast<double>(p.sample_bytes));
+  e.response_s += p.handheld_link.transfer_time(in_bytes).to_seconds();
+  e.response_s += compute / p.handheld_ops_per_s;
+  e.data_bytes += static_cast<double>(in_bytes);
+  e.compute_ops = compute;
+  return e;
+}
+
+CostEstimate estimate_hybrid(const NetworkProfile& p) {
+  if (p.grid_flops_per_s <= 0.0) return unsupported();
+  CostEstimate e = estimate_cluster(p);
+  const double k = std::max(1.0, static_cast<double>(p.cluster_count));
+  const double compute = std::max(p.query_compute_ops, n_of(p));
+  const auto in_bytes =
+      static_cast<std::uint64_t>(k * static_cast<double>(p.state_bytes));
+  e.response_s += p.backhaul.transfer_time(in_bytes).to_seconds();
+  e.response_s += compute / p.grid_flops_per_s;
+  e.response_s += p.backhaul.transfer_time(p.result_bytes).to_seconds();
+  e.data_bytes += static_cast<double>(in_bytes + p.result_bytes);
+  e.compute_ops = compute;
+  // Spatial detail scales with per-dimension resolution: sqrt(k/n) in 2-D.
+  e.accuracy = std::min(1.0, std::sqrt(k / n_of(p)));
+  return e;
+}
+
+}  // namespace
+
+std::string CostEstimate::summary(int precision) const {
+  std::ostringstream out;
+  out.precision(precision);
+  out << "energy=" << energy_j << "J time=" << response_s
+      << "s bytes=" << data_bytes << " ops=" << compute_ops
+      << " accuracy=" << accuracy;
+  return out.str();
+}
+
+CostEstimate estimate_cost(const NetworkProfile& profile,
+                           query::QueryClass inner, SolutionModel model) {
+  if (!model_supports(model, inner)) return unsupported();
+  switch (model) {
+    case SolutionModel::kAllToBase:
+      return estimate_all_to_base(profile, inner);
+    case SolutionModel::kTreeAggregate:
+      return estimate_tree(profile);
+    case SolutionModel::kClusterAggregate:
+      return estimate_cluster(profile);
+    case SolutionModel::kGridOffload:
+      return estimate_grid_offload(profile, inner);
+    case SolutionModel::kHandheldLocal:
+      return estimate_handheld(profile, inner);
+    case SolutionModel::kHybridRegionGrid:
+      return estimate_hybrid(profile);
+  }
+  return unsupported();
+}
+
+double objective(const CostEstimate& estimate, query::CostMetric metric) {
+  switch (metric) {
+    case query::CostMetric::kTime:
+      return estimate.response_s;
+    case query::CostMetric::kAccuracy:
+      // Accuracy dominates lexicographically; response time breaks ties.
+      return (1.0 - estimate.accuracy) * 1e6 + estimate.response_s;
+    case query::CostMetric::kEnergy:
+    case query::CostMetric::kNone:
+      return estimate.energy_j;
+  }
+  return estimate.energy_j;
+}
+
+SolutionModel best_model(const NetworkProfile& profile,
+                         query::QueryClass inner, query::CostMetric metric) {
+  SolutionModel best = SolutionModel::kAllToBase;
+  double best_score = kInf;
+  for (SolutionModel model : candidates_for(inner)) {
+    const double score = objective(estimate_cost(profile, inner, model), metric);
+    if (score < best_score) {
+      best_score = score;
+      best = model;
+    }
+  }
+  return best;
+}
+
+}  // namespace pgrid::partition

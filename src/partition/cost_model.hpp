@@ -1,0 +1,75 @@
+// Analytic cost estimators — what the Decision Maker consults before
+// anything runs.
+//
+// Section 4: "To be able to dynamically partition the computation some
+// estimates would be needed. It is essential to know the amount of
+// computation required for a particular query. Another important parameter
+// is the amount of data transfer required ... estimates of energy
+// consumption of sensors ... estimate of the response time of the query in
+// each of the above approach is needed."  Exactly those four quantities are
+// estimated per solution model from a NetworkProfile snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/link.hpp"
+#include "partition/models.hpp"
+#include "query/classifier.hpp"
+
+namespace pgrid::partition {
+
+/// A snapshot of the deployment the estimators reason over ("All networks
+/// may not be of the same size ... Different networks would have different
+/// network topology").
+struct NetworkProfile {
+  std::size_t sensor_count = 100;
+  double avg_depth_hops = 5.0;     ///< mean hops sensor -> base
+  double max_depth_hops = 10.0;
+  double avg_hop_distance_m = 15.0;
+  std::uint64_t sample_bytes = 16;
+  std::uint64_t state_bytes = 24;  ///< partial aggregate + framing
+  net::LinkClass sensor_radio = net::LinkClass::sensor_radio();
+  std::size_t cluster_count = 10;
+
+  double base_ops_per_s = 5e7;      ///< base station CPU
+  double handheld_ops_per_s = 1e7;  ///< PDA CPU
+  double grid_flops_per_s = 1e9;    ///< fastest grid machine (0 = no grid)
+  net::LinkClass backhaul = net::LinkClass::wired();
+  net::LinkClass handheld_link = net::LinkClass::bluetooth();
+
+  /// Compute demanded by the query (flops); aggregates are ~sensor_count,
+  /// complex queries come from grid::estimate_distribution_flops.
+  double query_compute_ops = 0.0;
+  /// Result size shipped back to the client.
+  std::uint64_t result_bytes = 64;
+};
+
+/// The four estimated quantities, plus an accuracy proxy for the
+/// region-average trade-off.
+struct CostEstimate {
+  double energy_j = 0.0;      ///< sensor battery energy
+  double response_s = 0.0;    ///< query turnaround
+  double data_bytes = 0.0;    ///< payload bytes moved (all links)
+  double compute_ops = 0.0;   ///< computation performed
+  double accuracy = 1.0;      ///< 1.0 = full-fidelity answer
+
+  std::string summary(int precision = 4) const;
+};
+
+/// Estimates the cost of answering a query of `inner` class under `model`.
+/// Unsupported (class, model) pairs return an estimate with infinite energy
+/// and response so argmin selection never picks them.
+CostEstimate estimate_cost(const NetworkProfile& profile,
+                           query::QueryClass inner, SolutionModel model);
+
+/// Scalar objective for ranking models under a COST preference: energy for
+/// kEnergy (and the sensor-net default kNone), response time for kTime, and
+/// (1 - accuracy) dominating for kAccuracy.
+double objective(const CostEstimate& estimate, query::CostMetric metric);
+
+/// Model with the minimal objective among supported candidates.
+SolutionModel best_model(const NetworkProfile& profile,
+                         query::QueryClass inner, query::CostMetric metric);
+
+}  // namespace pgrid::partition

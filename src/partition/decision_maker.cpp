@@ -1,0 +1,142 @@
+#include "partition/decision_maker.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace pgrid::partition {
+
+namespace {
+
+int bucket3(double value, double lo, double hi) {
+  if (value < lo) return 0;
+  if (value < hi) return 1;
+  return 2;
+}
+
+int class_feature(query::QueryClass inner) {
+  switch (inner) {
+    case query::QueryClass::kSimple: return 0;
+    case query::QueryClass::kAggregate: return 1;
+    case query::QueryClass::kComplex: return 2;
+    case query::QueryClass::kContinuous: return 0;  // inner is never this
+  }
+  return 0;
+}
+
+int metric_feature(query::CostMetric metric) {
+  switch (metric) {
+    case query::CostMetric::kNone:
+    case query::CostMetric::kEnergy: return 0;
+    case query::CostMetric::kTime: return 1;
+    case query::CostMetric::kAccuracy: return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<int> Features::of(query::QueryClass inner,
+                              query::CostMetric metric,
+                              const NetworkProfile& profile) {
+  return {
+      class_feature(inner),
+      metric_feature(metric),
+      bucket3(static_cast<double>(profile.sensor_count), 50.0, 150.0),
+      bucket3(profile.query_compute_ops, 1e4, 1e7),
+      profile.grid_flops_per_s > 0.0 ? 1 : 0,
+      bucket3(profile.avg_depth_hops, 3.0, 7.0),
+  };
+}
+
+std::vector<int> Features::cardinalities() { return {3, 3, 3, 3, 2, 3}; }
+
+std::vector<std::string> Features::names() {
+  return {"query-class", "cost-metric", "network-size",
+          "compute-demand", "grid-available", "tree-depth"};
+}
+
+SolutionModel DecisionMaker::decide(query::QueryClass inner,
+                                    query::CostMetric metric,
+                                    const NetworkProfile& profile) const {
+  if (tree_.trained()) {
+    const int label = tree_.predict(Features::of(inner, metric, profile));
+    const auto model = static_cast<SolutionModel>(label);
+    // The tree can only propose; an unsupported proposal (sparse training
+    // data) falls back to the analytic choice.
+    if (model_supports(model, inner)) return model;
+  }
+  // Calibrated analytic argmin.
+  SolutionModel best = SolutionModel::kAllToBase;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (SolutionModel model : candidates_for(inner)) {
+    const CostEstimate estimate = calibrated_estimate(profile, inner, model);
+    const double score = objective(estimate, metric);
+    if (score < best_score) {
+      best_score = score;
+      best = model;
+    }
+  }
+  return best;
+}
+
+CostEstimate DecisionMaker::calibrated_estimate(const NetworkProfile& profile,
+                                                query::QueryClass inner,
+                                                SolutionModel model) const {
+  CostEstimate estimate = estimate_cost(profile, inner, model);
+  const Calibration& cal = calibration_for(inner, model);
+  if (cal.energy_ratio.count() > 0 && std::isfinite(estimate.energy_j)) {
+    estimate.energy_j *= cal.energy_ratio.mean();
+  }
+  if (cal.response_ratio.count() > 0 && std::isfinite(estimate.response_s)) {
+    estimate.response_s *= cal.response_ratio.mean();
+  }
+  return estimate;
+}
+
+void DecisionMaker::add_example(query::QueryClass inner,
+                                query::CostMetric metric,
+                                const NetworkProfile& profile,
+                                SolutionModel best) {
+  TreeSample sample;
+  sample.features = Features::of(inner, metric, profile);
+  sample.label = static_cast<int>(best);
+  samples_.push_back(std::move(sample));
+}
+
+void DecisionMaker::retrain(std::size_t min_samples_per_leaf) {
+  tree_.train(samples_, Features::cardinalities(), 6, min_samples_per_leaf);
+}
+
+void DecisionMaker::observe(query::QueryClass inner, SolutionModel model,
+                            const CostEstimate& estimate,
+                            double actual_energy_j,
+                            double actual_response_s) {
+  Calibration& cal = calibration_for(inner, model);
+  if (estimate.energy_j > 0 && std::isfinite(estimate.energy_j) &&
+      actual_energy_j > 0) {
+    cal.energy_ratio.add(actual_energy_j / estimate.energy_j);
+  }
+  if (estimate.response_s > 0 && std::isfinite(estimate.response_s) &&
+      actual_response_s > 0) {
+    cal.response_ratio.add(actual_response_s / estimate.response_s);
+  }
+}
+
+double DecisionMaker::energy_calibration(query::QueryClass inner,
+                                         SolutionModel model) const {
+  const Calibration& cal = calibration_for(inner, model);
+  return cal.energy_ratio.count() ? cal.energy_ratio.mean() : 1.0;
+}
+
+double DecisionMaker::response_calibration(query::QueryClass inner,
+                                           SolutionModel model) const {
+  const Calibration& cal = calibration_for(inner, model);
+  return cal.response_ratio.count() ? cal.response_ratio.mean() : 1.0;
+}
+
+std::size_t DecisionMaker::observations(query::QueryClass inner,
+                                        SolutionModel model) const {
+  return calibration_for(inner, model).energy_ratio.count();
+}
+
+}  // namespace pgrid::partition

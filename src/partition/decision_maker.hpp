@@ -1,0 +1,138 @@
+// The Decision Maker: "decide[s] the solution model to use based on type of
+// query, historic data and known features of the network at hand"
+// (Section 4).
+//
+// Three mechanisms compose, mirroring the paper:
+//   1. Analytic estimates (cost_model.hpp) rank candidate models.
+//   2. Per-model calibration factors — running ratios of actual/estimated
+//     energy and response — correct the estimates over time ("comparing the
+//     estimates ... with the actual values ... incorporated into the
+//     learning technique").
+//   3. An ID3 decision tree trained on labelled executions (oracle = the
+//     cheapest measured model) takes over once enough experience exists.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "partition/cost_model.hpp"
+#include "partition/decision_tree.hpp"
+#include "partition/models.hpp"
+
+namespace pgrid::partition {
+
+/// Categorical featurization shared by training and prediction.
+struct Features {
+  static constexpr std::size_t kCount = 6;
+
+  /// f0 query class (3), f1 cost metric (3), f2 network size (3),
+  /// f3 compute demand (3), f4 grid available (2), f5 tree depth (3).
+  static std::vector<int> of(query::QueryClass inner,
+                             query::CostMetric metric,
+                             const NetworkProfile& profile);
+  static std::vector<int> cardinalities();
+  static std::vector<std::string> names();
+};
+
+class DecisionMaker {
+ public:
+  /// Picks a model: the decision tree when trained, calibrated analytic
+  /// argmin otherwise.
+  SolutionModel decide(query::QueryClass inner, query::CostMetric metric,
+                       const NetworkProfile& profile) const;
+
+  /// Analytic estimate with learned calibration applied.
+  CostEstimate calibrated_estimate(const NetworkProfile& profile,
+                                   query::QueryClass inner,
+                                   SolutionModel model) const;
+
+  // --- learning --------------------------------------------------------
+
+  /// Records a labelled example (the oracle-best model for a situation).
+  void add_example(query::QueryClass inner, query::CostMetric metric,
+                   const NetworkProfile& profile, SolutionModel best);
+
+  /// Rebuilds the decision tree from accumulated examples.
+  void retrain(std::size_t min_samples_per_leaf = 1);
+
+  std::size_t experience() const { return samples_.size(); }
+  bool tree_trained() const { return tree_.trained(); }
+  const DecisionTree& tree() const { return tree_; }
+
+  // --- adaptation ------------------------------------------------------
+
+  /// Feeds back one execution's estimate-vs-actual pair; updates the
+  /// calibration factor for this (query class, model) cell.  Keyed by both
+  /// because a ratio learned on (say) a one-sensor read does not transfer
+  /// to a whole-network aggregate.
+  void observe(query::QueryClass inner, SolutionModel model,
+               const CostEstimate& estimate, double actual_energy_j,
+               double actual_response_s);
+
+  // --- persistence support (see partition/persistence.hpp) -------------
+
+  const std::vector<TreeSample>& samples() const { return samples_; }
+  void set_samples(std::vector<TreeSample> samples) {
+    samples_ = std::move(samples);
+  }
+  std::size_t response_observations(query::QueryClass inner,
+                                    SolutionModel model) const {
+    return calibration_for(inner, model).response_ratio.count();
+  }
+  /// Restores a calibration cell from persisted summaries (the mean is
+  /// replayed `count` times; only the mean matters to decisions).
+  void restore_calibration(query::QueryClass inner, SolutionModel model,
+                           double energy_ratio_mean,
+                           std::size_t energy_count,
+                           double response_ratio_mean,
+                           std::size_t response_count) {
+    Calibration& cal = calibration_for(inner, model);
+    cal = Calibration{};
+    for (std::size_t i = 0; i < energy_count; ++i) {
+      cal.energy_ratio.add(energy_ratio_mean);
+    }
+    for (std::size_t i = 0; i < response_count; ++i) {
+      cal.response_ratio.add(response_ratio_mean);
+    }
+  }
+
+  /// Learned actual/estimate ratio (1.0 when unobserved).
+  double energy_calibration(query::QueryClass inner,
+                            SolutionModel model) const;
+  double response_calibration(query::QueryClass inner,
+                              SolutionModel model) const;
+  std::size_t observations(query::QueryClass inner,
+                           SolutionModel model) const;
+
+ private:
+  struct Calibration {
+    common::Accumulator energy_ratio;    ///< actual / raw estimate
+    common::Accumulator response_ratio;
+  };
+
+  static std::size_t class_index(query::QueryClass inner) {
+    switch (inner) {
+      case query::QueryClass::kSimple: return 0;
+      case query::QueryClass::kAggregate: return 1;
+      case query::QueryClass::kComplex: return 2;
+      case query::QueryClass::kContinuous: return 0;  // inner never is
+    }
+    return 0;
+  }
+
+  Calibration& calibration_for(query::QueryClass inner, SolutionModel model) {
+    return calibrations_[class_index(inner)][static_cast<std::size_t>(model)];
+  }
+  const Calibration& calibration_for(query::QueryClass inner,
+                                     SolutionModel model) const {
+    return calibrations_[class_index(inner)][static_cast<std::size_t>(model)];
+  }
+
+  std::vector<TreeSample> samples_;
+  DecisionTree tree_;
+  Calibration calibrations_[3][6];
+};
+
+}  // namespace pgrid::partition

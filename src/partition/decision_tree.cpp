@@ -1,0 +1,181 @@
+#include "partition/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace pgrid::partition {
+
+int DecisionTree::majority(const std::vector<const TreeSample*>& samples,
+                           int label_count) {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(label_count), 0);
+  for (const auto* s : samples) ++counts[static_cast<std::size_t>(s->label)];
+  return static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+double DecisionTree::entropy(const std::vector<const TreeSample*>& samples,
+                             int label_count) {
+  if (samples.empty()) return 0.0;
+  std::vector<std::size_t> counts(static_cast<std::size_t>(label_count), 0);
+  for (const auto* s : samples) ++counts[static_cast<std::size_t>(s->label)];
+  double h = 0.0;
+  const double n = static_cast<double>(samples.size());
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+void DecisionTree::train(const std::vector<TreeSample>& samples,
+                         std::vector<int> feature_cardinality,
+                         int label_count,
+                         std::size_t min_samples_per_leaf) {
+  cardinality_ = std::move(feature_cardinality);
+  label_count_ = label_count;
+  root_.reset();
+  if (samples.empty()) return;
+  std::vector<const TreeSample*> pointers;
+  pointers.reserve(samples.size());
+  for (const auto& s : samples) pointers.push_back(&s);
+  root_ = build(pointers, std::vector<bool>(cardinality_.size(), false),
+                min_samples_per_leaf);
+}
+
+std::unique_ptr<DecisionTree::Node> DecisionTree::build(
+    const std::vector<const TreeSample*>& samples, std::vector<bool> used,
+    std::size_t min_samples_per_leaf) {
+  auto node = std::make_unique<Node>();
+  node->label = majority(samples, label_count_);
+
+  const double base_entropy = entropy(samples, label_count_);
+  if (base_entropy == 0.0 || samples.size() <= min_samples_per_leaf) {
+    return node;  // pure or too small: leaf
+  }
+
+  // Choose the feature with maximal information gain.
+  int best_feature = -1;
+  double best_gain = 1e-12;
+  for (std::size_t f = 0; f < cardinality_.size(); ++f) {
+    if (used[f]) continue;
+    double conditional = 0.0;
+    for (int v = 0; v < cardinality_[f]; ++v) {
+      std::vector<const TreeSample*> subset;
+      for (const auto* s : samples) {
+        if (s->features[f] == v) subset.push_back(s);
+      }
+      conditional += static_cast<double>(subset.size()) /
+                     static_cast<double>(samples.size()) *
+                     entropy(subset, label_count_);
+    }
+    const double gain = base_entropy - conditional;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_feature = static_cast<int>(f);
+    }
+  }
+  if (best_feature < 0) return node;  // nothing informative left
+
+  node->split_feature = best_feature;
+  used[static_cast<std::size_t>(best_feature)] = true;
+  node->children.resize(
+      static_cast<std::size_t>(cardinality_[best_feature]));
+  for (int v = 0; v < cardinality_[best_feature]; ++v) {
+    std::vector<const TreeSample*> subset;
+    for (const auto* s : samples) {
+      if (s->features[static_cast<std::size_t>(best_feature)] == v) {
+        subset.push_back(s);
+      }
+    }
+    if (subset.empty()) continue;  // unseen value -> fall back to majority
+    node->children[static_cast<std::size_t>(v)] =
+        build(subset, used, min_samples_per_leaf);
+  }
+  return node;
+}
+
+int DecisionTree::predict(const std::vector<int>& features) const {
+  const Node* node = root_.get();
+  if (node == nullptr) return 0;
+  while (node->split_feature >= 0) {
+    const auto f = static_cast<std::size_t>(node->split_feature);
+    if (f >= features.size()) break;
+    const int v = features[f];
+    if (v < 0 || static_cast<std::size_t>(v) >= node->children.size() ||
+        node->children[static_cast<std::size_t>(v)] == nullptr) {
+      break;  // unseen value: majority at this node
+    }
+    node = node->children[static_cast<std::size_t>(v)].get();
+  }
+  return node->label;
+}
+
+std::size_t DecisionTree::node_count() const {
+  std::size_t count = 0;
+  std::vector<const Node*> stack;
+  if (root_) stack.push_back(root_.get());
+  while (!stack.empty()) {
+    const Node* at = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const auto& child : at->children) {
+      if (child) stack.push_back(child.get());
+    }
+  }
+  return count;
+}
+
+std::size_t DecisionTree::depth() const {
+  struct Frame {
+    const Node* node;
+    std::size_t depth;
+  };
+  std::size_t deepest = 0;
+  std::vector<Frame> stack;
+  if (root_) stack.push_back({root_.get(), 1});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    deepest = std::max(deepest, frame.depth);
+    for (const auto& child : frame.node->children) {
+      if (child) stack.push_back({child.get(), frame.depth + 1});
+    }
+  }
+  return deepest;
+}
+
+std::string DecisionTree::render(
+    const std::vector<std::string>& feature_names,
+    const std::vector<std::string>& label_names) const {
+  std::ostringstream out;
+  std::function<void(const Node*, std::size_t)> walk =
+      [&](const Node* node, std::size_t indent) {
+        const std::string pad(indent * 2, ' ');
+        if (node->split_feature < 0) {
+          out << pad << "-> "
+              << label_names.at(static_cast<std::size_t>(node->label))
+              << '\n';
+          return;
+        }
+        for (std::size_t v = 0; v < node->children.size(); ++v) {
+          out << pad
+              << feature_names.at(
+                     static_cast<std::size_t>(node->split_feature))
+              << " == " << v << ":\n";
+          if (node->children[v]) {
+            walk(node->children[v].get(), indent + 1);
+          } else {
+            out << pad << "  -> "
+                << label_names.at(static_cast<std::size_t>(node->label))
+                << " (default)\n";
+          }
+        }
+      };
+  if (root_) walk(root_.get(), 0);
+  return out.str();
+}
+
+}  // namespace pgrid::partition

@@ -1,0 +1,60 @@
+// ID3 decision tree over categorical features — the "standard machine
+// learning techniques" of Section 4, chosen to match Pythia's [14]
+// knowledge-based approach to algorithm selection and to be inspectable.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pgrid::partition {
+
+/// One training example: categorical feature values and a class label.
+struct TreeSample {
+  std::vector<int> features;
+  int label = 0;
+};
+
+class DecisionTree {
+ public:
+  /// Trains on `samples`; `feature_cardinality[f]` is the number of values
+  /// feature f can take, `label_count` the number of classes.
+  void train(const std::vector<TreeSample>& samples,
+             std::vector<int> feature_cardinality, int label_count,
+             std::size_t min_samples_per_leaf = 1);
+
+  bool trained() const { return root_ != nullptr; }
+
+  /// Predicts a label; unseen branches fall back to the parent majority.
+  int predict(const std::vector<int>& features) const;
+
+  std::size_t node_count() const;
+  std::size_t depth() const;
+
+  /// Human-readable rendering with caller-provided names (for reports).
+  std::string render(
+      const std::vector<std::string>& feature_names,
+      const std::vector<std::string>& label_names) const;
+
+ private:
+  struct Node {
+    int split_feature = -1;  ///< -1 = leaf
+    int label = 0;           ///< majority label at this node
+    std::vector<std::unique_ptr<Node>> children;  ///< per feature value
+  };
+
+  std::unique_ptr<Node> build(const std::vector<const TreeSample*>& samples,
+                              std::vector<bool> used,
+                              std::size_t min_samples_per_leaf);
+  static int majority(const std::vector<const TreeSample*>& samples,
+                      int label_count);
+  static double entropy(const std::vector<const TreeSample*>& samples,
+                        int label_count);
+
+  std::unique_ptr<Node> root_;
+  std::vector<int> cardinality_;
+  int label_count_ = 0;
+};
+
+}  // namespace pgrid::partition

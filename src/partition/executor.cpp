@@ -1,0 +1,465 @@
+#include "partition/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "net/routing.hpp"
+
+namespace pgrid::partition {
+
+namespace {
+
+std::size_t effective_clusters(const ExecutionContext& context) {
+  if (context.cluster_count > 0) return context.cluster_count;
+  return static_cast<std::size_t>(std::ceil(
+      std::sqrt(static_cast<double>(context.sensors.sensors().size()))));
+}
+
+/// Per-run measurement bracket: captures network energy/bytes/time deltas.
+struct Measurement {
+  double energy_before;
+  std::uint64_t bytes_before;
+  sim::SimTime started;
+
+  explicit Measurement(net::Network& network)
+      : energy_before(network.battery_energy_consumed()),
+        bytes_before(network.stats().bytes_sent),
+        started(network.simulator().now()) {}
+
+  void finish(net::Network& network, ActualCost& cost) const {
+    cost.energy_j = network.battery_energy_consumed() - energy_before;
+    cost.data_bytes = network.stats().bytes_sent - bytes_before;
+    cost.response_s =
+        (network.simulator().now() - started).to_seconds();
+  }
+};
+
+std::vector<grid::Reading> to_readings(
+    const std::vector<sensornet::RawReading>& raw) {
+  std::vector<grid::Reading> readings;
+  readings.reserve(raw.size());
+  for (const auto& r : raw) readings.push_back({r.pos, r.value});
+  return readings;
+}
+
+/// Builds the in-network WHERE filter from the query's selection
+/// predicates.  Supported attributes: `sensor` (index), `room` (floor-plan
+/// room), `x`/`y` (position in metres), and the sensed attribute itself
+/// (any other name, e.g. `temp`), which qualifies on the reading — TAG's
+/// value predicates.  Returns false on no predicates (null filter).
+bool make_sensor_filter(ExecutionContext& context, const query::Query& query,
+                        sensornet::SensorNetwork::SensorFilter& out) {
+  if (query.where.empty()) {
+    out = nullptr;
+    return false;
+  }
+  // Copy the predicates; the query object may not outlive the round.
+  const std::vector<query::Predicate> predicates = query.where;
+  auto* sensors = &context.sensors;
+  out = [sensors, predicates](net::NodeId id, double value) {
+    const auto& network = sensors->network();
+    for (const auto& pred : predicates) {
+      if (!pred.numeric) continue;  // string metadata not modelled
+      bool ok = true;
+      if (pred.attribute == "sensor") {
+        // Predicate over the sensor *index* in the deployment.
+        const auto& ids = sensors->sensors();
+        const auto it = std::find(ids.begin(), ids.end(), id);
+        const double index =
+            it == ids.end() ? -1.0 : double(it - ids.begin());
+        ok = pred.eval(index);
+      } else if (pred.attribute == "room") {
+        ok = pred.eval(double(sensors->room_of(id)));
+      } else if (pred.attribute == "floor") {
+        ok = pred.eval(double(sensors->floor_of(id)));
+      } else if (pred.attribute == "x") {
+        ok = pred.eval(network.node(id).pos.x);
+      } else if (pred.attribute == "y") {
+        ok = pred.eval(network.node(id).pos.y);
+      } else {
+        ok = pred.eval(value);  // value predicate on the sensed attribute
+      }
+      if (!ok) return false;
+    }
+    return true;
+  };
+  return true;
+}
+
+/// Finishes a run: stamps the measurement and hands off.
+void complete(ExecutionContext& context,
+              const std::shared_ptr<Measurement>& measurement,
+              ActualCost cost, const ExecuteCallback& done) {
+  measurement->finish(context.sensors.network(), cost);
+  done(std::move(cost));
+}
+
+void execute_simple(ExecutionContext& context, const query::Query& query,
+                    ExecuteCallback done) {
+  auto measurement =
+      std::make_shared<Measurement>(context.sensors.network());
+  const query::Predicate* pred = query.predicate_on("sensor");
+  ActualCost failed;
+  if (pred == nullptr || !pred->numeric) {
+    failed.error = "simple query needs a 'sensor = <id>' predicate";
+  } else {
+    const auto index = static_cast<std::size_t>(pred->number);
+    if (index >= context.sensors.sensors().size()) {
+      failed.error = "sensor index out of range";
+    } else {
+      const net::NodeId sensor = context.sensors.sensors()[index];
+      context.sensors.read_sensor(
+          sensor, context.field,
+          [&context, measurement, done](sensornet::ReadResult read) {
+            ActualCost cost;
+            cost.ok = read.ok;
+            cost.value = read.value;
+            cost.compute_ops = 1.0;
+            if (!read.ok) cost.error = "sensor unreachable";
+            complete(context, measurement, std::move(cost), done);
+          });
+      return;
+    }
+  }
+  context.sensors.network().simulator().schedule(
+      sim::SimTime::zero(), [&context, measurement, failed, done] {
+        complete(context, measurement, failed, done);
+      });
+}
+
+void execute_aggregate(ExecutionContext& context, const query::Query& query,
+                       const query::Classification& cls, SolutionModel model,
+                       ExecuteCallback done) {
+  auto measurement =
+      std::make_shared<Measurement>(context.sensors.network());
+  const auto fn = cls.aggregate;
+  sensornet::SensorNetwork::SensorFilter filter;
+  make_sensor_filter(context, query, filter);
+  auto finish_with = [&context, measurement, fn,
+                      done](const sensornet::CollectionResult& collected,
+                            double extra_ops, double ops_per_s) {
+    ActualCost cost;
+    cost.ok = collected.reports > 0;
+    cost.value = collected.aggregate.result(fn);
+    cost.compute_ops = static_cast<double>(collected.reports) + extra_ops;
+    cost.accuracy = collected.expected > 0
+                        ? static_cast<double>(collected.reports) /
+                              static_cast<double>(collected.expected)
+                        : 0.0;
+    if (!cost.ok) cost.error = "no sensor reports";
+    // Charge the (tiny) aggregate computation where it runs.
+    const double compute_s =
+        ops_per_s > 0 ? cost.compute_ops / ops_per_s : 0.0;
+    context.sensors.network().simulator().schedule(
+        sim::SimTime::seconds(compute_s),
+        [&context, measurement, cost, done] {
+          complete(context, measurement, cost, done);
+        });
+  };
+
+  switch (model) {
+    case SolutionModel::kAllToBase:
+      context.sensors.collect_all_to_base(
+          context.field,
+          [finish_with, &context](auto collected) {
+            finish_with(collected, 0.0, context.base_ops_per_s);
+          },
+          filter);
+      return;
+    case SolutionModel::kTreeAggregate:
+      context.sensors.collect_tree_aggregate(
+          context.field,
+          [finish_with](auto collected) {
+            finish_with(collected, 0.0, 0.0);  // merged in-network
+          },
+          filter);
+      return;
+    case SolutionModel::kClusterAggregate:
+      context.sensors.collect_cluster_aggregate(
+          context.field, effective_clusters(context),
+          [finish_with](auto collected) { finish_with(collected, 0.0, 0.0); },
+          filter);
+      return;
+    case SolutionModel::kGridOffload: {
+      grid::GridInfrastructure* infra = context.grid;
+      context.sensors.collect_all_to_base(
+          context.field,
+          [&context, measurement, fn, infra, done](auto collected) {
+            ActualCost cost;
+            cost.ok = collected.reports > 0 && infra != nullptr;
+            cost.value = collected.aggregate.result(fn);
+            cost.compute_ops = static_cast<double>(collected.reports);
+            if (infra == nullptr) {
+              cost.error = "no grid reachable";
+              complete(context, measurement, std::move(cost), done);
+              return;
+            }
+            const std::uint64_t in_bytes =
+                collected.reports * context.sensors.config().sample_bytes;
+            infra->submit(cost.compute_ops * 10.0, in_bytes, 64,
+                          [&context, measurement, cost,
+                           done](grid::JobResult job) mutable {
+                            cost.ok = cost.ok && job.ok;
+                            if (!job.ok) cost.error = "grid job failed";
+                            complete(context, measurement, std::move(cost),
+                                     done);
+                          });
+          },
+          filter);
+      return;
+    }
+    default: {
+      ActualCost cost;
+      cost.error = "model does not support aggregate queries";
+      context.sensors.network().simulator().schedule(
+          sim::SimTime::zero(), [&context, measurement, cost, done] {
+            complete(context, measurement, cost, done);
+          });
+      return;
+    }
+  }
+}
+
+void execute_complex(ExecutionContext& context, const query::Query& query,
+                     SolutionModel model, ExecuteCallback done) {
+  auto measurement =
+      std::make_shared<Measurement>(context.sensors.network());
+  const double width = context.sensors.config().width_m;
+  const double height = context.sensors.config().height_m;
+  sensornet::SensorNetwork::SensorFilter filter;
+  make_sensor_filter(context, query, filter);
+
+  // Stage 2, shared by every placement: solve the PDE (real numerics on the
+  // host) and charge its flops to wherever the model places the compute.
+  auto solve_and_finish = [&context, measurement, width, height, model,
+                           done](const sensornet::CollectionResult& collected,
+                                 double accuracy) {
+    ActualCost cost;
+    if (collected.raw.empty()) {
+      cost.error = "no readings reached the base station";
+      complete(context, measurement, std::move(cost), done);
+      return;
+    }
+    // A multi-storey building gets the full 3-D PDE ("a 3D partial
+    // differential equation needs to be set up"); single-storey stays 2-D.
+    const double depth =
+        context.pde_nz > 1 ? context.sensors.building_depth_m() : 0.0;
+    auto result = grid::solve_temperature_distribution(
+        to_readings(collected.raw), width, height, depth, context.pde_nx,
+        context.pde_ny, context.pde_nz, context.ambient, context.solver,
+        context.pool);
+    cost.ok = result.stats.converged;
+    cost.compute_ops = result.stats.flops;
+    cost.accuracy = accuracy;
+    cost.value = result.grid.max_value();
+    cost.distribution = std::move(result.grid);
+    if (!cost.ok) cost.error = "solver did not converge";
+
+    const std::uint64_t field_bytes =
+        context.pde_nx * context.pde_ny * context.pde_nz * 8;
+    const std::uint64_t in_bytes =
+        collected.raw.size() * context.sensors.config().sample_bytes;
+
+    switch (model) {
+      case SolutionModel::kAllToBase: {
+        // "It is simply not feasible to perform the computation for solving
+        // such a query inside the network" — feasible at the base, but slow.
+        const double compute_s = cost.compute_ops / context.base_ops_per_s;
+        context.sensors.network().simulator().schedule(
+            sim::SimTime::seconds(compute_s),
+            [&context, measurement, cost, done] {
+              complete(context, measurement, cost, done);
+            });
+        return;
+      }
+      case SolutionModel::kHandheldLocal: {
+        // Raw data hops from the base to the PDA over the short-range link,
+        // then the PDA grinds through the solve.
+        const double transfer_s =
+            context.handheld_link.transfer_time(in_bytes).to_seconds();
+        const double compute_s =
+            cost.compute_ops / context.handheld_ops_per_s;
+        context.sensors.network().simulator().schedule(
+            sim::SimTime::seconds(transfer_s + compute_s),
+            [&context, measurement, cost, done] {
+              complete(context, measurement, cost, done);
+            });
+        return;
+      }
+      case SolutionModel::kGridOffload:
+      case SolutionModel::kHybridRegionGrid: {
+        if (context.grid == nullptr) {
+          cost.ok = false;
+          cost.error = "no grid reachable";
+          complete(context, measurement, std::move(cost), done);
+          return;
+        }
+        context.grid->submit(
+            cost.compute_ops, in_bytes, field_bytes,
+            [&context, measurement, cost, done](grid::JobResult job) mutable {
+              cost.ok = cost.ok && job.ok;
+              if (!job.ok) cost.error = "grid job failed";
+              complete(context, measurement, std::move(cost), done);
+            });
+        return;
+      }
+      default: {
+        cost.ok = false;
+        cost.error = "model does not support complex queries";
+        complete(context, measurement, std::move(cost), done);
+        return;
+      }
+    }
+  };
+
+  if (model == SolutionModel::kHybridRegionGrid) {
+    const std::size_t regions = effective_clusters(context);
+    const double n =
+        static_cast<double>(context.sensors.sensors().size());
+    const double accuracy =
+        std::min(1.0, std::sqrt(static_cast<double>(regions) / n));
+    context.sensors.collect_region_averages(
+        context.field, regions,
+        [solve_and_finish, accuracy](auto collected) {
+          solve_and_finish(collected, accuracy);
+        },
+        filter);
+  } else {
+    context.sensors.collect_all_to_base(
+        context.field,
+        [solve_and_finish](auto collected) {
+          solve_and_finish(collected, 1.0);
+        },
+        filter);
+  }
+}
+
+}  // namespace
+
+void execute_query(ExecutionContext& context, const query::Query& query,
+                   const query::Classification& cls, SolutionModel model,
+                   ExecuteCallback done) {
+  switch (cls.inner) {
+    case query::QueryClass::kSimple:
+      execute_simple(context, query, std::move(done));
+      return;
+    case query::QueryClass::kAggregate:
+      execute_aggregate(context, query, cls, model, std::move(done));
+      return;
+    case query::QueryClass::kComplex:
+      execute_complex(context, query, model, std::move(done));
+      return;
+    case query::QueryClass::kContinuous: {
+      // classify() never produces kContinuous as an *inner* class; handle
+      // defensively as a single simple read.
+      execute_simple(context, query, std::move(done));
+      return;
+    }
+  }
+}
+
+void execute_continuous(ExecutionContext& context, const query::Query& query,
+                        const query::Classification& cls, SolutionModel model,
+                        std::size_t epochs,
+                        std::function<void(std::vector<ActualCost>)> done) {
+  execute_continuous_adaptive(
+      context, query, cls, epochs,
+      [model](std::size_t) { return model; }, nullptr,
+      [done = std::move(done)](std::vector<ActualCost> results,
+                               std::vector<SolutionModel>) {
+        done(std::move(results));
+      });
+}
+
+void execute_continuous_adaptive(
+    ExecutionContext& context, const query::Query& query,
+    const query::Classification& cls, std::size_t epochs,
+    ModelProvider choose, EpochObserver observe,
+    std::function<void(std::vector<ActualCost>,
+                       std::vector<SolutionModel>)> done) {
+  const double epoch_s = query.epoch_duration_s.value_or(1.0);
+  auto results = std::make_shared<std::vector<ActualCost>>();
+  auto models = std::make_shared<std::vector<SolutionModel>>();
+  auto done_shared = std::make_shared<
+      std::function<void(std::vector<ActualCost>, std::vector<SolutionModel>)>>(
+      std::move(done));
+  auto choose_shared = std::make_shared<ModelProvider>(std::move(choose));
+  auto observe_shared = std::make_shared<EpochObserver>(std::move(observe));
+  auto run_epoch = std::make_shared<std::function<void(std::size_t)>>();
+  query::Classification inner_cls = cls;
+  inner_cls.continuous = false;
+  *run_epoch = [&context, query, inner_cls, epochs, epoch_s, results, models,
+                done_shared, choose_shared, observe_shared,
+                run_epoch](std::size_t epoch) {
+    if (epoch >= epochs) {
+      (*done_shared)(*results, *models);
+      return;
+    }
+    const SolutionModel model = (*choose_shared)(epoch);
+    models->push_back(model);
+    const sim::SimTime epoch_start =
+        context.sensors.network().simulator().now();
+    execute_query(
+        context, query, inner_cls, model,
+        [&context, epoch, epoch_s, epoch_start, model, results,
+         observe_shared, run_epoch](ActualCost cost) {
+          if (*observe_shared) (*observe_shared)(epoch, model, cost);
+          results->push_back(std::move(cost));
+          // Next epoch starts one EPOCH DURATION after this one began.
+          const sim::SimTime next =
+              epoch_start + sim::SimTime::seconds(epoch_s);
+          context.sensors.network().simulator().schedule_at(
+              next, [epoch, run_epoch] { (*run_epoch)(epoch + 1); });
+        });
+  };
+  (*run_epoch)(0);
+}
+
+NetworkProfile profile_from(ExecutionContext& context,
+                            const query::Classification& cls) {
+  NetworkProfile profile;
+  auto& sensors = context.sensors;
+  profile.sensor_count = sensors.sensors().size();
+  profile.sample_bytes = sensors.config().sample_bytes;
+  profile.state_bytes = sensors.config().state_bytes;
+  profile.sensor_radio = sensors.config().radio;
+  profile.cluster_count = effective_clusters(context);
+  profile.base_ops_per_s = context.base_ops_per_s;
+  profile.handheld_ops_per_s = context.handheld_ops_per_s;
+  profile.handheld_link = context.handheld_link;
+  profile.grid_flops_per_s =
+      context.grid ? context.grid->peak_flops_per_s() : 0.0;
+
+  // Topology features from the live routing tree.
+  const auto& tree = sensors.tree();
+  double depth_sum = 0.0;
+  double dist_sum = 0.0;
+  std::size_t counted = 0;
+  for (net::NodeId id : sensors.sensors()) {
+    if (!tree.contains(id) || id == tree.sink()) continue;
+    depth_sum += static_cast<double>(tree.depth(id));
+    const net::NodeId parent = tree.parent(id);
+    dist_sum += net::distance(sensors.network().node(id).pos,
+                              sensors.network().node(parent).pos);
+    ++counted;
+  }
+  if (counted > 0) {
+    profile.avg_depth_hops = depth_sum / static_cast<double>(counted);
+    profile.avg_hop_distance_m = dist_sum / static_cast<double>(counted);
+    profile.max_depth_hops = static_cast<double>(tree.max_depth());
+  }
+
+  if (cls.inner == query::QueryClass::kComplex) {
+    profile.query_compute_ops = grid::estimate_distribution_flops(
+        context.pde_nx, context.pde_ny, context.pde_nz, context.solver);
+    profile.result_bytes =
+        context.pde_nx * context.pde_ny * context.pde_nz * 8;
+  } else {
+    profile.query_compute_ops =
+        static_cast<double>(profile.sensor_count);
+  }
+  return profile;
+}
+
+}  // namespace pgrid::partition

@@ -1,0 +1,100 @@
+// Query execution under a chosen solution model — the ground truth the
+// estimators and the learner are judged against.
+//
+// "The system will be made adaptive by comparing the estimates of energy
+// consumption and response time with the actual values of energy
+// consumption and response time during the execution of the query"
+// (Section 4).  execute_query produces those actual values.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "grid/infrastructure.hpp"
+#include "grid/temperature.hpp"
+#include "partition/cost_model.hpp"
+#include "partition/models.hpp"
+#include "query/classifier.hpp"
+#include "sensornet/sensor_network.hpp"
+
+namespace pgrid::partition {
+
+/// Everything an execution touches.  References must outlive the simulated
+/// run.
+struct ExecutionContext {
+  sensornet::SensorNetwork& sensors;
+  const sensornet::ScalarField& field;
+  grid::GridInfrastructure* grid = nullptr;  ///< null = no grid reachable
+  /// Handheld device hanging off the base station (Figure 1).
+  double base_ops_per_s = 5e7;
+  double handheld_ops_per_s = 1e7;
+  net::LinkClass handheld_link = net::LinkClass::bluetooth();
+  std::size_t cluster_count = 0;  ///< 0 = sqrt(sensor count)
+  /// Complex-query (temperature distribution) solve parameters.
+  std::size_t pde_nx = 21;
+  std::size_t pde_ny = 21;
+  std::size_t pde_nz = 1;
+  double ambient = 20.0;
+  grid::SolverKind solver = grid::SolverKind::kCg;
+  common::ThreadPool* pool = nullptr;
+};
+
+/// Measured outcome of one execution.
+struct ActualCost {
+  bool ok = false;
+  double energy_j = 0.0;
+  double response_s = 0.0;
+  std::uint64_t data_bytes = 0;
+  double compute_ops = 0.0;
+  double accuracy = 1.0;
+  /// Scalar answer: the reading (simple), the aggregate (aggregate), or the
+  /// field maximum (complex) — enough for assertions and reports.
+  double value = 0.0;
+  /// Full field for complex queries.
+  std::optional<grid::TemperatureGrid> distribution;
+  std::string error;
+};
+
+using ExecuteCallback = std::function<void(ActualCost)>;
+
+/// Runs one epoch of `query` (classified as `cls`) under `model`.  Fires
+/// the callback from the simulator when the answer reaches the client.
+void execute_query(ExecutionContext& context, const query::Query& query,
+                   const query::Classification& cls, SolutionModel model,
+                   ExecuteCallback done);
+
+/// Runs a continuous query for `epochs` epochs spaced by its EPOCH
+/// DURATION; per-epoch results accumulate into the vector handed to `done`.
+void execute_continuous(ExecutionContext& context, const query::Query& query,
+                        const query::Classification& cls, SolutionModel model,
+                        std::size_t epochs,
+                        std::function<void(std::vector<ActualCost>)> done);
+
+/// Chooses the solution model for an epoch (called before each one).
+using ModelProvider = std::function<SolutionModel(std::size_t epoch)>;
+/// Observes an epoch's outcome (called after each one) — the adaptive
+/// feedback hook: calibrations updated here shift later epochs' choices.
+using EpochObserver = std::function<void(std::size_t epoch,
+                                         SolutionModel model,
+                                         const ActualCost& actual)>;
+
+/// Adaptive continuous execution: the model is re-decided every epoch, so a
+/// long-standing query migrates between solution models as the learner's
+/// calibration converges or the network changes — Section 4's "the system
+/// will be made adaptive", applied *during* execution.  `models_used[i]`
+/// records the choice for epoch i.
+void execute_continuous_adaptive(
+    ExecutionContext& context, const query::Query& query,
+    const query::Classification& cls, std::size_t epochs,
+    ModelProvider choose, EpochObserver observe,
+    std::function<void(std::vector<ActualCost>,
+                       std::vector<SolutionModel>)> done);
+
+/// Builds the estimator profile from live context (topology depths, grid
+/// speed, query compute demand).
+NetworkProfile profile_from(ExecutionContext& context,
+                            const query::Classification& cls);
+
+}  // namespace pgrid::partition

@@ -1,0 +1,61 @@
+#include "partition/models.hpp"
+
+namespace pgrid::partition {
+
+std::string to_string(SolutionModel model) {
+  switch (model) {
+    case SolutionModel::kAllToBase: return "all-to-base";
+    case SolutionModel::kClusterAggregate: return "cluster";
+    case SolutionModel::kTreeAggregate: return "tree";
+    case SolutionModel::kGridOffload: return "grid-offload";
+    case SolutionModel::kHandheldLocal: return "handheld";
+    case SolutionModel::kHybridRegionGrid: return "hybrid-region-grid";
+  }
+  return "?";
+}
+
+std::optional<SolutionModel> model_from_string(const std::string& name) {
+  for (SolutionModel model : all_models()) {
+    if (to_string(model) == name) return model;
+  }
+  return std::nullopt;
+}
+
+const std::vector<SolutionModel>& all_models() {
+  static const std::vector<SolutionModel> kModels = {
+      SolutionModel::kAllToBase,      SolutionModel::kClusterAggregate,
+      SolutionModel::kTreeAggregate,  SolutionModel::kGridOffload,
+      SolutionModel::kHandheldLocal,  SolutionModel::kHybridRegionGrid,
+  };
+  return kModels;
+}
+
+bool model_supports(SolutionModel model, query::QueryClass inner) {
+  switch (inner) {
+    case query::QueryClass::kSimple:
+      return model == SolutionModel::kAllToBase;
+    case query::QueryClass::kAggregate:
+      return model == SolutionModel::kAllToBase ||
+             model == SolutionModel::kClusterAggregate ||
+             model == SolutionModel::kTreeAggregate ||
+             model == SolutionModel::kGridOffload;
+    case query::QueryClass::kComplex:
+      return model == SolutionModel::kAllToBase ||
+             model == SolutionModel::kGridOffload ||
+             model == SolutionModel::kHandheldLocal ||
+             model == SolutionModel::kHybridRegionGrid;
+    case query::QueryClass::kContinuous:
+      return true;  // continuity is orthogonal; check the inner class
+  }
+  return false;
+}
+
+std::vector<SolutionModel> candidates_for(query::QueryClass inner) {
+  std::vector<SolutionModel> out;
+  for (SolutionModel model : all_models()) {
+    if (model_supports(model, inner)) out.push_back(model);
+  }
+  return out;
+}
+
+}  // namespace pgrid::partition

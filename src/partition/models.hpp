@@ -1,0 +1,51 @@
+// Solution models: the candidate partitions of a query's computation across
+// sensors, base station, handheld, and grid.
+//
+// Section 4: "The data is moved to the resources on the grid, which do the
+// computation / The computation is done in the sensor network and only the
+// result is provided / The data is delivered to the base station/PDA, which
+// perform the computation / Some queries may need combination of the
+// approaches above."
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/classifier.hpp"
+
+namespace pgrid::partition {
+
+enum class SolutionModel {
+  /// Raw readings to the base station; the base computes.
+  kAllToBase,
+  /// Cluster heads aggregate in-network, forward partial states.
+  kClusterAggregate,
+  /// TAG-style aggregation tree.
+  kTreeAggregate,
+  /// Raw readings to the base, shipped over the backhaul; the grid computes.
+  kGridOffload,
+  /// Raw readings forwarded to the firefighter's handheld; it computes.
+  kHandheldLocal,
+  /// Combination model: region averages in-network, PDE on the grid —
+  /// trading accuracy for sensor energy.
+  kHybridRegionGrid,
+};
+
+std::string to_string(SolutionModel model);
+
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<SolutionModel> model_from_string(const std::string& name);
+
+const std::vector<SolutionModel>& all_models();
+
+/// Which models can answer a query of the given inner class.
+///   Simple:     direct read only — modelled as kAllToBase (the read path).
+///   Aggregate:  in-network models, base compute, or grid offload.
+///   Complex:    needs real computation — base, grid, handheld, or hybrid.
+bool model_supports(SolutionModel model, query::QueryClass inner);
+
+/// The candidate set for a query class, in canonical order.
+std::vector<SolutionModel> candidates_for(query::QueryClass inner);
+
+}  // namespace pgrid::partition

@@ -1,0 +1,107 @@
+#include "query/ast.hpp"
+
+#include <sstream>
+
+namespace pgrid::query {
+
+std::string to_string(PredOp op) {
+  switch (op) {
+    case PredOp::kEq: return "=";
+    case PredOp::kNe: return "!=";
+    case PredOp::kLt: return "<";
+    case PredOp::kLe: return "<=";
+    case PredOp::kGt: return ">";
+    case PredOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool Predicate::eval(double value) const {
+  if (!numeric) return false;
+  switch (op) {
+    case PredOp::kEq: return value == number;
+    case PredOp::kNe: return value != number;
+    case PredOp::kLt: return value < number;
+    case PredOp::kLe: return value <= number;
+    case PredOp::kGt: return value > number;
+    case PredOp::kGe: return value >= number;
+  }
+  return false;
+}
+
+bool Predicate::eval(const std::string& value) const {
+  if (numeric) return false;
+  switch (op) {
+    case PredOp::kEq: return value == text;
+    case PredOp::kNe: return value != text;
+    default: return false;  // ordering on strings is not supported
+  }
+}
+
+std::string to_string(CostMetric metric) {
+  switch (metric) {
+    case CostMetric::kNone: return "none";
+    case CostMetric::kEnergy: return "energy";
+    case CostMetric::kTime: return "time";
+    case CostMetric::kAccuracy: return "accuracy";
+  }
+  return "?";
+}
+
+bool Query::has_function() const { return function() != nullptr; }
+
+const SelectItem* Query::function() const {
+  for (const auto& item : select) {
+    if (item.kind == SelectItem::Kind::kFunction) return &item;
+  }
+  return nullptr;
+}
+
+const Predicate* Query::predicate_on(const std::string& attribute) const {
+  for (const auto& pred : where) {
+    if (pred.attribute == attribute) return &pred;
+  }
+  return nullptr;
+}
+
+std::string to_string(const Query& query) {
+  std::ostringstream out;
+  out << "SELECT ";
+  for (std::size_t i = 0; i < query.select.size(); ++i) {
+    if (i) out << ", ";
+    const auto& item = query.select[i];
+    out << item.name;
+    if (item.kind == SelectItem::Kind::kFunction) {
+      out << '(';
+      for (std::size_t a = 0; a < item.args.size(); ++a) {
+        if (a) out << ", ";
+        out << item.args[a];
+      }
+      out << ')';
+    }
+  }
+  out << " FROM " << query.from;
+  if (!query.where.empty()) {
+    out << " WHERE ";
+    for (std::size_t i = 0; i < query.where.size(); ++i) {
+      if (i) out << " AND ";
+      const auto& pred = query.where[i];
+      out << pred.attribute << ' ' << to_string(pred.op) << ' ';
+      if (pred.numeric) {
+        out << pred.number;
+      } else {
+        out << '\'' << pred.text << '\'';
+      }
+    }
+  }
+  if (query.cost.metric != CostMetric::kNone) {
+    out << " COST " << to_string(query.cost.metric) << ' '
+        << query.cost.limit;
+  }
+  if (query.epoch_duration_s) {
+    out << " EPOCH DURATION " << *query.epoch_duration_s;
+  }
+  return out.str();
+}
+
+}  // namespace pgrid::query

@@ -1,0 +1,79 @@
+// Abstract syntax for the paper's sensor-query language:
+//
+//   SELECT {func(), attrs} FROM sensors
+//   WHERE { selPreds }
+//   COST { cost limitation }
+//   EPOCH DURATION i
+//
+// "The query format is similar to the one used by Madden et al. in TAG.
+// However we allow for any arbitrary function to be specified in the SELECT
+// clause. We have also introduced the COST clause to specify the cost
+// within which the function is to be evaluated. Cost could be in terms of
+// sensor energy, response time or accuracy of the result. The EPOCH clause
+// specifies the interval between two consecutive results for continuous
+// queries." (Section 4)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pgrid::query {
+
+/// One item of the SELECT list: a bare attribute or a function call.
+struct SelectItem {
+  enum class Kind { kAttribute, kFunction };
+  Kind kind = Kind::kAttribute;
+  std::string name;               ///< attribute name or function name
+  std::vector<std::string> args;  ///< function arguments (attribute names)
+};
+
+enum class PredOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string to_string(PredOp op);
+
+/// selPred: attribute <op> value.  Values are numeric (sensor ids, room
+/// numbers, thresholds) or strings.
+struct Predicate {
+  std::string attribute;
+  PredOp op = PredOp::kEq;
+  bool numeric = true;
+  double number = 0.0;
+  std::string text;
+
+  /// Evaluates against a numeric attribute value.
+  bool eval(double value) const;
+  bool eval(const std::string& value) const;
+};
+
+/// COST dimension: "sensor energy, response time or accuracy of the result".
+enum class CostMetric { kNone, kEnergy, kTime, kAccuracy };
+
+std::string to_string(CostMetric metric);
+
+struct CostClause {
+  CostMetric metric = CostMetric::kNone;
+  double limit = 0.0;
+};
+
+/// A parsed query.
+struct Query {
+  std::vector<SelectItem> select;
+  std::string from = "sensors";
+  std::vector<Predicate> where;
+  CostClause cost;
+  /// EPOCH DURATION in seconds; set iff the query is continuous.
+  std::optional<double> epoch_duration_s;
+  std::string source_text;
+
+  bool has_function() const;
+  /// First function item, if any.
+  const SelectItem* function() const;
+  /// Finds the first predicate on `attribute`, or nullptr.
+  const Predicate* predicate_on(const std::string& attribute) const;
+};
+
+/// Round-trips a query back to text (normalized form, for logging).
+std::string to_string(const Query& query);
+
+}  // namespace pgrid::query

@@ -1,0 +1,63 @@
+#include "query/classifier.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pgrid::query {
+
+namespace {
+std::string upper(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return out;
+}
+}  // namespace
+
+std::string to_string(QueryClass cls) {
+  switch (cls) {
+    case QueryClass::kSimple: return "simple";
+    case QueryClass::kAggregate: return "aggregate";
+    case QueryClass::kComplex: return "complex";
+    case QueryClass::kContinuous: return "continuous";
+  }
+  return "?";
+}
+
+QueryClassifier::QueryClassifier() {
+  register_complex_function("TEMP_DISTRIBUTION");
+}
+
+void QueryClassifier::register_complex_function(const std::string& name) {
+  complex_functions_.insert(upper(name));
+}
+
+bool QueryClassifier::knows_complex(const std::string& name) const {
+  return complex_functions_.count(upper(name)) > 0;
+}
+
+Classification QueryClassifier::classify(const Query& query) const {
+  Classification result;
+  result.continuous = query.epoch_duration_s.has_value();
+
+  const SelectItem* fn = query.function();
+  if (fn == nullptr) {
+    result.inner = QueryClass::kSimple;
+  } else {
+    sensornet::AggregateFunction aggregate;
+    if (sensornet::parse_aggregate(fn->name, aggregate)) {
+      result.inner = QueryClass::kAggregate;
+      result.aggregate = aggregate;
+    } else {
+      // Registered or arbitrary: both are Complex per the paper's language
+      // extension over TAG.
+      result.inner = QueryClass::kComplex;
+      result.complex_function = upper(fn->name);
+    }
+  }
+  result.primary = result.continuous ? QueryClass::kContinuous : result.inner;
+  return result;
+}
+
+}  // namespace pgrid::query

@@ -1,0 +1,58 @@
+// The four query types of Section 4.
+//
+//   Simple:     "Return temperature at Sensor # 10"
+//   Aggregate:  "Return Average Temperature in room # 210"
+//   Complex:    "Find Temperature Distribution in room #210"
+//   Continuous: "Return temperature at Sensor #10 every 10 seconds"
+//
+// Continuity is orthogonal in practice (a continuous query has an inner
+// one-shot type), so the classification reports both the paper's primary
+// category and the inner shape the executor repeats each epoch.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "query/ast.hpp"
+#include "sensornet/aggregation.hpp"
+
+namespace pgrid::query {
+
+enum class QueryClass { kSimple, kAggregate, kComplex, kContinuous };
+
+std::string to_string(QueryClass cls);
+
+struct Classification {
+  /// The paper's category: kContinuous whenever an EPOCH clause exists.
+  QueryClass primary = QueryClass::kSimple;
+  /// One-shot shape executed per epoch (equal to primary unless continuous).
+  QueryClass inner = QueryClass::kSimple;
+  bool continuous = false;
+  /// Set when inner == kAggregate.
+  sensornet::AggregateFunction aggregate = sensornet::AggregateFunction::kAvg;
+  /// Set when inner == kComplex.
+  std::string complex_function;
+};
+
+/// Classifies queries.  Aggregate functions are built in (MIN/MAX/AVG/SUM/
+/// COUNT); complex functions are registered — "we allow for any arbitrary
+/// function to be specified in the SELECT clause".
+class QueryClassifier {
+ public:
+  /// Constructs with the default complex-function registry
+  /// (TEMP_DISTRIBUTION).
+  QueryClassifier();
+
+  void register_complex_function(const std::string& name);
+  bool knows_complex(const std::string& name) const;
+
+  /// Classifies a parsed query.  Unknown (unregistered, non-aggregate)
+  /// functions classify as complex too: arbitrary functions are the point,
+  /// and the decision maker treats them conservatively.
+  Classification classify(const Query& query) const;
+
+ private:
+  std::set<std::string> complex_functions_;  ///< upper-cased names
+};
+
+}  // namespace pgrid::query

@@ -1,0 +1,297 @@
+#include "query/parser.hpp"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace pgrid::query {
+
+namespace {
+
+enum class TokenKind { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // ident (upper-cased copy in `upper`), symbol, string
+  std::string upper;   // for keyword comparison
+  double number = 0.0;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  common::Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    std::size_t i = 0;
+    const std::size_t n = text_.size();
+    while (i < n) {
+      const char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '{' || c == '}') {
+        ++i;  // braces are decorative, per the paper's notation
+        continue;
+      }
+      Token token;
+      token.pos = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t start = i;
+        while (i < n && (std::isalnum(static_cast<unsigned char>(text_[i])) ||
+                         text_[i] == '_')) {
+          ++i;
+        }
+        token.kind = TokenKind::kIdent;
+        token.text = text_.substr(start, i - start);
+        token.upper = token.text;
+        for (auto& ch : token.upper) {
+          ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+                 (c == '-' && i + 1 < n &&
+                  std::isdigit(static_cast<unsigned char>(text_[i + 1])))) {
+        std::size_t start = i;
+        if (c == '-') ++i;
+        while (i < n && (std::isdigit(static_cast<unsigned char>(text_[i])) ||
+                         text_[i] == '.' || text_[i] == 'e' ||
+                         text_[i] == 'E' ||
+                         ((text_[i] == '+' || text_[i] == '-') && i > start &&
+                          (text_[i - 1] == 'e' || text_[i - 1] == 'E')))) {
+          ++i;
+        }
+        token.kind = TokenKind::kNumber;
+        token.text = text_.substr(start, i - start);
+        try {
+          token.number = std::stod(token.text);
+        } catch (...) {
+          return fail("bad number", start);
+        }
+      } else if (c == '\'') {
+        std::size_t start = ++i;
+        while (i < n && text_[i] != '\'') ++i;
+        if (i >= n) return fail("unterminated string", start);
+        token.kind = TokenKind::kString;
+        token.text = text_.substr(start, i - start);
+        ++i;  // closing quote
+      } else if (c == '<' || c == '>' || c == '!' || c == '=') {
+        token.kind = TokenKind::kSymbol;
+        token.text = std::string(1, c);
+        ++i;
+        if (i < n && text_[i] == '=' && c != '=') {
+          token.text += '=';
+          ++i;
+        }
+        if (token.text == "!") return fail("expected != ", token.pos);
+      } else if (c == '(' || c == ')' || c == ',' || c == '#') {
+        token.kind = TokenKind::kSymbol;
+        token.text = std::string(1, c);
+        ++i;
+      } else {
+        return fail(std::string("unexpected character '") + c + "'", i);
+      }
+      tokens.push_back(std::move(token));
+    }
+    Token end;
+    end.pos = n;
+    tokens.push_back(end);
+    return tokens;
+  }
+
+ private:
+  common::Result<std::vector<Token>> fail(const std::string& message,
+                                          std::size_t pos) {
+    return common::Result<std::vector<Token>>::failure(
+        message + " at offset " + std::to_string(pos));
+  }
+  const std::string& text_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  common::Result<Query> run(const std::string& source) {
+    Query query;
+    query.source_text = source;
+
+    if (!eat_keyword("SELECT")) return fail("expected SELECT");
+    auto items = parse_items();
+    if (!items.ok()) return common::Result<Query>::failure(items.error());
+    query.select = std::move(items).take();
+    if (query.select.empty()) return fail("empty SELECT list");
+
+    if (!eat_keyword("FROM")) return fail("expected FROM");
+    if (peek().kind != TokenKind::kIdent) return fail("expected source name");
+    query.from = next().text;
+
+    if (eat_keyword("WHERE")) {
+      auto preds = parse_predicates();
+      if (!preds.ok()) return common::Result<Query>::failure(preds.error());
+      query.where = std::move(preds).take();
+    }
+
+    if (eat_keyword("COST")) {
+      auto cost = parse_cost();
+      if (!cost.ok()) return common::Result<Query>::failure(cost.error());
+      query.cost = std::move(cost).take();
+    }
+
+    if (eat_keyword("EPOCH")) {
+      eat_keyword("DURATION");  // optional in relaxed form
+      if (peek().kind != TokenKind::kNumber) {
+        return fail("expected epoch duration");
+      }
+      query.epoch_duration_s = next().number;
+      if (*query.epoch_duration_s <= 0) {
+        return fail("epoch duration must be positive");
+      }
+    }
+
+    if (peek().kind != TokenKind::kEnd) {
+      return fail("trailing input: '" + peek().text + "'");
+    }
+    return query;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[index_]; }
+  const Token& next() { return tokens_[index_++]; }
+
+  bool eat_keyword(const std::string& keyword) {
+    if (peek().kind == TokenKind::kIdent && peek().upper == keyword) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  bool eat_symbol(const std::string& symbol) {
+    if (peek().kind == TokenKind::kSymbol && peek().text == symbol) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  common::Result<Query> fail(const std::string& message) {
+    return common::Result<Query>::failure(
+        message + " at offset " + std::to_string(peek().pos));
+  }
+
+  common::Result<std::vector<SelectItem>> parse_items() {
+    using R = common::Result<std::vector<SelectItem>>;
+    std::vector<SelectItem> items;
+    for (;;) {
+      if (peek().kind != TokenKind::kIdent) {
+        return R::failure("expected select item at offset " +
+                          std::to_string(peek().pos));
+      }
+      SelectItem item;
+      item.name = next().text;
+      if (eat_symbol("(")) {
+        item.kind = SelectItem::Kind::kFunction;
+        if (!eat_symbol(")")) {
+          for (;;) {
+            if (peek().kind != TokenKind::kIdent) {
+              return R::failure("expected function argument at offset " +
+                                std::to_string(peek().pos));
+            }
+            item.args.push_back(next().text);
+            if (eat_symbol(")")) break;
+            if (!eat_symbol(",")) {
+              return R::failure("expected , or ) at offset " +
+                                std::to_string(peek().pos));
+            }
+          }
+        }
+      }
+      items.push_back(std::move(item));
+      if (!eat_symbol(",")) break;
+    }
+    return items;
+  }
+
+  common::Result<std::vector<Predicate>> parse_predicates() {
+    using R = common::Result<std::vector<Predicate>>;
+    std::vector<Predicate> preds;
+    for (;;) {
+      if (peek().kind != TokenKind::kIdent) {
+        return R::failure("expected predicate attribute at offset " +
+                          std::to_string(peek().pos));
+      }
+      Predicate pred;
+      pred.attribute = next().text;
+      eat_symbol("#");  // tolerate "Sensor # 10" style
+      if (peek().kind != TokenKind::kSymbol) {
+        return R::failure("expected comparison operator at offset " +
+                          std::to_string(peek().pos));
+      }
+      const std::string op = next().text;
+      if (op == "=") pred.op = PredOp::kEq;
+      else if (op == "!=") pred.op = PredOp::kNe;
+      else if (op == "<") pred.op = PredOp::kLt;
+      else if (op == "<=") pred.op = PredOp::kLe;
+      else if (op == ">") pred.op = PredOp::kGt;
+      else if (op == ">=") pred.op = PredOp::kGe;
+      else {
+        return R::failure("unknown operator '" + op + "'");
+      }
+      if (peek().kind == TokenKind::kNumber) {
+        pred.numeric = true;
+        pred.number = next().number;
+      } else if (peek().kind == TokenKind::kString) {
+        pred.numeric = false;
+        pred.text = next().text;
+      } else {
+        return R::failure("expected predicate value at offset " +
+                          std::to_string(peek().pos));
+      }
+      preds.push_back(std::move(pred));
+      if (!eat_keyword("AND")) break;
+    }
+    return preds;
+  }
+
+  common::Result<CostClause> parse_cost() {
+    using R = common::Result<CostClause>;
+    CostClause cost;
+    if (peek().kind != TokenKind::kIdent) {
+      return R::failure("expected cost metric at offset " +
+                        std::to_string(peek().pos));
+    }
+    const std::string metric = next().upper;
+    if (metric == "ENERGY") cost.metric = CostMetric::kEnergy;
+    else if (metric == "TIME") cost.metric = CostMetric::kTime;
+    else if (metric == "ACCURACY") cost.metric = CostMetric::kAccuracy;
+    else {
+      return R::failure("unknown cost metric '" + metric + "'");
+    }
+    // Optional comparison symbol: COST energy < 0.5 and COST energy 0.5 are
+    // both accepted.
+    if (peek().kind == TokenKind::kSymbol && peek().text != "(") next();
+    if (peek().kind != TokenKind::kNumber) {
+      return R::failure("expected cost limit at offset " +
+                        std::to_string(peek().pos));
+    }
+    cost.limit = next().number;
+    return cost;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+common::Result<Query> parse_query(const std::string& text) {
+  Lexer lexer(text);
+  auto tokens = lexer.run();
+  if (!tokens.ok()) return common::Result<Query>::failure(tokens.error());
+  Parser parser(std::move(tokens).take());
+  return parser.run(text);
+}
+
+}  // namespace pgrid::query

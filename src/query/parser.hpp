@@ -1,0 +1,27 @@
+// Recursive-descent parser for the query language of Section 4.
+//
+// Grammar (keywords case-insensitive; braces around clause bodies are
+// optional, matching the paper's loose "{ selPreds }" notation):
+//
+//   query     := SELECT items FROM ident [WHERE preds] [COST cost]
+//                [EPOCH DURATION number]
+//   items     := item (',' item)*
+//   item      := ident ['(' [ident (',' ident)*] ')']
+//   preds     := pred (AND pred)*
+//   pred      := ident op value
+//   op        := '=' | '!=' | '<' | '<=' | '>' | '>='
+//   value     := number | '\'' chars '\''
+//   cost      := (ENERGY | TIME | ACCURACY) [op] number
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "query/ast.hpp"
+
+namespace pgrid::query {
+
+/// Parses the text into a Query; the error carries position context.
+common::Result<Query> parse_query(const std::string& text);
+
+}  // namespace pgrid::query

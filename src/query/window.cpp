@@ -1,0 +1,73 @@
+#include "query/window.hpp"
+
+#include <algorithm>
+
+namespace pgrid::query {
+
+SlidingWindow::SlidingWindow(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SlidingWindow::push(double value) {
+  values_.push_back(value);
+  sum_ += value;
+  if (values_.size() > capacity_) {
+    sum_ -= values_.front();
+    values_.pop_front();
+  }
+}
+
+double SlidingWindow::mean() const {
+  if (values_.empty()) return 0.0;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double SlidingWindow::min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double SlidingWindow::max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double SlidingWindow::slope() const {
+  const std::size_t n = values_.size();
+  if (n < 2) return 0.0;
+  // Least squares with x = 0..n-1.
+  const double nd = static_cast<double>(n);
+  const double x_mean = (nd - 1.0) / 2.0;
+  const double y_mean = mean();
+  double numerator = 0.0;
+  double denominator = 0.0;
+  std::size_t i = 0;
+  for (double y : values_) {
+    const double dx = static_cast<double>(i) - x_mean;
+    numerator += dx * (y - y_mean);
+    denominator += dx * dx;
+    ++i;
+  }
+  return denominator > 0.0 ? numerator / denominator : 0.0;
+}
+
+WindowAlarm::WindowAlarm(std::size_t window, double threshold,
+                         double rearm_below, Statistic statistic)
+    : window_(window),
+      threshold_(threshold),
+      rearm_below_(rearm_below),
+      statistic_(statistic ? std::move(statistic)
+                           : [](const SlidingWindow& w) { return w.mean(); }) {}
+
+bool WindowAlarm::push(double value) {
+  window_.push(value);
+  const double level = statistic_(window_);
+  if (armed_ && level >= threshold_) {
+    armed_ = false;
+    ++fires_;
+    return true;
+  }
+  if (!armed_ && level < rearm_below_) armed_ = true;
+  return false;
+}
+
+}  // namespace pgrid::query

@@ -1,0 +1,77 @@
+// Sliding-window operators over continuous query results.
+//
+// The paper positions itself against Cougar [24] and Fjords [20], which
+// provide "non-blocking and windowed operators over streaming data"; its
+// own Continuous/Windowed Query class ("Return temperature at Sensor #10
+// every 10 seconds") needs the same machinery at the base station: per-
+// epoch results flow into sliding windows that expose running aggregates
+// and trend estimates without blocking on the stream.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "sensornet/aggregation.hpp"
+
+namespace pgrid::query {
+
+/// Fixed-capacity sliding window over a numeric stream with O(1) running
+/// mean and O(n) min/max (n = window length, typically small).
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void push(double value);
+
+  std::size_t size() const { return values_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return values_.size() == capacity_; }
+  bool empty() const { return values_.empty(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+  double latest() const { return values_.back(); }
+
+  /// Least-squares slope over the window (index as abscissa): the trend a
+  /// monitoring console shows ("temperature rising 2.3 C per epoch").
+  double slope() const;
+
+  const std::deque<double>& values() const { return values_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+};
+
+/// A threshold alarm over a sliding window: fires (once per excursion) when
+/// the windowed statistic crosses the threshold, and re-arms when it drops
+/// back below the hysteresis level.
+class WindowAlarm {
+ public:
+  using Statistic = std::function<double(const SlidingWindow&)>;
+
+  WindowAlarm(std::size_t window, double threshold, double rearm_below,
+              Statistic statistic = nullptr);
+
+  /// Feeds one epoch value; returns true when the alarm fires this epoch.
+  bool push(double value);
+
+  bool armed() const { return armed_; }
+  std::size_t fires() const { return fires_; }
+  const SlidingWindow& window() const { return window_; }
+
+ private:
+  SlidingWindow window_;
+  double threshold_;
+  double rearm_below_;
+  Statistic statistic_;
+  bool armed_ = true;
+  std::size_t fires_ = 0;
+};
+
+}  // namespace pgrid::query

@@ -1,0 +1,32 @@
+#include "sensornet/aggregation.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pgrid::sensornet {
+
+std::string to_string(AggregateFunction fn) {
+  switch (fn) {
+    case AggregateFunction::kMin: return "MIN";
+    case AggregateFunction::kMax: return "MAX";
+    case AggregateFunction::kAvg: return "AVG";
+    case AggregateFunction::kSum: return "SUM";
+    case AggregateFunction::kCount: return "COUNT";
+  }
+  return "?";
+}
+
+bool parse_aggregate(const std::string& name, AggregateFunction& out) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "MIN") out = AggregateFunction::kMin;
+  else if (upper == "MAX") out = AggregateFunction::kMax;
+  else if (upper == "AVG" || upper == "AVERAGE") out = AggregateFunction::kAvg;
+  else if (upper == "SUM") out = AggregateFunction::kSum;
+  else if (upper == "COUNT") out = AggregateFunction::kCount;
+  else return false;
+  return true;
+}
+
+}  // namespace pgrid::sensornet

@@ -1,0 +1,64 @@
+// Partial aggregate states, mergeable TAG-style.
+//
+// TAG's key property [21]: a constant-size partial state record supports
+// MIN/MAX/AVG/SUM/COUNT and merges associatively, so each tree node sends
+// one fixed-size packet per epoch regardless of subtree size.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace pgrid::sensornet {
+
+/// Aggregate functions of the paper's Aggregate Query class.
+enum class AggregateFunction { kMin, kMax, kAvg, kSum, kCount };
+
+std::string to_string(AggregateFunction fn);
+
+/// Parses "MIN"/"MAX"/"AVG"/"SUM"/"COUNT" (case-insensitive); returns false
+/// for anything else.
+bool parse_aggregate(const std::string& name, AggregateFunction& out);
+
+/// Constant-size mergeable partial state.
+struct AggregateState {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  /// Wire size of one partial state record.  TAG sends only the fields the
+  /// requested aggregate needs (e.g. sum+count for AVG), so the on-wire
+  /// record is comparable to a raw sample even though the in-memory state
+  /// carries all four.
+  static constexpr std::uint64_t kWireBytes = 16;
+
+  void add(double value) {
+    ++count;
+    sum += value;
+    if (value < min) min = value;
+    if (value > max) max = value;
+  }
+
+  void merge(const AggregateState& other) {
+    count += other.count;
+    sum += other.sum;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+
+  /// Final answer for the requested function; avg of zero samples is 0.
+  double result(AggregateFunction fn) const {
+    switch (fn) {
+      case AggregateFunction::kMin: return count ? min : 0.0;
+      case AggregateFunction::kMax: return count ? max : 0.0;
+      case AggregateFunction::kAvg:
+        return count ? sum / static_cast<double>(count) : 0.0;
+      case AggregateFunction::kSum: return sum;
+      case AggregateFunction::kCount: return static_cast<double>(count);
+    }
+    return 0.0;
+  }
+};
+
+}  // namespace pgrid::sensornet

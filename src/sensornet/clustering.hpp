@@ -1,0 +1,32 @@
+// Cluster formation for the cluster-based solution model.
+//
+// "Cluster based models can enable the computation to be carried out in the
+// sensor network. Sensors are divided into clusters and each cluster has a
+// cluster head. Cluster heads aggregate information from the sensors in
+// individual clusters and send it to the base station" (Section 4).
+// Formation is k-means on positions (deterministic seeded init); the head
+// of each cluster is the member with the most remaining energy, breaking
+// ties toward the centroid — a LEACH-flavoured rotation incentive.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace pgrid::sensornet {
+
+struct Cluster {
+  net::NodeId head = net::kInvalidNode;
+  std::vector<net::NodeId> members;  ///< includes the head
+  net::Vec3 centroid;
+};
+
+/// Partitions `sensors` (alive ones only) into at most `k` clusters.
+/// Deterministic given the rng state.  Empty clusters are dropped.
+std::vector<Cluster> form_clusters(const net::Network& network,
+                                   const std::vector<net::NodeId>& sensors,
+                                   std::size_t k, common::Rng& rng,
+                                   std::size_t max_iterations = 25);
+
+}  // namespace pgrid::sensornet

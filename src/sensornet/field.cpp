@@ -1,0 +1,23 @@
+#include "sensornet/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pgrid::sensornet {
+
+double BuildingTemperatureField::value(net::Vec3 pos, sim::SimTime t) const {
+  double temperature = ambient_;
+  for (const auto& fire : fires_) {
+    if (t < fire.start) continue;
+    const double burning_s = (t - fire.start).to_seconds();
+    const double intensity =
+        fire.peak_celsius * std::min(1.0, burning_s / fire.ramp_seconds);
+    const double radius =
+        fire.initial_radius_m + fire.spread_m_per_s * burning_s;
+    const double d = distance(pos, fire.pos);
+    temperature += intensity * std::exp(-(d * d) / (2.0 * radius * radius));
+  }
+  return temperature;
+}
+
+}  // namespace pgrid::sensornet

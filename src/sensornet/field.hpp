@@ -1,0 +1,77 @@
+// Physical scalar fields sampled by sensors.
+//
+// The paper's Section 4 scenario: "Consider a building with temperature
+// sensors embedded at various locations ... Suppose the building is on
+// fire."  BuildingTemperatureField is the synthetic stand-in for that
+// physical reality: ambient temperature plus growing, spreading fire
+// plumes.  Substitution note (DESIGN.md): real sensors are replaced by
+// sampling this field with noise, which exercises identical code paths.
+#pragma once
+
+#include <vector>
+
+#include "net/geometry.hpp"
+#include "sim/time.hpp"
+
+namespace pgrid::sensornet {
+
+/// A scalar quantity defined over space and simulated time.
+class ScalarField {
+ public:
+  virtual ~ScalarField() = default;
+  virtual double value(net::Vec3 pos, sim::SimTime t) const = 0;
+};
+
+/// Constant everywhere; the quiet-building baseline.
+class UniformField final : public ScalarField {
+ public:
+  explicit UniformField(double level) : level_(level) {}
+  double value(net::Vec3, sim::SimTime) const override { return level_; }
+
+ private:
+  double level_;
+};
+
+/// Linear ramp along x — convenient for verifying aggregation math exactly.
+class GradientField final : public ScalarField {
+ public:
+  GradientField(double base, double slope_per_m)
+      : base_(base), slope_(slope_per_m) {}
+  double value(net::Vec3 pos, sim::SimTime) const override {
+    return base_ + slope_ * pos.x;
+  }
+
+ private:
+  double base_;
+  double slope_;
+};
+
+/// One fire plume: ignites at `start`, intensity ramps to `peak_celsius`
+/// over `ramp_seconds`, heat decays as a Gaussian with radius growing at
+/// `spread_m_per_s`.
+struct FireSource {
+  net::Vec3 pos;
+  sim::SimTime start = sim::SimTime::zero();
+  double peak_celsius = 600.0;
+  double ramp_seconds = 120.0;
+  double initial_radius_m = 3.0;
+  double spread_m_per_s = 0.05;
+};
+
+/// Ambient building temperature plus any number of fire plumes.
+class BuildingTemperatureField final : public ScalarField {
+ public:
+  explicit BuildingTemperatureField(double ambient_celsius = 20.0)
+      : ambient_(ambient_celsius) {}
+
+  void ignite(FireSource fire) { fires_.push_back(fire); }
+  std::size_t fire_count() const { return fires_.size(); }
+
+  double value(net::Vec3 pos, sim::SimTime t) const override;
+
+ private:
+  double ambient_;
+  std::vector<FireSource> fires_;
+};
+
+}  // namespace pgrid::sensornet

@@ -1,0 +1,62 @@
+#include "sensornet/lifetime.hpp"
+
+#include <memory>
+
+namespace pgrid::sensornet {
+
+std::string to_string(CollectionStrategy strategy) {
+  switch (strategy) {
+    case CollectionStrategy::kAllToBase: return "all-to-base";
+    case CollectionStrategy::kClusterAggregate: return "cluster";
+    case CollectionStrategy::kTreeAggregate: return "tree";
+  }
+  return "?";
+}
+
+void run_collection(SensorNetwork& network, const ScalarField& field,
+                    CollectionStrategy strategy, std::size_t clusters,
+                    SensorNetwork::CollectCallback done) {
+  switch (strategy) {
+    case CollectionStrategy::kAllToBase:
+      network.collect_all_to_base(field, std::move(done));
+      return;
+    case CollectionStrategy::kClusterAggregate:
+      network.collect_cluster_aggregate(field, clusters, std::move(done));
+      return;
+    case CollectionStrategy::kTreeAggregate:
+      network.collect_tree_aggregate(field, std::move(done));
+      return;
+  }
+}
+
+void measure_lifetime(SensorNetwork& network, const ScalarField& field,
+                      CollectionStrategy strategy, std::size_t clusters,
+                      std::size_t max_rounds,
+                      std::function<void(LifetimeResult)> done) {
+  network.network().reset_energy();
+  auto result = std::make_shared<LifetimeResult>();
+  auto done_shared =
+      std::make_shared<std::function<void(LifetimeResult)>>(std::move(done));
+  auto next_round = std::make_shared<std::function<void()>>();
+  *next_round = [&network, &field, strategy, clusters, max_rounds, result,
+                 done_shared, next_round] {
+    if (network.network().dead_node_count() > 0) {
+      (*done_shared)(*result);
+      return;
+    }
+    if (result->rounds >= max_rounds) {
+      result->hit_round_cap = true;
+      (*done_shared)(*result);
+      return;
+    }
+    run_collection(network, field, strategy, clusters,
+                   [result, next_round](CollectionResult round) {
+                     result->total_energy_j += round.energy_j;
+                     ++result->rounds;
+                     (*next_round)();
+                   });
+  };
+  (*next_round)();
+}
+
+}  // namespace pgrid::sensornet

@@ -1,0 +1,38 @@
+// Network lifetime measurement: rounds of data gathering until the first
+// sensor exhausts its battery (the metric of Kalpakis et al. [16], which
+// the paper cites for maximum-lifetime data gathering).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sensornet/sensor_network.hpp"
+
+namespace pgrid::sensornet {
+
+/// The three in-network collection strategies under comparison.
+enum class CollectionStrategy { kAllToBase, kClusterAggregate, kTreeAggregate };
+
+std::string to_string(CollectionStrategy strategy);
+
+/// Runs `strategy` against `network` (one round = one epoch's collection).
+/// Dispatch helper shared by lifetime measurement and the benches.
+void run_collection(SensorNetwork& network, const ScalarField& field,
+                    CollectionStrategy strategy, std::size_t clusters,
+                    SensorNetwork::CollectCallback done);
+
+struct LifetimeResult {
+  std::size_t rounds = 0;       ///< completed rounds before first death
+  double total_energy_j = 0.0;  ///< battery energy over all rounds
+  bool hit_round_cap = false;   ///< stopped by max_rounds, nobody died
+};
+
+/// Repeats collection rounds until a sensor dies or `max_rounds` is
+/// reached.  The callback fires once, after the simulator settles.  Resets
+/// network energy first so runs are comparable.
+void measure_lifetime(SensorNetwork& network, const ScalarField& field,
+                      CollectionStrategy strategy, std::size_t clusters,
+                      std::size_t max_rounds,
+                      std::function<void(LifetimeResult)> done);
+
+}  // namespace pgrid::sensornet

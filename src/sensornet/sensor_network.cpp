@@ -1,0 +1,410 @@
+#include "sensornet/sensor_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pgrid::sensornet {
+
+namespace {
+/// Size of a query/read request packet.
+constexpr std::uint64_t kRequestBytes = 32;
+}  // namespace
+
+SensorNetwork::SensorNetwork(net::Network& network,
+                             SensorNetworkConfig config, common::Rng rng)
+    : network_(network), config_(config), rng_(rng) {
+  net::NodeConfig sensor_config;
+  sensor_config.kind = net::NodeKind::kSensor;
+  sensor_config.radio = config_.radio;
+  sensor_config.battery_j = config_.battery_j;
+  const std::size_t floors = std::max<std::size_t>(1, config_.floors);
+  for (std::size_t floor = 0; floor < floors; ++floor) {
+    const double z = static_cast<double>(floor) * config_.floor_height_m;
+    std::vector<net::NodeId> storey;
+    if (config_.grid_placement) {
+      storey = net::deploy_grid(network_, config_.sensor_count,
+                                config_.width_m, config_.height_m,
+                                sensor_config);
+    } else {
+      storey = net::deploy_random(network_, config_.sensor_count,
+                                  config_.width_m, config_.height_m,
+                                  sensor_config, rng_);
+    }
+    if (floor > 0) {
+      for (net::NodeId id : storey) {
+        auto pos = network_.node(id).pos;
+        pos.z = z;
+        network_.move_node(id, pos);
+      }
+    }
+    sensors_.insert(sensors_.end(), storey.begin(), storey.end());
+  }
+  net::NodeConfig base_config;
+  base_config.kind = net::NodeKind::kBaseStation;
+  base_config.radio = config_.radio;
+  base_config.pos = config_.base_pos;
+  base_config.unlimited_energy = true;
+  base_ = network_.add_node(base_config);
+}
+
+double SensorNetwork::sample(net::NodeId sensor, const ScalarField& field,
+                             sim::SimTime t) {
+  const double truth = field.value(network_.node(sensor).pos, t);
+  return truth + rng_.normal(0.0, config_.noise_std);
+}
+
+int SensorNetwork::room_of(net::NodeId node) const {
+  if (config_.room_size_m <= 0.0) return 101;
+  const auto& pos = network_.node(node).pos;
+  const int col = std::max(0, static_cast<int>(pos.x / config_.room_size_m));
+  const int row = std::max(0, static_cast<int>(pos.y / config_.room_size_m));
+  return 100 * (row + 1) + (col + 1);
+}
+
+std::size_t SensorNetwork::floor_of(net::NodeId node) const {
+  if (config_.floors <= 1 || config_.floor_height_m <= 0.0) return 0;
+  const double z = network_.node(node).pos.z;
+  const auto floor = static_cast<std::size_t>(
+      std::max(0.0, z / config_.floor_height_m + 0.5));
+  return std::min(floor, config_.floors - 1);
+}
+
+double SensorNetwork::building_depth_m() const {
+  if (config_.floors <= 1) return 0.0;
+  return static_cast<double>(config_.floors) * config_.floor_height_m;
+}
+
+const net::SinkTree& SensorNetwork::tree() {
+  if (!tree_ || tree_->built_at_version() != network_.topology_version()) {
+    tree_ = std::make_unique<net::SinkTree>(network_, base_);
+  }
+  return *tree_;
+}
+
+std::size_t SensorNetwork::alive_sensors() const {
+  std::size_t count = 0;
+  for (net::NodeId id : sensors_) {
+    if (network_.alive(id)) ++count;
+  }
+  return count;
+}
+
+struct SensorNetwork::RoundState {
+  CollectCallback done;
+  CollectionResult result;
+  std::size_t outstanding = 0;
+  double energy_before = 0.0;
+  sim::SimTime started;
+  bool finished = false;
+};
+
+std::shared_ptr<SensorNetwork::RoundState> SensorNetwork::begin_round(
+    CollectCallback done) {
+  auto round = std::make_shared<RoundState>();
+  round->done = std::move(done);
+  round->energy_before = network_.battery_energy_consumed();
+  round->started = network_.simulator().now();
+  return round;
+}
+
+void SensorNetwork::finish_round(const std::shared_ptr<RoundState>& round) {
+  if (round->finished || round->outstanding != 0) return;
+  round->finished = true;
+  round->result.energy_j =
+      network_.battery_energy_consumed() - round->energy_before;
+  round->result.elapsed_s =
+      (network_.simulator().now() - round->started).to_seconds();
+  round->result.complete = round->result.reports == round->result.expected;
+  round->done(round->result);
+}
+
+namespace {
+/// Samples every alive sensor once (noise drawn for all, so the stream is
+/// filter-independent) and keeps those passing the WHERE filter.
+std::vector<std::pair<net::NodeId, double>> qualifying_samples(
+    SensorNetwork& snet, const ScalarField& field,
+    const SensorNetwork::SensorFilter& filter) {
+  std::vector<std::pair<net::NodeId, double>> out;
+  const sim::SimTime now = snet.network().simulator().now();
+  for (net::NodeId sensor : snet.sensors()) {
+    if (!snet.network().alive(sensor)) continue;
+    const double value = snet.sample(sensor, field, now);
+    if (filter && !filter(sensor, value)) continue;
+    out.emplace_back(sensor, value);
+  }
+  return out;
+}
+}  // namespace
+
+void SensorNetwork::collect_all_to_base(const ScalarField& field,
+                                        CollectCallback done,
+                                        SensorFilter filter) {
+  auto round = begin_round(std::move(done));
+  const auto& routing_tree = tree();
+  const auto qualified = qualifying_samples(*this, field, filter);
+  round->result.expected = qualified.size();
+  for (const auto& [sensor, value] : qualified) {
+    auto route = routing_tree.route_to_sink(sensor);
+    if (route.empty()) continue;  // disconnected; counted as missing
+    const net::Vec3 pos = network_.node(sensor).pos;
+    ++round->outstanding;
+    const net::NodeId sensor_id = sensor;
+    const double reading = value;
+    network_.send_route(route, config_.sample_bytes,
+                        [this, round, sensor_id, pos, reading](bool ok,
+                                                               std::size_t) {
+                          if (ok) {
+                            round->result.aggregate.add(reading);
+                            round->result.raw.push_back(
+                                RawReading{sensor_id, pos, reading});
+                            ++round->result.reports;
+                          }
+                          --round->outstanding;
+                          finish_round(round);
+                        });
+  }
+  if (round->outstanding == 0) {
+    network_.simulator().schedule(sim::SimTime::zero(),
+                                  [this, round] { finish_round(round); });
+  }
+}
+
+void SensorNetwork::collect_tree_aggregate(const ScalarField& field,
+                                           CollectCallback done,
+                                           SensorFilter filter) {
+  auto round = begin_round(std::move(done));
+  // Snapshot the tree: topology churn mid-round must not invalidate the
+  // schedule this round was built against.
+  auto routing_tree = std::make_shared<net::SinkTree>(tree());
+  const auto qualified = qualifying_samples(*this, field, filter);
+
+  // Per-node partial states; qualifying sensors contribute their sample.
+  // Non-qualifying tree nodes still relay their children's states.
+  auto states = std::make_shared<std::map<net::NodeId, AggregateState>>();
+  auto contributions =
+      std::make_shared<std::map<net::NodeId, std::size_t>>();
+  std::size_t expected = 0;
+  for (const auto& [sensor, value] : qualified) {
+    if (!routing_tree->contains(sensor)) continue;
+    AggregateState state;
+    state.add(value);
+    (*states)[sensor] = state;
+    (*contributions)[sensor] = 1;
+    ++expected;
+  }
+  round->result.expected = expected;
+
+  // Group by depth; transmit deepest level first so parents hold complete
+  // subtree states when their turn comes (TAG's epoch schedule).
+  const std::size_t deepest = routing_tree->max_depth();
+  auto levels = std::make_shared<std::vector<std::vector<net::NodeId>>>();
+  levels->resize(deepest + 1);
+  for (net::NodeId id : routing_tree->bfs_order()) {
+    if (id == base_) continue;
+    (*levels)[routing_tree->depth(id)].push_back(id);
+  }
+
+  auto run_level = std::make_shared<std::function<void(std::size_t)>>();
+  *run_level = [this, round, states, contributions, levels, run_level,
+                routing_tree](std::size_t depth) {
+    if (depth == 0) {
+      // All partial states have arrived at (or failed before) the base.
+      auto it = states->find(base_);
+      if (it != states->end()) round->result.aggregate = it->second;
+      auto contributed = contributions->find(base_);
+      round->result.reports =
+          contributed == contributions->end() ? 0 : contributed->second;
+      finish_round(round);
+      return;
+    }
+    const auto& level_nodes = (*levels)[depth];
+    auto pending = std::make_shared<std::size_t>(level_nodes.size());
+    if (level_nodes.empty()) {
+      (*run_level)(depth - 1);
+      return;
+    }
+    for (net::NodeId id : level_nodes) {
+      const net::NodeId parent = routing_tree->parent(id);
+      auto state_it = states->find(id);
+      const bool has_state =
+          state_it != states->end() && state_it->second.count > 0;
+      auto advance = [this, pending, run_level, depth] {
+        if (--*pending == 0) (*run_level)(depth - 1);
+      };
+      if (!has_state || !network_.alive(id)) {
+        network_.simulator().schedule(sim::SimTime::zero(), advance);
+        continue;
+      }
+      const AggregateState to_send = state_it->second;
+      const std::size_t contributed = (*contributions)[id];
+      network_.transmit(
+          id, parent, config_.state_bytes,
+          [states, contributions, parent, to_send, contributed,
+           advance](bool ok) {
+            if (ok) {
+              (*states)[parent].merge(to_send);
+              (*contributions)[parent] += contributed;
+            }
+            advance();
+          });
+    }
+  };
+  if (deepest == 0) {
+    network_.simulator().schedule(sim::SimTime::zero(),
+                                  [this, round] { finish_round(round); });
+    return;
+  }
+  (*run_level)(deepest);
+}
+
+void SensorNetwork::collect_clustered(const ScalarField& field, std::size_t k,
+                                      bool keep_raw_averages,
+                                      CollectCallback done,
+                                      SensorFilter filter) {
+  auto round = begin_round(std::move(done));
+  auto clusters = std::make_shared<std::vector<Cluster>>(
+      form_clusters(network_, sensors_, k, rng_));
+  const auto qualified = qualifying_samples(*this, field, filter);
+  std::map<net::NodeId, double> values;
+  for (const auto& [sensor, value] : qualified) values[sensor] = value;
+  round->result.expected = qualified.size();
+
+  if (clusters->empty()) {
+    network_.simulator().schedule(sim::SimTime::zero(),
+                                  [this, round] { finish_round(round); });
+    return;
+  }
+
+  // Phase 1: qualifying members ship raw readings to their head; heads
+  // sample locally.
+  auto head_states =
+      std::make_shared<std::vector<AggregateState>>(clusters->size());
+  auto head_reports =
+      std::make_shared<std::vector<std::size_t>>(clusters->size(), 0);
+  auto phase1_pending = std::make_shared<std::size_t>(0);
+
+  auto phase2 = [this, round, clusters, head_states, head_reports,
+                 keep_raw_averages] {
+    // Phase 2: each head forwards one partial state to the base station.
+    auto pending = std::make_shared<std::size_t>(clusters->size());
+    for (std::size_t c = 0; c < clusters->size(); ++c) {
+      const Cluster& cluster = (*clusters)[c];
+      const AggregateState state = (*head_states)[c];
+      const std::size_t reports = (*head_reports)[c];
+      auto advance = [this, round, pending] {
+        if (--*pending == 0) finish_round(round);
+      };
+      auto route = net::shortest_path(network_, cluster.head, base_);
+      if (route.empty() || state.count == 0) {
+        network_.simulator().schedule(sim::SimTime::zero(), advance);
+        continue;
+      }
+      const net::Vec3 centroid = cluster.centroid;
+      network_.send_route(
+          route, config_.state_bytes,
+          [round, state, reports, centroid, keep_raw_averages, advance](
+              bool ok, std::size_t) {
+            if (ok) {
+              round->result.aggregate.merge(state);
+              round->result.reports += reports;
+              if (keep_raw_averages) {
+                // Region averages arrive as synthetic readings at the
+                // region centroid.
+                round->result.raw.push_back(
+                    RawReading{net::kInvalidNode, centroid,
+                               state.result(AggregateFunction::kAvg)});
+              }
+            }
+            advance();
+          });
+    }
+  };
+
+  for (std::size_t c = 0; c < clusters->size(); ++c) {
+    const Cluster& cluster = (*clusters)[c];
+    for (net::NodeId member : cluster.members) {
+      auto value_it = values.find(member);
+      if (value_it == values.end()) continue;  // dead or filtered out
+      const double value = value_it->second;
+      if (member == cluster.head) {
+        (*head_states)[c].add(value);
+        ++(*head_reports)[c];
+        continue;
+      }
+      auto route = net::shortest_path(network_, member, cluster.head);
+      if (route.empty()) continue;
+      ++*phase1_pending;
+      network_.send_route(route, config_.sample_bytes,
+                          [c, value, head_states, head_reports,
+                           phase1_pending, phase2](bool ok, std::size_t) {
+                            if (ok) {
+                              (*head_states)[c].add(value);
+                              ++(*head_reports)[c];
+                            }
+                            if (--*phase1_pending == 0) phase2();
+                          });
+    }
+  }
+  if (*phase1_pending == 0) {
+    network_.simulator().schedule(sim::SimTime::zero(), phase2);
+  }
+}
+
+void SensorNetwork::collect_cluster_aggregate(const ScalarField& field,
+                                              std::size_t k,
+                                              CollectCallback done,
+                                              SensorFilter filter) {
+  collect_clustered(field, k, /*keep_raw_averages=*/false, std::move(done),
+                    std::move(filter));
+}
+
+void SensorNetwork::collect_region_averages(const ScalarField& field,
+                                            std::size_t regions,
+                                            CollectCallback done,
+                                            SensorFilter filter) {
+  collect_clustered(field, regions, /*keep_raw_averages=*/true,
+                    std::move(done), std::move(filter));
+}
+
+void SensorNetwork::read_sensor(net::NodeId sensor, const ScalarField& field,
+                                ReadCallback done) {
+  const double energy_before = network_.battery_energy_consumed();
+  const sim::SimTime started = network_.simulator().now();
+  auto finish = [this, energy_before, started,
+                 done = std::move(done)](bool ok, double value) {
+    ReadResult result;
+    result.ok = ok;
+    result.value = value;
+    result.elapsed_s = (network_.simulator().now() - started).to_seconds();
+    result.energy_j = network_.battery_energy_consumed() - energy_before;
+    done(result);
+  };
+
+  auto down = net::shortest_path(network_, base_, sensor);
+  if (down.empty()) {
+    network_.simulator().schedule(
+        sim::SimTime::zero(), [finish] { finish(false, 0.0); });
+    return;
+  }
+  network_.send_route(
+      down, kRequestBytes,
+      [this, sensor, &field, finish](bool ok, std::size_t) {
+        if (!ok) {
+          finish(false, 0.0);
+          return;
+        }
+        const double value =
+            sample(sensor, field, network_.simulator().now());
+        auto up = net::shortest_path(network_, sensor, base_);
+        if (up.empty()) {
+          finish(false, 0.0);
+          return;
+        }
+        network_.send_route(up, config_.sample_bytes,
+                            [finish, value](bool ok_up, std::size_t) {
+                              finish(ok_up, ok_up ? value : 0.0);
+                            });
+      });
+}
+
+}  // namespace pgrid::sensornet

@@ -1,0 +1,91 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace pgrid::sim {
+
+EventHandle Simulator::schedule(SimTime delay, Callback fn) {
+  if (delay.us < 0) delay = SimTime::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
+  if (when < now_) when = now_;
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  return EventHandle{id};
+}
+
+bool Simulator::cancel(EventHandle handle) {
+  if (handle.id == 0 || handle.id >= next_id_) return false;
+  if (std::find(cancelled_.begin(), cancelled_.end(), handle.id) !=
+      cancelled_.end()) {
+    return false;
+  }
+  cancelled_.push_back(handle.id);
+  ++cancelled_count_;
+  return true;
+}
+
+bool Simulator::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), event.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_count_;
+      continue;
+    }
+    out = std::move(event);
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t processed = 0;
+  Event event;
+  while (pop_next(event)) {
+    now_ = event.when;
+    event.fn();
+    ++processed;
+  }
+  return processed;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t processed = 0;
+  Event event;
+  while (!queue_.empty()) {
+    if (queue_.top().when > deadline) break;
+    if (!pop_next(event)) break;
+    if (event.when > deadline) {
+      // Re-queue: pop_next skipped cancelled entries and may have surfaced a
+      // later event than the one we peeked.
+      queue_.push(std::move(event));
+      break;
+    }
+    now_ = event.when;
+    event.fn();
+    ++processed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return processed;
+}
+
+bool Simulator::step() {
+  Event event;
+  if (!pop_next(event)) return false;
+  now_ = event.when;
+  event.fn();
+  return true;
+}
+
+void Simulator::clear() {
+  queue_ = {};
+  cancelled_.clear();
+  cancelled_count_ = 0;
+}
+
+}  // namespace pgrid::sim

@@ -1,0 +1,78 @@
+// Deterministic discrete-event simulation kernel.
+//
+// This is the substrate stand-in for GloMoSim [31], which the paper extended
+// to simulate dynamic service composition.  Events at equal timestamps fire
+// in scheduling order (a monotone sequence number breaks ties), so a run is
+// a pure function of its seed and inputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pgrid::sim {
+
+/// Handle used to cancel a scheduled event.
+struct EventHandle {
+  std::uint64_t id = 0;
+};
+
+/// Event-queue simulator.  Single-threaded by design: determinism is a core
+/// requirement for the partitioning study (same seed -> same trace).
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` after now. Negative delays clamp to 0.
+  EventHandle schedule(SimTime delay, Callback fn);
+
+  /// Schedules `fn` at an absolute time (clamped to now).
+  EventHandle schedule_at(SimTime when, Callback fn);
+
+  /// Cancels a pending event; returns false if it already fired or was
+  /// cancelled.
+  bool cancel(EventHandle handle);
+
+  /// Runs until the queue is empty.  Returns events processed.
+  std::size_t run();
+
+  /// Runs events with time <= deadline; leaves later events queued and
+  /// advances now() to the deadline.
+  std::size_t run_until(SimTime deadline);
+
+  /// Runs at most one event; returns false if the queue was empty.
+  bool step();
+
+  std::size_t pending() const { return queue_.size() - cancelled_count_; }
+
+  /// Drops all pending events (used between independent experiment runs).
+  void clear();
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    Callback fn;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  bool pop_next(Event& out);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::vector<std::uint64_t> cancelled_;
+  std::size_t cancelled_count_ = 0;
+};
+
+}  // namespace pgrid::sim

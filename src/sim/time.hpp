@@ -1,0 +1,45 @@
+// Simulated time.  Integer microseconds keep event ordering exact and make
+// replays bit-identical; the GloMoSim substrate the paper extends has the
+// same property.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace pgrid::sim {
+
+/// A point (or span) of simulated time in integer microseconds.
+struct SimTime {
+  std::int64_t us = 0;
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime microseconds(std::int64_t v) { return SimTime{v}; }
+  static constexpr SimTime milliseconds(std::int64_t v) {
+    return SimTime{v * 1000};
+  }
+  static constexpr SimTime seconds(double v) {
+    return SimTime{static_cast<std::int64_t>(v * 1e6)};
+  }
+
+  double to_seconds() const { return static_cast<double>(us) * 1e-6; }
+  double to_ms() const { return static_cast<double>(us) * 1e-3; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.us + b.us};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.us - b.us};
+  }
+  constexpr SimTime& operator+=(SimTime other) {
+    us += other.us;
+    return *this;
+  }
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+};
+
+inline std::string to_string(SimTime t) {
+  return std::to_string(t.to_seconds()) + "s";
+}
+
+}  // namespace pgrid::sim

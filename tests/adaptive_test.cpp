@@ -1,0 +1,139 @@
+// Tests for adaptive continuous execution: per-epoch model choice, epoch
+// observers feeding calibration, and a standing query that migrates to a
+// better model as the learner's miscalibration washes out.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/runtime.hpp"
+
+namespace pgrid {
+namespace {
+
+core::RuntimeConfig watch_config(std::size_t epochs) {
+  core::RuntimeConfig config;
+  config.sensors.sensor_count = 100;
+  config.sensors.width_m = 150.0;
+  config.sensors.height_m = 150.0;
+  config.sensors.base_pos = {-5, -5, 0};
+  config.sensors.noise_std = 0.0;
+  config.advertise_sensor_services = false;
+  config.continuous_epochs = epochs;
+  return config;
+}
+
+TEST(Adaptive, EpochModelsRecordedAndConsistent) {
+  core::PervasiveGridRuntime runtime(watch_config(4));
+  const auto outcome = runtime.submit_and_run(
+      "SELECT AVG(temp) FROM sensors EPOCH DURATION 10");
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  ASSERT_EQ(outcome.epoch_models.size(), outcome.epochs.size());
+  // With a well-calibrated start, every epoch picks the same (tree) model.
+  for (auto model : outcome.epoch_models) {
+    EXPECT_EQ(model, outcome.epoch_models.front());
+  }
+  EXPECT_EQ(outcome.model, outcome.epoch_models.back());
+}
+
+TEST(Adaptive, ForcedContinuousStillFeedsTheLearner) {
+  core::PervasiveGridRuntime runtime(watch_config(5));
+  const auto outcome = runtime.submit_and_run(
+      "SELECT AVG(temp) FROM sensors EPOCH DURATION 10",
+      partition::SolutionModel::kClusterAggregate);
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(runtime.decision_maker().observations(
+                query::QueryClass::kAggregate,
+                partition::SolutionModel::kClusterAggregate),
+            5u)
+      << "one observation per epoch";
+  // Per-epoch calibration ratios are ~1, not ~epochs (the summed-energy
+  // feedback bug this design guards against).
+  EXPECT_LT(runtime.decision_maker().energy_calibration(
+                query::QueryClass::kAggregate,
+                partition::SolutionModel::kClusterAggregate),
+            2.0);
+  EXPECT_GT(runtime.decision_maker().energy_calibration(
+                query::QueryClass::kAggregate,
+                partition::SolutionModel::kClusterAggregate),
+            0.5);
+}
+
+TEST(Adaptive, StandingQueryMigratesOffAMiscalibratedModel) {
+  // Seed the learner with a wildly optimistic belief about cluster
+  // aggregation (someone's stale experience file): the watch starts on
+  // cluster, real epochs correct the ratio, and the query migrates to the
+  // genuinely cheaper tree model mid-flight.
+  core::PervasiveGridRuntime runtime(watch_config(10));
+  runtime.decision_maker().restore_calibration(
+      query::QueryClass::kAggregate,
+      partition::SolutionModel::kClusterAggregate,
+      /*energy_ratio_mean=*/0.01, /*energy_count=*/1,
+      /*response_ratio_mean=*/1.0, /*response_count=*/1);
+
+  const auto outcome = runtime.submit_and_run(
+      "SELECT AVG(temp) FROM sensors EPOCH DURATION 10");
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  ASSERT_EQ(outcome.epoch_models.size(), 10u);
+  EXPECT_EQ(outcome.epoch_models.front(),
+            partition::SolutionModel::kClusterAggregate)
+      << "starts on the (seeded) cheap-looking model";
+  EXPECT_EQ(outcome.epoch_models.back(),
+            partition::SolutionModel::kTreeAggregate)
+      << "migrates once the real ratios wash the seed out";
+  // The migration is monotone: cluster prefix, then tree suffix.
+  bool switched = false;
+  for (auto model : outcome.epoch_models) {
+    if (model == partition::SolutionModel::kTreeAggregate) switched = true;
+    if (switched) {
+      EXPECT_EQ(model, partition::SolutionModel::kTreeAggregate);
+    }
+  }
+}
+
+TEST(Adaptive, ExecutorAdaptiveApiDirectly) {
+  core::PervasiveGridRuntime runtime(watch_config(6));
+  auto ctx = runtime.execution_context();
+  auto parsed = query::parse_query(
+      "SELECT MAX(temp) FROM sensors EPOCH DURATION 5");
+  ASSERT_TRUE(parsed.ok());
+  const auto cls = runtime.classifier().classify(parsed.value());
+
+  // Alternate models by epoch parity; count observer invocations.
+  std::vector<partition::SolutionModel> seen;
+  std::vector<partition::ActualCost> epochs;
+  std::vector<partition::SolutionModel> models;
+  partition::execute_continuous_adaptive(
+      ctx, parsed.value(), cls, 6,
+      [](std::size_t epoch) {
+        return epoch % 2 == 0 ? partition::SolutionModel::kTreeAggregate
+                              : partition::SolutionModel::kAllToBase;
+      },
+      [&](std::size_t, partition::SolutionModel model,
+          const partition::ActualCost& actual) {
+        seen.push_back(model);
+        EXPECT_TRUE(actual.ok);
+      },
+      [&](std::vector<partition::ActualCost> r,
+          std::vector<partition::SolutionModel> m) {
+        epochs = std::move(r);
+        models = std::move(m);
+      });
+  runtime.simulator().run();
+
+  ASSERT_EQ(epochs.size(), 6u);
+  ASSERT_EQ(models.size(), 6u);
+  ASSERT_EQ(seen.size(), 6u);
+  for (std::size_t e = 0; e < 6; ++e) {
+    const auto expected = e % 2 == 0
+                              ? partition::SolutionModel::kTreeAggregate
+                              : partition::SolutionModel::kAllToBase;
+    EXPECT_EQ(models[e], expected);
+    EXPECT_EQ(seen[e], expected);
+  }
+  // Alternating models measurably alternate energy (raw >> tree).
+  EXPECT_GT(epochs[1].energy_j, epochs[0].energy_j * 2);
+}
+
+}  // namespace
+}  // namespace pgrid

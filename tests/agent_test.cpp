@@ -1,0 +1,370 @@
+// Unit tests for the Ronin-style agent framework: envelopes, attributes,
+// platform messaging, request/response, and the three deputy behaviours.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "agent/platform.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace pgrid::agent {
+namespace {
+
+using net::LinkClass;
+using net::NodeConfig;
+using net::NodeId;
+using net::NodeKind;
+
+class AgentFixture : public ::testing::Test {
+ protected:
+  AgentFixture() : net_(sim_, common::Rng(7)), platform_(net_) {}
+
+  NodeId add_node(double x, double y,
+                  LinkClass radio = LinkClass::wifi()) {
+    NodeConfig c;
+    c.pos = {x, y, 0.0};
+    c.radio = radio;
+    c.unlimited_energy = true;
+    return net_.add_node(c);
+  }
+
+  /// Registers a recorder agent that stores what it receives.
+  LambdaAgent* add_recorder(const std::string& name, NodeId node,
+                            std::vector<Envelope>* received,
+                            std::unique_ptr<AgentDeputy> deputy = nullptr) {
+    auto agent = std::make_unique<LambdaAgent>(
+        name, node, [received](LambdaAgent&, const Envelope& env) {
+          received->push_back(env);
+        });
+    auto* raw = agent.get();
+    platform_.register_agent(std::move(agent), std::move(deputy));
+    return raw;
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  AgentPlatform platform_;
+};
+
+TEST(Envelope, WireSizeCountsFields) {
+  Envelope e;
+  e.content_type = "abcd";     // 4
+  e.ontology = "xy";           // 2
+  e.payload = "0123456789";    // 10
+  EXPECT_EQ(e.wire_size(), 48u + 16u);
+}
+
+TEST(Envelope, MakeReplySwapsAndThreads) {
+  Envelope original;
+  original.sender = 1;
+  original.receiver = 2;
+  original.conversation_id = 55;
+  original.reply_with = 99;
+  original.ontology = "pgrid";
+  auto reply = make_reply(original, Performative::kInform, "result");
+  EXPECT_EQ(reply.sender, 2u);
+  EXPECT_EQ(reply.receiver, 1u);
+  EXPECT_EQ(reply.conversation_id, 55u);
+  EXPECT_EQ(reply.in_reply_to, 99u);
+  EXPECT_EQ(reply.ontology, "pgrid");
+  EXPECT_EQ(reply.payload, "result");
+}
+
+TEST(Envelope, PerformativeNames) {
+  EXPECT_EQ(to_string(Performative::kAdvertise), "advertise");
+  EXPECT_EQ(to_string(Performative::kQueryRef), "query-ref");
+  EXPECT_EQ(to_string(Performative::kFailure), "failure");
+}
+
+TEST_F(AgentFixture, RegisterAssignsIdsAndRoles) {
+  const auto node = add_node(0, 0);
+  std::vector<Envelope> inbox;
+  auto* agent = add_recorder("alpha", node, &inbox);
+  agent->attributes().insert(AgentRole::kBroker);
+  agent->domain_attributes()["domain"] = "weather";
+
+  EXPECT_NE(agent->id(), kInvalidAgent);
+  EXPECT_EQ(platform_.find(agent->id()), agent);
+  EXPECT_EQ(platform_.find_by_name("alpha"), agent);
+  EXPECT_TRUE(agent->has_role(AgentRole::kBroker));
+  EXPECT_FALSE(agent->has_role(AgentRole::kPlanner));
+  EXPECT_EQ(platform_.agents_with_role(AgentRole::kBroker).size(), 1u);
+  EXPECT_EQ(agent->domain_attributes().at("domain"), "weather");
+}
+
+TEST_F(AgentFixture, SendDeliversBetweenNodes) {
+  const auto a = add_node(0, 0);
+  const auto b = add_node(50, 0);
+  std::vector<Envelope> inbox;
+  auto* sender = add_recorder("sender", a, &inbox);
+  auto* receiver = add_recorder("receiver", b, &inbox);
+
+  Envelope env;
+  env.sender = sender->id();
+  env.receiver = receiver->id();
+  env.performative = Performative::kInform;
+  env.payload = "hello";
+  bool ok = false;
+  platform_.send(env, [&](bool delivered) { ok = delivered; });
+  sim_.run();
+
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].payload, "hello");
+  EXPECT_EQ(platform_.stats().delivered, 1u);
+}
+
+TEST_F(AgentFixture, SendToUnknownAgentFails) {
+  const auto a = add_node(0, 0);
+  std::vector<Envelope> inbox;
+  auto* sender = add_recorder("s", a, &inbox);
+  Envelope env;
+  env.sender = sender->id();
+  env.receiver = 424242;
+  bool result = true;
+  platform_.send(env, [&](bool delivered) { result = delivered; });
+  sim_.run();
+  EXPECT_FALSE(result);
+  EXPECT_EQ(platform_.stats().failed, 1u);
+}
+
+TEST_F(AgentFixture, SendFailsAcrossPartition) {
+  const auto a = add_node(0, 0);
+  const auto b = add_node(5000, 0);  // out of wifi range, no wired link
+  std::vector<Envelope> inbox;
+  auto* s = add_recorder("s", a, &inbox);
+  auto* r = add_recorder("r", b, &inbox);
+  Envelope env;
+  env.sender = s->id();
+  env.receiver = r->id();
+  bool result = true;
+  platform_.send(env, [&](bool delivered) { result = delivered; });
+  sim_.run();
+  EXPECT_FALSE(result);
+  EXPECT_TRUE(inbox.empty());
+}
+
+TEST_F(AgentFixture, MultiHopDelivery) {
+  // Chain of wifi nodes 80 m apart (range 100): 0-1-2-3.
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 4; ++i) nodes.push_back(add_node(80.0 * i, 0));
+  std::vector<Envelope> inbox;
+  auto* s = add_recorder("s", nodes[0], &inbox);
+  auto* r = add_recorder("r", nodes[3], &inbox);
+  Envelope env;
+  env.sender = s->id();
+  env.receiver = r->id();
+  env.payload = "via hops";
+  platform_.send(env);
+  sim_.run();
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_GT(net_.node(nodes[1]).tx_bytes, 0u) << "intermediate forwarded";
+}
+
+TEST_F(AgentFixture, RequestGetsReply) {
+  const auto a = add_node(0, 0);
+  const auto b = add_node(50, 0);
+  std::vector<Envelope> unused;
+  auto* client = add_recorder("client", a, &unused);
+  auto responder = std::make_unique<LambdaAgent>(
+      "responder", b, [this](LambdaAgent& self, const Envelope& env) {
+        self.platform()->send(make_reply(env, Performative::kInform, "42"));
+      });
+  const auto responder_id = platform_.register_agent(std::move(responder));
+
+  Envelope env;
+  env.sender = client->id();
+  env.receiver = responder_id;
+  env.performative = Performative::kRequest;
+  env.payload = "what is the answer";
+  std::string answer;
+  platform_.request(env, sim::SimTime::seconds(10.0),
+                    [&](common::Result<Envelope> result) {
+                      ASSERT_TRUE(result.ok());
+                      answer = result.value().payload;
+                    });
+  sim_.run();
+  EXPECT_EQ(answer, "42");
+}
+
+TEST_F(AgentFixture, RequestTimesOutWhenNoReply) {
+  const auto a = add_node(0, 0);
+  const auto b = add_node(50, 0);
+  std::vector<Envelope> sink;
+  auto* client = add_recorder("client", a, &sink);
+  auto* silent = add_recorder("silent", b, &sink);
+
+  Envelope env;
+  env.sender = client->id();
+  env.receiver = silent->id();
+  env.performative = Performative::kRequest;
+  bool failed = false;
+  platform_.request(env, sim::SimTime::seconds(2.0),
+                    [&](common::Result<Envelope> result) {
+                      failed = !result.ok();
+                    });
+  sim_.run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(platform_.stats().timed_out, 1u);
+  EXPECT_EQ(sink.size(), 1u) << "silent agent still received the request";
+}
+
+TEST_F(AgentFixture, RequestFailsFastWhenUndeliverable) {
+  const auto a = add_node(0, 0);
+  const auto b = add_node(9999, 0);
+  std::vector<Envelope> sink;
+  auto* client = add_recorder("client", a, &sink);
+  auto* far = add_recorder("far", b, &sink);
+  Envelope env;
+  env.sender = client->id();
+  env.receiver = far->id();
+  std::string error;
+  platform_.request(env, sim::SimTime::seconds(30.0),
+                    [&](common::Result<Envelope> result) {
+                      error = result.error();
+                    });
+  sim_.run();
+  EXPECT_EQ(error, "request undeliverable");
+  // No timeout should also fire later.
+  EXPECT_EQ(platform_.stats().timed_out, 0u);
+}
+
+TEST_F(AgentFixture, UnregisteredAgentStopsReceiving) {
+  const auto a = add_node(0, 0);
+  const auto b = add_node(50, 0);
+  std::vector<Envelope> inbox;
+  auto* s = add_recorder("s", a, &inbox);
+  auto* r = add_recorder("r", b, &inbox);
+  const auto receiver_id = r->id();
+  Envelope env;
+  env.sender = s->id();
+  env.receiver = receiver_id;
+  platform_.send(env);
+  platform_.unregister_agent(receiver_id);
+  sim_.run();
+  EXPECT_TRUE(inbox.empty());
+}
+
+TEST_F(AgentFixture, StoreAndForwardSurvivesDisconnection) {
+  const auto a = add_node(0, 0);
+  const auto b = add_node(50, 0);
+  std::vector<Envelope> inbox;
+  auto* s = add_recorder("s", a, &inbox);
+  auto* r = add_recorder("r", b, &inbox,
+                         std::make_unique<StoreAndForwardDeputy>(
+                             sim::SimTime::seconds(1.0),
+                             sim::SimTime::seconds(60.0)));
+  // Receiver node is down when the message is sent; comes back at t=5.
+  net_.set_node_up(b, false);
+  Envelope env;
+  env.sender = s->id();
+  env.receiver = r->id();
+  env.payload = "queued";
+  bool ok = false;
+  platform_.send(env, [&](bool delivered) { ok = delivered; });
+  sim_.schedule(sim::SimTime::seconds(5.0), [&] { net_.set_node_up(b, true); });
+  sim_.run();
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].payload, "queued");
+  EXPECT_GE(sim_.now().to_seconds(), 5.0);
+}
+
+TEST_F(AgentFixture, StoreAndForwardGivesUpAfterDeadline) {
+  const auto a = add_node(0, 0);
+  const auto b = add_node(50, 0);
+  std::vector<Envelope> inbox;
+  auto* s = add_recorder("s", a, &inbox);
+  auto* r = add_recorder("r", b, &inbox,
+                         std::make_unique<StoreAndForwardDeputy>(
+                             sim::SimTime::seconds(1.0),
+                             sim::SimTime::seconds(3.0)));
+  net_.set_node_up(b, false);  // never comes back
+  Envelope env;
+  env.sender = s->id();
+  env.receiver = r->id();
+  bool result = true;
+  platform_.send(env, [&](bool delivered) { result = delivered; });
+  sim_.run();
+  EXPECT_FALSE(result);
+  EXPECT_TRUE(inbox.empty());
+}
+
+TEST_F(AgentFixture, DirectDeputyFailsImmediatelyWhenDown) {
+  const auto a = add_node(0, 0);
+  const auto b = add_node(50, 0);
+  std::vector<Envelope> inbox;
+  auto* s = add_recorder("s", a, &inbox);
+  auto* r = add_recorder("r", b, &inbox);  // direct deputy by default
+  net_.set_node_up(b, false);
+  Envelope env;
+  env.sender = s->id();
+  env.receiver = r->id();
+  bool result = true;
+  platform_.send(env, [&](bool delivered) { result = delivered; });
+  sim_.run();
+  EXPECT_FALSE(result);
+  EXPECT_LT(sim_.now().to_seconds(), 0.5) << "no retries for direct deputy";
+}
+
+TEST_F(AgentFixture, TranscodingDeputyShrinksOverThinLinks) {
+  // Sensor-radio first hop (38.4 kbps < 1 Mbps threshold) triggers
+  // transcoding; payload charged at half size.
+  const auto a = add_node(0, 0, LinkClass::sensor_radio());
+  const auto b = add_node(20, 0, LinkClass::sensor_radio());
+  std::vector<Envelope> inbox;
+  auto* s = add_recorder("s", a, &inbox);
+  auto deputy = std::make_unique<TranscodingDeputy>(1e6, 0.5);
+  auto* deputy_raw = deputy.get();
+  auto* r = add_recorder("r", b, &inbox, std::move(deputy));
+
+  Envelope env;
+  env.sender = s->id();
+  env.receiver = r->id();
+  env.payload = std::string(1000, 'x');
+  platform_.send(env);
+  sim_.run();
+
+  EXPECT_EQ(deputy_raw->transcoded_count(), 1u);
+  ASSERT_EQ(inbox.size(), 1u);
+  // Charged bytes = header (48) + 500 instead of 1048.
+  EXPECT_EQ(net_.node(a).tx_bytes, 548u);
+}
+
+TEST_F(AgentFixture, TranscodingDeputyLeavesFatLinksAlone) {
+  const auto a = add_node(0, 0, LinkClass::wifi());
+  const auto b = add_node(50, 0, LinkClass::wifi());
+  std::vector<Envelope> inbox;
+  auto* s = add_recorder("s", a, &inbox);
+  auto deputy = std::make_unique<TranscodingDeputy>(1e6, 0.5);
+  auto* deputy_raw = deputy.get();
+  auto* r = add_recorder("r", b, &inbox, std::move(deputy));
+  Envelope env;
+  env.sender = s->id();
+  env.receiver = r->id();
+  env.payload = std::string(1000, 'x');
+  platform_.send(env);
+  sim_.run();
+  EXPECT_EQ(deputy_raw->transcoded_count(), 0u);
+  EXPECT_EQ(net_.node(a).tx_bytes, 1048u);
+}
+
+TEST_F(AgentFixture, LocalDeliverySameNode) {
+  const auto a = add_node(0, 0);
+  std::vector<Envelope> inbox;
+  auto* s = add_recorder("s", a, &inbox);
+  auto* r = add_recorder("r", a, &inbox);
+  Envelope env;
+  env.sender = s->id();
+  env.receiver = r->id();
+  env.payload = "local";
+  platform_.send(env);
+  sim_.run();
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(net_.stats().transmissions, 0u) << "same-node needs no radio";
+}
+
+}  // namespace
+}  // namespace pgrid::agent

@@ -1,0 +1,500 @@
+// Unit tests for service composition: task graphs, the HTN-lite planner,
+// provider invocation across paradigms, and the composition manager's fault
+// tolerance / graceful degradation / proactive-vs-reactive behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "agent/platform.hpp"
+#include "compose/invoke.hpp"
+#include "compose/manager.hpp"
+#include "compose/planner.hpp"
+#include "compose/provider.hpp"
+#include "compose/task.hpp"
+#include "discovery/broker.hpp"
+
+namespace pgrid::compose {
+namespace {
+
+using discovery::InvocationParadigm;
+using discovery::ServiceDescription;
+
+// ---------------------------------------------------------------------------
+// TaskGraph
+// ---------------------------------------------------------------------------
+
+TaskSpec spec(const std::string& name, const std::string& cls = "ComputeService") {
+  TaskSpec s;
+  s.name = name;
+  s.service_class = cls;
+  return s;
+}
+
+TEST(TaskGraph, TopoOrderRespectsEdges) {
+  TaskGraph g;
+  const auto a = g.add_task(spec("a"));
+  const auto b = g.add_task(spec("b"));
+  const auto c = g.add_task(spec("c"));
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  auto order = g.topo_order();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order.value(), (std::vector<std::size_t>{a, b, c}));
+}
+
+TEST(TaskGraph, CycleDetected) {
+  TaskGraph g;
+  const auto a = g.add_task(spec("a"));
+  const auto b = g.add_task(spec("b"));
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_FALSE(g.topo_order().ok());
+}
+
+TEST(TaskGraph, BadEdgeRejected) {
+  TaskGraph g;
+  g.add_task(spec("a"));
+  g.add_edge(0, 7);
+  EXPECT_FALSE(g.topo_order().ok());
+}
+
+TEST(TaskGraph, SourcesSinksPredsSuccs) {
+  TaskGraph g;
+  const auto a = g.add_task(spec("a"));
+  const auto b = g.add_task(spec("b"));
+  const auto c = g.add_task(spec("c"));
+  const auto d = g.add_task(spec("d"));
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  g.add_edge(c, d);
+  EXPECT_EQ(g.sources(), (std::vector<std::size_t>{a, b}));
+  EXPECT_EQ(g.sinks(), std::vector<std::size_t>{d});
+  EXPECT_EQ(g.predecessors(c), (std::vector<std::size_t>{a, b}));
+  EXPECT_EQ(g.successors(c), std::vector<std::size_t>{d});
+}
+
+TEST(TaskGraph, Totals) {
+  TaskGraph g;
+  TaskSpec s1 = spec("a");
+  s1.input_bytes = 100;
+  s1.output_bytes = 50;
+  s1.compute_ops = 1e6;
+  TaskSpec s2 = spec("b");
+  s2.input_bytes = 200;
+  s2.output_bytes = 25;
+  s2.compute_ops = 2e6;
+  g.add_task(s1);
+  g.add_task(s2);
+  EXPECT_EQ(g.total_bytes(), 375u);
+  EXPECT_DOUBLE_EQ(g.total_ops(), 3e6);
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
+TEST(Planner, PrimitiveGoalYieldsSingleTask) {
+  HtnPlanner p;
+  p.add_primitive("solo", spec("solo"));
+  auto plan = p.plan("solo");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().size(), 1u);
+  EXPECT_TRUE(plan.value().edges().empty());
+}
+
+TEST(Planner, SequenceChainsEdges) {
+  HtnPlanner p;
+  p.add_primitive("x", spec("x"));
+  p.add_primitive("y", spec("y"));
+  p.add_method("both", {"x", "y"}, MethodMode::kSequence);
+  auto plan = p.plan("both");
+  ASSERT_TRUE(plan.ok());
+  const auto& g = plan.value();
+  EXPECT_EQ(g.size(), 2u);
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.task(g.edges()[0].first).name, "x");
+  EXPECT_EQ(g.task(g.edges()[0].second).name, "y");
+}
+
+TEST(Planner, ParallelHasNoInternalEdges) {
+  HtnPlanner p;
+  p.add_primitive("x", spec("x"));
+  p.add_primitive("y", spec("y"));
+  p.add_method("fan", {"x", "y"}, MethodMode::kParallel);
+  auto plan = p.plan("fan");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().size(), 2u);
+  EXPECT_TRUE(plan.value().edges().empty());
+}
+
+TEST(Planner, NestedDecomposition) {
+  // seq(fan(x, y), z): both x and y must precede z.
+  HtnPlanner p;
+  p.add_primitive("x", spec("x"));
+  p.add_primitive("y", spec("y"));
+  p.add_primitive("z", spec("z"));
+  p.add_method("fan", {"x", "y"}, MethodMode::kParallel);
+  p.add_method("all", {"fan", "z"}, MethodMode::kSequence);
+  auto plan = p.plan("all");
+  ASSERT_TRUE(plan.ok());
+  const auto& g = plan.value();
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.edges().size(), 2u);
+  // z is the unique sink with two predecessors.
+  const auto sinks = g.sinks();
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(g.task(sinks[0]).name, "z");
+  EXPECT_EQ(g.predecessors(sinks[0]).size(), 2u);
+}
+
+TEST(Planner, UnknownGoalFails) {
+  HtnPlanner p;
+  EXPECT_FALSE(p.plan("mystery").ok());
+  EXPECT_FALSE(p.knows("mystery"));
+}
+
+TEST(Planner, RecursiveMethodHitsDepthLimit) {
+  HtnPlanner p;
+  p.add_method("loop", {"loop"}, MethodMode::kSequence);
+  EXPECT_FALSE(p.plan("loop").ok());
+}
+
+TEST(Planner, StreamMiningPlanShape) {
+  // The paper's example: ensemble of decision trees -> Fourier spectra ->
+  // dominant components -> single tree.
+  auto planner = make_stream_mining_planner();
+  auto plan = planner.plan("mine-data-stream");
+  ASSERT_TRUE(plan.ok());
+  const auto& g = plan.value();
+  EXPECT_EQ(g.size(), 6u);  // 3 trees + spectrum + choose + combine
+  // The three tree-builders run in parallel (all are sources).
+  EXPECT_EQ(g.sources().size(), 3u);
+  ASSERT_TRUE(g.topo_order().ok());
+  const auto sinks = g.sinks();
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(g.task(sinks[0]).name, "combine-into-single-tree");
+}
+
+// ---------------------------------------------------------------------------
+// Provider + invoke
+// ---------------------------------------------------------------------------
+
+TEST(InvokeProtocol, EncodeDecodeRoundTrip) {
+  const auto payload = encode_call(2.5e6, 1024, 4096);
+  EXPECT_EQ(payload.size(), 4096u);
+  double ops = 0;
+  std::uint64_t out = 0;
+  ASSERT_TRUE(decode_call(payload, ops, out));
+  EXPECT_DOUBLE_EQ(ops, 2.5e6);
+  EXPECT_EQ(out, 1024u);
+}
+
+TEST(InvokeProtocol, DecodeRejectsGarbage) {
+  double ops;
+  std::uint64_t out;
+  EXPECT_FALSE(decode_call("", ops, out));
+  EXPECT_FALSE(decode_call("hello world", ops, out));
+}
+
+class ComposeFixture : public ::testing::Test {
+ protected:
+  ComposeFixture()
+      : net_(sim_, common::Rng(21)),
+        platform_(net_),
+        ontology_(discovery::make_standard_ontology()) {
+    base_node_ = add_node(0);
+    broker_id_ = platform_.register_agent(
+        std::make_unique<discovery::BrokerAgent>("broker", base_node_,
+                                                 ontology_));
+    client_id_ = platform_.register_agent(std::make_unique<agent::LambdaAgent>(
+        "client", base_node_,
+        [](agent::LambdaAgent&, const agent::Envelope&) {}));
+  }
+
+  net::NodeId add_node(double x) {
+    net::NodeConfig c;
+    c.pos = {x, 0, 0};
+    c.radio = net::LinkClass::wifi();
+    c.unlimited_energy = true;
+    return net_.add_node(c);
+  }
+
+  /// Creates a provider hosting `cls` on a fresh node and advertises it.
+  ServiceProviderAgent* add_provider(
+      const std::string& name, const std::string& cls, double x,
+      double ops_per_second = 1e8,
+      InvocationParadigm paradigm = InvocationParadigm::kAgentAcl) {
+    const auto node = add_node(x);
+    ServiceDescription service;
+    service.name = name;
+    service.service_class = cls;
+    service.paradigm = paradigm;
+    auto provider = std::make_unique<ServiceProviderAgent>(
+        name, node, service, ops_per_second);
+    auto* raw = provider.get();
+    const auto id = platform_.register_agent(std::move(provider));
+    raw->service().provider = id;
+    discovery::advertise(platform_, id, broker_id_, raw->service());
+    sim_.run();
+    return raw;
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  agent::AgentPlatform platform_;
+  discovery::Ontology ontology_;
+  net::NodeId base_node_;
+  agent::AgentId broker_id_;
+  agent::AgentId client_id_;
+};
+
+TEST_F(ComposeFixture, InvokeReturnsResultAfterComputeDelay) {
+  auto* provider = add_provider("solver", "PdeSolver", 50, 1e6);
+  InvokeResult result;
+  invoke_service(platform_, client_id_, provider->service(), 2e6, 256, 512,
+                 sim::SimTime::seconds(60.0),
+                 [&](InvokeResult r) { result = r; });
+  sim_.run();
+  EXPECT_TRUE(result.success);
+  EXPECT_GT(result.result_bytes, 512u);  // output + framing
+  EXPECT_GE(sim_.now().to_seconds(), 2.0) << "2e6 ops at 1e6 ops/s takes 2 s";
+  EXPECT_EQ(provider->invocations(), 1u);
+}
+
+TEST_F(ComposeFixture, InvokeAllThreeParadigms) {
+  auto* acl = add_provider("p-acl", "ComputeService", 30, 1e8,
+                           InvocationParadigm::kAgentAcl);
+  auto* rmi = add_provider("p-rmi", "ComputeService", 40, 1e8,
+                           InvocationParadigm::kRemoteInvocation);
+  auto* msg = add_provider("p-msg", "ComputeService", 50, 1e8,
+                           InvocationParadigm::kMessagePassing);
+  int successes = 0;
+  for (auto* p : {acl, rmi, msg}) {
+    invoke_service(platform_, client_id_, p->service(), 1e6, 128, 128,
+                   sim::SimTime::seconds(30.0),
+                   [&](InvokeResult r) { successes += r.success ? 1 : 0; });
+  }
+  sim_.run();
+  EXPECT_EQ(successes, 3);
+  // SOAP-style framing costs more wire bytes than bare message passing.
+  EXPECT_GT(paradigm_overhead_bytes(InvocationParadigm::kRemoteInvocation),
+            paradigm_overhead_bytes(InvocationParadigm::kMessagePassing));
+}
+
+TEST_F(ComposeFixture, InvokeDeadProviderTimesOut) {
+  auto* provider = add_provider("ghost", "ComputeService", 50);
+  provider->set_dead(true);
+  InvokeResult result{true, 0, ""};
+  invoke_service(platform_, client_id_, provider->service(), 1e6, 128, 128,
+                 sim::SimTime::seconds(2.0),
+                 [&](InvokeResult r) { result = r; });
+  sim_.run();
+  EXPECT_FALSE(result.success);
+}
+
+TEST_F(ComposeFixture, InjectedFaultReportsFailure) {
+  auto* provider = add_provider("flaky", "ComputeService", 50);
+  provider->set_failure_probability(1.0, common::Rng(1));
+  InvokeResult result{true, 0, ""};
+  invoke_service(platform_, client_id_, provider->service(), 1e6, 128, 128,
+                 sim::SimTime::seconds(30.0),
+                 [&](InvokeResult r) { result = r; });
+  sim_.run();
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.error, "service fault");
+  EXPECT_EQ(provider->failures_injected(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// CompositionManager
+// ---------------------------------------------------------------------------
+
+TEST_F(ComposeFixture, ExecuteLinearPipeline) {
+  add_provider("miner", "DecisionTreeMiner", 30);
+  add_provider("fourier", "FourierSpectrumService", 40);
+  add_provider("generic", "DataMiningService", 50);
+
+  auto planner = make_stream_mining_planner();
+  auto plan = planner.plan("mine-data-stream");
+  ASSERT_TRUE(plan.ok());
+
+  CompositionManager manager(platform_, client_id_, broker_id_);
+  CompositionReport report;
+  manager.execute(plan.value(), CompositionOptions{},
+                  [&](CompositionReport r) { report = r; });
+  sim_.run();
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.tasks_completed, 6u);
+  EXPECT_EQ(report.tasks_skipped, 0u);
+  EXPECT_DOUBLE_EQ(report.service_level(), 1.0);
+  EXPECT_GT(report.elapsed_s, 0.0);
+}
+
+TEST_F(ComposeFixture, EmptyGraphSucceedsTrivially) {
+  CompositionManager manager(platform_, client_id_, broker_id_);
+  CompositionReport report;
+  manager.execute(TaskGraph{}, CompositionOptions{},
+                  [&](CompositionReport r) { report = r; });
+  sim_.run();
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.tasks_total, 0u);
+}
+
+TEST_F(ComposeFixture, MissingServiceFailsComposite) {
+  TaskGraph g;
+  g.add_task(spec("impossible", "NavierStokesSolver"));
+  CompositionManager manager(platform_, client_id_, broker_id_);
+  CompositionReport report;
+  manager.execute(g, CompositionOptions{},
+                  [&](CompositionReport r) { report = r; });
+  sim_.run();
+  EXPECT_FALSE(report.success);
+  EXPECT_NE(report.failure_reason.find("impossible"), std::string::npos);
+}
+
+TEST_F(ComposeFixture, FaultTriggersRebindToAlternate) {
+  auto* bad = add_provider("bad-solver", "PdeSolver", 30);
+  bad->set_failure_probability(1.0, common::Rng(2));
+  add_provider("good-solver", "PdeSolver", 40);
+
+  TaskGraph g;
+  g.add_task(spec("solve", "PdeSolver"));
+  CompositionManager manager(platform_, client_id_, broker_id_);
+  CompositionReport report;
+  manager.execute(g, CompositionOptions{},
+                  [&](CompositionReport r) { report = r; });
+  sim_.run();
+  EXPECT_TRUE(report.success);
+  EXPECT_GE(report.rebinds, 1u);
+  EXPECT_EQ(report.tasks_completed, 1u);
+}
+
+TEST_F(ComposeFixture, RebindBudgetExhaustedFails) {
+  auto* bad1 = add_provider("bad1", "PdeSolver", 30);
+  auto* bad2 = add_provider("bad2", "PdeSolver", 40);
+  bad1->set_failure_probability(1.0, common::Rng(3));
+  bad2->set_failure_probability(1.0, common::Rng(4));
+
+  TaskGraph g;
+  g.add_task(spec("solve", "PdeSolver"));
+  CompositionOptions options;
+  options.max_rebinds_per_task = 1;
+  CompositionManager manager(platform_, client_id_, broker_id_);
+  CompositionReport report;
+  manager.execute(g, options, [&](CompositionReport r) { report = r; });
+  sim_.run();
+  EXPECT_FALSE(report.success);
+}
+
+TEST_F(ComposeFixture, OptionalTaskDegradesGracefully) {
+  add_provider("miner", "DecisionTreeMiner", 30);
+  // No FourierSpectrumService exists — but that step is optional.
+  TaskGraph g;
+  const auto t1 = g.add_task(spec("mine", "DecisionTreeMiner"));
+  TaskSpec enrich = spec("enrich", "FourierSpectrumService");
+  enrich.optional = true;
+  const auto t2 = g.add_task(enrich);
+  g.add_edge(t1, t2);
+
+  CompositionManager manager(platform_, client_id_, broker_id_);
+  CompositionReport report;
+  manager.execute(g, CompositionOptions{},
+                  [&](CompositionReport r) { report = r; });
+  sim_.run();
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.tasks_completed, 1u);
+  EXPECT_EQ(report.tasks_skipped, 1u);
+  EXPECT_DOUBLE_EQ(report.service_level(), 0.5);
+}
+
+TEST_F(ComposeFixture, DegradationDisabledFailsInstead) {
+  TaskGraph g;
+  TaskSpec only = spec("enrich", "FourierSpectrumService");
+  only.optional = true;
+  g.add_task(only);
+  CompositionOptions options;
+  options.allow_degraded = false;
+  CompositionManager manager(platform_, client_id_, broker_id_);
+  CompositionReport report;
+  manager.execute(g, options, [&](CompositionReport r) { report = r; });
+  sim_.run();
+  EXPECT_FALSE(report.success);
+}
+
+TEST_F(ComposeFixture, ProactiveModeSkipsDiscoveryRoundTrips) {
+  add_provider("miner", "DecisionTreeMiner", 30);
+  add_provider("fourier", "FourierSpectrumService", 40);
+  add_provider("generic", "DataMiningService", 50);
+  auto plan = make_stream_mining_planner().plan("mine-data-stream");
+  ASSERT_TRUE(plan.ok());
+
+  CompositionManager manager(platform_, client_id_, broker_id_);
+  std::size_t resolved = 0;
+  manager.precompute(plan.value(), [&](std::size_t n) { resolved = n; });
+  sim_.run();
+  EXPECT_GT(resolved, 0u);
+  EXPECT_GT(manager.cached_bindings(), 0u);
+
+  CompositionOptions options;
+  options.mode = CompositionMode::kProactive;
+  CompositionReport report;
+  manager.execute(plan.value(), options,
+                  [&](CompositionReport r) { report = r; });
+  sim_.run();
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.discoveries, 0u) << "all bindings came from the cache";
+}
+
+TEST_F(ComposeFixture, ProactiveStaleBindingFallsBackToDiscovery) {
+  auto* old_provider = add_provider("old", "PdeSolver", 30);
+  TaskGraph g;
+  g.add_task(spec("solve", "PdeSolver"));
+
+  CompositionManager manager(platform_, client_id_, broker_id_);
+  manager.precompute(g, [](std::size_t) {});
+  sim_.run();
+
+  // The cached provider dies; a replacement appears.
+  old_provider->set_dead(true);
+  discovery::unadvertise(platform_, client_id_, broker_id_, "old");
+  add_provider("fresh", "PdeSolver", 40);
+
+  CompositionOptions options;
+  options.mode = CompositionMode::kProactive;
+  options.invoke_timeout = sim::SimTime::seconds(2.0);
+  CompositionReport report;
+  manager.execute(g, options, [&](CompositionReport r) { report = r; });
+  sim_.run();
+  EXPECT_TRUE(report.success);
+  EXPECT_GE(report.rebinds, 1u);
+  EXPECT_GE(report.discoveries, 1u);
+}
+
+TEST_F(ComposeFixture, ReactiveFindsShortLivedService) {
+  // A service with a short lease is available now; reactive composition
+  // binds it before it expires.
+  const auto node = add_node(30);
+  ServiceDescription service;
+  service.name = "transient-sensor";
+  service.service_class = "ToxinSensor";
+  service.lease_expiry = sim_.now() + sim::SimTime::seconds(30.0);
+  auto provider = std::make_unique<ServiceProviderAgent>("transient", node,
+                                                         service, 1e8);
+  auto* raw = provider.get();
+  const auto id = platform_.register_agent(std::move(provider));
+  raw->service().provider = id;
+  discovery::advertise(platform_, id, broker_id_, raw->service());
+  sim_.run();
+
+  TaskGraph g;
+  g.add_task(spec("read-toxins", "ToxinSensor"));
+  CompositionManager manager(platform_, client_id_, broker_id_);
+  CompositionReport report;
+  manager.execute(g, CompositionOptions{},
+                  [&](CompositionReport r) { report = r; });
+  sim_.run();
+  EXPECT_TRUE(report.success);
+}
+
+}  // namespace
+}  // namespace pgrid::compose

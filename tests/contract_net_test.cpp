@@ -1,0 +1,199 @@
+// Tests for contract-net negotiation: CFP/bid/award conversations,
+// performance-commitment selection, declines, timeouts and custom award
+// policies.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "agent/contract_net.hpp"
+#include "agent/platform.hpp"
+
+namespace pgrid::agent {
+namespace {
+
+class ContractNetFixture : public ::testing::Test {
+ protected:
+  ContractNetFixture() : net_(sim_, common::Rng(5)), platform_(net_) {
+    hub_ = add_node(0);
+    initiator_ = platform_.register_agent(std::make_unique<LambdaAgent>(
+        "initiator", hub_, [](LambdaAgent&, const Envelope&) {}));
+  }
+
+  net::NodeId add_node(double x) {
+    net::NodeConfig c;
+    c.pos = {x, 0, 0};
+    c.radio = net::LinkClass::wifi();
+    c.unlimited_energy = true;
+    return net_.add_node(c);
+  }
+
+  BidderAgent* add_bidder(const std::string& name, double x, double cost,
+                          double latency, AgentId* id_out = nullptr) {
+    auto bidder = std::make_unique<BidderAgent>(
+        name, add_node(x), [cost, latency](const std::string&) {
+          Proposal proposal;
+          proposal.cost = cost;
+          proposal.latency_s = latency;
+          return std::optional<Proposal>(proposal);
+        });
+    auto* raw = bidder.get();
+    const auto id = platform_.register_agent(std::move(bidder));
+    if (id_out) *id_out = id;
+    return raw;
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  AgentPlatform platform_;
+  net::NodeId hub_;
+  AgentId initiator_;
+};
+
+TEST(ProposalWire, RoundTrip) {
+  Proposal p;
+  p.bidder = 42;
+  p.cost = 3.25;
+  p.latency_s = 0.125;
+  p.note = "will transcode via deputy";
+  auto parsed = parse_proposal(serialize(p));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->bidder, 42u);
+  EXPECT_DOUBLE_EQ(parsed->cost, 3.25);
+  EXPECT_DOUBLE_EQ(parsed->latency_s, 0.125);
+  EXPECT_EQ(parsed->note, "will transcode via deputy");
+}
+
+TEST(ProposalWire, RejectsGarbage) {
+  EXPECT_FALSE(parse_proposal("").has_value());
+  EXPECT_FALSE(parse_proposal("note=no cost here").has_value());
+  EXPECT_FALSE(parse_proposal("cost=abc").has_value());
+}
+
+TEST_F(ContractNetFixture, CheapestBidWinsByDefault) {
+  AgentId cheap_id = kInvalidAgent;
+  auto* cheap = add_bidder("cheap", 10, 1.0, 9.0, &cheap_id);
+  auto* pricey = add_bidder("pricey", 20, 5.0, 1.0);
+  NegotiationResult result;
+  negotiate(platform_, initiator_, {cheap_id, pricey->id()},
+            "solve-heat-equation", sim::SimTime::seconds(10.0),
+            [&](NegotiationResult r) { result = std::move(r); });
+  sim_.run();
+  ASSERT_EQ(result.proposals.size(), 2u);
+  ASSERT_TRUE(result.awarded.has_value());
+  EXPECT_EQ(result.awarded->bidder, cheap_id);
+  EXPECT_EQ(cheap->awards_won(), 1u);
+  EXPECT_EQ(pricey->rejections(), 1u);
+  EXPECT_EQ(cheap->cfps_seen(), 1u);
+  EXPECT_EQ(pricey->cfps_seen(), 1u);
+}
+
+TEST_F(ContractNetFixture, LatencyPolicyFlipsTheAward) {
+  AgentId cheap_id = kInvalidAgent;
+  AgentId fast_id = kInvalidAgent;
+  add_bidder("cheap-slow", 10, 1.0, 9.0, &cheap_id);
+  add_bidder("pricey-fast", 20, 5.0, 1.0, &fast_id);
+  NegotiationResult result;
+  negotiate(
+      platform_, initiator_, {cheap_id, fast_id}, "urgent-task",
+      sim::SimTime::seconds(10.0),
+      [&](NegotiationResult r) { result = std::move(r); },
+      [](const Proposal& p) { return p.latency_s; });
+  sim_.run();
+  ASSERT_TRUE(result.awarded.has_value());
+  EXPECT_EQ(result.awarded->bidder, fast_id);
+}
+
+TEST_F(ContractNetFixture, DeclinersAreExcluded) {
+  AgentId bid_id = kInvalidAgent;
+  add_bidder("bidder", 10, 2.0, 2.0, &bid_id);
+  auto decliner = std::make_unique<BidderAgent>(
+      "decliner", add_node(30),
+      [](const std::string&) { return std::optional<Proposal>(); });
+  auto* decliner_raw = decliner.get();
+  const auto decliner_id = platform_.register_agent(std::move(decliner));
+
+  NegotiationResult result;
+  negotiate(platform_, initiator_, {bid_id, decliner_id}, "task",
+            sim::SimTime::seconds(10.0),
+            [&](NegotiationResult r) { result = std::move(r); });
+  sim_.run();
+  EXPECT_EQ(result.proposals.size(), 1u);
+  ASSERT_TRUE(result.awarded.has_value());
+  EXPECT_EQ(result.awarded->bidder, bid_id);
+  EXPECT_EQ(decliner_raw->cfps_seen(), 1u);
+  EXPECT_EQ(decliner_raw->awards_won(), 0u);
+}
+
+TEST_F(ContractNetFixture, UnreachableBidderJustMissesTheRound) {
+  AgentId good_id = kInvalidAgent;
+  add_bidder("good", 10, 2.0, 2.0, &good_id);
+  AgentId far_id = kInvalidAgent;
+  add_bidder("far", 99999, 0.5, 0.5, &far_id);  // cheapest but unreachable
+  NegotiationResult result;
+  negotiate(platform_, initiator_, {good_id, far_id}, "task",
+            sim::SimTime::seconds(5.0),
+            [&](NegotiationResult r) { result = std::move(r); });
+  sim_.run();
+  ASSERT_TRUE(result.awarded.has_value());
+  EXPECT_EQ(result.awarded->bidder, good_id);
+}
+
+TEST_F(ContractNetFixture, NoParticipantsYieldsNoAward) {
+  bool called = false;
+  NegotiationResult result;
+  negotiate(platform_, initiator_, {}, "task", sim::SimTime::seconds(5.0),
+            [&](NegotiationResult r) {
+              called = true;
+              result = std::move(r);
+            });
+  sim_.run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(result.awarded.has_value());
+  EXPECT_TRUE(result.proposals.empty());
+}
+
+TEST_F(ContractNetFixture, AllDeclineYieldsNoAward) {
+  auto decline = [](const std::string&) { return std::optional<Proposal>(); };
+  const auto a = platform_.register_agent(
+      std::make_unique<BidderAgent>("a", add_node(10), decline));
+  const auto b = platform_.register_agent(
+      std::make_unique<BidderAgent>("b", add_node(20), decline));
+  NegotiationResult result;
+  result.awarded = Proposal{};
+  negotiate(platform_, initiator_, {a, b}, "task", sim::SimTime::seconds(5.0),
+            [&](NegotiationResult r) { result = std::move(r); });
+  sim_.run();
+  EXPECT_FALSE(result.awarded.has_value());
+}
+
+TEST_F(ContractNetFixture, BidderSeesTaskDescription) {
+  // A bidder that only bids on tasks it understands.
+  std::string seen;
+  auto picky = std::make_unique<BidderAgent>(
+      "picky", add_node(10), [&seen](const std::string& task) {
+        seen = task;
+        if (task != "pde-solve") return std::optional<Proposal>();
+        Proposal p;
+        p.cost = 1.0;
+        return std::optional<Proposal>(p);
+      });
+  const auto picky_id = platform_.register_agent(std::move(picky));
+
+  NegotiationResult wrong_task;
+  negotiate(platform_, initiator_, {picky_id}, "make-coffee",
+            sim::SimTime::seconds(5.0),
+            [&](NegotiationResult r) { wrong_task = std::move(r); });
+  sim_.run();
+  EXPECT_EQ(seen, "make-coffee");
+  EXPECT_FALSE(wrong_task.awarded.has_value());
+
+  NegotiationResult right_task;
+  negotiate(platform_, initiator_, {picky_id}, "pde-solve",
+            sim::SimTime::seconds(5.0),
+            [&](NegotiationResult r) { right_task = std::move(r); });
+  sim_.run();
+  EXPECT_TRUE(right_task.awarded.has_value());
+}
+
+}  // namespace
+}  // namespace pgrid::agent

@@ -1,0 +1,211 @@
+// Integration tests: the full PervasiveGridRuntime pipeline — handheld
+// submission over agents, classification, decision making, execution across
+// sensors/base/grid, adaptive feedback, and the discovery plane wired into
+// the same deployment.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/runtime.hpp"
+
+namespace pgrid::core {
+namespace {
+
+RuntimeConfig small_config() {
+  RuntimeConfig config;
+  config.sensors.sensor_count = 49;
+  config.sensors.width_m = 120.0;
+  config.sensors.height_m = 120.0;
+  config.sensors.base_pos = {-5, -5, 0};
+  config.sensors.noise_std = 0.0;
+  config.pde_resolution = 13;
+  config.continuous_epochs = 3;
+  return config;
+}
+
+class RuntimeFixture : public ::testing::Test {
+ protected:
+  RuntimeFixture() : runtime_(small_config()) {
+    sensornet::FireSource fire;
+    fire.pos = {60, 60, 0};
+    fire.start = sim::SimTime::seconds(-3600.0);
+    fire.spread_m_per_s = 0.0;
+    runtime_.field().ignite(fire);
+  }
+
+  PervasiveGridRuntime runtime_;
+};
+
+TEST_F(RuntimeFixture, ConstructionWiresEverything) {
+  EXPECT_EQ(runtime_.sensors().sensors().size(), 49u);
+  ASSERT_NE(runtime_.grid(), nullptr);
+  EXPECT_EQ(runtime_.grid()->machine_count(), 2u);
+  EXPECT_NE(runtime_.handheld_node(), net::kInvalidNode);
+  // Services were advertised: 49 sensors + aggregator + heat solver.
+  EXPECT_GE(runtime_.broker().registry().size(), 51u);
+  // Batteries are full after the registration burst.
+  EXPECT_DOUBLE_EQ(runtime_.network().battery_energy_consumed(), 0.0);
+}
+
+TEST_F(RuntimeFixture, SimpleQueryEndToEnd) {
+  auto outcome =
+      runtime_.submit_and_run("SELECT temp FROM sensors WHERE sensor = 24");
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.classification.primary, query::QueryClass::kSimple);
+  EXPECT_EQ(outcome.model, partition::SolutionModel::kAllToBase);
+  EXPECT_GT(outcome.actual.value, 15.0);
+  EXPECT_GT(outcome.handheld_response_s, outcome.actual.response_s)
+      << "handheld latency includes the edge hop";
+}
+
+TEST_F(RuntimeFixture, AggregateQueryPicksInNetworkModel) {
+  auto outcome = runtime_.submit_and_run("SELECT AVG(temp) FROM sensors");
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.classification.primary, query::QueryClass::kAggregate);
+  // Energy objective (default): in-network aggregation must win.
+  EXPECT_TRUE(outcome.model == partition::SolutionModel::kTreeAggregate ||
+              outcome.model == partition::SolutionModel::kClusterAggregate)
+      << to_string(outcome.model);
+  EXPECT_NEAR(outcome.actual.value, 32.2, 3.0);  // 48 cool + 1 hot sensor
+}
+
+TEST_F(RuntimeFixture, MaxQueryFindsTheFireTemperature) {
+  auto outcome = runtime_.submit_and_run("SELECT MAX(temp) FROM sensors");
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_NEAR(outcome.actual.value, 620.0, 10.0);
+}
+
+TEST_F(RuntimeFixture, ComplexQueryProducesDistribution) {
+  // Force full-fidelity offload: the default energy objective would choose
+  // the hybrid model, whose region averaging legitimately smooths the fire.
+  auto outcome = runtime_.submit_and_run(
+      "SELECT TEMP_DISTRIBUTION(temp) FROM sensors",
+      partition::SolutionModel::kGridOffload);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.classification.primary, query::QueryClass::kComplex);
+  ASSERT_TRUE(outcome.actual.distribution.has_value());
+  const auto& dist = *outcome.actual.distribution;
+  EXPECT_GT(dist.value_at({60, 60, 0}), dist.value_at({0, 119, 0}) + 50.0);
+}
+
+TEST_F(RuntimeFixture, CostTimePicksFastModelForComplex) {
+  auto time_outcome = runtime_.submit_and_run(
+      "SELECT TEMP_DISTRIBUTION(temp) FROM sensors COST time 5");
+  ASSERT_TRUE(time_outcome.ok) << time_outcome.error;
+  // Under a response-time objective the handheld (slowest CPU) never wins.
+  EXPECT_NE(time_outcome.model, partition::SolutionModel::kHandheldLocal);
+}
+
+TEST_F(RuntimeFixture, CostEnergyPicksHybridForComplex) {
+  auto outcome = runtime_.submit_and_run(
+      "SELECT TEMP_DISTRIBUTION(temp) FROM sensors COST energy 1");
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.model, partition::SolutionModel::kHybridRegionGrid);
+  EXPECT_LT(outcome.actual.accuracy, 1.0);
+}
+
+TEST_F(RuntimeFixture, ForcedModelIsRespected) {
+  auto outcome = runtime_.submit_and_run(
+      "SELECT AVG(temp) FROM sensors",
+      partition::SolutionModel::kGridOffload);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.model, partition::SolutionModel::kGridOffload);
+}
+
+TEST_F(RuntimeFixture, ContinuousQueryReportsEpochs) {
+  auto outcome = runtime_.submit_and_run(
+      "SELECT AVG(temp) FROM sensors EPOCH DURATION 10");
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.classification.primary, query::QueryClass::kContinuous);
+  EXPECT_EQ(outcome.epochs.size(), 3u);
+  EXPECT_GT(outcome.actual.energy_j, outcome.epochs[0].energy_j)
+      << "total energy sums the epochs";
+}
+
+TEST_F(RuntimeFixture, ParseErrorSurfacesCleanly) {
+  auto outcome = runtime_.submit_and_run("SELEKT nonsense");
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_FALSE(outcome.error.empty());
+}
+
+TEST_F(RuntimeFixture, AdaptiveFeedbackAccumulates) {
+  EXPECT_EQ(runtime_.decision_maker().observations(
+                query::QueryClass::kAggregate,
+                partition::SolutionModel::kTreeAggregate),
+            0u);
+  runtime_.submit_and_run("SELECT AVG(temp) FROM sensors",
+                          partition::SolutionModel::kTreeAggregate);
+  runtime_.submit_and_run("SELECT AVG(temp) FROM sensors",
+                          partition::SolutionModel::kTreeAggregate);
+  EXPECT_EQ(runtime_.decision_maker().observations(
+                query::QueryClass::kAggregate,
+                partition::SolutionModel::kTreeAggregate),
+            2u);
+  // Calibration converges toward actual/estimate and stays positive.
+  EXPECT_GT(runtime_.decision_maker().energy_calibration(
+                query::QueryClass::kAggregate,
+                partition::SolutionModel::kTreeAggregate),
+            0.0);
+}
+
+TEST_F(RuntimeFixture, EstimateAccompaniesEveryOutcome) {
+  auto outcome = runtime_.submit_and_run("SELECT AVG(temp) FROM sensors");
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_GT(outcome.estimate.energy_j, 0.0);
+  EXPECT_TRUE(std::isfinite(outcome.estimate.energy_j));
+  EXPECT_GT(outcome.estimate.response_s, 0.0);
+}
+
+TEST_F(RuntimeFixture, DiscoveryPlaneFindsSensorServices) {
+  // The same deployment serves semantic discovery: find temperature sensors
+  // near the fire.
+  discovery::ServiceRequest request;
+  request.desired_class = "TemperatureSensor";
+  request.constraints.push_back(
+      {"x", discovery::ConstraintOp::kGe, 40.0, true});
+  request.constraints.push_back(
+      {"y", discovery::ConstraintOp::kGe, 40.0, true});
+  request.max_results = 50;
+  std::vector<discovery::Match> found;
+  discovery::discover(
+      runtime_.agents(), runtime_.agents().find_by_name("handheld")->id(),
+      runtime_.agents().find_by_name("broker")->id(), request,
+      sim::SimTime::seconds(30.0),
+      [&](std::vector<discovery::Match> matches) { found = std::move(matches); });
+  runtime_.simulator().run();
+  EXPECT_FALSE(found.empty());
+  for (const auto& match : found) {
+    EXPECT_GE(std::get<double>(match.service.properties.at("x")), 40.0);
+  }
+}
+
+TEST_F(RuntimeFixture, NoGridConfigDegradesToEdgeModels) {
+  RuntimeConfig config = small_config();
+  config.grid_machines.clear();
+  PervasiveGridRuntime edge_only(config);
+  EXPECT_EQ(edge_only.grid(), nullptr);
+  auto outcome = edge_only.submit_and_run(
+      "SELECT TEMP_DISTRIBUTION(temp) FROM sensors");
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_TRUE(outcome.model == partition::SolutionModel::kAllToBase ||
+              outcome.model == partition::SolutionModel::kHandheldLocal);
+}
+
+TEST_F(RuntimeFixture, DeterministicAcrossRuns) {
+  PervasiveGridRuntime twin(small_config());
+  sensornet::FireSource fire;
+  fire.pos = {60, 60, 0};
+  fire.start = sim::SimTime::seconds(-3600.0);
+  fire.spread_m_per_s = 0.0;
+  twin.field().ignite(fire);
+  const auto a = runtime_.submit_and_run("SELECT AVG(temp) FROM sensors");
+  const auto b = twin.submit_and_run("SELECT AVG(temp) FROM sensors");
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_DOUBLE_EQ(a.actual.value, b.actual.value);
+  EXPECT_DOUBLE_EQ(a.actual.energy_j, b.actual.energy_j);
+  EXPECT_DOUBLE_EQ(a.handheld_response_s, b.handheld_response_s);
+}
+
+}  // namespace
+}  // namespace pgrid::core

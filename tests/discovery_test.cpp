@@ -1,0 +1,656 @@
+// Unit tests for semantic service discovery: ontology reasoning, wire
+// format, the three matchers (including the paper's printer example), the
+// registry, and broker agents (centralized + federated).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "agent/platform.hpp"
+#include "discovery/broker.hpp"
+#include "discovery/matcher.hpp"
+#include "discovery/ontology.hpp"
+#include "discovery/registry.hpp"
+#include "discovery/service.hpp"
+
+namespace pgrid::discovery {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ontology
+// ---------------------------------------------------------------------------
+
+TEST(Ontology, AddAndFind) {
+  Ontology o;
+  const auto root = o.add_class("Service");
+  const auto sensor = o.add_class("SensorService", {"Service"});
+  EXPECT_EQ(o.size(), 2u);
+  EXPECT_EQ(o.find("Service"), root);
+  EXPECT_EQ(o.find("SensorService"), sensor);
+  EXPECT_FALSE(o.find("Nope").has_value());
+  EXPECT_EQ(o.name(sensor), "SensorService");
+}
+
+TEST(Ontology, ReAddReturnsExistingId) {
+  Ontology o;
+  const auto a = o.add_class("Service");
+  const auto b = o.add_class("Service");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(o.size(), 1u);
+}
+
+TEST(Ontology, UnknownParentThrows) {
+  Ontology o;
+  EXPECT_THROW(o.add_class("X", {"Missing"}), std::invalid_argument);
+}
+
+TEST(Ontology, IsAReflexiveTransitive) {
+  auto o = make_standard_ontology();
+  EXPECT_TRUE(o.is_a("TemperatureSensor", "TemperatureSensor"));
+  EXPECT_TRUE(o.is_a("TemperatureSensor", "SensorService"));
+  EXPECT_TRUE(o.is_a("TemperatureSensor", "Service"));
+  EXPECT_FALSE(o.is_a("SensorService", "TemperatureSensor"));
+  EXPECT_FALSE(o.is_a("TemperatureSensor", "ComputeService"));
+}
+
+TEST(Ontology, MultipleInheritance) {
+  auto o = make_standard_ontology();
+  EXPECT_TRUE(o.is_a("ColorLaserPrinter", "ColorPrinter"));
+  EXPECT_TRUE(o.is_a("ColorLaserPrinter", "LaserPrinter"));
+  EXPECT_TRUE(o.is_a("ColorLaserPrinter", "PrinterService"));
+}
+
+TEST(Ontology, DepthFromRoot) {
+  auto o = make_standard_ontology();
+  EXPECT_EQ(o.depth(*o.find("Service")), 0u);
+  EXPECT_EQ(o.depth(*o.find("SensorService")), 1u);
+  EXPECT_EQ(o.depth(*o.find("TemperatureSensor")), 2u);
+  EXPECT_EQ(o.depth(*o.find("HeatEquationSolver")), 3u);
+}
+
+TEST(Ontology, SimilarityIdentityAndSiblings) {
+  auto o = make_standard_ontology();
+  EXPECT_DOUBLE_EQ(o.similarity("TemperatureSensor", "TemperatureSensor"), 1.0);
+  // Siblings under SensorService (depth 1): 2*1/(2+2) = 0.5.
+  EXPECT_DOUBLE_EQ(o.similarity("TemperatureSensor", "SmokeSensor"), 0.5);
+  // Cross-branch: LCS is the root at depth 0 -> similarity 0.
+  EXPECT_DOUBLE_EQ(o.similarity("TemperatureSensor", "PdeSolver"), 0.0);
+}
+
+TEST(Ontology, SimilaritySymmetricAndBounded) {
+  auto o = make_standard_ontology();
+  const char* names[] = {"Service", "SensorService", "TemperatureSensor",
+                         "PdeSolver", "ColorLaserPrinter", "DataMiningService"};
+  for (const char* a : names) {
+    for (const char* b : names) {
+      const double s1 = o.similarity(a, b);
+      const double s2 = o.similarity(b, a);
+      EXPECT_DOUBLE_EQ(s1, s2);
+      EXPECT_GE(s1, 0.0);
+      EXPECT_LE(s1, 1.0);
+    }
+  }
+}
+
+TEST(Ontology, SimilarityUnknownClassIsZero) {
+  auto o = make_standard_ontology();
+  EXPECT_DOUBLE_EQ(o.similarity("TemperatureSensor", "Bogus"), 0.0);
+}
+
+TEST(Ontology, AncestorsIncludeSelfAndAllParents) {
+  auto o = make_standard_ontology();
+  const auto id = *o.find("ColorLaserPrinter");
+  auto ancestors = o.ancestors(id);
+  auto has = [&](const char* name) {
+    return std::find(ancestors.begin(), ancestors.end(), *o.find(name)) !=
+           ancestors.end();
+  };
+  EXPECT_TRUE(has("ColorLaserPrinter"));
+  EXPECT_TRUE(has("ColorPrinter"));
+  EXPECT_TRUE(has("LaserPrinter"));
+  EXPECT_TRUE(has("PrinterService"));
+  EXPECT_TRUE(has("Service"));
+  EXPECT_FALSE(has("SensorService"));
+}
+
+// ---------------------------------------------------------------------------
+// Service descriptions, constraints, serialization
+// ---------------------------------------------------------------------------
+
+ServiceDescription make_printer(const std::string& name, double queue,
+                                double distance, bool color, double cost) {
+  ServiceDescription s;
+  s.name = name;
+  s.service_class = color ? "ColorPrinter" : "LaserPrinter";
+  s.properties["queue_length"] = queue;
+  s.properties["distance_m"] = distance;
+  s.properties["color"] = color;
+  s.properties["cost_per_page"] = cost;
+  s.interfaces = {"printIt()"};
+  s.cost = cost;
+  return s;
+}
+
+TEST(Service, SatisfiesNumericOps) {
+  auto s = make_printer("p", 3.0, 10.0, true, 0.25);
+  EXPECT_TRUE(satisfies(s, {"queue_length", ConstraintOp::kLe, 3.0}));
+  EXPECT_TRUE(satisfies(s, {"queue_length", ConstraintOp::kLt, 4.0}));
+  EXPECT_FALSE(satisfies(s, {"queue_length", ConstraintOp::kLt, 3.0}));
+  EXPECT_TRUE(satisfies(s, {"queue_length", ConstraintOp::kGe, 3.0}));
+  EXPECT_TRUE(satisfies(s, {"queue_length", ConstraintOp::kNe, 5.0}));
+  EXPECT_TRUE(satisfies(s, {"color", ConstraintOp::kEq, true}));
+}
+
+TEST(Service, SatisfiesMissingOrMistypedPropertyFails) {
+  auto s = make_printer("p", 3.0, 10.0, true, 0.25);
+  EXPECT_FALSE(satisfies(s, {"nonexistent", ConstraintOp::kEq, 1.0}));
+  EXPECT_FALSE(satisfies(s, {"queue_length", ConstraintOp::kEq,
+                             std::string("three")}));
+}
+
+TEST(Service, SerializeRoundTrip) {
+  ServiceDescription s = make_printer("lab-printer", 2.0, 15.5, true, 0.10);
+  s.requirements["power_w"] = 300.0;
+  s.uuid = Uuid{0xdeadbeefULL, 0xcafebabeULL};
+  s.paradigm = InvocationParadigm::kRemoteInvocation;
+  s.provider = 42;
+  s.node = 7;
+  s.lease_expiry = sim::SimTime::seconds(30.0);
+
+  auto parsed = parse_service(serialize(s));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->name, "lab-printer");
+  EXPECT_EQ(parsed->service_class, "ColorPrinter");
+  EXPECT_DOUBLE_EQ(std::get<double>(parsed->properties.at("queue_length")), 2.0);
+  EXPECT_EQ(std::get<bool>(parsed->properties.at("color")), true);
+  EXPECT_DOUBLE_EQ(std::get<double>(parsed->requirements.at("power_w")), 300.0);
+  EXPECT_EQ(parsed->interfaces, std::vector<std::string>{"printIt()"});
+  EXPECT_EQ(parsed->uuid, s.uuid);
+  EXPECT_EQ(parsed->paradigm, InvocationParadigm::kRemoteInvocation);
+  EXPECT_EQ(parsed->provider, 42u);
+  EXPECT_EQ(parsed->node, 7u);
+  EXPECT_EQ(parsed->lease_expiry, sim::SimTime::seconds(30.0));
+}
+
+TEST(Service, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_service("").has_value());
+  EXPECT_FALSE(parse_service("class=Foo\n").has_value());  // missing name
+  EXPECT_FALSE(parse_service("name=x\nprop.bad=z:1\n").has_value());
+}
+
+TEST(Service, RequestSerializeRoundTrip) {
+  ServiceRequest r;
+  r.desired_class = "ColorPrinter";
+  r.constraints.push_back({"cost_per_page", ConstraintOp::kLe, 0.2, true});
+  r.constraints.push_back({"color", ConstraintOp::kEq, true, false});
+  r.preferences.push_back({"queue_length", true, 2.0});
+  r.required_interfaces.push_back("printIt()");
+  r.uuid = Uuid{1, 2};
+  r.max_results = 3;
+
+  auto parsed = parse_request(serialize(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->desired_class, "ColorPrinter");
+  ASSERT_EQ(parsed->constraints.size(), 2u);
+  EXPECT_EQ(parsed->constraints[0].op, ConstraintOp::kLe);
+  EXPECT_TRUE(parsed->constraints[0].hard);
+  EXPECT_FALSE(parsed->constraints[1].hard);
+  ASSERT_EQ(parsed->preferences.size(), 1u);
+  EXPECT_TRUE(parsed->preferences[0].minimize);
+  EXPECT_DOUBLE_EQ(parsed->preferences[0].weight, 2.0);
+  EXPECT_EQ(parsed->required_interfaces.size(), 1u);
+  ASSERT_TRUE(parsed->uuid.has_value());
+  EXPECT_EQ(parsed->uuid->lo, 2u);
+  EXPECT_EQ(parsed->max_results, 3u);
+}
+
+TEST(Service, MatchListRoundTrip) {
+  std::vector<Match> matches;
+  matches.push_back({make_printer("a", 1, 2, true, 0.1), 0.9});
+  matches.push_back({make_printer("b", 5, 8, false, 0.2), 0.4});
+  auto parsed = parse_matches(serialize_matches(matches));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].service.name, "a");
+  EXPECT_DOUBLE_EQ(parsed[0].score, 0.9);
+  EXPECT_EQ(parsed[1].service.name, "b");
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, RegisterReplaceUnregister) {
+  ServiceRegistry reg;
+  EXPECT_FALSE(reg.register_service(make_printer("p1", 1, 1, true, 0.1)));
+  EXPECT_TRUE(reg.register_service(make_printer("p1", 9, 1, true, 0.1)));
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      std::get<double>(reg.find("p1")->properties.at("queue_length")), 9.0);
+  EXPECT_TRUE(reg.unregister_service("p1"));
+  EXPECT_FALSE(reg.unregister_service("p1"));
+  EXPECT_TRUE(reg.empty());
+}
+
+TEST(Registry, SweepDropsExpiredLeases) {
+  ServiceRegistry reg;
+  auto s1 = make_printer("expiring", 1, 1, true, 0.1);
+  s1.lease_expiry = sim::SimTime::seconds(10.0);
+  auto s2 = make_printer("permanent", 1, 1, true, 0.1);
+  reg.register_service(s1);
+  reg.register_service(s2);
+  EXPECT_EQ(reg.sweep(sim::SimTime::seconds(5.0)), 0u);
+  EXPECT_EQ(reg.sweep(sim::SimTime::seconds(10.0)), 1u);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_TRUE(reg.find("permanent").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Matchers
+// ---------------------------------------------------------------------------
+
+class MatcherFixture : public ::testing::Test {
+ protected:
+  MatcherFixture() : ontology_(make_standard_ontology()) {
+    // The paper's printer fleet: the client wants a color printer with the
+    // shortest queue, nearby, under a cost cap.
+    services_.push_back(make_printer("cheap-color", 6, 40, true, 0.05));
+    services_.push_back(make_printer("idle-color", 0, 25, true, 0.15));
+    services_.push_back(make_printer("pricey-color", 1, 5, true, 0.80));
+    services_.push_back(make_printer("mono-laser", 0, 1, false, 0.02));
+    auto combo = make_printer("combo", 2, 30, true, 0.12);
+    combo.service_class = "ColorLaserPrinter";
+    services_.push_back(combo);
+    services_[3].uuid = Uuid{11, 22};
+  }
+
+  Ontology ontology_;
+  std::vector<ServiceDescription> services_;
+};
+
+TEST_F(MatcherFixture, SemanticSubsumptionMatchesSubclasses) {
+  SemanticMatcher matcher(ontology_);
+  ServiceRequest request;
+  request.desired_class = "ColorPrinter";
+  auto matches = matcher.match(services_, request);
+  // All ColorPrinter + ColorLaserPrinter; mono LaserPrinter is a sibling at
+  // similarity 2*1/(2+2)=0.5 >= threshold, so it appears but ranks below.
+  ASSERT_GE(matches.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NE(matches[i].service.service_class, "LaserPrinter")
+        << "exact color printers must outrank the sibling class";
+  }
+}
+
+TEST_F(MatcherFixture, SemanticHardConstraintGates) {
+  SemanticMatcher matcher(ontology_);
+  ServiceRequest request;
+  request.desired_class = "ColorPrinter";
+  request.constraints.push_back(
+      {"cost_per_page", ConstraintOp::kLe, 0.2, true});
+  auto matches = matcher.match(services_, request);
+  for (const auto& match : matches) {
+    EXPECT_LE(std::get<double>(match.service.properties.at("cost_per_page")),
+              0.2)
+        << match.service.name;
+  }
+  // pricey-color (0.80/page) must be gone.
+  EXPECT_TRUE(std::none_of(matches.begin(), matches.end(), [](const Match& m) {
+    return m.service.name == "pricey-color";
+  }));
+}
+
+TEST_F(MatcherFixture, SemanticPreferenceRanksShortestQueueFirst) {
+  // The paper's exact example: "a printer service that has the shortest
+  // print queue ... will print in color but only within a prespecified cost
+  // constraint."
+  SemanticMatcher matcher(ontology_);
+  ServiceRequest request;
+  request.desired_class = "ColorPrinter";
+  request.constraints.push_back(
+      {"cost_per_page", ConstraintOp::kLe, 0.2, true});
+  request.preferences.push_back({"queue_length", true, 1.0});
+  auto matches = matcher.match(services_, request);
+  ASSERT_GE(matches.size(), 2u);
+  EXPECT_EQ(matches[0].service.name, "idle-color");
+}
+
+TEST_F(MatcherFixture, SemanticRanksAreMonotone) {
+  SemanticMatcher matcher(ontology_);
+  ServiceRequest request;
+  request.desired_class = "PrinterService";
+  request.preferences.push_back({"distance_m", true, 1.0});
+  auto matches = matcher.match(services_, request);
+  for (std::size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GE(matches[i - 1].score, matches[i].score);
+  }
+}
+
+TEST_F(MatcherFixture, SemanticMaxResultsTruncates) {
+  SemanticMatcher matcher(ontology_);
+  ServiceRequest request;
+  request.desired_class = "PrinterService";
+  request.max_results = 2;
+  EXPECT_EQ(matcher.match(services_, request).size(), 2u);
+}
+
+TEST_F(MatcherFixture, SemanticUnknownClassNoMatches) {
+  SemanticMatcher matcher(ontology_);
+  ServiceRequest request;
+  request.desired_class = "FluxCapacitor";
+  EXPECT_TRUE(matcher.match(services_, request).empty());
+}
+
+TEST_F(MatcherFixture, ExactMatcherFindsInterface) {
+  ExactInterfaceMatcher matcher;
+  ServiceRequest request;
+  request.required_interfaces.push_back("printIt()");
+  auto matches = matcher.match(services_, request);
+  EXPECT_EQ(matches.size(), services_.size());
+  for (const auto& m : matches) EXPECT_DOUBLE_EQ(m.score, 1.0);
+}
+
+TEST_F(MatcherFixture, ExactMatcherCannotSubsume) {
+  // Jini-style: asking for "ColorPrinter" misses the ColorLaserPrinter even
+  // though it IS one — the expressiveness gap the paper calls out.
+  ExactInterfaceMatcher matcher;
+  ServiceRequest request;
+  request.desired_class = "ColorPrinter";
+  auto matches = matcher.match(services_, request);
+  EXPECT_TRUE(std::none_of(matches.begin(), matches.end(), [](const Match& m) {
+    return m.service.name == "combo";
+  }));
+  SemanticMatcher semantic(ontology_);
+  auto semantic_matches = semantic.match(services_, request);
+  EXPECT_TRUE(std::any_of(
+      semantic_matches.begin(), semantic_matches.end(),
+      [](const Match& m) { return m.service.name == "combo"; }));
+}
+
+TEST_F(MatcherFixture, ExactMatcherIgnoresInequalityConstraints) {
+  ExactInterfaceMatcher matcher;
+  ServiceRequest request;
+  request.desired_class = "ColorPrinter";
+  request.constraints.push_back(
+      {"cost_per_page", ConstraintOp::kLe, 0.1, true});
+  auto matches = matcher.match(services_, request);
+  // The <= constraint is inexpressible, so over-broad results come back.
+  EXPECT_TRUE(std::any_of(matches.begin(), matches.end(), [](const Match& m) {
+    return std::get<double>(m.service.properties.at("cost_per_page")) > 0.1;
+  }));
+}
+
+TEST_F(MatcherFixture, TwoWayMatchingEnforcesServiceRequirements) {
+  // A solver that needs 512 MB of memory and a JVM to run.
+  ServiceDescription needy;
+  needy.name = "needy-solver";
+  needy.service_class = "PdeSolver";
+  needy.requirements["memory_mb"] = 512.0;
+  needy.requirements["jvm"] = true;
+  ServiceDescription lean;
+  lean.name = "lean-solver";
+  lean.service_class = "PdeSolver";
+  std::vector<ServiceDescription> solvers{needy, lean};
+
+  SemanticMatcher matcher(ontology_);
+  ServiceRequest request;
+  request.desired_class = "PdeSolver";
+  request.enforce_requirements = true;
+  // A sensor mote offers almost nothing: only the lean solver fits.
+  request.offered["memory_mb"] = 64.0;
+  auto on_mote = matcher.match(solvers, request);
+  ASSERT_EQ(on_mote.size(), 1u);
+  EXPECT_EQ(on_mote[0].service.name, "lean-solver");
+
+  // A grid machine offers plenty: both fit.
+  request.offered["memory_mb"] = 4096.0;
+  request.offered["jvm"] = true;
+  EXPECT_EQ(matcher.match(solvers, request).size(), 2u);
+
+  // Without enforcement the requirements are informational only.
+  request.enforce_requirements = false;
+  request.offered.clear();
+  EXPECT_EQ(matcher.match(solvers, request).size(), 2u);
+}
+
+TEST_F(MatcherFixture, RequirementsMetSemantics) {
+  ServiceDescription s;
+  s.requirements["bandwidth_bps"] = 1e6;
+  s.requirements["os"] = std::string("linux");
+  std::map<std::string, PropertyValue> offered;
+  EXPECT_FALSE(requirements_met(s, offered));
+  offered["bandwidth_bps"] = 2e6;  // numeric: offered >= required
+  offered["os"] = std::string("linux");
+  EXPECT_TRUE(requirements_met(s, offered));
+  offered["bandwidth_bps"] = 5e5;
+  EXPECT_FALSE(requirements_met(s, offered));
+  offered["bandwidth_bps"] = 2e6;
+  offered["os"] = std::string("windows");
+  EXPECT_FALSE(requirements_met(s, offered));
+}
+
+TEST(ServiceWire, OfferedAndEnforceRoundTrip) {
+  ServiceRequest r;
+  r.desired_class = "PdeSolver";
+  r.offered["memory_mb"] = 256.0;
+  r.offered["jvm"] = true;
+  r.enforce_requirements = true;
+  auto parsed = parse_request(serialize(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->enforce_requirements);
+  EXPECT_DOUBLE_EQ(std::get<double>(parsed->offered.at("memory_mb")), 256.0);
+  EXPECT_EQ(std::get<bool>(parsed->offered.at("jvm")), true);
+}
+
+TEST_F(MatcherFixture, UuidMatcherExactHit) {
+  UuidMatcher matcher;
+  ServiceRequest request;
+  request.uuid = Uuid{11, 22};
+  auto matches = matcher.match(services_, request);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].service.name, "mono-laser");
+}
+
+TEST_F(MatcherFixture, UuidMatcherNoUuidNoMatches) {
+  UuidMatcher matcher;
+  ServiceRequest request;
+  request.desired_class = "ColorPrinter";  // irrelevant to SDP
+  EXPECT_TRUE(matcher.match(services_, request).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Broker agents
+// ---------------------------------------------------------------------------
+
+class BrokerFixture : public ::testing::Test {
+ protected:
+  BrokerFixture()
+      : net_(sim_, common::Rng(3)),
+        platform_(net_),
+        ontology_(make_standard_ontology()) {}
+
+  net::NodeId add_node(double x) {
+    net::NodeConfig c;
+    c.pos = {x, 0, 0};
+    c.radio = net::LinkClass::wifi();
+    c.unlimited_energy = true;
+    return net_.add_node(c);
+  }
+
+  agent::AgentId add_broker(const std::string& name, net::NodeId node,
+                            BrokerAgent** out = nullptr) {
+    auto broker = std::make_unique<BrokerAgent>(name, node, ontology_);
+    if (out) *out = broker.get();
+    return platform_.register_agent(std::move(broker));
+  }
+
+  agent::AgentId add_client(net::NodeId node) {
+    return platform_.register_agent(std::make_unique<agent::LambdaAgent>(
+        "client", node, [](agent::LambdaAgent&, const agent::Envelope&) {}));
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  agent::AgentPlatform platform_;
+  Ontology ontology_;
+};
+
+TEST_F(BrokerFixture, AdvertiseThenDiscover) {
+  const auto n0 = add_node(0);
+  const auto n1 = add_node(50);
+  BrokerAgent* broker_raw = nullptr;
+  const auto broker = add_broker("broker", n0, &broker_raw);
+  const auto client = add_client(n1);
+
+  auto service = make_printer("office-color", 2, 10, true, 0.1);
+  service.provider = client;
+  bool advertised = false;
+  advertise(platform_, client, broker, service,
+            [&](bool ok) { advertised = ok; });
+  sim_.run();
+  EXPECT_TRUE(advertised);
+  EXPECT_EQ(broker_raw->registry().size(), 1u);
+
+  ServiceRequest request;
+  request.desired_class = "ColorPrinter";
+  std::vector<Match> found;
+  discover(platform_, client, broker, request, sim::SimTime::seconds(10.0),
+           [&](std::vector<Match> matches) { found = std::move(matches); });
+  sim_.run();
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].service.name, "office-color");
+  EXPECT_GT(found[0].score, 0.5);
+}
+
+TEST_F(BrokerFixture, UnadvertiseRemoves) {
+  const auto n0 = add_node(0);
+  BrokerAgent* broker_raw = nullptr;
+  const auto broker = add_broker("broker", n0, &broker_raw);
+  const auto client = add_client(n0);
+  advertise(platform_, client, broker, make_printer("p", 1, 1, true, 0.1));
+  sim_.run();
+  EXPECT_EQ(broker_raw->registry().size(), 1u);
+  unadvertise(platform_, client, broker, "p");
+  sim_.run();
+  EXPECT_EQ(broker_raw->registry().size(), 0u);
+}
+
+TEST_F(BrokerFixture, LeaseExpiresViaBrokerSweep) {
+  const auto n0 = add_node(0);
+  BrokerAgent* broker_raw = nullptr;
+  const auto broker = add_broker("broker", n0, &broker_raw);
+  const auto client = add_client(n0);
+  auto service = make_printer("transient", 1, 1, true, 0.1);
+  service.lease_expiry = sim::SimTime::seconds(3.0);
+  advertise(platform_, client, broker, service);
+  sim_.run();
+  EXPECT_EQ(broker_raw->registry().size(), 1u);
+
+  // Query after expiry: the sweep must hide the dead service.
+  ServiceRequest request;
+  request.desired_class = "ColorPrinter";
+  std::vector<Match> found{Match{}};
+  sim_.schedule(sim::SimTime::seconds(5.0), [&] {
+    discover(platform_, client, broker, request, sim::SimTime::seconds(10.0),
+             [&](std::vector<Match> matches) { found = std::move(matches); });
+  });
+  sim_.run();
+  EXPECT_TRUE(found.empty());
+}
+
+TEST_F(BrokerFixture, FederationResolvesRemoteService) {
+  const auto n0 = add_node(0);
+  const auto n1 = add_node(50);
+  BrokerAgent* local_raw = nullptr;
+  BrokerAgent* remote_raw = nullptr;
+  const auto local = add_broker("local", n0, &local_raw);
+  const auto remote = add_broker("remote", n1, &remote_raw);
+  local_raw->add_peer(remote);
+  const auto client = add_client(n0);
+
+  // Only the remote broker knows the printer.
+  advertise(platform_, client, remote, make_printer("far-color", 1, 5, true, 0.1));
+  sim_.run();
+
+  ServiceRequest request;
+  request.desired_class = "ColorPrinter";
+  std::vector<Match> found;
+  discover(platform_, client, local, request, sim::SimTime::seconds(10.0),
+           [&](std::vector<Match> matches) { found = std::move(matches); });
+  sim_.run();
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].service.name, "far-color");
+  EXPECT_EQ(local_raw->queries_forwarded(), 1u);
+}
+
+TEST_F(BrokerFixture, FederationDeduplicatesAcrossPeers) {
+  const auto n0 = add_node(0);
+  const auto n1 = add_node(50);
+  const auto n2 = add_node(100);
+  BrokerAgent* hub_raw = nullptr;
+  const auto hub = add_broker("hub", n0, &hub_raw);
+  const auto peer_a = add_broker("peer-a", n1);
+  const auto peer_b = add_broker("peer-b", n2);
+  hub_raw->add_peer(peer_a);
+  hub_raw->add_peer(peer_b);
+  const auto client = add_client(n0);
+
+  // Both peers advertise the SAME service name.
+  advertise(platform_, client, peer_a, make_printer("shared", 1, 5, true, 0.1));
+  advertise(platform_, client, peer_b, make_printer("shared", 1, 5, true, 0.1));
+  sim_.run();
+
+  ServiceRequest request;
+  request.desired_class = "ColorPrinter";
+  std::vector<Match> found;
+  discover(platform_, client, hub, request, sim::SimTime::seconds(10.0),
+           [&](std::vector<Match> matches) { found = std::move(matches); });
+  sim_.run();
+  EXPECT_EQ(found.size(), 1u);
+}
+
+TEST_F(BrokerFixture, ForwardedQueriesAreNotReforwarded) {
+  // Chain hub -> peer, peer has its own peer; a forwarded query must stop
+  // at one hop (no infinite loops, no transitive fan-out).
+  const auto n0 = add_node(0);
+  BrokerAgent* hub_raw = nullptr;
+  BrokerAgent* mid_raw = nullptr;
+  const auto hub = add_broker("hub", n0, &hub_raw);
+  const auto mid = add_broker("mid", n0, &mid_raw);
+  const auto leaf = add_broker("leaf", n0);
+  hub_raw->add_peer(mid);
+  mid_raw->add_peer(leaf);
+  const auto client = add_client(n0);
+
+  // Only the leaf knows the service — 2 hops away, so it must NOT be found.
+  advertise(platform_, client, leaf, make_printer("deep", 1, 5, true, 0.1));
+  sim_.run();
+
+  ServiceRequest request;
+  request.desired_class = "ColorPrinter";
+  std::vector<Match> found{Match{}};
+  discover(platform_, client, hub, request, sim::SimTime::seconds(10.0),
+           [&](std::vector<Match> matches) { found = std::move(matches); });
+  sim_.run();
+  EXPECT_TRUE(found.empty());
+}
+
+TEST_F(BrokerFixture, DiscoverEmptyOnUnreachableBroker) {
+  const auto n0 = add_node(0);
+  const auto n_far = add_node(99999);
+  const auto broker = add_broker("broker", n_far);
+  const auto client = add_client(n0);
+  ServiceRequest request;
+  request.desired_class = "ColorPrinter";
+  bool called = false;
+  std::vector<Match> found{Match{}};
+  discover(platform_, client, broker, request, sim::SimTime::seconds(5.0),
+           [&](std::vector<Match> matches) {
+             called = true;
+             found = std::move(matches);
+           });
+  sim_.run();
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(found.empty());
+}
+
+}  // namespace
+}  // namespace pgrid::discovery

@@ -1,0 +1,295 @@
+// Unit tests for the grid substrate: heat problems, Jacobi/CG solvers
+// (serial, parallel, cross-checked), temperature-distribution glue, and the
+// grid scheduler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/thread_pool.hpp"
+#include "grid/heat_problem.hpp"
+#include "grid/infrastructure.hpp"
+#include "grid/solvers.hpp"
+#include "grid/temperature.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace pgrid::grid {
+namespace {
+
+TEST(HeatProblem, BoundaryIsFixed) {
+  HeatProblem p(5, 5, 1, 20.0);
+  EXPECT_EQ(p.cells(), 25u);
+  EXPECT_EQ(p.fixed_count(), 16u);  // the ring of a 5x5 grid
+  EXPECT_EQ(p.free_count(), 9u);
+  EXPECT_TRUE(p.is_fixed(p.index(0, 0)));
+  EXPECT_TRUE(p.is_fixed(p.index(4, 2)));
+  EXPECT_FALSE(p.is_fixed(p.index(2, 2)));
+  EXPECT_DOUBLE_EQ(p.fixed_value(p.index(0, 0)), 20.0);
+}
+
+TEST(HeatProblem, FixInteriorCell) {
+  HeatProblem p(5, 5, 1, 20.0);
+  p.fix(2, 2, 0, 100.0);
+  EXPECT_TRUE(p.is_fixed(p.index(2, 2)));
+  EXPECT_DOUBLE_EQ(p.fixed_value(p.index(2, 2)), 100.0);
+  EXPECT_EQ(p.free_count(), 8u);
+  // Re-fixing does not double count.
+  p.fix(2, 2, 0, 150.0);
+  EXPECT_EQ(p.free_count(), 8u);
+}
+
+TEST(HeatProblem, NeighborCounts2D) {
+  HeatProblem p(4, 4, 1, 0.0);
+  std::size_t nb[6];
+  EXPECT_EQ(p.neighbors(p.index(0, 0), nb), 2u);  // corner
+  EXPECT_EQ(p.neighbors(p.index(1, 0), nb), 3u);  // edge
+  EXPECT_EQ(p.neighbors(p.index(1, 1), nb), 4u);  // interior
+}
+
+TEST(HeatProblem, NeighborCounts3D) {
+  HeatProblem p(4, 4, 4, 0.0);
+  std::size_t nb[6];
+  EXPECT_EQ(p.neighbors(p.index(0, 0, 0), nb), 3u);
+  EXPECT_EQ(p.neighbors(p.index(1, 1, 1), nb), 6u);
+  EXPECT_TRUE(p.is_3d());
+}
+
+TEST(Solvers, JacobiUniformBoundaryGivesUniformField) {
+  HeatProblem p(8, 8, 1, 42.0);
+  std::vector<double> u;
+  const auto stats = jacobi_solve(p, u);
+  EXPECT_TRUE(stats.converged);
+  for (double v : u) EXPECT_NEAR(v, 42.0, 1e-4);
+}
+
+TEST(Solvers, CgUniformBoundaryGivesUniformField) {
+  HeatProblem p(8, 8, 1, 42.0);
+  std::vector<double> u;
+  const auto stats = cg_solve(p, u);
+  EXPECT_TRUE(stats.converged);
+  for (double v : u) EXPECT_NEAR(v, 42.0, 1e-6);
+}
+
+TEST(Solvers, LinearProfileIsExactSolution) {
+  // Fix left edge at 0 and right edge at 30 on a strip: the discrete
+  // harmonic solution is a linear ramp.
+  const std::size_t nx = 11;
+  const std::size_t ny = 5;
+  HeatProblem p(nx, ny, 1, 0.0);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const double v = 3.0 * static_cast<double>(ix);
+      const bool edge = ix == 0 || ix + 1 == nx || iy == 0 || iy + 1 == ny;
+      if (edge) p.fix(ix, iy, 0, v);
+    }
+  }
+  std::vector<double> u;
+  const auto stats = cg_solve(p, u, 1e-12);
+  EXPECT_TRUE(stats.converged);
+  for (std::size_t iy = 1; iy + 1 < ny; ++iy) {
+    for (std::size_t ix = 1; ix + 1 < nx; ++ix) {
+      EXPECT_NEAR(u[p.index(ix, iy)], 3.0 * static_cast<double>(ix), 1e-6);
+    }
+  }
+}
+
+TEST(Solvers, JacobiAndCgAgree) {
+  HeatProblem p(12, 12, 1, 20.0);
+  p.fix(6, 6, 0, 300.0);  // hot spot
+  std::vector<double> uj;
+  std::vector<double> uc;
+  const auto js = jacobi_solve(p, uj, 1e-9, 100000);
+  const auto cs = cg_solve(p, uc, 1e-12);
+  ASSERT_TRUE(js.converged);
+  ASSERT_TRUE(cs.converged);
+  for (std::size_t i = 0; i < uj.size(); ++i) EXPECT_NEAR(uj[i], uc[i], 1e-3);
+}
+
+TEST(Solvers, CgConvergesInFarFewerIterations) {
+  HeatProblem p(24, 24, 1, 20.0);
+  p.fix(12, 12, 0, 400.0);
+  std::vector<double> uj;
+  std::vector<double> uc;
+  const auto js = jacobi_solve(p, uj, 1e-6, 100000);
+  const auto cs = cg_solve(p, uc, 1e-8);
+  ASSERT_TRUE(js.converged);
+  ASSERT_TRUE(cs.converged);
+  EXPECT_LT(cs.iterations * 5, js.iterations);
+}
+
+TEST(Solvers, ParallelMatchesSerial) {
+  HeatProblem p(20, 20, 4, 20.0);
+  p.fix(10, 10, 2, 500.0);
+  common::ThreadPool pool(4);
+  std::vector<double> serial;
+  std::vector<double> parallel;
+  const auto s1 = cg_solve(p, serial, 1e-10);
+  const auto s2 = cg_solve(p, parallel, 1e-10, 10000, &pool);
+  ASSERT_TRUE(s1.converged);
+  ASSERT_TRUE(s2.converged);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_NEAR(serial[i], parallel[i], 1e-6);
+  }
+}
+
+TEST(Solvers, JacobiParallelMatchesSerial) {
+  HeatProblem p(16, 16, 1, 20.0);
+  p.fix(8, 8, 0, 200.0);
+  common::ThreadPool pool(3);
+  std::vector<double> serial;
+  std::vector<double> parallel;
+  jacobi_solve(p, serial, 1e-8, 100000);
+  jacobi_solve(p, parallel, 1e-8, 100000, &pool);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_NEAR(serial[i], parallel[i], 1e-9)
+        << "Jacobi sweeps are order-independent";
+  }
+}
+
+TEST(Solvers, MaximumPrincipleHolds) {
+  // The discrete harmonic solution stays within the Dirichlet range.
+  HeatProblem p(15, 15, 1, 20.0);
+  p.fix(7, 7, 0, 600.0);
+  std::vector<double> u;
+  cg_solve(p, u, 1e-10);
+  for (double v : u) {
+    EXPECT_GE(v, 20.0 - 1e-6);
+    EXPECT_LE(v, 600.0 + 1e-6);
+  }
+}
+
+TEST(Solvers, FlopsReportedGrowWithProblemSize) {
+  std::vector<double> u1;
+  std::vector<double> u2;
+  HeatProblem small(8, 8, 1, 20.0);
+  small.fix(4, 4, 0, 100.0);
+  HeatProblem big(32, 32, 1, 20.0);
+  big.fix(16, 16, 0, 100.0);
+  const auto s = cg_solve(small, u1);
+  const auto b = cg_solve(big, u2);
+  EXPECT_GT(b.flops, s.flops * 4);
+}
+
+TEST(Temperature, SolveDistributionFindsHotSpot) {
+  // Readings: cool ring, hot center.
+  std::vector<Reading> readings;
+  readings.push_back({{50, 50, 0}, 400.0});
+  readings.push_back({{10, 10, 0}, 22.0});
+  readings.push_back({{90, 10, 0}, 22.0});
+  readings.push_back({{10, 90, 0}, 22.0});
+  readings.push_back({{90, 90, 0}, 22.0});
+  auto result = solve_temperature_distribution(readings, 100, 100, 0.0, 21,
+                                               21, 1, 20.0);
+  EXPECT_TRUE(result.stats.converged);
+  EXPECT_NEAR(result.grid.value_at({50, 50, 0}), 400.0, 1.0);
+  EXPECT_LT(result.grid.value_at({5, 5, 0}), 50.0);
+  EXPECT_NEAR(result.grid.max_value(), 400.0, 1.0);
+  EXPECT_GE(result.grid.min_value(), 19.9);
+}
+
+TEST(Temperature, ThreeDSolve) {
+  std::vector<Reading> readings;
+  readings.push_back({{50, 50, 5}, 300.0});
+  auto result = solve_temperature_distribution(readings, 100, 100, 10.0, 11,
+                                               11, 5, 20.0);
+  EXPECT_TRUE(result.stats.converged);
+  EXPECT_EQ(result.grid.nz, 5u);
+  EXPECT_GT(result.grid.value_at({50, 50, 5}), 100.0);
+}
+
+TEST(Temperature, EmptyReadingsGiveAmbientField) {
+  auto result =
+      solve_temperature_distribution({}, 100, 100, 0.0, 9, 9, 1, 18.0);
+  EXPECT_TRUE(result.stats.converged);
+  EXPECT_NEAR(result.grid.max_value(), 18.0, 1e-6);
+  EXPECT_NEAR(result.grid.min_value(), 18.0, 1e-6);
+}
+
+TEST(Temperature, FlopEstimateScales) {
+  const double small = estimate_distribution_flops(8, 8, 8, SolverKind::kCg);
+  const double big = estimate_distribution_flops(32, 32, 32, SolverKind::kCg);
+  EXPECT_GT(big, small * 16);
+  EXPECT_GT(estimate_distribution_flops(16, 16, 16, SolverKind::kJacobi),
+            estimate_distribution_flops(16, 16, 16, SolverKind::kCg));
+}
+
+class GridInfraFixture : public ::testing::Test {
+ protected:
+  GridInfraFixture() : net_(sim_, common::Rng(17)) {
+    net::NodeConfig base;
+    base.kind = net::NodeKind::kBaseStation;
+    base.unlimited_energy = true;
+    gateway_ = net_.add_node(base);
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  net::NodeId gateway_;
+};
+
+TEST_F(GridInfraFixture, SubmitRunsJobAndReportsPhases) {
+  GridInfrastructure infra(net_, gateway_, {{"ws", 1e9}});
+  JobResult result;
+  infra.submit(2e9, 1000000, 1000, [&](JobResult r) { result = r; });
+  sim_.run();
+  EXPECT_TRUE(result.ok);
+  EXPECT_NEAR(result.compute_s, 2.0, 1e-9);
+  EXPECT_GT(result.transfer_in_s, 0.05);  // 1 MB over 100 Mbps ~ 80 ms
+  EXPECT_GT(result.total_s,
+            result.compute_s + result.transfer_in_s - 1e-9);
+}
+
+TEST_F(GridInfraFixture, SchedulerPrefersFasterMachine) {
+  GridInfrastructure infra(net_, gateway_,
+                           {{"slow", 1e8}, {"fast", 1e10}});
+  JobResult result;
+  infra.submit(1e9, 100, 100, [&](JobResult r) { result = r; });
+  sim_.run();
+  EXPECT_TRUE(result.ok);
+  EXPECT_NEAR(result.compute_s, 0.1, 1e-9);  // ran on the fast machine
+  EXPECT_DOUBLE_EQ(infra.peak_flops_per_s(), 1e10);
+}
+
+TEST_F(GridInfraFixture, QueueingDelaysSecondJob) {
+  GridInfrastructure infra(net_, gateway_, {{"only", 1e9}});
+  JobResult first;
+  JobResult second;
+  infra.submit(5e9, 100, 100, [&](JobResult r) { first = r; });
+  infra.submit(5e9, 100, 100, [&](JobResult r) { second = r; });
+  sim_.run();
+  EXPECT_TRUE(first.ok);
+  EXPECT_TRUE(second.ok);
+  EXPECT_GT(second.queue_s, 1.0) << "second job waits behind the first";
+}
+
+TEST_F(GridInfraFixture, TwoMachinesRunJobsConcurrently) {
+  GridInfrastructure infra(net_, gateway_, {{"a", 1e9}, {"b", 1e9}});
+  JobResult first;
+  JobResult second;
+  infra.submit(5e9, 100, 100, [&](JobResult r) { first = r; });
+  infra.submit(5e9, 100, 100, [&](JobResult r) { second = r; });
+  sim_.run();
+  EXPECT_NEAR(second.queue_s, 0.0, 1e-9);
+}
+
+TEST_F(GridInfraFixture, EstimateReflectsQueue) {
+  GridInfrastructure infra(net_, gateway_, {{"only", 1e9}});
+  EXPECT_NEAR(infra.estimate_compute_wait_s(1e9), 1.0, 1e-9);
+  infra.submit(10e9, 100, 100, [](JobResult) {});
+  // Run just past the input transfer so the machine is marked busy.
+  sim_.run_until(sim::SimTime::seconds(1.0));
+  EXPECT_GT(infra.estimate_compute_wait_s(1e9), 5.0);
+  sim_.run();
+}
+
+TEST_F(GridInfraFixture, NoMachinesFailsGracefully) {
+  GridInfrastructure infra(net_, gateway_, {});
+  JobResult result;
+  result.ok = true;
+  infra.submit(1e9, 100, 100, [&](JobResult r) { result = r; });
+  sim_.run();
+  EXPECT_FALSE(result.ok);
+}
+
+}  // namespace
+}  // namespace pgrid::grid

@@ -1,0 +1,303 @@
+// Unit + property tests for the stream-mining substrate: stream generation,
+// boolean decision trees, Walsh-Hadamard spectra (with exact algebraic
+// checks), dominant-coefficient selection, and the full ensemble pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mining/ensemble.hpp"
+
+namespace pgrid::mining {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Dataset / stream generator
+// ---------------------------------------------------------------------------
+
+TEST(Stream, WindowShapeAndDeterminism) {
+  StreamGenerator a(8, common::Rng(5));
+  StreamGenerator b(8, common::Rng(5));
+  const auto wa = a.next_window(100);
+  const auto wb = b.next_window(100);
+  ASSERT_EQ(wa.size(), 100u);
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(wa[i].features, wb[i].features);
+    EXPECT_EQ(wa[i].label, wb[i].label);
+    EXPECT_EQ(wa[i].features.size(), 8u);
+  }
+}
+
+TEST(Stream, LabelsMatchConceptWithoutNoise) {
+  StreamGenerator gen(8, common::Rng(7), 0.0);
+  for (const auto& instance : gen.next_window(200)) {
+    EXPECT_EQ(instance.label, gen.truth(instance.features));
+  }
+}
+
+TEST(Stream, NoiseFlipsRoughlyTheConfiguredFraction) {
+  StreamGenerator gen(8, common::Rng(7), 0.2);
+  std::size_t flipped = 0;
+  const auto window = gen.next_window(5000);
+  for (const auto& instance : window) {
+    if (instance.label != gen.truth(instance.features)) ++flipped;
+  }
+  EXPECT_NEAR(double(flipped) / double(window.size()), 0.2, 0.03);
+}
+
+TEST(Stream, DriftChangesTheConcept) {
+  StreamGenerator gen(10, common::Rng(11));
+  const auto before = gen.next_window(500);
+  gen.drift();
+  std::size_t disagreements = 0;
+  for (const auto& instance : before) {
+    if (gen.truth(instance.features) != instance.label) ++disagreements;
+  }
+  EXPECT_GT(disagreements, 0u) << "new concept must relabel something";
+}
+
+TEST(Stream, AccuracyHelper) {
+  Window window;
+  window.push_back({{true}, true});
+  window.push_back({{false}, false});
+  window.push_back({{true}, false});
+  const double acc =
+      accuracy([](const std::vector<bool>& x) { return x[0]; }, window);
+  EXPECT_NEAR(acc, 2.0 / 3.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Decision tree
+// ---------------------------------------------------------------------------
+
+TEST(BooleanTree, LearnsConjunctionExactly) {
+  // f = x0 AND x2 over 4 attributes, exhaustive training set.
+  Window window;
+  for (int x = 0; x < 16; ++x) {
+    Instance instance;
+    for (int d = 0; d < 4; ++d) instance.features.push_back((x >> d) & 1);
+    instance.label = instance.features[0] && instance.features[2];
+    window.push_back(instance);
+  }
+  BooleanDecisionTree tree;
+  tree.train(window, 4);
+  EXPECT_DOUBLE_EQ(tree.accuracy_on(window), 1.0);
+  EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(BooleanTree, LearnsXorWithTwoLevels) {
+  Window window;
+  for (int x = 0; x < 4; ++x) {
+    Instance instance;
+    instance.features = {bool(x & 1), bool(x & 2)};
+    instance.label = instance.features[0] != instance.features[1];
+    // Replicate so splits are well supported.
+    for (int rep = 0; rep < 8; ++rep) window.push_back(instance);
+  }
+  BooleanDecisionTree tree;
+  tree.train(window, 2);
+  EXPECT_DOUBLE_EQ(tree.accuracy_on(window), 1.0);
+}
+
+TEST(BooleanTree, DepthCapLimitsTree) {
+  StreamGenerator gen(10, common::Rng(3));
+  const auto window = gen.next_window(500);
+  BooleanDecisionTree deep;
+  deep.train(window, 10);
+  BooleanDecisionTree shallow;
+  shallow.train(window, 10, 2);
+  EXPECT_LE(shallow.depth(), 3u);  // root + 2 levels
+  EXPECT_LE(shallow.node_count(), deep.node_count());
+}
+
+TEST(BooleanTree, UntrainedPredictsFalse) {
+  BooleanDecisionTree tree;
+  EXPECT_FALSE(tree.trained());
+  EXPECT_FALSE(tree.predict({true, true}));
+}
+
+TEST(BooleanTree, NodeAndLeafCountsConsistent) {
+  StreamGenerator gen(8, common::Rng(9));
+  BooleanDecisionTree tree;
+  tree.train(gen.next_window(300), 8);
+  // A binary tree with L leaves has exactly L-1 internal nodes.
+  EXPECT_EQ(tree.node_count(), 2 * tree.leaf_count() - 1);
+  EXPECT_GT(tree.wire_bytes(), 0u);
+}
+
+TEST(BooleanTree, GeneralizesOnCleanConcept) {
+  StreamGenerator gen(10, common::Rng(21), 0.0);
+  BooleanDecisionTree tree;
+  tree.train(gen.next_window(2000), 10);
+  const auto test_window = gen.next_window(1000);
+  EXPECT_GT(tree.accuracy_on(test_window), 0.95);
+}
+
+// ---------------------------------------------------------------------------
+// Fourier spectra (exact algebra)
+// ---------------------------------------------------------------------------
+
+TEST(Fourier, ConstantFunctionHasOnlyZeroCoefficient) {
+  const auto spectrum =
+      full_spectrum([](const std::vector<bool>&) { return 1; }, 6);
+  ASSERT_EQ(spectrum.size(), 64u);
+  EXPECT_NEAR(spectrum[0], 1.0, 1e-12);
+  for (std::size_t z = 1; z < spectrum.size(); ++z) {
+    EXPECT_NEAR(spectrum[z], 0.0, 1e-12);
+  }
+}
+
+TEST(Fourier, ParityIsASingleCoefficient) {
+  // f(x) = psi_z(x) for z = 0b1011 has w_z = 1 and all others 0.
+  const std::uint32_t z = 0b1011;
+  auto parity = [z](const std::vector<bool>& x) {
+    int p = 0;
+    for (std::size_t d = 0; d < x.size(); ++d) {
+      if ((z >> d) & 1u) p ^= x[d] ? 1 : 0;
+    }
+    return p ? -1 : 1;
+  };
+  const auto spectrum = full_spectrum(parity, 5);
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    EXPECT_NEAR(spectrum[i], i == z ? 1.0 : 0.0, 1e-12) << i;
+  }
+}
+
+TEST(Fourier, ParsevalHoldsForSignFunctions) {
+  // Any ±1 function has total spectral energy exactly 1.
+  StreamGenerator gen(8, common::Rng(31));
+  BooleanDecisionTree tree;
+  tree.train(gen.next_window(400), 8);
+  const auto spectrum = full_spectrum(
+      as_sign([&](const std::vector<bool>& x) { return tree.predict(x); }),
+      8);
+  double energy = 0.0;
+  for (double w : spectrum) energy += w * w;
+  EXPECT_NEAR(energy, 1.0, 1e-9);
+}
+
+TEST(Fourier, FullSpectrumReconstructsExactly) {
+  StreamGenerator gen(6, common::Rng(17));
+  BooleanDecisionTree tree;
+  tree.train(gen.next_window(200), 6);
+  const auto spectrum = full_spectrum(
+      as_sign([&](const std::vector<bool>& x) { return tree.predict(x); }),
+      6);
+  std::vector<Coefficient> everything;
+  for (std::size_t z = 0; z < spectrum.size(); ++z) {
+    everything.push_back({static_cast<std::uint32_t>(z), spectrum[z]});
+  }
+  SpectrumClassifier reconstructed(everything);
+  std::vector<bool> features(6);
+  for (std::size_t x = 0; x < 64; ++x) {
+    for (std::size_t d = 0; d < 6; ++d) features[d] = (x >> d) & 1u;
+    EXPECT_EQ(reconstructed.predict(features), tree.predict(features)) << x;
+  }
+}
+
+TEST(Fourier, DominantKeepsLargestMagnitudes) {
+  std::vector<double> spectrum = {0.1, -0.9, 0.3, 0.0, 0.5, -0.2, 0.0, 0.05};
+  const auto top = dominant(spectrum, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].index, 1u);
+  EXPECT_EQ(top[1].index, 4u);
+  EXPECT_EQ(top[2].index, 2u);
+  EXPECT_NEAR(captured_energy(top), 0.81 + 0.25 + 0.09, 1e-12);
+}
+
+TEST(Fourier, OrderOfCountsBits) {
+  EXPECT_EQ(order_of(0), 0u);
+  EXPECT_EQ(order_of(0b1), 1u);
+  EXPECT_EQ(order_of(0b1011), 3u);
+}
+
+TEST(Fourier, TreeEnergyConcentratesInFewCoefficients) {
+  // The pipeline's premise: decision trees are spectrally sparse.
+  StreamGenerator gen(10, common::Rng(41));
+  BooleanDecisionTree tree;
+  tree.train(gen.next_window(1000), 10, 4);
+  const auto spectrum = full_spectrum(
+      as_sign([&](const std::vector<bool>& x) { return tree.predict(x); }),
+      10);
+  const auto top = dominant(spectrum, 32);
+  EXPECT_GT(captured_energy(top), 0.9)
+      << "32 of 1024 coefficients must capture >90% of a depth-4 tree";
+}
+
+TEST(Fourier, AverageSpectraIsLinear) {
+  std::vector<std::vector<double>> spectra = {{1.0, 0.0, -1.0},
+                                              {0.0, 2.0, 1.0}};
+  const auto avg = average_spectra(spectra);
+  ASSERT_EQ(avg.size(), 3u);
+  EXPECT_DOUBLE_EQ(avg[0], 0.5);
+  EXPECT_DOUBLE_EQ(avg[1], 1.0);
+  EXPECT_DOUBLE_EQ(avg[2], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// The pipeline
+// ---------------------------------------------------------------------------
+
+TEST(Ensemble, PipelineBeatsNoiseAndShipsFewBytes) {
+  StreamGenerator gen(10, common::Rng(77), 0.15);  // noisy stream
+  std::vector<Window> windows;
+  for (int w = 0; w < 5; ++w) windows.push_back(gen.next_window(400));
+
+  EnsembleConfig config;
+  config.dimensions = 10;
+  config.tree_max_depth = 5;
+  config.dominant_coefficients = 48;
+  const auto result = mine_stream(windows, config);
+  ASSERT_EQ(result.trees.size(), 5u);
+  EXPECT_GT(result.captured_energy, 0.5);
+
+  // Evaluate on a clean window from the same concept.
+  StreamGenerator clean(10, common::Rng(77), 0.0);
+  // Re-derive the same concept by copying the generator's rng seed is not
+  // possible; instead evaluate against ground truth of `gen` itself.
+  const auto test_window = [&] {
+    Window w = gen.next_window(1500);
+    for (auto& instance : w) instance.label = gen.truth(instance.features);
+    return w;
+  }();
+
+  const double combined = accuracy(
+      [&](const std::vector<bool>& x) { return result.predict(x); },
+      test_window);
+  const double single = result.trees.front().accuracy_on(test_window);
+  EXPECT_GT(combined, 0.8);
+  EXPECT_GE(combined + 0.02, single)
+      << "combined classifier must be competitive with a single tree";
+
+  // The mobile motivation: dominant coefficients are far cheaper to ship
+  // than the raw windows.
+  EXPECT_LT(result.spectrum_bytes, result.raw_data_bytes / 2);
+}
+
+TEST(Ensemble, MajorityVoteAvailableAsBaseline) {
+  StreamGenerator gen(8, common::Rng(13), 0.1);
+  std::vector<Window> windows;
+  for (int w = 0; w < 3; ++w) windows.push_back(gen.next_window(300));
+  EnsembleConfig config;
+  config.dimensions = 8;
+  const auto result = mine_stream(windows, config);
+  Window test_window = gen.next_window(500);
+  for (auto& instance : test_window) {
+    instance.label = gen.truth(instance.features);
+  }
+  const double vote = accuracy(
+      [&](const std::vector<bool>& x) { return result.majority(x); },
+      test_window);
+  EXPECT_GT(vote, 0.75);
+}
+
+TEST(Ensemble, EmptyInputIsHarmless) {
+  EnsembleConfig config;
+  config.dimensions = 4;
+  const auto result = mine_stream({}, config);
+  EXPECT_TRUE(result.trees.empty());
+  EXPECT_EQ(result.spectrum_bytes, 0u);
+  EXPECT_FALSE(result.predict({true, false, true, false}));
+}
+
+}  // namespace
+}  // namespace pgrid::mining

@@ -1,0 +1,124 @@
+// Tests for multi-storey buildings: floor deployment, floor predicates,
+// and the 3-D temperature-distribution query ("a 3D partial differential
+// equation needs to be set up, grid points populated by data from the
+// sensors...").
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/runtime.hpp"
+
+namespace pgrid {
+namespace {
+
+core::RuntimeConfig tower_config() {
+  core::RuntimeConfig config;
+  config.sensors.sensor_count = 25;  // 5x5 per floor
+  config.sensors.width_m = 60.0;
+  config.sensors.height_m = 60.0;
+  config.sensors.floors = 3;
+  config.sensors.floor_height_m = 4.0;
+  config.sensors.base_pos = {-5, -5, 0};
+  config.sensors.noise_std = 0.0;
+  config.advertise_sensor_services = false;
+  config.pde_resolution = 11;
+  config.pde_depth_resolution = 5;
+  return config;
+}
+
+class TowerFixture : public ::testing::Test {
+ protected:
+  TowerFixture() : runtime_(tower_config()) {
+    // Fire on the middle floor.
+    sensornet::FireSource fire;
+    fire.pos = {30.0, 30.0, 4.0};
+    fire.start = sim::SimTime::seconds(-3600.0);
+    fire.spread_m_per_s = 0.0;
+    fire.initial_radius_m = 5.0;
+    runtime_.field().ignite(fire);
+  }
+  core::PervasiveGridRuntime runtime_;
+};
+
+TEST_F(TowerFixture, DeploymentStacksFloors) {
+  auto& sensors = runtime_.sensors();
+  EXPECT_EQ(sensors.sensors().size(), 75u);  // 25 per floor x 3
+  std::size_t per_floor[3] = {0, 0, 0};
+  for (auto id : sensors.sensors()) {
+    const auto floor = sensors.floor_of(id);
+    ASSERT_LT(floor, 3u);
+    ++per_floor[floor];
+    EXPECT_NEAR(runtime_.network().node(id).pos.z, 4.0 * double(floor),
+                1e-9);
+  }
+  EXPECT_EQ(per_floor[0], 25u);
+  EXPECT_EQ(per_floor[1], 25u);
+  EXPECT_EQ(per_floor[2], 25u);
+  EXPECT_DOUBLE_EQ(sensors.building_depth_m(), 12.0);
+}
+
+TEST_F(TowerFixture, FloorsAreRadioConnectedVertically) {
+  // 4 m floor spacing is well inside the 25 m sensor radio range, so the
+  // tower forms one connected network rooted at the ground-floor base.
+  auto& sensors = runtime_.sensors();
+  const auto& tree = sensors.tree();
+  for (auto id : sensors.sensors()) {
+    EXPECT_TRUE(tree.contains(id)) << "sensor " << id;
+  }
+}
+
+TEST_F(TowerFixture, FloorPredicateScopesAggregates) {
+  const auto burning = runtime_.submit_and_run(
+      "SELECT MAX(temp) FROM sensors WHERE floor = 1");
+  ASSERT_TRUE(burning.ok) << burning.error;
+  runtime_.reset_energy();
+  const auto quiet = runtime_.submit_and_run(
+      "SELECT MAX(temp) FROM sensors WHERE floor = 0");
+  ASSERT_TRUE(quiet.ok) << quiet.error;
+  EXPECT_GT(burning.actual.value, quiet.actual.value + 50.0)
+      << "the fire is on floor 1";
+  runtime_.reset_energy();
+  const auto count = runtime_.submit_and_run(
+      "SELECT COUNT(temp) FROM sensors WHERE floor = 2");
+  ASSERT_TRUE(count.ok);
+  EXPECT_DOUBLE_EQ(count.actual.value, 25.0);
+}
+
+TEST_F(TowerFixture, ThreeDimensionalDistributionLocatesTheFloor) {
+  const auto outcome = runtime_.submit_and_run(
+      "SELECT TEMP_DISTRIBUTION(temp) FROM sensors",
+      partition::SolutionModel::kGridOffload);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  ASSERT_TRUE(outcome.actual.distribution.has_value());
+  const auto& dist = *outcome.actual.distribution;
+  EXPECT_EQ(dist.nz, 5u) << "3-D solve when the building has floors";
+  EXPECT_DOUBLE_EQ(dist.depth_m, 12.0);
+  // Hotter at the fire's floor than directly above/below it at the same
+  // (x, y) — the vertical dimension carries information.
+  const double at_fire = dist.value_at({30, 30, 4});
+  const double below = dist.value_at({30, 30, 0});
+  const double above = dist.value_at({30, 30, 11});
+  EXPECT_GT(at_fire, below + 20.0);
+  EXPECT_GT(at_fire, above + 20.0);
+}
+
+TEST_F(TowerFixture, SingleFloorStays2D) {
+  core::RuntimeConfig flat = tower_config();
+  flat.sensors.floors = 1;
+  core::PervasiveGridRuntime ground(flat);
+  const auto outcome = ground.submit_and_run(
+      "SELECT TEMP_DISTRIBUTION(temp) FROM sensors",
+      partition::SolutionModel::kGridOffload);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.actual.distribution->nz, 1u);
+}
+
+TEST_F(TowerFixture, CostAccountingCoversAllFloors) {
+  const auto all = runtime_.submit_and_run("SELECT COUNT(temp) FROM sensors");
+  ASSERT_TRUE(all.ok);
+  EXPECT_DOUBLE_EQ(all.actual.value, 75.0);
+  EXPECT_GT(all.actual.energy_j, 0.0);
+}
+
+}  // namespace
+}  // namespace pgrid

@@ -1,0 +1,531 @@
+// Unit tests for dynamic partitioning: model support matrix, analytic cost
+// estimates, real execution under every model, the ID3 tree, and the
+// adaptive decision maker.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "partition/cost_model.hpp"
+#include "partition/decision_maker.hpp"
+#include "partition/decision_tree.hpp"
+#include "partition/executor.hpp"
+#include "query/parser.hpp"
+
+namespace pgrid::partition {
+namespace {
+
+using query::QueryClass;
+
+// ---------------------------------------------------------------------------
+// Model support matrix
+// ---------------------------------------------------------------------------
+
+TEST(Models, SupportMatrix) {
+  EXPECT_TRUE(model_supports(SolutionModel::kAllToBase, QueryClass::kSimple));
+  EXPECT_FALSE(
+      model_supports(SolutionModel::kTreeAggregate, QueryClass::kSimple));
+  EXPECT_TRUE(
+      model_supports(SolutionModel::kTreeAggregate, QueryClass::kAggregate));
+  EXPECT_FALSE(
+      model_supports(SolutionModel::kHybridRegionGrid, QueryClass::kAggregate));
+  EXPECT_TRUE(
+      model_supports(SolutionModel::kHybridRegionGrid, QueryClass::kComplex));
+  EXPECT_FALSE(
+      model_supports(SolutionModel::kTreeAggregate, QueryClass::kComplex));
+}
+
+TEST(Models, CandidateSets) {
+  EXPECT_EQ(candidates_for(QueryClass::kSimple).size(), 1u);
+  EXPECT_EQ(candidates_for(QueryClass::kAggregate).size(), 4u);
+  EXPECT_EQ(candidates_for(QueryClass::kComplex).size(), 4u);
+}
+
+TEST(Models, Names) {
+  EXPECT_EQ(to_string(SolutionModel::kTreeAggregate), "tree");
+  EXPECT_EQ(to_string(SolutionModel::kHybridRegionGrid),
+            "hybrid-region-grid");
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+NetworkProfile typical_profile() {
+  NetworkProfile p;
+  p.sensor_count = 100;
+  p.avg_depth_hops = 5.0;
+  p.max_depth_hops = 10.0;
+  p.avg_hop_distance_m = 15.0;
+  p.cluster_count = 10;
+  p.grid_flops_per_s = 1e9;
+  return p;
+}
+
+TEST(CostModel, TreeCheapestForAggregates) {
+  const auto p = typical_profile();
+  const auto tree =
+      estimate_cost(p, QueryClass::kAggregate, SolutionModel::kTreeAggregate);
+  const auto raw =
+      estimate_cost(p, QueryClass::kAggregate, SolutionModel::kAllToBase);
+  const auto cluster = estimate_cost(p, QueryClass::kAggregate,
+                                     SolutionModel::kClusterAggregate);
+  EXPECT_LT(tree.energy_j, cluster.energy_j);
+  EXPECT_LT(cluster.energy_j, raw.energy_j);
+}
+
+TEST(CostModel, UnsupportedPairIsInfinite) {
+  const auto p = typical_profile();
+  const auto e =
+      estimate_cost(p, QueryClass::kSimple, SolutionModel::kTreeAggregate);
+  EXPECT_TRUE(std::isinf(e.energy_j));
+  EXPECT_TRUE(std::isinf(e.response_s));
+}
+
+TEST(CostModel, GridOffloadFasterThanBaseForHeavyCompute) {
+  auto p = typical_profile();
+  p.query_compute_ops = 1e10;  // a big PDE
+  const auto base =
+      estimate_cost(p, QueryClass::kComplex, SolutionModel::kAllToBase);
+  const auto grid =
+      estimate_cost(p, QueryClass::kComplex, SolutionModel::kGridOffload);
+  EXPECT_LT(grid.response_s, base.response_s)
+      << "1e10 ops at 5e7 ops/s base vs 1e9 flops grid";
+}
+
+TEST(CostModel, BaseFasterForTinyCompute) {
+  auto p = typical_profile();
+  p.query_compute_ops = 1e3;
+  const auto base =
+      estimate_cost(p, QueryClass::kComplex, SolutionModel::kAllToBase);
+  const auto grid =
+      estimate_cost(p, QueryClass::kComplex, SolutionModel::kGridOffload);
+  EXPECT_LT(base.response_s, grid.response_s)
+      << "backhaul round trip dominates tiny jobs";
+}
+
+TEST(CostModel, NoGridMeansOffloadUnsupported) {
+  auto p = typical_profile();
+  p.grid_flops_per_s = 0.0;
+  const auto e =
+      estimate_cost(p, QueryClass::kComplex, SolutionModel::kGridOffload);
+  EXPECT_TRUE(std::isinf(e.response_s));
+}
+
+TEST(CostModel, HybridSavesEnergyAtAccuracyCost) {
+  auto p = typical_profile();
+  p.query_compute_ops = 1e9;
+  const auto full =
+      estimate_cost(p, QueryClass::kComplex, SolutionModel::kGridOffload);
+  const auto hybrid = estimate_cost(p, QueryClass::kComplex,
+                                    SolutionModel::kHybridRegionGrid);
+  EXPECT_LT(hybrid.energy_j, full.energy_j);
+  EXPECT_LT(hybrid.accuracy, full.accuracy);
+  EXPECT_GT(hybrid.accuracy, 0.0);
+}
+
+TEST(CostModel, EnergyScalesWithNetworkSize) {
+  auto small = typical_profile();
+  small.sensor_count = 25;
+  auto large = typical_profile();
+  large.sensor_count = 400;
+  large.avg_depth_hops = 10;
+  large.max_depth_hops = 20;
+  for (auto model : candidates_for(QueryClass::kAggregate)) {
+    const auto e_small =
+        estimate_cost(small, QueryClass::kAggregate, model);
+    const auto e_large =
+        estimate_cost(large, QueryClass::kAggregate, model);
+    EXPECT_GT(e_large.energy_j, e_small.energy_j) << to_string(model);
+  }
+}
+
+TEST(CostModel, BestModelRespectsCostMetric) {
+  auto p = typical_profile();
+  p.query_compute_ops = 1e9;
+  // Energy objective: the hybrid moves least sensor data.
+  EXPECT_EQ(best_model(p, QueryClass::kComplex, query::CostMetric::kEnergy),
+            SolutionModel::kHybridRegionGrid);
+  // Accuracy objective: full-fidelity models only.
+  const auto accurate =
+      best_model(p, QueryClass::kComplex, query::CostMetric::kAccuracy);
+  EXPECT_NE(accurate, SolutionModel::kHybridRegionGrid);
+  // Aggregates under any metric: the tree wins energy.
+  EXPECT_EQ(best_model(p, QueryClass::kAggregate, query::CostMetric::kNone),
+            SolutionModel::kTreeAggregate);
+}
+
+TEST(CostModel, ObjectiveSelectsDimension) {
+  CostEstimate e;
+  e.energy_j = 5.0;
+  e.response_s = 2.0;
+  e.accuracy = 0.5;
+  EXPECT_DOUBLE_EQ(objective(e, query::CostMetric::kEnergy), 5.0);
+  EXPECT_DOUBLE_EQ(objective(e, query::CostMetric::kNone), 5.0);
+  EXPECT_DOUBLE_EQ(objective(e, query::CostMetric::kTime), 2.0);
+  EXPECT_GT(objective(e, query::CostMetric::kAccuracy), 1e5);
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+class ExecutorFixture : public ::testing::Test {
+ protected:
+  ExecutorFixture() : net_(sim_, common::Rng(41)) {
+    sensornet::SensorNetworkConfig config;
+    config.sensor_count = 49;
+    config.width_m = 120.0;
+    config.height_m = 120.0;
+    config.base_pos = {-5, -5, 0};
+    config.noise_std = 0.0;
+    snet_ = std::make_unique<sensornet::SensorNetwork>(net_, config,
+                                                       common::Rng(7));
+    grid_ = std::make_unique<grid::GridInfrastructure>(
+        net_, snet_->base_station(),
+        std::vector<grid::GridMachineSpec>{{"hpc", 2e9}});
+    field_ = std::make_unique<sensornet::BuildingTemperatureField>(20.0);
+    sensornet::FireSource fire;
+    fire.pos = {60, 60, 0};
+    // Ignited in the (simulated) past and non-spreading: the field is fully
+    // developed and time-invariant, so runs at different sim times agree.
+    fire.start = sim::SimTime::seconds(-3600.0);
+    fire.ramp_seconds = 1.0;
+    fire.spread_m_per_s = 0.0;
+    field_->ignite(fire);
+  }
+
+  ExecutionContext context(std::size_t pde = 13) {
+    ExecutionContext ctx{*snet_, *field_};
+    ctx.grid = grid_.get();
+    ctx.pde_nx = pde;
+    ctx.pde_ny = pde;
+    return ctx;
+  }
+
+  ActualCost run(const std::string& text, SolutionModel model,
+                 std::size_t pde = 13) {
+    auto parsed = query::parse_query(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error();
+    const auto cls = classifier_.classify(parsed.value());
+    ActualCost result;
+    auto ctx = context(pde);
+    execute_query(ctx, parsed.value(), cls, model,
+                  [&](ActualCost cost) { result = std::move(cost); });
+    sim_.run();
+    net_.reset_energy();
+    return result;
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  std::unique_ptr<sensornet::SensorNetwork> snet_;
+  std::unique_ptr<grid::GridInfrastructure> grid_;
+  std::unique_ptr<sensornet::BuildingTemperatureField> field_;
+  query::QueryClassifier classifier_;
+};
+
+TEST_F(ExecutorFixture, SimpleQueryReadsTheSensor) {
+  const auto cost =
+      run("SELECT temp FROM sensors WHERE sensor = 24", SolutionModel::kAllToBase);
+  ASSERT_TRUE(cost.ok) << cost.error;
+  const auto sensor = snet_->sensors()[24];
+  EXPECT_NEAR(cost.value,
+              field_->value(net_.node(sensor).pos, sim_.now()), 5.0);
+  EXPECT_GT(cost.response_s, 0.0);
+  EXPECT_GT(cost.energy_j, 0.0);
+}
+
+TEST_F(ExecutorFixture, SimpleQueryBadSensorFails) {
+  const auto cost = run("SELECT temp FROM sensors WHERE sensor = 9999",
+                        SolutionModel::kAllToBase);
+  EXPECT_FALSE(cost.ok);
+  EXPECT_FALSE(cost.error.empty());
+}
+
+TEST_F(ExecutorFixture, AggregateModelsAgreeOnAnswer) {
+  const std::string q = "SELECT AVG(temp) FROM sensors";
+  const auto raw = run(q, SolutionModel::kAllToBase);
+  const auto tree = run(q, SolutionModel::kTreeAggregate);
+  const auto cluster = run(q, SolutionModel::kClusterAggregate);
+  const auto grid_model = run(q, SolutionModel::kGridOffload);
+  ASSERT_TRUE(raw.ok);
+  ASSERT_TRUE(tree.ok);
+  ASSERT_TRUE(cluster.ok);
+  ASSERT_TRUE(grid_model.ok);
+  // Same field, zero noise, complete collection -> near-identical answers.
+  EXPECT_NEAR(tree.value, raw.value, 1.0);
+  EXPECT_NEAR(cluster.value, raw.value, 1.0);
+  EXPECT_NEAR(grid_model.value, raw.value, 1.0);
+}
+
+TEST_F(ExecutorFixture, TreeBeatsRawOnMeasuredEnergy) {
+  const std::string q = "SELECT MAX(temp) FROM sensors";
+  const auto raw = run(q, SolutionModel::kAllToBase);
+  const auto tree = run(q, SolutionModel::kTreeAggregate);
+  EXPECT_LT(tree.energy_j, raw.energy_j);
+  EXPECT_LT(tree.data_bytes, raw.data_bytes);
+}
+
+TEST_F(ExecutorFixture, ComplexQueryOnGridFindsTheFire) {
+  const auto cost = run("SELECT TEMP_DISTRIBUTION(temp) FROM sensors",
+                        SolutionModel::kGridOffload);
+  ASSERT_TRUE(cost.ok) << cost.error;
+  ASSERT_TRUE(cost.distribution.has_value());
+  // The hottest point of the interpolated field is near the fire at (60,60).
+  const auto& dist = *cost.distribution;
+  EXPECT_GT(dist.value_at({60, 60, 0}), dist.value_at({5, 115, 0}) + 50.0);
+  EXPECT_GT(cost.compute_ops, 1e4);
+}
+
+TEST_F(ExecutorFixture, ComplexOnBaseSlowerThanGrid) {
+  // A big enough PDE that compute dominates the backhaul round trip.
+  const std::string q = "SELECT TEMP_DISTRIBUTION(temp) FROM sensors";
+  const auto on_base = run(q, SolutionModel::kAllToBase, 41);
+  const auto on_grid = run(q, SolutionModel::kGridOffload, 41);
+  ASSERT_TRUE(on_base.ok);
+  ASSERT_TRUE(on_grid.ok);
+  EXPECT_GT(on_base.response_s, on_grid.response_s)
+      << "base 5e7 ops/s vs grid 2e9 flops/s";
+}
+
+TEST_F(ExecutorFixture, HandheldSlowestPlacement) {
+  const std::string q = "SELECT TEMP_DISTRIBUTION(temp) FROM sensors";
+  const auto on_base = run(q, SolutionModel::kAllToBase);
+  const auto handheld = run(q, SolutionModel::kHandheldLocal);
+  ASSERT_TRUE(handheld.ok);
+  EXPECT_GT(handheld.response_s, on_base.response_s);
+}
+
+TEST_F(ExecutorFixture, HybridUsesLessSensorEnergyLowerAccuracy) {
+  const std::string q = "SELECT TEMP_DISTRIBUTION(temp) FROM sensors";
+  const auto full = run(q, SolutionModel::kGridOffload);
+  const auto hybrid = run(q, SolutionModel::kHybridRegionGrid);
+  ASSERT_TRUE(full.ok);
+  ASSERT_TRUE(hybrid.ok);
+  EXPECT_LT(hybrid.energy_j, full.energy_j);
+  EXPECT_LT(hybrid.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(full.accuracy, 1.0);
+}
+
+TEST_F(ExecutorFixture, ContinuousQueryRunsEpochs) {
+  auto parsed = query::parse_query(
+      "SELECT AVG(temp) FROM sensors EPOCH DURATION 10");
+  ASSERT_TRUE(parsed.ok());
+  const auto cls = classifier_.classify(parsed.value());
+  ASSERT_TRUE(cls.continuous);
+  std::vector<ActualCost> epochs;
+  auto ctx = context();
+  execute_continuous(ctx, parsed.value(), cls,
+                     SolutionModel::kTreeAggregate, 5,
+                     [&](std::vector<ActualCost> r) { epochs = std::move(r); });
+  sim_.run();
+  ASSERT_EQ(epochs.size(), 5u);
+  for (const auto& e : epochs) EXPECT_TRUE(e.ok);
+  // Epochs are spaced: total simulated time >= 4 epochs * 10 s.
+  EXPECT_GE(sim_.now().to_seconds(), 40.0);
+}
+
+TEST_F(ExecutorFixture, ProfileFromContextReflectsTopology) {
+  auto ctx = context();
+  auto parsed = query::parse_query("SELECT AVG(temp) FROM sensors");
+  const auto cls = classifier_.classify(parsed.value());
+  const auto profile = profile_from(ctx, cls);
+  EXPECT_EQ(profile.sensor_count, 49u);
+  EXPECT_GT(profile.avg_depth_hops, 1.0);
+  EXPECT_GE(profile.max_depth_hops, profile.avg_depth_hops);
+  EXPECT_GT(profile.avg_hop_distance_m, 1.0);
+  EXPECT_DOUBLE_EQ(profile.grid_flops_per_s, 2e9);
+}
+
+TEST_F(ExecutorFixture, EstimatesTrackMeasurementsWithinOrderOfMagnitude) {
+  // The estimators exist to rank models; sanity-check they are in the right
+  // ballpark against ground truth for aggregates.
+  auto ctx = context();
+  auto parsed = query::parse_query("SELECT AVG(temp) FROM sensors");
+  const auto cls = classifier_.classify(parsed.value());
+  const auto profile = profile_from(ctx, cls);
+  for (auto model :
+       {SolutionModel::kAllToBase, SolutionModel::kTreeAggregate}) {
+    const auto estimate = estimate_cost(profile, cls.inner, model);
+    const auto actual = run("SELECT AVG(temp) FROM sensors", model);
+    ASSERT_TRUE(actual.ok);
+    EXPECT_GT(estimate.energy_j, actual.energy_j / 10.0) << to_string(model);
+    EXPECT_LT(estimate.energy_j, actual.energy_j * 10.0) << to_string(model);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decision tree
+// ---------------------------------------------------------------------------
+
+TEST(DecisionTree, LearnsSimpleRule) {
+  // label = feature0.
+  std::vector<TreeSample> samples;
+  for (int v = 0; v < 3; ++v) {
+    for (int rep = 0; rep < 5; ++rep) {
+      samples.push_back({{v, rep % 2}, v});
+    }
+  }
+  DecisionTree tree;
+  tree.train(samples, {3, 2}, 3);
+  ASSERT_TRUE(tree.trained());
+  EXPECT_EQ(tree.predict({0, 0}), 0);
+  EXPECT_EQ(tree.predict({1, 1}), 1);
+  EXPECT_EQ(tree.predict({2, 0}), 2);
+}
+
+TEST(DecisionTree, LearnsConjunction) {
+  // label = (f0 == 1 && f1 == 1).
+  std::vector<TreeSample> samples;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int rep = 0; rep < 4; ++rep) {
+        samples.push_back({{a, b}, (a == 1 && b == 1) ? 1 : 0});
+      }
+    }
+  }
+  DecisionTree tree;
+  tree.train(samples, {2, 2}, 2);
+  EXPECT_EQ(tree.predict({1, 1}), 1);
+  EXPECT_EQ(tree.predict({1, 0}), 0);
+  EXPECT_EQ(tree.predict({0, 1}), 0);
+  EXPECT_GE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, EmptyTrainingGivesUntrained) {
+  DecisionTree tree;
+  tree.train({}, {2}, 2);
+  EXPECT_FALSE(tree.trained());
+  EXPECT_EQ(tree.predict({0}), 0);
+}
+
+TEST(DecisionTree, UnseenValueFallsBackToMajority) {
+  std::vector<TreeSample> samples;
+  for (int rep = 0; rep < 8; ++rep) samples.push_back({{0}, 1});
+  samples.push_back({{1}, 0});
+  DecisionTree tree;
+  tree.train(samples, {3}, 2);  // value 2 never seen
+  EXPECT_EQ(tree.predict({2}), 1) << "majority label";
+}
+
+TEST(DecisionTree, RenderMentionsFeatures) {
+  std::vector<TreeSample> samples{{{0}, 0}, {{1}, 1}, {{0}, 0}, {{1}, 1}};
+  DecisionTree tree;
+  tree.train(samples, {2}, 2);
+  const auto text = tree.render({"color"}, {"no", "yes"});
+  EXPECT_NE(text.find("color"), std::string::npos);
+  EXPECT_NE(text.find("yes"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Decision maker
+// ---------------------------------------------------------------------------
+
+TEST(DecisionMaker, AnalyticFallbackMatchesBestModel) {
+  DecisionMaker maker;
+  const auto p = typical_profile();
+  EXPECT_EQ(maker.decide(QueryClass::kAggregate, query::CostMetric::kNone, p),
+            best_model(p, QueryClass::kAggregate, query::CostMetric::kNone));
+}
+
+TEST(DecisionMaker, TreeTakesOverAfterTraining) {
+  DecisionMaker maker;
+  auto p = typical_profile();
+  // Teach a deliberately non-analytic rule: aggregates -> cluster.
+  for (int i = 0; i < 20; ++i) {
+    maker.add_example(QueryClass::kAggregate, query::CostMetric::kNone, p,
+                      SolutionModel::kClusterAggregate);
+  }
+  maker.retrain();
+  ASSERT_TRUE(maker.tree_trained());
+  EXPECT_EQ(maker.decide(QueryClass::kAggregate, query::CostMetric::kNone, p),
+            SolutionModel::kClusterAggregate);
+}
+
+TEST(DecisionMaker, TreeProposalMustSupportQueryClass) {
+  DecisionMaker maker;
+  auto p = typical_profile();
+  // Train only on complex queries labelled grid-offload...
+  for (int i = 0; i < 10; ++i) {
+    maker.add_example(QueryClass::kComplex, query::CostMetric::kNone, p,
+                      SolutionModel::kGridOffload);
+  }
+  maker.retrain();
+  // ...then ask about a simple query: grid-offload is unsupported there, so
+  // the analytic fallback must kick in.
+  EXPECT_EQ(maker.decide(QueryClass::kSimple, query::CostMetric::kNone, p),
+            SolutionModel::kAllToBase);
+}
+
+TEST(DecisionMaker, CalibrationCorrectsEstimates) {
+  DecisionMaker maker;
+  auto p = typical_profile();
+  const auto raw =
+      estimate_cost(p, QueryClass::kAggregate, SolutionModel::kTreeAggregate);
+  // Observed actuals are consistently 2x the estimate.
+  for (int i = 0; i < 10; ++i) {
+    maker.observe(QueryClass::kAggregate, SolutionModel::kTreeAggregate, raw,
+                  raw.energy_j * 2.0, raw.response_s * 2.0);
+  }
+  EXPECT_NEAR(maker.energy_calibration(QueryClass::kAggregate,
+                                       SolutionModel::kTreeAggregate),
+              2.0, 1e-9);
+  const auto calibrated = maker.calibrated_estimate(
+      p, QueryClass::kAggregate, SolutionModel::kTreeAggregate);
+  EXPECT_NEAR(calibrated.energy_j, raw.energy_j * 2.0, 1e-12);
+  EXPECT_NEAR(calibrated.response_s, raw.response_s * 2.0, 1e-12);
+  EXPECT_EQ(maker.observations(QueryClass::kAggregate,
+                               SolutionModel::kTreeAggregate),
+            10u);
+}
+
+TEST(DecisionMaker, CalibrationIsPerQueryClass) {
+  // A ratio learned on simple queries must not leak into aggregates — this
+  // was a real bug: a cheap one-sensor read miscalibrated all-to-base and
+  // beat tree aggregation for whole-network averages.
+  DecisionMaker maker;
+  auto p = typical_profile();
+  const auto simple_est =
+      estimate_cost(p, QueryClass::kSimple, SolutionModel::kAllToBase);
+  for (int i = 0; i < 10; ++i) {
+    maker.observe(QueryClass::kSimple, SolutionModel::kAllToBase, simple_est,
+                  simple_est.energy_j * 0.05, simple_est.response_s);
+  }
+  EXPECT_NEAR(maker.energy_calibration(QueryClass::kAggregate,
+                                       SolutionModel::kAllToBase),
+              1.0, 1e-12)
+      << "aggregate cell untouched";
+  EXPECT_EQ(maker.decide(QueryClass::kAggregate, query::CostMetric::kEnergy, p),
+            SolutionModel::kTreeAggregate);
+}
+
+TEST(DecisionMaker, CalibrationCanFlipTheDecision) {
+  DecisionMaker maker;
+  auto p = typical_profile();
+  // Tree looks cheapest analytically; teach the maker that tree actually
+  // costs 100x its estimate (e.g. retransmission storms on this deployment).
+  const auto tree_est =
+      estimate_cost(p, QueryClass::kAggregate, SolutionModel::kTreeAggregate);
+  for (int i = 0; i < 5; ++i) {
+    maker.observe(QueryClass::kAggregate, SolutionModel::kTreeAggregate,
+                  tree_est, tree_est.energy_j * 100.0, tree_est.response_s);
+  }
+  const auto decided =
+      maker.decide(QueryClass::kAggregate, query::CostMetric::kEnergy, p);
+  EXPECT_NE(decided, SolutionModel::kTreeAggregate);
+}
+
+TEST(DecisionMaker, FeaturizationIsStable) {
+  auto p = typical_profile();
+  const auto f1 =
+      Features::of(QueryClass::kComplex, query::CostMetric::kTime, p);
+  const auto f2 =
+      Features::of(QueryClass::kComplex, query::CostMetric::kTime, p);
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(f1.size(), Features::kCount);
+  EXPECT_EQ(Features::cardinalities().size(), Features::kCount);
+  EXPECT_EQ(Features::names().size(), Features::kCount);
+}
+
+}  // namespace
+}  // namespace pgrid::partition

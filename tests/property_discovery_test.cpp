@@ -1,0 +1,166 @@
+// Property tests for discovery: wire-format round-trips on randomized
+// descriptions, matcher ranking invariants, and subsumption-set containment
+// — swept over seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "discovery/matcher.hpp"
+#include "discovery/ontology.hpp"
+
+namespace pgrid::discovery {
+namespace {
+
+const char* kClasses[] = {"TemperatureSensor", "SmokeSensor",
+                          "PathogenSensor",    "HeatEquationSolver",
+                          "ClusteringService", "StorageService",
+                          "ColorPrinter",      "ColorLaserPrinter",
+                          "LaserPrinter"};
+
+ServiceDescription random_service(common::Rng& rng, std::size_t index) {
+  ServiceDescription s;
+  s.name = "svc-" + std::to_string(index);
+  s.service_class = kClasses[rng.index(std::size(kClasses))];
+  const std::size_t props = rng.index(4);
+  for (std::size_t p = 0; p < props; ++p) {
+    const std::size_t kind = rng.index(3);
+    const std::string key = "p" + std::to_string(p);
+    if (kind == 0) s.properties[key] = rng.uniform(-100.0, 100.0);
+    else if (kind == 1) s.properties[key] = rng.bernoulli(0.5);
+    else s.properties[key] = std::string("v") + std::to_string(rng.index(9));
+  }
+  if (rng.bernoulli(0.5)) s.interfaces.push_back("op" + std::to_string(index));
+  s.uuid = Uuid{rng.next_u64(), rng.next_u64()};
+  s.cost = rng.uniform(0.0, 10.0);
+  s.provider = static_cast<agent::AgentId>(rng.index(1000));
+  s.node = static_cast<net::NodeId>(rng.index(1000));
+  if (rng.bernoulli(0.3)) {
+    s.lease_expiry = sim::SimTime::seconds(rng.uniform(1.0, 1000.0));
+  }
+  const InvocationParadigm paradigms[] = {
+      InvocationParadigm::kAgentAcl, InvocationParadigm::kRemoteInvocation,
+      InvocationParadigm::kMessagePassing};
+  s.paradigm = paradigms[rng.index(3)];
+  return s;
+}
+
+class DiscoveryProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  DiscoveryProperty() : ontology_(make_standard_ontology()) {
+    common::Rng rng(GetParam());
+    for (std::size_t i = 0; i < 40; ++i) {
+      corpus_.push_back(random_service(rng, i));
+    }
+  }
+  Ontology ontology_;
+  std::vector<ServiceDescription> corpus_;
+};
+
+TEST_P(DiscoveryProperty, ServiceWireFormatRoundTrips) {
+  for (const auto& service : corpus_) {
+    auto parsed = parse_service(serialize(service));
+    ASSERT_TRUE(parsed.has_value()) << service.name;
+    EXPECT_EQ(parsed->name, service.name);
+    EXPECT_EQ(parsed->service_class, service.service_class);
+    EXPECT_EQ(parsed->interfaces, service.interfaces);
+    EXPECT_EQ(parsed->uuid, service.uuid);
+    EXPECT_EQ(parsed->paradigm, service.paradigm);
+    EXPECT_EQ(parsed->provider, service.provider);
+    EXPECT_EQ(parsed->node, service.node);
+    EXPECT_EQ(parsed->lease_expiry, service.lease_expiry);
+    ASSERT_EQ(parsed->properties.size(), service.properties.size());
+    for (const auto& [key, value] : service.properties) {
+      const auto& got = parsed->properties.at(key);
+      if (const auto* d = std::get_if<double>(&value)) {
+        EXPECT_NEAR(std::get<double>(got), *d, std::abs(*d) * 1e-6 + 1e-9);
+      } else {
+        EXPECT_EQ(got, value);
+      }
+    }
+  }
+}
+
+TEST_P(DiscoveryProperty, MatchListWireFormatRoundTrips) {
+  std::vector<Match> matches;
+  for (std::size_t i = 0; i < 5 && i < corpus_.size(); ++i) {
+    matches.push_back({corpus_[i], 1.0 - 0.1 * double(i)});
+  }
+  const auto parsed = parse_matches(serialize_matches(matches));
+  ASSERT_EQ(parsed.size(), matches.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].service.name, matches[i].service.name);
+    EXPECT_NEAR(parsed[i].score, matches[i].score, 1e-9);
+  }
+}
+
+TEST_P(DiscoveryProperty, SemanticScoresAreSortedAndBounded) {
+  SemanticMatcher matcher(ontology_);
+  for (const char* cls : {"SensorService", "PrinterService", "Service"}) {
+    ServiceRequest request;
+    request.desired_class = cls;
+    request.max_results = 100;
+    const auto matches = matcher.match(corpus_, request);
+    for (std::size_t i = 0; i < matches.size(); ++i) {
+      EXPECT_GE(matches[i].score, 0.0);
+      EXPECT_LE(matches[i].score, 1.0 + 1e-12);
+      if (i > 0) {
+        EXPECT_GE(matches[i - 1].score, matches[i].score);
+      }
+    }
+  }
+}
+
+TEST_P(DiscoveryProperty, StrictMatchesAreSubsetOfFuzzy) {
+  SemanticMatcher matcher(ontology_);
+  for (const char* cls : {"ColorPrinter", "SensorService", "PdeSolver"}) {
+    ServiceRequest fuzzy;
+    fuzzy.desired_class = cls;
+    fuzzy.max_results = 100;
+    ServiceRequest strict = fuzzy;
+    strict.require_subsumption = true;
+    const auto fuzzy_matches = matcher.match(corpus_, fuzzy);
+    const auto strict_matches = matcher.match(corpus_, strict);
+    EXPECT_LE(strict_matches.size(), fuzzy_matches.size());
+    for (const auto& match : strict_matches) {
+      // Every strict match subsumes...
+      EXPECT_TRUE(ontology_.is_a(match.service.service_class, cls));
+      // ...and appears in the fuzzy set.
+      EXPECT_TRUE(std::any_of(fuzzy_matches.begin(), fuzzy_matches.end(),
+                              [&](const Match& m) {
+                                return m.service.name == match.service.name;
+                              }));
+    }
+  }
+}
+
+TEST_P(DiscoveryProperty, MaxResultsHonoredEverywhere) {
+  SemanticMatcher semantic(ontology_);
+  ExactInterfaceMatcher exact;
+  ServiceRequest request;
+  request.desired_class = "Service";
+  request.max_results = 3;
+  EXPECT_LE(semantic.match(corpus_, request).size(), 3u);
+  EXPECT_LE(exact.match(corpus_, request).size(), 3u);
+}
+
+TEST_P(DiscoveryProperty, HardConstraintsAlwaysRespected) {
+  SemanticMatcher matcher(ontology_);
+  ServiceRequest request;
+  request.desired_class = "Service";
+  request.constraints.push_back({"p0", ConstraintOp::kGe, 0.0, true});
+  request.max_results = 100;
+  for (const auto& match : matcher.match(corpus_, request)) {
+    const auto it = match.service.properties.find("p0");
+    ASSERT_NE(it, match.service.properties.end());
+    ASSERT_TRUE(std::holds_alternative<double>(it->second));
+    EXPECT_GE(std::get<double>(it->second), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiscoveryProperty,
+                         ::testing::Values(1ull, 17ull, 291ull, 5309ull,
+                                           86420ull));
+
+}  // namespace
+}  // namespace pgrid::discovery

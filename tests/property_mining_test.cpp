@@ -1,0 +1,133 @@
+// Property tests for the stream-mining substrate, swept over dimensions
+// and seeds: exact Fourier algebra (Parseval, reconstruction, linearity)
+// and learner invariants must hold for every instance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mining/ensemble.hpp"
+
+namespace pgrid::mining {
+namespace {
+
+struct MiningCase {
+  std::size_t dimensions;
+  std::uint64_t seed;
+};
+
+class MiningProperty : public ::testing::TestWithParam<MiningCase> {
+ protected:
+  BooleanDecisionTree trained_tree(std::size_t max_depth = 0) const {
+    StreamGenerator gen(GetParam().dimensions,
+                        common::Rng(GetParam().seed));
+    BooleanDecisionTree tree;
+    tree.train(gen.next_window(400), GetParam().dimensions, max_depth);
+    return tree;
+  }
+
+  std::vector<double> spectrum_of(const BooleanDecisionTree& tree) const {
+    return full_spectrum(
+        as_sign([&tree](const std::vector<bool>& x) {
+          return tree.predict(x);
+        }),
+        GetParam().dimensions);
+  }
+};
+
+TEST_P(MiningProperty, ParsevalIsExact) {
+  const auto spectrum = spectrum_of(trained_tree());
+  double energy = 0.0;
+  for (double w : spectrum) energy += w * w;
+  EXPECT_NEAR(energy, 1.0, 1e-9) << "total energy of a +/-1 function is 1";
+}
+
+TEST_P(MiningProperty, FullSpectrumReconstructsTheTree) {
+  const auto tree = trained_tree();
+  const auto spectrum = spectrum_of(tree);
+  std::vector<Coefficient> everything;
+  for (std::size_t z = 0; z < spectrum.size(); ++z) {
+    everything.push_back({static_cast<std::uint32_t>(z), spectrum[z]});
+  }
+  SpectrumClassifier reconstructed(everything);
+  const std::size_t d = GetParam().dimensions;
+  std::vector<bool> features(d);
+  for (std::size_t x = 0; x < (std::size_t{1} << d); ++x) {
+    for (std::size_t bit = 0; bit < d; ++bit) features[bit] = (x >> bit) & 1u;
+    ASSERT_EQ(reconstructed.predict(features), tree.predict(features)) << x;
+  }
+}
+
+TEST_P(MiningProperty, DominantEnergyIsMonotoneInBudget) {
+  const auto spectrum = spectrum_of(trained_tree(4));
+  double previous = -1.0;
+  for (std::size_t k : {1, 2, 4, 8, 16, 32}) {
+    const double energy = captured_energy(dominant(spectrum, k));
+    EXPECT_GE(energy, previous - 1e-12);
+    EXPECT_LE(energy, 1.0 + 1e-9);
+    previous = energy;
+  }
+}
+
+TEST_P(MiningProperty, SpectrumLinearityUnderEnsembleAveraging) {
+  // The pipeline's core identity: spectrum(average of functions) equals
+  // average of spectra.  Build two trees, average spectra, compare against
+  // the pointwise-averaged function's transform.
+  StreamGenerator gen(GetParam().dimensions, common::Rng(GetParam().seed));
+  BooleanDecisionTree t1;
+  t1.train(gen.next_window(300), GetParam().dimensions);
+  BooleanDecisionTree t2;
+  t2.train(gen.next_window(300), GetParam().dimensions);
+
+  const auto s1 = spectrum_of(t1);
+  const auto s2 = spectrum_of(t2);
+  const auto averaged = average_spectra({s1, s2});
+
+  // Transform of the averaged +/-1 functions (values in {-1, 0, +1}).
+  const auto direct = full_spectrum(
+      [&](const std::vector<bool>& x) {
+        return (t1.predict(x) ? 1 : -1) + (t2.predict(x) ? 1 : -1);
+      },
+      GetParam().dimensions);
+  for (std::size_t z = 0; z < averaged.size(); ++z) {
+    EXPECT_NEAR(averaged[z], direct[z] / 2.0, 1e-9) << z;
+  }
+}
+
+TEST_P(MiningProperty, TrainingIsDeterministic) {
+  const auto a = trained_tree();
+  const auto b = trained_tree();
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.depth(), b.depth());
+  StreamGenerator probe(GetParam().dimensions,
+                        common::Rng(GetParam().seed + 1));
+  for (const auto& instance : probe.next_window(200)) {
+    EXPECT_EQ(a.predict(instance.features), b.predict(instance.features));
+  }
+}
+
+TEST_P(MiningProperty, DepthCapBoundsSpectralOrder) {
+  // A depth-k tree's decision depends on at most k attributes per path;
+  // its Fourier support lies on coefficients of order <= k.
+  const std::size_t cap = 3;
+  const auto tree = trained_tree(cap);
+  const auto spectrum = spectrum_of(tree);
+  for (std::size_t z = 0; z < spectrum.size(); ++z) {
+    if (order_of(static_cast<std::uint32_t>(z)) > cap) {
+      EXPECT_NEAR(spectrum[z], 0.0, 1e-9)
+          << "order-" << order_of(static_cast<std::uint32_t>(z))
+          << " coefficient must vanish for a depth-" << cap << " tree";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSeeds, MiningProperty,
+    ::testing::Values(MiningCase{4, 1}, MiningCase{6, 2}, MiningCase{8, 3},
+                      MiningCase{8, 77}, MiningCase{10, 5}),
+    [](const ::testing::TestParamInfo<MiningCase>& info) {
+      return "d" + std::to_string(info.param.dimensions) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace pgrid::mining

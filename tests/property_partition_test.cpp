@@ -1,0 +1,192 @@
+// Property tests for dynamic partitioning: estimator sanity across the
+// whole (query class x model x size) lattice, executor invariants, and
+// decision consistency — parameterized sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/runtime.hpp"
+#include "partition/cost_model.hpp"
+#include "partition/executor.hpp"
+
+namespace pgrid::partition {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Estimator lattice properties
+// ---------------------------------------------------------------------------
+
+struct EstimatorCase {
+  std::size_t sensors;
+  query::QueryClass inner;
+};
+
+class EstimatorProperty : public ::testing::TestWithParam<EstimatorCase> {
+ protected:
+  NetworkProfile profile() const {
+    NetworkProfile p;
+    p.sensor_count = GetParam().sensors;
+    p.avg_depth_hops = std::sqrt(double(GetParam().sensors)) * 0.7;
+    p.max_depth_hops = p.avg_depth_hops * 2.0;
+    p.cluster_count = static_cast<std::size_t>(
+        std::ceil(std::sqrt(double(GetParam().sensors))));
+    p.grid_flops_per_s = 2e9;
+    p.query_compute_ops =
+        GetParam().inner == query::QueryClass::kComplex ? 1e8 : 100.0;
+    return p;
+  }
+};
+
+TEST_P(EstimatorProperty, SupportedModelsGiveFiniteEstimates) {
+  const auto p = profile();
+  for (auto model : all_models()) {
+    const auto estimate = estimate_cost(p, GetParam().inner, model);
+    if (model_supports(model, GetParam().inner)) {
+      EXPECT_TRUE(std::isfinite(estimate.energy_j)) << to_string(model);
+      EXPECT_TRUE(std::isfinite(estimate.response_s)) << to_string(model);
+      EXPECT_GE(estimate.energy_j, 0.0);
+      EXPECT_GT(estimate.response_s, 0.0);
+      EXPECT_GT(estimate.accuracy, 0.0);
+      EXPECT_LE(estimate.accuracy, 1.0);
+    } else {
+      EXPECT_TRUE(std::isinf(estimate.energy_j)) << to_string(model);
+    }
+  }
+}
+
+TEST_P(EstimatorProperty, EstimatesMonotoneInNetworkSize) {
+  auto small = profile();
+  auto big = profile();
+  big.sensor_count *= 4;
+  big.avg_depth_hops *= 2;
+  big.max_depth_hops *= 2;
+  big.cluster_count *= 2;
+  for (auto model : candidates_for(GetParam().inner)) {
+    if (GetParam().inner == query::QueryClass::kSimple) continue;  // 1 sensor
+    const auto e_small = estimate_cost(small, GetParam().inner, model);
+    const auto e_big = estimate_cost(big, GetParam().inner, model);
+    EXPECT_GT(e_big.energy_j, e_small.energy_j) << to_string(model);
+    EXPECT_GT(e_big.data_bytes, e_small.data_bytes) << to_string(model);
+  }
+}
+
+TEST_P(EstimatorProperty, BestModelIsArgminOfObjective) {
+  const auto p = profile();
+  for (auto metric :
+       {query::CostMetric::kEnergy, query::CostMetric::kTime,
+        query::CostMetric::kAccuracy, query::CostMetric::kNone}) {
+    const auto best = best_model(p, GetParam().inner, metric);
+    const double best_score =
+        objective(estimate_cost(p, GetParam().inner, best), metric);
+    for (auto model : candidates_for(GetParam().inner)) {
+      EXPECT_LE(best_score,
+                objective(estimate_cost(p, GetParam().inner, model), metric) +
+                    1e-12)
+          << to_string(model) << " beats chosen " << to_string(best);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattice, EstimatorProperty,
+    ::testing::Values(EstimatorCase{25, query::QueryClass::kSimple},
+                      EstimatorCase{25, query::QueryClass::kAggregate},
+                      EstimatorCase{25, query::QueryClass::kComplex},
+                      EstimatorCase{100, query::QueryClass::kAggregate},
+                      EstimatorCase{100, query::QueryClass::kComplex},
+                      EstimatorCase{400, query::QueryClass::kAggregate},
+                      EstimatorCase{400, query::QueryClass::kComplex}),
+    [](const ::testing::TestParamInfo<EstimatorCase>& info) {
+      return "n" + std::to_string(info.param.sensors) + "_" +
+             query::to_string(info.param.inner);
+    });
+
+// ---------------------------------------------------------------------------
+// Executor properties on a live runtime, per model
+// ---------------------------------------------------------------------------
+
+struct ExecCase {
+  const char* query;
+  SolutionModel model;
+};
+
+class ExecutorProperty : public ::testing::TestWithParam<ExecCase> {
+ protected:
+  ExecutorProperty() {
+    core::RuntimeConfig config;
+    config.sensors.sensor_count = 49;
+    config.sensors.width_m = 91.0;
+    config.sensors.height_m = 91.0;
+    config.sensors.base_pos = {-5, -5, 0};
+    config.sensors.noise_std = 0.0;
+    config.pde_resolution = 13;
+    config.advertise_sensor_services = false;
+    runtime_ = std::make_unique<core::PervasiveGridRuntime>(config);
+    sensornet::FireSource fire;
+    fire.pos = {60, 60, 0};
+    fire.start = sim::SimTime::seconds(-3600.0);
+    fire.spread_m_per_s = 0.0;
+    runtime_->field().ignite(fire);
+  }
+  std::unique_ptr<core::PervasiveGridRuntime> runtime_;
+};
+
+TEST_P(ExecutorProperty, MeasurementsAreWellFormed) {
+  const auto outcome =
+      runtime_->submit_and_run(GetParam().query, GetParam().model);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.model, GetParam().model);
+  EXPECT_GT(outcome.actual.response_s, 0.0);
+  EXPECT_GE(outcome.actual.energy_j, 0.0);
+  EXPECT_GT(outcome.actual.data_bytes, 0u);
+  EXPECT_GT(outcome.actual.accuracy, 0.0);
+  EXPECT_LE(outcome.actual.accuracy, 1.0);
+  EXPECT_GE(outcome.handheld_response_s, outcome.actual.response_s);
+  // The answer must lie within the physical range of the field.
+  EXPECT_GE(outcome.actual.value, 15.0);
+  EXPECT_LE(outcome.actual.value, 700.0);
+}
+
+TEST_P(ExecutorProperty, EstimateRanksWithinFactorTen) {
+  const auto outcome =
+      runtime_->submit_and_run(GetParam().query, GetParam().model);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  if (outcome.actual.energy_j > 0 && outcome.estimate.energy_j > 0) {
+    const double ratio = outcome.estimate.energy_j / outcome.actual.energy_j;
+    EXPECT_GT(ratio, 0.1) << "estimate uselessly low";
+    EXPECT_LT(ratio, 10.0) << "estimate uselessly high";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueriesAndModels, ExecutorProperty,
+    ::testing::Values(
+        ExecCase{"SELECT temp FROM sensors WHERE sensor = 24",
+                 SolutionModel::kAllToBase},
+        ExecCase{"SELECT AVG(temp) FROM sensors",
+                 SolutionModel::kAllToBase},
+        ExecCase{"SELECT AVG(temp) FROM sensors",
+                 SolutionModel::kTreeAggregate},
+        ExecCase{"SELECT AVG(temp) FROM sensors",
+                 SolutionModel::kClusterAggregate},
+        ExecCase{"SELECT AVG(temp) FROM sensors",
+                 SolutionModel::kGridOffload},
+        ExecCase{"SELECT MAX(temp) FROM sensors",
+                 SolutionModel::kTreeAggregate},
+        ExecCase{"SELECT TEMP_DISTRIBUTION(temp) FROM sensors",
+                 SolutionModel::kAllToBase},
+        ExecCase{"SELECT TEMP_DISTRIBUTION(temp) FROM sensors",
+                 SolutionModel::kGridOffload},
+        ExecCase{"SELECT TEMP_DISTRIBUTION(temp) FROM sensors",
+                 SolutionModel::kHandheldLocal},
+        ExecCase{"SELECT TEMP_DISTRIBUTION(temp) FROM sensors",
+                 SolutionModel::kHybridRegionGrid}),
+    [](const ::testing::TestParamInfo<ExecCase>& info) {
+      std::string model = to_string(info.param.model);
+      std::replace(model.begin(), model.end(), '-', '_');
+      return "case" + std::to_string(info.index) + "_" + model;
+    });
+
+}  // namespace
+}  // namespace pgrid::partition

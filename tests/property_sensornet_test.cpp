@@ -1,0 +1,164 @@
+// Property tests for the sensor network: every collection strategy must
+// compute the same (correct) aggregate on lossless radios, respect energy
+// orderings, and replay deterministically — across sizes and strategies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "sensornet/lifetime.hpp"
+#include "sensornet/sensor_network.hpp"
+
+namespace pgrid::sensornet {
+namespace {
+
+struct CollectCase {
+  std::size_t sensors;
+  CollectionStrategy strategy;
+};
+
+class CollectionProperty : public ::testing::TestWithParam<CollectCase> {
+ protected:
+  CollectionProperty() : net_(sim_, common::Rng(99)) {
+    SensorNetworkConfig config;
+    config.sensor_count = GetParam().sensors;
+    const double side =
+        15.0 * std::ceil(std::sqrt(double(GetParam().sensors)));
+    config.width_m = side;
+    config.height_m = side;
+    config.base_pos = {-5, -5, 0};
+    config.noise_std = 0.0;
+    config.radio.loss_prob = 0.0;  // lossless: exact accounting
+    snet_ = std::make_unique<SensorNetwork>(net_, config, common::Rng(3));
+  }
+
+  std::size_t clusters() const {
+    return static_cast<std::size_t>(
+        std::ceil(std::sqrt(double(GetParam().sensors))));
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  std::unique_ptr<SensorNetwork> snet_;
+};
+
+TEST_P(CollectionProperty, AggregateMatchesDirectComputation) {
+  GradientField field(7.0, 0.31);
+  CollectionResult result;
+  run_collection(*snet_, field, GetParam().strategy, clusters(),
+                 [&](CollectionResult r) { result = r; });
+  sim_.run();
+  ASSERT_TRUE(result.complete);
+  ASSERT_EQ(result.reports, GetParam().sensors);
+
+  AggregateState direct;
+  for (auto id : snet_->sensors()) {
+    direct.add(field.value(net_.node(id).pos, sim::SimTime::zero()));
+  }
+  for (auto fn : {AggregateFunction::kMin, AggregateFunction::kMax,
+                  AggregateFunction::kAvg, AggregateFunction::kSum,
+                  AggregateFunction::kCount}) {
+    EXPECT_NEAR(result.aggregate.result(fn), direct.result(fn), 1e-9)
+        << to_string(fn);
+  }
+}
+
+TEST_P(CollectionProperty, EnergyOrderingHolds) {
+  // In-network strategies never cost more than shipping every raw reading.
+  UniformField field(25.0);
+  CollectionResult raw;
+  snet_->collect_all_to_base(field, [&](CollectionResult r) { raw = r; });
+  sim_.run();
+  net_.reset_energy();
+  CollectionResult strategy_result;
+  run_collection(*snet_, field, GetParam().strategy, clusters(),
+                 [&](CollectionResult r) { strategy_result = r; });
+  sim_.run();
+  EXPECT_LE(strategy_result.energy_j, raw.energy_j * 1.0001)
+      << to_string(GetParam().strategy);
+}
+
+TEST_P(CollectionProperty, EnergyEqualsLedgerDelta) {
+  UniformField field(25.0);
+  const double before = net_.battery_energy_consumed();
+  CollectionResult result;
+  run_collection(*snet_, field, GetParam().strategy, clusters(),
+                 [&](CollectionResult r) { result = r; });
+  sim_.run();
+  EXPECT_NEAR(result.energy_j, net_.battery_energy_consumed() - before,
+              1e-12);
+}
+
+TEST_P(CollectionProperty, DeterministicReplay) {
+  auto run_once = [&]() {
+    sim::Simulator sim;
+    net::Network net(sim, common::Rng(99));
+    SensorNetworkConfig config;
+    config.sensor_count = GetParam().sensors;
+    const double side =
+        15.0 * std::ceil(std::sqrt(double(GetParam().sensors)));
+    config.width_m = side;
+    config.height_m = side;
+    config.base_pos = {-5, -5, 0};
+    config.noise_std = 0.4;  // noise on, still deterministic
+    SensorNetwork snet(net, config, common::Rng(3));
+    GradientField field(7.0, 0.31);
+    CollectionResult result;
+    run_collection(snet, field, GetParam().strategy,
+                   static_cast<std::size_t>(
+                       std::ceil(std::sqrt(double(GetParam().sensors)))),
+                   [&](CollectionResult r) { result = r; });
+    sim.run();
+    return std::make_tuple(result.aggregate.sum, result.energy_j,
+                           result.elapsed_s, result.reports);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_P(CollectionProperty, SurvivesPartialNodeFailure) {
+  // Kill ~20% of sensors: the round completes with the remaining reports
+  // and the aggregate stays within the field's range.
+  GradientField field(7.0, 0.31);
+  std::size_t killed = 0;
+  // Start at 1: sensor 0 is the base station's only neighbour on the
+  // smallest grids, and severing it legitimately yields zero reports.
+  for (std::size_t i = 1; i < snet_->sensors().size(); i += 5) {
+    net_.set_node_up(snet_->sensors()[i], false);
+    ++killed;
+  }
+  CollectionResult result;
+  run_collection(*snet_, field, GetParam().strategy, clusters(),
+                 [&](CollectionResult r) { result = r; });
+  sim_.run();
+  EXPECT_LE(result.reports, GetParam().sensors - killed);
+  EXPECT_GT(result.reports, 0u);
+  if (result.reports > 0) {
+    const double avg = result.aggregate.result(AggregateFunction::kAvg);
+    EXPECT_GE(avg, 7.0 - 1e-9);
+    EXPECT_LE(avg, 7.0 + 0.31 * 200.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndStrategies, CollectionProperty,
+    ::testing::Values(
+        CollectCase{16, CollectionStrategy::kAllToBase},
+        CollectCase{16, CollectionStrategy::kClusterAggregate},
+        CollectCase{16, CollectionStrategy::kTreeAggregate},
+        CollectCase{64, CollectionStrategy::kAllToBase},
+        CollectCase{64, CollectionStrategy::kClusterAggregate},
+        CollectCase{64, CollectionStrategy::kTreeAggregate},
+        CollectCase{144, CollectionStrategy::kTreeAggregate},
+        CollectCase{144, CollectionStrategy::kClusterAggregate}),
+    [](const ::testing::TestParamInfo<CollectCase>& info) {
+      std::string name = "n" + std::to_string(info.param.sensors) + "_";
+      switch (info.param.strategy) {
+        case CollectionStrategy::kAllToBase: name += "raw"; break;
+        case CollectionStrategy::kClusterAggregate: name += "cluster"; break;
+        case CollectionStrategy::kTreeAggregate: name += "tree"; break;
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace pgrid::sensornet

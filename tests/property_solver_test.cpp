@@ -1,0 +1,127 @@
+// Property tests for the PDE solvers: discrete maximum principle, solver
+// agreement, symmetry preservation, and flop-count monotonicity across a
+// parameterized sweep of problem sizes and solvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/thread_pool.hpp"
+#include "grid/solvers.hpp"
+
+namespace pgrid::grid {
+namespace {
+
+struct SolverCase {
+  std::size_t n;
+  bool three_d;
+  bool use_cg;
+  bool parallel;
+};
+
+class SolverProperty : public ::testing::TestWithParam<SolverCase> {
+ protected:
+  HeatProblem make_problem(double hot = 300.0) const {
+    const auto& param = GetParam();
+    HeatProblem problem(param.n, param.n, param.three_d ? param.n : 1, 20.0);
+    problem.fix(param.n / 2, param.n / 2, param.three_d ? param.n / 2 : 0,
+                hot);
+    return problem;
+  }
+
+  SolveStats solve(const HeatProblem& problem, std::vector<double>& u) const {
+    common::ThreadPool pool(3);
+    common::ThreadPool* pool_ptr = GetParam().parallel ? &pool : nullptr;
+    if (GetParam().use_cg) {
+      return cg_solve(problem, u, 1e-10, 20000, pool_ptr);
+    }
+    return jacobi_solve(problem, u, 1e-8, 500000, pool_ptr);
+  }
+};
+
+TEST_P(SolverProperty, Converges) {
+  auto problem = make_problem();
+  std::vector<double> u;
+  const auto stats = solve(problem, u);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_GT(stats.iterations, 0u);
+  EXPECT_GT(stats.flops, 0.0);
+}
+
+TEST_P(SolverProperty, MaximumPrinciple) {
+  auto problem = make_problem(450.0);
+  std::vector<double> u;
+  solve(problem, u);
+  for (double v : u) {
+    EXPECT_GE(v, 20.0 - 1e-6);
+    EXPECT_LE(v, 450.0 + 1e-6);
+  }
+}
+
+TEST_P(SolverProperty, DirichletCellsUntouched) {
+  auto problem = make_problem();
+  std::vector<double> u;
+  solve(problem, u);
+  for (std::size_t i = 0; i < problem.cells(); ++i) {
+    if (problem.is_fixed(i)) {
+      EXPECT_DOUBLE_EQ(u[i], problem.fixed_value(i));
+    }
+  }
+}
+
+TEST_P(SolverProperty, MirrorSymmetryPreserved) {
+  // A centred hot spot on a square grid gives an x-mirror-symmetric field.
+  const auto& param = GetParam();
+  if (param.n % 2 == 0) GTEST_SKIP() << "needs an exact centre";
+  auto problem = make_problem();
+  std::vector<double> u;
+  solve(problem, u);
+  const std::size_t nz = param.three_d ? param.n : 1;
+  for (std::size_t iz = 0; iz < nz; ++iz) {
+    for (std::size_t iy = 0; iy < param.n; ++iy) {
+      for (std::size_t ix = 0; ix < param.n / 2; ++ix) {
+        const double left = u[problem.index(ix, iy, iz)];
+        const double right = u[problem.index(param.n - 1 - ix, iy, iz)];
+        EXPECT_NEAR(left, right, 1e-5);
+      }
+    }
+  }
+}
+
+TEST_P(SolverProperty, ResidualBelowTolerance) {
+  auto problem = make_problem();
+  std::vector<double> u;
+  const auto stats = solve(problem, u);
+  // Independent check: every free cell is (nearly) the mean of neighbours.
+  std::size_t nb[6];
+  double worst = 0.0;
+  for (std::size_t i = 0; i < problem.cells(); ++i) {
+    if (problem.is_fixed(i)) continue;
+    const std::size_t count = problem.neighbors(i, nb);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < count; ++k) sum += u[nb[k]];
+    worst = std::max(worst,
+                     std::abs(u[i] - sum / static_cast<double>(count)));
+  }
+  EXPECT_LT(worst, 1e-3) << "converged=" << stats.converged;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSolvers, SolverProperty,
+    ::testing::Values(SolverCase{9, false, true, false},
+                      SolverCase{9, false, false, false},
+                      SolverCase{17, false, true, false},
+                      SolverCase{17, false, false, true},
+                      SolverCase{17, false, true, true},
+                      SolverCase{9, true, true, false},
+                      SolverCase{9, true, true, true},
+                      SolverCase{25, false, true, false}),
+    [](const ::testing::TestParamInfo<SolverCase>& info) {
+      std::string name = "n" + std::to_string(info.param.n);
+      name += info.param.three_d ? "_3d" : "_2d";
+      name += info.param.use_cg ? "_cg" : "_jacobi";
+      name += info.param.parallel ? "_mt" : "_st";
+      return name;
+    });
+
+}  // namespace
+}  // namespace pgrid::grid

@@ -1,0 +1,271 @@
+// Unit tests for the query language: lexing/parsing of the paper's format,
+// predicate evaluation, normalization, and the four-way classification.
+#include <gtest/gtest.h>
+
+#include "query/classifier.hpp"
+#include "query/parser.hpp"
+
+namespace pgrid::query {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parser: the paper's own example queries
+// ---------------------------------------------------------------------------
+
+TEST(Parser, PaperSimpleQuery) {
+  // "Return temperature at Sensor # 10"
+  auto r = parse_query("SELECT temp FROM sensors WHERE sensor = 10");
+  ASSERT_TRUE(r.ok()) << r.error();
+  const Query& q = r.value();
+  ASSERT_EQ(q.select.size(), 1u);
+  EXPECT_EQ(q.select[0].kind, SelectItem::Kind::kAttribute);
+  EXPECT_EQ(q.select[0].name, "temp");
+  EXPECT_EQ(q.from, "sensors");
+  ASSERT_EQ(q.where.size(), 1u);
+  EXPECT_EQ(q.where[0].attribute, "sensor");
+  EXPECT_EQ(q.where[0].op, PredOp::kEq);
+  EXPECT_DOUBLE_EQ(q.where[0].number, 10.0);
+  EXPECT_FALSE(q.epoch_duration_s.has_value());
+  EXPECT_EQ(q.cost.metric, CostMetric::kNone);
+}
+
+TEST(Parser, PaperAggregateQuery) {
+  // "Return Average Temperature in room # 210"
+  auto r = parse_query("SELECT AVG(temp) FROM sensors WHERE room = 210");
+  ASSERT_TRUE(r.ok()) << r.error();
+  const Query& q = r.value();
+  ASSERT_EQ(q.select.size(), 1u);
+  EXPECT_EQ(q.select[0].kind, SelectItem::Kind::kFunction);
+  EXPECT_EQ(q.select[0].name, "AVG");
+  EXPECT_EQ(q.select[0].args, std::vector<std::string>{"temp"});
+}
+
+TEST(Parser, PaperComplexQuery) {
+  // "Find Temperature Distribution in room #210"
+  auto r = parse_query(
+      "SELECT TEMP_DISTRIBUTION(temp) FROM sensors WHERE room = 210");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_TRUE(r.value().has_function());
+  EXPECT_EQ(r.value().function()->name, "TEMP_DISTRIBUTION");
+}
+
+TEST(Parser, PaperContinuousQuery) {
+  // "Return temperature at Sensor #10 every 10 seconds"
+  auto r = parse_query(
+      "SELECT temp FROM sensors WHERE sensor = 10 EPOCH DURATION 10");
+  ASSERT_TRUE(r.ok()) << r.error();
+  ASSERT_TRUE(r.value().epoch_duration_s.has_value());
+  EXPECT_DOUBLE_EQ(*r.value().epoch_duration_s, 10.0);
+}
+
+TEST(Parser, BracedFormFromThePaper) {
+  // The paper writes: SELECT {func(), attrs} from sensors WHERE {selPreds}
+  // COST {cost limitation} EPOCH DURATION i
+  auto r = parse_query(
+      "SELECT {AVG(temp)} from sensors WHERE {room = 210} "
+      "COST {energy 0.5} EPOCH DURATION 5");
+  ASSERT_TRUE(r.ok()) << r.error();
+  const Query& q = r.value();
+  EXPECT_EQ(q.select[0].name, "AVG");
+  EXPECT_EQ(q.cost.metric, CostMetric::kEnergy);
+  EXPECT_DOUBLE_EQ(q.cost.limit, 0.5);
+  EXPECT_DOUBLE_EQ(*q.epoch_duration_s, 5.0);
+}
+
+TEST(Parser, CostMetricVariants) {
+  auto energy = parse_query("SELECT t FROM s COST energy < 0.25");
+  ASSERT_TRUE(energy.ok());
+  EXPECT_EQ(energy.value().cost.metric, CostMetric::kEnergy);
+  EXPECT_DOUBLE_EQ(energy.value().cost.limit, 0.25);
+
+  auto time = parse_query("SELECT t FROM s COST time 2.5");
+  ASSERT_TRUE(time.ok());
+  EXPECT_EQ(time.value().cost.metric, CostMetric::kTime);
+
+  auto acc = parse_query("SELECT t FROM s COST accuracy 0.9");
+  ASSERT_TRUE(acc.ok());
+  EXPECT_EQ(acc.value().cost.metric, CostMetric::kAccuracy);
+
+  EXPECT_FALSE(parse_query("SELECT t FROM s COST watts 5").ok());
+}
+
+TEST(Parser, MultipleSelectItemsAndPredicates) {
+  auto r = parse_query(
+      "SELECT temp, humidity, MAX(temp) FROM sensors "
+      "WHERE floor = 2 AND temp > 30 AND building != 7");
+  ASSERT_TRUE(r.ok()) << r.error();
+  const Query& q = r.value();
+  EXPECT_EQ(q.select.size(), 3u);
+  EXPECT_EQ(q.select[2].kind, SelectItem::Kind::kFunction);
+  ASSERT_EQ(q.where.size(), 3u);
+  EXPECT_EQ(q.where[1].op, PredOp::kGt);
+  EXPECT_EQ(q.where[2].op, PredOp::kNe);
+}
+
+TEST(Parser, StringPredicate) {
+  auto r = parse_query("SELECT temp FROM sensors WHERE wing = 'north'");
+  ASSERT_TRUE(r.ok()) << r.error();
+  const auto& pred = r.value().where[0];
+  EXPECT_FALSE(pred.numeric);
+  EXPECT_EQ(pred.text, "north");
+  EXPECT_TRUE(pred.eval(std::string("north")));
+  EXPECT_FALSE(pred.eval(std::string("south")));
+}
+
+TEST(Parser, FunctionWithMultipleArgs) {
+  auto r = parse_query("SELECT CORRELATE(temp, humidity) FROM sensors");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().select[0].args.size(), 2u);
+}
+
+TEST(Parser, FunctionWithNoArgs) {
+  auto r = parse_query("SELECT COUNT() FROM sensors");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.value().select[0].kind, SelectItem::Kind::kFunction);
+  EXPECT_TRUE(r.value().select[0].args.empty());
+}
+
+TEST(Parser, KeywordsAreCaseInsensitive) {
+  auto r = parse_query("select avg(temp) from sensors where room = 1 "
+                       "cost energy 1 epoch duration 2");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_TRUE(r.value().epoch_duration_s.has_value());
+}
+
+TEST(Parser, SensorHashStyleTolerated) {
+  auto r = parse_query("SELECT temp FROM sensors WHERE sensor # = 10");
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_DOUBLE_EQ(r.value().where[0].number, 10.0);
+}
+
+TEST(Parser, Rejections) {
+  EXPECT_FALSE(parse_query("").ok());
+  EXPECT_FALSE(parse_query("FROM sensors").ok());
+  EXPECT_FALSE(parse_query("SELECT FROM sensors").ok());
+  EXPECT_FALSE(parse_query("SELECT temp").ok());
+  EXPECT_FALSE(parse_query("SELECT temp FROM").ok());
+  EXPECT_FALSE(parse_query("SELECT temp FROM sensors WHERE").ok());
+  EXPECT_FALSE(parse_query("SELECT temp FROM sensors WHERE x ~ 3").ok());
+  EXPECT_FALSE(parse_query("SELECT temp FROM sensors EPOCH DURATION -1").ok());
+  EXPECT_FALSE(parse_query("SELECT temp FROM sensors EPOCH DURATION 0").ok());
+  EXPECT_FALSE(parse_query("SELECT temp FROM sensors garbage here").ok());
+  EXPECT_FALSE(parse_query("SELECT temp FROM sensors WHERE s = 'open").ok());
+}
+
+TEST(Parser, ErrorsCarryOffsets) {
+  auto r = parse_query("SELECT temp FRUM sensors");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("offset"), std::string::npos);
+}
+
+TEST(Ast, PredicateNumericOps) {
+  Predicate p;
+  p.attribute = "temp";
+  p.op = PredOp::kGe;
+  p.number = 30.0;
+  EXPECT_TRUE(p.eval(30.0));
+  EXPECT_TRUE(p.eval(31.0));
+  EXPECT_FALSE(p.eval(29.9));
+  EXPECT_FALSE(p.eval(std::string("30")));  // type mismatch
+}
+
+TEST(Ast, ToStringRoundTripsThroughParser) {
+  auto r = parse_query(
+      "SELECT AVG(temp) FROM sensors WHERE room = 210 AND temp > 25 "
+      "COST time 3 EPOCH DURATION 10");
+  ASSERT_TRUE(r.ok());
+  const std::string normalized = to_string(r.value());
+  auto r2 = parse_query(normalized);
+  ASSERT_TRUE(r2.ok()) << normalized << " -> " << r2.error();
+  EXPECT_EQ(to_string(r2.value()), normalized);
+}
+
+TEST(Ast, PredicateOnFindsAttribute) {
+  auto r = parse_query("SELECT t FROM s WHERE room = 2 AND sensor = 7");
+  ASSERT_TRUE(r.ok());
+  ASSERT_NE(r.value().predicate_on("sensor"), nullptr);
+  EXPECT_DOUBLE_EQ(r.value().predicate_on("sensor")->number, 7.0);
+  EXPECT_EQ(r.value().predicate_on("nope"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Classifier
+// ---------------------------------------------------------------------------
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  Classification classify(const std::string& text) {
+    auto r = parse_query(text);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return classifier_.classify(r.value());
+  }
+  QueryClassifier classifier_;
+};
+
+TEST_F(ClassifierTest, SimpleQuery) {
+  auto c = classify("SELECT temp FROM sensors WHERE sensor = 10");
+  EXPECT_EQ(c.primary, QueryClass::kSimple);
+  EXPECT_EQ(c.inner, QueryClass::kSimple);
+  EXPECT_FALSE(c.continuous);
+}
+
+TEST_F(ClassifierTest, AggregateQueryAllFunctions) {
+  const struct {
+    const char* name;
+    sensornet::AggregateFunction fn;
+  } cases[] = {
+      {"MIN", sensornet::AggregateFunction::kMin},
+      {"MAX", sensornet::AggregateFunction::kMax},
+      {"AVG", sensornet::AggregateFunction::kAvg},
+      {"SUM", sensornet::AggregateFunction::kSum},
+      {"COUNT", sensornet::AggregateFunction::kCount},
+  };
+  for (const auto& test_case : cases) {
+    auto c = classify(std::string("SELECT ") + test_case.name +
+                      "(temp) FROM sensors WHERE room = 210");
+    EXPECT_EQ(c.primary, QueryClass::kAggregate) << test_case.name;
+    EXPECT_EQ(c.aggregate, test_case.fn) << test_case.name;
+  }
+}
+
+TEST_F(ClassifierTest, ComplexQuery) {
+  auto c = classify(
+      "SELECT TEMP_DISTRIBUTION(temp) FROM sensors WHERE room = 210");
+  EXPECT_EQ(c.primary, QueryClass::kComplex);
+  EXPECT_EQ(c.complex_function, "TEMP_DISTRIBUTION");
+}
+
+TEST_F(ClassifierTest, ContinuousWrapsInnerType) {
+  auto c = classify(
+      "SELECT temp FROM sensors WHERE sensor = 10 EPOCH DURATION 10");
+  EXPECT_EQ(c.primary, QueryClass::kContinuous);
+  EXPECT_EQ(c.inner, QueryClass::kSimple);
+  EXPECT_TRUE(c.continuous);
+
+  auto c2 = classify(
+      "SELECT AVG(temp) FROM sensors WHERE room = 210 EPOCH DURATION 5");
+  EXPECT_EQ(c2.primary, QueryClass::kContinuous);
+  EXPECT_EQ(c2.inner, QueryClass::kAggregate);
+}
+
+TEST_F(ClassifierTest, ArbitraryFunctionClassifiesComplex) {
+  // "we allow for any arbitrary function to be specified"
+  auto c = classify("SELECT FFT(temp) FROM sensors");
+  EXPECT_EQ(c.primary, QueryClass::kComplex);
+  EXPECT_EQ(c.complex_function, "FFT");
+}
+
+TEST_F(ClassifierTest, RegisteredComplexFunction) {
+  classifier_.register_complex_function("navier_stokes");
+  EXPECT_TRUE(classifier_.knows_complex("NAVIER_STOKES"));
+  EXPECT_TRUE(classifier_.knows_complex("navier_stokes"));
+  EXPECT_FALSE(classifier_.knows_complex("fft2"));
+}
+
+TEST_F(ClassifierTest, AggregateNameCaseInsensitive) {
+  auto c = classify("SELECT avg(temp) FROM sensors");
+  EXPECT_EQ(c.primary, QueryClass::kAggregate);
+}
+
+}  // namespace
+}  // namespace pgrid::query

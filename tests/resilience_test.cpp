@@ -1,0 +1,160 @@
+// Failure-injection tests: the full runtime under lossy radios, node
+// churn, and partitions.  The paper's runtime must "handle the transport
+// level problems caused by low bandwidth, high latency, frequent
+// disconnections and network topology changes" — these tests assert the
+// pipeline stays consistent (no hangs, no double callbacks, sane partial
+// results) when the substrate misbehaves.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/runtime.hpp"
+#include "net/churn.hpp"
+
+namespace pgrid {
+namespace {
+
+core::RuntimeConfig lossy_config(double loss_prob) {
+  core::RuntimeConfig config;
+  config.sensors.sensor_count = 49;
+  config.sensors.width_m = 91.0;
+  config.sensors.height_m = 91.0;
+  config.sensors.base_pos = {-5, -5, 0};
+  config.sensors.noise_std = 0.0;
+  config.sensors.radio.loss_prob = loss_prob;
+  config.advertise_sensor_services = false;
+  config.pde_resolution = 13;
+  return config;
+}
+
+TEST(Resilience, AggregateSurvivesHeavyLoss) {
+  // 20% per-attempt frame loss (3 retries): collections lose some reports
+  // but complete, and the answer stays within the field's range.
+  core::PervasiveGridRuntime runtime(lossy_config(0.2));
+  auto outcome = runtime.submit_and_run("SELECT AVG(temp) FROM sensors",
+                                        partition::SolutionModel::kAllToBase);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_LE(outcome.actual.accuracy, 1.0);
+  EXPECT_GT(outcome.actual.accuracy, 0.5) << "most reports should survive";
+  EXPECT_NEAR(outcome.actual.value, 20.0, 2.0);
+}
+
+TEST(Resilience, TreeAggregateDegradesGracefullyUnderLoss) {
+  // Tree aggregation loses whole subtrees per drop, so accuracy can dip
+  // harder — but the run must still complete with a sane value.
+  core::PervasiveGridRuntime runtime(lossy_config(0.2));
+  auto outcome = runtime.submit_and_run(
+      "SELECT AVG(temp) FROM sensors",
+      partition::SolutionModel::kTreeAggregate);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_GT(outcome.actual.value, 15.0);
+  EXPECT_LT(outcome.actual.value, 25.0);
+}
+
+TEST(Resilience, RetriesRecoverMostLosses) {
+  // With retransmission (default 3 retries), 10% loss yields near-complete
+  // collections; with none, visibly fewer reports arrive.
+  core::PervasiveGridRuntime with_retries(lossy_config(0.1));
+  const auto good = with_retries.submit_and_run(
+      "SELECT COUNT(temp) FROM sensors",
+      partition::SolutionModel::kAllToBase);
+  ASSERT_TRUE(good.ok);
+
+  core::PervasiveGridRuntime no_retries(lossy_config(0.1));
+  no_retries.network().set_max_retries(0);
+  const auto bad = no_retries.submit_and_run(
+      "SELECT COUNT(temp) FROM sensors",
+      partition::SolutionModel::kAllToBase);
+  ASSERT_TRUE(bad.ok);
+  EXPECT_GT(good.actual.value, bad.actual.value);
+  EXPECT_GT(good.actual.value, 44.0) << "retries should recover to ~all 49";
+}
+
+TEST(Resilience, ContinuousQueryRidesThroughChurn) {
+  core::PervasiveGridRuntime runtime(lossy_config(0.02));
+  // A third of the sensors flap throughout the watch.
+  std::vector<net::NodeId> flappers(
+      runtime.sensors().sensors().begin(),
+      runtime.sensors().sensors().begin() + 16);
+  net::ChurnConfig config;
+  config.mean_up = sim::SimTime::seconds(20.0);
+  config.mean_down = sim::SimTime::seconds(10.0);
+  config.horizon = sim::SimTime::seconds(500.0);
+  net::NodeChurn churn(runtime.network(), flappers, config, common::Rng(3));
+  churn.start();
+
+  auto outcome = runtime.submit_and_run(
+      "SELECT AVG(temp) FROM sensors EPOCH DURATION 30");
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.epochs.size(),
+            runtime.config().continuous_epochs);
+  for (const auto& epoch : outcome.epochs) {
+    EXPECT_TRUE(epoch.ok);
+    EXPECT_NEAR(epoch.value, 20.0, 2.0);
+  }
+  EXPECT_GT(churn.transitions(), 0u);
+}
+
+TEST(Resilience, BasePartitionFailsCleanlyAndRecovers) {
+  // Kill the base station's entire one-hop neighbourhood: every query
+  // fails with an error rather than hanging; restoring the neighbourhood
+  // restores service.
+  core::PervasiveGridRuntime runtime(lossy_config(0.0));
+  auto& net = runtime.network();
+  const auto base = runtime.sensors().base_station();
+  const auto ring = net.neighbors(base);
+  std::vector<net::NodeId> sensor_ring;
+  for (auto id : ring) {
+    if (net.node(id).kind == net::NodeKind::kSensor) {
+      net.set_node_up(id, false);
+      sensor_ring.push_back(id);
+    }
+  }
+  ASSERT_FALSE(sensor_ring.empty());
+
+  const auto cut = runtime.submit_and_run("SELECT AVG(temp) FROM sensors");
+  EXPECT_FALSE(cut.ok);
+  EXPECT_FALSE(cut.error.empty());
+
+  for (auto id : sensor_ring) net.set_node_up(id, true);
+  const auto restored = runtime.submit_and_run("SELECT AVG(temp) FROM sensors");
+  EXPECT_TRUE(restored.ok) << restored.error;
+}
+
+TEST(Resilience, ComplexQuerySolvesFromPartialData) {
+  // Loss thins the readings; the PDE interpolates from whatever arrives.
+  core::PervasiveGridRuntime runtime(lossy_config(0.15));
+  sensornet::FireSource fire;
+  fire.pos = {45, 45, 0};
+  fire.start = sim::SimTime::seconds(-3600.0);
+  fire.spread_m_per_s = 0.0;
+  fire.initial_radius_m = 10.0;
+  runtime.field().ignite(fire);
+  auto outcome = runtime.submit_and_run(
+      "SELECT TEMP_DISTRIBUTION(temp) FROM sensors",
+      partition::SolutionModel::kGridOffload);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  ASSERT_TRUE(outcome.actual.distribution.has_value());
+  EXPECT_GT(outcome.actual.distribution->value_at({45, 45, 0}), 100.0);
+}
+
+TEST(Resilience, DecisionMakerStillDecidesUnderLoss) {
+  // The pipeline (classify -> profile -> decide -> execute -> observe)
+  // holds together on a degraded network.
+  core::PervasiveGridRuntime runtime(lossy_config(0.1));
+  for (int i = 0; i < 3; ++i) {
+    auto outcome = runtime.submit_and_run("SELECT MAX(temp) FROM sensors");
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    runtime.reset_energy();
+  }
+  EXPECT_GT(runtime.decision_maker().observations(
+                query::QueryClass::kAggregate,
+                partition::SolutionModel::kTreeAggregate) +
+                runtime.decision_maker().observations(
+                    query::QueryClass::kAggregate,
+                    partition::SolutionModel::kClusterAggregate),
+            0u);
+}
+
+}  // namespace
+}  // namespace pgrid

@@ -1,0 +1,204 @@
+// Tests for predicate-scoped collection: the paper's "Return Average
+// Temperature in room # 210" — floor-plan rooms, WHERE filters applied
+// in-network (TAG semantics), and end-to-end room-scoped queries.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/runtime.hpp"
+
+namespace pgrid {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Room numbering on the raw sensor network
+// ---------------------------------------------------------------------------
+
+class RoomFixture : public ::testing::Test {
+ protected:
+  RoomFixture() : net_(sim_, common::Rng(77)) {
+    sensornet::SensorNetworkConfig config;
+    config.sensor_count = 100;  // 10x10 over 135x135 m -> pitch 15 m,
+    config.width_m = 135.0;     // aligned with the 15 m room grid so room
+    config.height_m = 135.0;    // 210 (x=135, y in [15,30)) holds a sensor
+    config.base_pos = {-5, -5, 0};
+    config.noise_std = 0.0;
+    config.room_size_m = 15.0;  // rooms 101..110, 201..210, ...
+    snet_ = std::make_unique<sensornet::SensorNetwork>(net_, config,
+                                                       common::Rng(4));
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  std::unique_ptr<sensornet::SensorNetwork> snet_;
+};
+
+TEST_F(RoomFixture, RoomNumberingMatchesFloorPlan) {
+  // A node at (140, 20) is in column 9, row 1 -> room 210.
+  net::NodeConfig probe;
+  probe.pos = {140.0, 20.0, 0.0};
+  const auto node = net_.add_node(probe);
+  EXPECT_EQ(snet_->room_of(node), 210);
+  net::NodeConfig origin;
+  origin.pos = {1.0, 1.0, 0.0};
+  EXPECT_EQ(snet_->room_of(net_.add_node(origin)), 101);
+}
+
+TEST_F(RoomFixture, RoomFilterScopesEveryStrategy) {
+  sensornet::GradientField field(10.0, 1.0);
+  // Manually compute the room-210 aggregate.
+  sensornet::AggregateState direct;
+  std::size_t in_room = 0;
+  for (auto id : snet_->sensors()) {
+    if (snet_->room_of(id) == 210) {
+      direct.add(field.value(net_.node(id).pos, sim::SimTime::zero()));
+      ++in_room;
+    }
+  }
+  ASSERT_GT(in_room, 0u) << "test deployment must cover room 210";
+
+  auto filter = [this](net::NodeId id, double) {
+    return snet_->room_of(id) == 210;
+  };
+
+  sensornet::CollectionResult raw;
+  snet_->collect_all_to_base(field, [&](auto r) { raw = r; }, filter);
+  sim_.run();
+  net_.reset_energy();
+  sensornet::CollectionResult tree;
+  snet_->collect_tree_aggregate(field, [&](auto r) { tree = r; }, filter);
+  sim_.run();
+  net_.reset_energy();
+  sensornet::CollectionResult cluster;
+  snet_->collect_cluster_aggregate(field, 10, [&](auto r) { cluster = r; },
+                                   filter);
+  sim_.run();
+
+  for (const auto* result : {&raw, &tree, &cluster}) {
+    EXPECT_EQ(result->expected, in_room);
+    EXPECT_EQ(result->reports, in_room);
+    EXPECT_NEAR(result->aggregate.result(sensornet::AggregateFunction::kAvg),
+                direct.result(sensornet::AggregateFunction::kAvg), 1e-9);
+  }
+}
+
+TEST_F(RoomFixture, ValuePredicateFiltersReadings) {
+  sensornet::GradientField field(0.0, 1.0);  // value == x position
+  auto filter = [](net::NodeId, double value) { return value > 100.0; };
+  sensornet::CollectionResult result;
+  snet_->collect_tree_aggregate(field, [&](auto r) { result = r; }, filter);
+  sim_.run();
+  EXPECT_GT(result.reports, 0u);
+  EXPECT_GT(result.aggregate.result(sensornet::AggregateFunction::kMin),
+            100.0);
+  EXPECT_LT(result.reports, snet_->sensors().size());
+}
+
+TEST_F(RoomFixture, FilteredOutSensorsDoNotTransmitRawReadings) {
+  sensornet::UniformField field(25.0);
+  sensornet::CollectionResult everyone;
+  snet_->collect_all_to_base(field, [&](auto r) { everyone = r; });
+  sim_.run();
+  net_.reset_energy();
+  auto filter = [this](net::NodeId id, double) {
+    return snet_->room_of(id) == 210;
+  };
+  sensornet::CollectionResult room_only;
+  snet_->collect_all_to_base(field, [&](auto r) { room_only = r; }, filter);
+  sim_.run();
+  EXPECT_LT(room_only.energy_j, everyone.energy_j / 3.0)
+      << "in-network qualification must suppress non-matching traffic";
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end room-scoped queries through the runtime
+// ---------------------------------------------------------------------------
+
+class RoomQueryFixture : public ::testing::Test {
+ protected:
+  RoomQueryFixture() {
+    core::RuntimeConfig config;
+    config.sensors.sensor_count = 100;
+    config.sensors.width_m = 135.0;   // 15 m pitch, aligned with rooms
+    config.sensors.height_m = 135.0;
+    config.sensors.base_pos = {-5, -5, 0};
+    config.sensors.noise_std = 0.0;
+    config.sensors.room_size_m = 15.0;
+    config.advertise_sensor_services = false;
+    runtime_ = std::make_unique<core::PervasiveGridRuntime>(config);
+    // Fire inside room 210 (x in [135,150), y in [15,30)), right next to
+    // the sensor at (135, 15).
+    sensornet::FireSource fire;
+    fire.pos = {135.0, 17.0, 0.0};
+    fire.start = sim::SimTime::seconds(-3600.0);
+    fire.spread_m_per_s = 0.0;
+    fire.initial_radius_m = 6.0;
+    runtime_->field().ignite(fire);
+  }
+  std::unique_ptr<core::PervasiveGridRuntime> runtime_;
+};
+
+TEST_F(RoomQueryFixture, PaperExampleAverageTemperatureInRoom210) {
+  // "Return Average Temperature in room # 210"
+  const auto in_room = runtime_->submit_and_run(
+      "SELECT AVG(temp) FROM sensors WHERE room = 210");
+  ASSERT_TRUE(in_room.ok) << in_room.error;
+  const auto whole_floor =
+      runtime_->submit_and_run("SELECT AVG(temp) FROM sensors");
+  ASSERT_TRUE(whole_floor.ok);
+  // The burning room is far hotter than the floor-wide average.
+  EXPECT_GT(in_room.actual.value, whole_floor.actual.value + 50.0);
+}
+
+TEST_F(RoomQueryFixture, RoomScopedCountMatchesFloorPlan) {
+  const auto count = runtime_->submit_and_run(
+      "SELECT COUNT(temp) FROM sensors WHERE room = 210");
+  ASSERT_TRUE(count.ok) << count.error;
+  std::size_t expected = 0;
+  for (auto id : runtime_->sensors().sensors()) {
+    if (runtime_->sensors().room_of(id) == 210) ++expected;
+  }
+  EXPECT_DOUBLE_EQ(count.actual.value, double(expected));
+  EXPECT_GT(expected, 0u);
+}
+
+TEST_F(RoomQueryFixture, ValuePredicateEndToEnd) {
+  // Count sensors reading above 100 C — only those near the fire qualify.
+  const auto hot = runtime_->submit_and_run(
+      "SELECT COUNT(temp) FROM sensors WHERE temp > 100");
+  ASSERT_TRUE(hot.ok) << hot.error;
+  EXPECT_GT(hot.actual.value, 0.0);
+  EXPECT_LT(hot.actual.value, 10.0);
+}
+
+TEST_F(RoomQueryFixture, EmptySelectionFailsInformatively) {
+  const auto none = runtime_->submit_and_run(
+      "SELECT AVG(temp) FROM sensors WHERE room = 999");
+  EXPECT_FALSE(none.ok);
+  EXPECT_NE(none.error.find("no sensor reports"), std::string::npos);
+}
+
+TEST_F(RoomQueryFixture, ComplexQueryScopedToRegion) {
+  // Distribution from the east wing only (x >= 75): the PDE still solves,
+  // pinned by the wing's readings.
+  const auto wing = runtime_->submit_and_run(
+      "SELECT TEMP_DISTRIBUTION(temp) FROM sensors WHERE x >= 75",
+      partition::SolutionModel::kGridOffload);
+  ASSERT_TRUE(wing.ok) << wing.error;
+  ASSERT_TRUE(wing.actual.distribution.has_value());
+  // Probe the hot sensor's own position (its reading pins that grid cell).
+  EXPECT_GT(wing.actual.distribution->value_at({135, 15, 0}), 100.0);
+}
+
+TEST_F(RoomQueryFixture, ContinuousRoomScopedQuery) {
+  const auto watch = runtime_->submit_and_run(
+      "SELECT MAX(temp) FROM sensors WHERE room = 210 EPOCH DURATION 5");
+  ASSERT_TRUE(watch.ok) << watch.error;
+  EXPECT_FALSE(watch.epochs.empty());
+  for (const auto& epoch : watch.epochs) {
+    EXPECT_GT(epoch.value, 100.0) << "room 210 is on fire every epoch";
+  }
+}
+
+}  // namespace
+}  // namespace pgrid

@@ -1,0 +1,209 @@
+// Scenario-level integration tests: compact, asserting versions of the
+// example programs, so the end-to-end stories (Figure 1 fire response,
+// Section 1 epidemic and battlefield) are regression-protected.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "agent/contract_net.hpp"
+#include "agent/platform.hpp"
+#include "compose/manager.hpp"
+#include "compose/planner.hpp"
+#include "compose/provider.hpp"
+#include "core/runtime.hpp"
+#include "discovery/broker.hpp"
+#include "net/churn.hpp"
+#include "query/window.hpp"
+
+namespace pgrid {
+namespace {
+
+TEST(Scenario, FireResponseTimeline) {
+  core::RuntimeConfig config;
+  config.sensors.sensor_count = 100;
+  config.sensors.width_m = 150.0;
+  config.sensors.height_m = 150.0;
+  config.sensors.base_pos = {-5, -5, 0};
+  config.advertise_sensor_services = false;
+  config.continuous_epochs = 6;
+  config.pde_resolution = 21;
+  core::PervasiveGridRuntime runtime(config);
+
+  // Quiet watch: window alarm stays silent.
+  query::WindowAlarm alarm(3, 25.0, 22.0);
+  auto quiet = runtime.submit_and_run(
+      "SELECT AVG(temp) FROM sensors EPOCH DURATION 20");
+  ASSERT_TRUE(quiet.ok);
+  for (const auto& epoch : quiet.epochs) {
+    EXPECT_FALSE(alarm.push(epoch.value));
+  }
+  runtime.reset_energy();
+
+  // Fire ignites and develops.
+  sensornet::FireSource fire;
+  fire.pos = {100, 90, 0};
+  fire.start = runtime.simulator().now() + sim::SimTime::seconds(60.0);
+  fire.ramp_seconds = 120.0;
+  fire.spread_m_per_s = 0.1;
+  runtime.field().ignite(fire);
+  auto burning = runtime.submit_and_run(
+      "SELECT AVG(temp) FROM sensors EPOCH DURATION 60");
+  ASSERT_TRUE(burning.ok);
+  bool alarmed = false;
+  for (const auto& epoch : burning.epochs) {
+    alarmed = alarm.push(epoch.value) || alarmed;
+  }
+  EXPECT_TRUE(alarmed) << "the watch must detect the developing fire";
+  runtime.reset_energy();
+
+  // Situational queries: the MAX finds the fire; the distribution locates
+  // it.
+  auto max_q = runtime.submit_and_run("SELECT MAX(temp) FROM sensors");
+  ASSERT_TRUE(max_q.ok);
+  EXPECT_GT(max_q.actual.value, 300.0);
+  runtime.reset_energy();
+
+  auto dist = runtime.submit_and_run(
+      "SELECT TEMP_DISTRIBUTION(temp) FROM sensors COST time 5");
+  ASSERT_TRUE(dist.ok);
+  ASSERT_TRUE(dist.actual.distribution.has_value());
+  const auto& field = *dist.actual.distribution;
+  EXPECT_GT(field.value_at({100, 90, 0}), field.value_at({10, 10, 0}) + 50.0)
+      << "the solved field localizes the fire";
+  // Time-critical preference avoided the slow handheld.
+  EXPECT_NE(dist.model, partition::SolutionModel::kHandheldLocal);
+}
+
+TEST(Scenario, EpidemicDiscoveryCompositionAndDeparture) {
+  sim::Simulator sim;
+  net::Network network(sim, common::Rng(2026));
+  agent::AgentPlatform platform(network);
+  auto ontology = discovery::make_standard_ontology();
+
+  auto add_node = [&](double x, double y) {
+    net::NodeConfig c;
+    c.pos = {x, y, 0};
+    c.radio = net::LinkClass::wifi();
+    c.unlimited_energy = true;
+    return network.add_node(c);
+  };
+  const auto hub = add_node(0, 0);
+  auto broker_ptr =
+      std::make_unique<discovery::BrokerAgent>("broker", hub, ontology);
+  const auto broker = platform.register_agent(std::move(broker_ptr));
+  const auto investigator = platform.register_agent(
+      std::make_unique<agent::LambdaAgent>(
+          "epi", hub, [](agent::LambdaAgent&, const agent::Envelope&) {}));
+
+  auto add_service = [&](const std::string& name, const std::string& cls,
+                         double x, double y, double ops) {
+    discovery::ServiceDescription service;
+    service.name = name;
+    service.service_class = cls;
+    auto provider = std::make_unique<compose::ServiceProviderAgent>(
+        name, add_node(x, y), service, ops);
+    auto* raw = provider.get();
+    const auto id = platform.register_agent(std::move(provider));
+    raw->service().provider = id;
+    discovery::advertise(platform, id, broker, raw->service());
+    sim.run();
+    return raw;
+  };
+  auto* lab = add_service("mobile-lab", "PathogenSensor", 20, 0, 1e7);
+  add_service("buoy", "PathogenSensor", 40, 30, 1e6);
+  add_service("miner", "DecisionTreeMiner", 5, 0, 2e9);
+  add_service("fourier", "FourierSpectrumService", 5, 0, 2e9);
+  add_service("combiner", "DataMiningService", 5, 0, 2e9);
+
+  // Semantic sweep finds all sensor-branch services.
+  discovery::ServiceRequest request;
+  request.desired_class = "SensorService";
+  request.max_results = 10;
+  std::vector<discovery::Match> sources;
+  discovery::discover(platform, investigator, broker, request,
+                      sim::SimTime::seconds(10.0),
+                      [&](std::vector<discovery::Match> m) {
+                        sources = std::move(m);
+                      });
+  sim.run();
+  EXPECT_EQ(sources.size(), 2u);  // lab + buoy
+
+  // The stream-mining pipeline composes and runs.
+  auto plan = compose::make_stream_mining_planner().plan("mine-data-stream");
+  ASSERT_TRUE(plan.ok());
+  compose::CompositionManager manager(platform, investigator, broker);
+  compose::CompositionReport mined;
+  manager.execute(plan.value(), compose::CompositionOptions{},
+                  [&](compose::CompositionReport r) { mined = r; });
+  sim.run();
+  EXPECT_TRUE(mined.success);
+  EXPECT_EQ(mined.tasks_completed, 6u);
+
+  // The lab goes silent mid-lease: re-binding keeps pathogen confirmation
+  // available via the buoy.
+  lab->set_dead(true);
+  compose::TaskGraph confirm;
+  compose::TaskSpec spec;
+  spec.name = "confirm";
+  spec.service_class = "PathogenSensor";
+  confirm.add_task(spec);
+  compose::CompositionOptions options;
+  options.invoke_timeout = sim::SimTime::seconds(3.0);
+  compose::CompositionReport report;
+  manager.execute(confirm, options,
+                  [&](compose::CompositionReport r) { report = r; });
+  sim.run();
+  EXPECT_TRUE(report.success);
+  EXPECT_GE(report.rebinds, 1u);
+}
+
+TEST(Scenario, BattlefieldEmissionsAndOrders) {
+  core::RuntimeConfig config;
+  config.sensors.sensor_count = 64;
+  config.sensors.width_m = 300.0;
+  config.sensors.height_m = 300.0;
+  config.sensors.radio.range_m = 60.0;
+  config.sensors.base_pos = {-10, -10, 0};
+  config.advertise_sensor_services = false;
+  core::PervasiveGridRuntime runtime(config);
+
+  // Emission discipline: under the default energy objective the watch uses
+  // in-network aggregation, not raw streaming.
+  auto watch = runtime.submit_and_run("SELECT MAX(temp) FROM sensors");
+  ASSERT_TRUE(watch.ok);
+  EXPECT_TRUE(watch.model == partition::SolutionModel::kTreeAggregate ||
+              watch.model == partition::SolutionModel::kClusterAggregate);
+  runtime.reset_energy();
+
+  // Orders to a field unit that is temporarily dark: store-and-forward
+  // deputy holds them until the unit re-emerges.
+  auto& platform = runtime.agents();
+  const auto unit_node = runtime.sensors().sensors()[30];
+  std::vector<agent::Envelope> inbox;
+  const auto unit = platform.register_agent(
+      std::make_unique<agent::LambdaAgent>(
+          "unit", unit_node,
+          [&](agent::LambdaAgent&, const agent::Envelope& e) {
+            inbox.push_back(e);
+          }),
+      std::make_unique<agent::StoreAndForwardDeputy>(
+          sim::SimTime::seconds(2.0), sim::SimTime::seconds(120.0)));
+  runtime.network().set_node_up(unit_node, false);
+
+  agent::Envelope order;
+  order.sender = platform.find_by_name("handheld")->id();
+  order.receiver = unit;
+  order.payload = "hold position";
+  bool delivered = false;
+  platform.send(order, [&](bool ok) { delivered = ok; });
+  runtime.simulator().schedule(sim::SimTime::seconds(30.0), [&] {
+    runtime.network().set_node_up(unit_node, true);
+  });
+  runtime.simulator().run();
+  EXPECT_TRUE(delivered);
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].payload, "hold position");
+}
+
+}  // namespace
+}  // namespace pgrid

@@ -1,0 +1,162 @@
+// Unit tests for the discrete-event kernel: ordering, determinism,
+// cancellation, bounded runs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace pgrid::sim {
+namespace {
+
+TEST(SimTime, ArithmeticAndConversion) {
+  const auto a = SimTime::seconds(1.5);
+  const auto b = SimTime::milliseconds(500);
+  EXPECT_EQ((a + b).us, 2000000);
+  EXPECT_EQ((a - b).us, 1000000);
+  EXPECT_DOUBLE_EQ(a.to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(b.to_ms(), 500.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(SimTime::seconds(3.0), [&] { order.push_back(3); });
+  sim.schedule(SimTime::seconds(1.0), [&] { order.push_back(1); });
+  sim.schedule(SimTime::seconds(2.0), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::seconds(3.0));
+}
+
+TEST(Simulator, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(SimTime::seconds(1.0), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule(SimTime::seconds(1.0), [&] {
+    times.push_back(sim.now().to_seconds());
+    sim.schedule(SimTime::seconds(2.0), [&] {
+      times.push_back(sim.now().to_seconds());
+    });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(SimTime::seconds(5.0), [&] {
+    sim.schedule(SimTime{-1000}, [&] {
+      fired = true;
+      EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 5.0);
+    });
+  });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  auto handle = sim.schedule(SimTime::seconds(1.0), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(handle));
+  EXPECT_FALSE(sim.cancel(handle));  // double cancel
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelInvalidHandle) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventHandle{0}));
+  EXPECT_FALSE(sim.cancel(EventHandle{12345}));
+}
+
+TEST(Simulator, RunUntilLeavesLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(SimTime::seconds(1.0), [&] { ++fired; });
+  sim.schedule(SimTime::seconds(2.0), [&] { ++fired; });
+  sim.schedule(SimTime::seconds(10.0), [&] { ++fired; });
+  const auto processed = sim.run_until(SimTime::seconds(5.0));
+  EXPECT_EQ(processed, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime::seconds(5.0));
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(SimTime::seconds(7.0));
+  EXPECT_EQ(sim.now(), SimTime::seconds(7.0));
+}
+
+TEST(Simulator, StepOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(SimTime::seconds(1.0), [&] { ++fired; });
+  sim.schedule(SimTime::seconds(2.0), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PendingCountExcludesCancelled) {
+  Simulator sim;
+  sim.schedule(SimTime::seconds(1.0), [] {});
+  auto h = sim.schedule(SimTime::seconds(2.0), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(h);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, ClearDropsEverything) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(SimTime::seconds(1.0), [&] { ++fired; });
+  sim.clear();
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  double fire_time = -1.0;
+  sim.schedule_at(SimTime::seconds(4.0),
+                  [&] { fire_time = sim.now().to_seconds(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fire_time, 4.0);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  std::vector<std::int64_t> fire_us;
+  for (int i = 0; i < 5000; ++i) {
+    // Deterministic pseudo-scatter of times.
+    const auto t = SimTime::microseconds((i * 7919) % 10007);
+    sim.schedule(t, [&fire_us, &sim] { fire_us.push_back(sim.now().us); });
+  }
+  sim.run();
+  ASSERT_EQ(fire_us.size(), 5000u);
+  for (std::size_t i = 1; i < fire_us.size(); ++i) {
+    EXPECT_LE(fire_us[i - 1], fire_us[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pgrid::sim

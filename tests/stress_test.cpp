@@ -1,0 +1,254 @@
+// Stress and edge-case coverage: concurrent agent conversations, wide
+// composition fans, wired-link churn, scheduler conservation, gossip
+// coverage statistics, and parser robustness against garbage.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "agent/platform.hpp"
+#include "compose/manager.hpp"
+#include "compose/provider.hpp"
+#include "discovery/broker.hpp"
+#include "grid/infrastructure.hpp"
+#include "net/network.hpp"
+#include "core/runtime.hpp"
+#include "query/parser.hpp"
+#include "sim/simulator.hpp"
+
+namespace pgrid {
+namespace {
+
+TEST(Stress, TwoHundredConcurrentRequestsAllResolve) {
+  sim::Simulator sim;
+  net::Network net(sim, common::Rng(1));
+  agent::AgentPlatform platform(net);
+  net::NodeConfig c;
+  c.radio = net::LinkClass::wifi();
+  c.unlimited_energy = true;
+  c.pos = {0, 0, 0};
+  const auto a = net.add_node(c);
+  c.pos = {50, 0, 0};
+  const auto b = net.add_node(c);
+
+  const auto client = platform.register_agent(
+      std::make_unique<agent::LambdaAgent>(
+          "client", a, [](agent::LambdaAgent&, const agent::Envelope&) {}));
+  // Echo server: replies with its own request payload.
+  const auto server = platform.register_agent(
+      std::make_unique<agent::LambdaAgent>(
+          "server", b, [](agent::LambdaAgent& self, const agent::Envelope& e) {
+            self.platform()->send(
+                make_reply(e, agent::Performative::kInform, e.payload));
+          }));
+
+  // 200 interleaved conversations; each must get ITS OWN answer back.
+  std::size_t correct = 0;
+  std::size_t answered = 0;
+  for (int i = 0; i < 200; ++i) {
+    agent::Envelope env;
+    env.sender = client;
+    env.receiver = server;
+    env.performative = agent::Performative::kRequest;
+    env.payload = "conversation-" + std::to_string(i);
+    const std::string expected = env.payload;
+    platform.request(env, sim::SimTime::seconds(60.0),
+                     [&, expected](common::Result<agent::Envelope> reply) {
+                       ++answered;
+                       if (reply.ok() && reply.value().payload == expected) {
+                         ++correct;
+                       }
+                     });
+  }
+  sim.run();
+  EXPECT_EQ(answered, 200u);
+  EXPECT_EQ(correct, 200u) << "conversation isolation";
+  EXPECT_EQ(platform.stats().timed_out, 0u);
+}
+
+TEST(Stress, WideParallelCompositionFan) {
+  sim::Simulator sim;
+  net::Network net(sim, common::Rng(2));
+  agent::AgentPlatform platform(net);
+  auto ontology = discovery::make_standard_ontology();
+  net::NodeConfig c;
+  c.radio = net::LinkClass::wifi();
+  c.unlimited_energy = true;
+  const auto hub = net.add_node(c);
+  auto broker = std::make_unique<discovery::BrokerAgent>("b", hub, ontology);
+  const auto broker_id = platform.register_agent(std::move(broker));
+  const auto client = platform.register_agent(
+      std::make_unique<agent::LambdaAgent>(
+          "c", hub, [](agent::LambdaAgent&, const agent::Envelope&) {}));
+
+  discovery::ServiceDescription service;
+  service.name = "worker";
+  service.service_class = "ClusteringService";
+  auto provider = std::make_unique<compose::ServiceProviderAgent>(
+      "worker", hub, service, 1e9);
+  auto* provider_raw = provider.get();
+  const auto provider_id = platform.register_agent(std::move(provider));
+  provider_raw->service().provider = provider_id;
+  discovery::advertise(platform, provider_id, broker_id,
+                       provider_raw->service());
+  sim.run();
+
+  // 30 parallel sources feeding one join.
+  compose::TaskGraph graph;
+  std::vector<std::size_t> sources;
+  for (int i = 0; i < 30; ++i) {
+    compose::TaskSpec spec;
+    spec.name = "shard-" + std::to_string(i);
+    spec.service_class = "ClusteringService";
+    sources.push_back(graph.add_task(spec));
+  }
+  compose::TaskSpec join;
+  join.name = "join";
+  join.service_class = "ClusteringService";
+  const auto join_index = graph.add_task(join);
+  for (auto s : sources) graph.add_edge(s, join_index);
+
+  compose::CompositionManager manager(platform, client, broker_id);
+  compose::CompositionReport report;
+  manager.execute(graph, compose::CompositionOptions{},
+                  [&](compose::CompositionReport r) { report = r; });
+  sim.run();
+  EXPECT_TRUE(report.success) << report.failure_reason;
+  EXPECT_EQ(report.tasks_completed, 31u);
+  EXPECT_EQ(provider_raw->invocations(), 31u);
+}
+
+TEST(Stress, WiredLinkChurnDisconnectsGrid) {
+  sim::Simulator sim;
+  net::Network net(sim, common::Rng(3));
+  net::NodeConfig c;
+  c.unlimited_energy = true;
+  const auto gateway = net.add_node(c);
+  grid::GridInfrastructure infra(net, gateway, {{"ws", 1e9}});
+  const auto machine = infra.machine_node(0);
+
+  // Backhaul down: jobs fail cleanly.
+  net.set_wired_link_up(gateway, machine, false);
+  grid::JobResult down_result;
+  down_result.ok = true;
+  infra.submit(1e8, 1000, 100, [&](grid::JobResult r) { down_result = r; });
+  sim.run();
+  EXPECT_FALSE(down_result.ok);
+
+  // Backhaul restored: jobs flow again.
+  net.set_wired_link_up(gateway, machine, true);
+  grid::JobResult up_result;
+  infra.submit(1e8, 1000, 100, [&](grid::JobResult r) { up_result = r; });
+  sim.run();
+  EXPECT_TRUE(up_result.ok);
+}
+
+TEST(Stress, SchedulerConservesComputeOnOneMachine) {
+  sim::Simulator sim;
+  net::Network net(sim, common::Rng(4));
+  net::NodeConfig c;
+  c.unlimited_energy = true;
+  const auto gateway = net.add_node(c);
+  grid::GridInfrastructure infra(net, gateway, {{"only", 2e9}});
+
+  double total_compute = 0.0;
+  double total_flops = 0.0;
+  int completed = 0;
+  common::Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    const double flops = rng.uniform(1e8, 5e9);
+    total_flops += flops;
+    infra.submit(flops, 100, 100, [&, flops](grid::JobResult r) {
+      EXPECT_TRUE(r.ok);
+      total_compute += r.compute_s;
+      ++completed;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 20);
+  EXPECT_NEAR(total_compute, total_flops / 2e9, 1e-6)
+      << "compute time is conserved regardless of queueing";
+  // One machine: the last finish time is at least the serial compute sum.
+  EXPECT_GE(sim.now().to_seconds(), total_flops / 2e9 - 1e-6);
+}
+
+TEST(Stress, GossipCoverageGrowsWithFanout) {
+  // Statistical property over seeds: mean coverage is monotone in fanout.
+  double mean_coverage[3] = {0, 0, 0};
+  const std::size_t kFanouts[3] = {1, 2, 4};
+  const int kSeeds = 10;
+  for (int trial = 0; trial < kSeeds; ++trial) {
+    for (int f = 0; f < 3; ++f) {
+      sim::Simulator sim;
+      net::Network net(sim, common::Rng(100 + trial));
+      net::NodeConfig c;
+      c.radio = net::LinkClass::sensor_radio();
+      c.unlimited_energy = true;
+      common::Rng placement(500 + trial);
+      auto ids = net::deploy_random(net, 80, 120, 120, c, placement);
+      std::size_t reached = 0;
+      net.gossip(ids[0], 32, kFanouts[f], nullptr,
+                 [&](std::size_t r) { reached = r; });
+      sim.run();
+      mean_coverage[f] += double(reached) / 80.0;
+    }
+  }
+  for (auto& m : mean_coverage) m /= kSeeds;
+  EXPECT_LT(mean_coverage[0], mean_coverage[1]);
+  EXPECT_LE(mean_coverage[1], mean_coverage[2] + 0.02);
+  EXPECT_GT(mean_coverage[2], 0.7) << "fanout 4 nearly floods dense fields";
+}
+
+TEST(Stress, ParserSurvivesPseudoFuzz) {
+  // Deterministic garbage: random token soup must never crash or hang and
+  // must either parse or return an error (no exceptions escape).
+  static const char* kTokens[] = {"SELECT", "FROM",  "WHERE", "COST",
+                                  "EPOCH",  "AVG",   "(",     ")",
+                                  ",",      "=",     "<=",    "temp",
+                                  "sensors", "10",   "'x'",   "#",
+                                  "{",      "}",     "AND",   "-3.5"};
+  common::Rng rng(424242);
+  for (int i = 0; i < 3000; ++i) {
+    std::string text;
+    // Half the trials start from a valid stem so the fuzz also explores
+    // the grammar's suffix space, not just instant rejections.
+    if (i % 2 == 0) text = "SELECT temp FROM sensors ";
+    const std::size_t length = 1 + rng.index(12);
+    for (std::size_t t = 0; t < length; ++t) {
+      text += kTokens[rng.index(std::size(kTokens))];
+      text += ' ';
+    }
+    const auto result = query::parse_query(text);
+    if (result.ok()) {
+      // Whatever parsed must round-trip through the normalizer.
+      EXPECT_TRUE(query::parse_query(to_string(result.value())).ok())
+          << text;
+    }
+  }
+  // The valid stem alone must parse (guards against over-rejection).
+  EXPECT_TRUE(query::parse_query("SELECT temp FROM sensors").ok());
+}
+
+TEST(Stress, LargeNetworkEndToEnd) {
+  // 400 sensors, one shot of every query class — no hangs, sane costs.
+  core::RuntimeConfig config;
+  config.sensors.sensor_count = 400;
+  config.sensors.width_m = 15.0 * 19 + 1;
+  config.sensors.height_m = config.sensors.width_m;
+  config.sensors.base_pos = {-5, -5, 0};
+  config.advertise_sensor_services = false;
+  config.pde_resolution = 17;
+  core::PervasiveGridRuntime runtime(config);
+  for (const char* text :
+       {"SELECT temp FROM sensors WHERE sensor = 399",
+        "SELECT AVG(temp) FROM sensors",
+        "SELECT TEMP_DISTRIBUTION(temp) FROM sensors"}) {
+    const auto outcome = runtime.submit_and_run(text);
+    ASSERT_TRUE(outcome.ok) << text << ": " << outcome.error;
+    EXPECT_GT(outcome.actual.response_s, 0.0);
+    runtime.reset_energy();
+  }
+}
+
+}  // namespace
+}  // namespace pgrid

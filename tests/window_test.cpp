@@ -1,0 +1,178 @@
+// Tests for sliding-window operators and window alarms over continuous
+// query streams, plus cross-stream correlation detection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "mining/correlate.hpp"
+#include "query/window.hpp"
+
+namespace pgrid {
+namespace {
+
+using mining::CorrelationDetector;
+using mining::pearson;
+using query::SlidingWindow;
+using query::WindowAlarm;
+
+// ---------------------------------------------------------------------------
+// SlidingWindow
+// ---------------------------------------------------------------------------
+
+TEST(SlidingWindow, FillsThenSlides) {
+  SlidingWindow w(3);
+  EXPECT_TRUE(w.empty());
+  w.push(1.0);
+  w.push(2.0);
+  EXPECT_FALSE(w.full());
+  w.push(3.0);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.push(10.0);  // evicts 1.0
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 10.0);
+  EXPECT_DOUBLE_EQ(w.latest(), 10.0);
+}
+
+TEST(SlidingWindow, RunningSumStaysExact) {
+  SlidingWindow w(16);
+  common::Rng rng(5);
+  for (int i = 0; i < 5000; ++i) w.push(rng.uniform(-100, 100));
+  double direct = 0.0;
+  for (double v : w.values()) direct += v;
+  EXPECT_NEAR(w.sum(), direct, 1e-8);
+}
+
+TEST(SlidingWindow, SlopeOfLinearSeriesIsExact) {
+  SlidingWindow w(10);
+  for (int i = 0; i < 10; ++i) w.push(3.0 + 2.5 * i);
+  EXPECT_NEAR(w.slope(), 2.5, 1e-12);
+  // Sliding keeps the same slope for a continuing line.
+  for (int i = 10; i < 25; ++i) w.push(3.0 + 2.5 * i);
+  EXPECT_NEAR(w.slope(), 2.5, 1e-12);
+}
+
+TEST(SlidingWindow, SlopeOfConstantIsZeroAndShortWindowsSafe) {
+  SlidingWindow w(8);
+  EXPECT_DOUBLE_EQ(w.slope(), 0.0);
+  w.push(7.0);
+  EXPECT_DOUBLE_EQ(w.slope(), 0.0);
+  for (int i = 0; i < 8; ++i) w.push(7.0);
+  EXPECT_NEAR(w.slope(), 0.0, 1e-12);
+}
+
+TEST(SlidingWindow, ZeroCapacityClampsToOne) {
+  SlidingWindow w(0);
+  w.push(1.0);
+  w.push(2.0);
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w.latest(), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// WindowAlarm
+// ---------------------------------------------------------------------------
+
+TEST(WindowAlarm, FiresOncePerExcursionWithHysteresis) {
+  WindowAlarm alarm(3, 100.0, 50.0);
+  // Rising: mean crosses 100 once.
+  EXPECT_FALSE(alarm.push(30));
+  EXPECT_FALSE(alarm.push(90));
+  EXPECT_TRUE(alarm.push(200));   // mean ~106 -> fire
+  EXPECT_FALSE(alarm.push(300));  // still high: no re-fire
+  EXPECT_FALSE(alarm.push(10));   // mean 170: still above rearm
+  EXPECT_FALSE(alarm.push(10));
+  EXPECT_FALSE(alarm.push(10));   // mean 10 < 50 -> re-armed, no fire yet
+  EXPECT_TRUE(alarm.armed());
+  EXPECT_TRUE(alarm.push(500));   // second excursion
+  EXPECT_EQ(alarm.fires(), 2u);
+}
+
+TEST(WindowAlarm, CustomStatistic) {
+  // Alarm on the windowed MAX, not the mean.
+  WindowAlarm alarm(5, 99.0, 10.0,
+                    [](const SlidingWindow& w) { return w.max(); });
+  EXPECT_FALSE(alarm.push(50));
+  EXPECT_TRUE(alarm.push(100));  // single spike trips a max-alarm
+  EXPECT_EQ(alarm.fires(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Pearson + CorrelationDetector
+// ---------------------------------------------------------------------------
+
+TEST(Pearson, PerfectAndInverseAndDegenerate) {
+  std::deque<double> a{1, 2, 3, 4, 5};
+  std::deque<double> b{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  std::deque<double> c{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+  std::deque<double> flat{3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(pearson(a, flat), 0.0);
+  EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Pearson, IndependentNoiseNearZero) {
+  common::Rng rng(11);
+  std::deque<double> a;
+  std::deque<double> b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(rng.normal());
+    b.push_back(rng.normal());
+  }
+  EXPECT_LT(std::abs(pearson(a, b)), 0.05);
+}
+
+TEST(CorrelationDetector, FindsLaggedCauseEffect) {
+  // The Section 1 story: toxin index leads hospital admissions by 3 days.
+  common::Rng rng(7);
+  CorrelationDetector detector(20, 5, 0.8, 2);
+  std::deque<double> toxin_history;
+  CorrelationDetector::Report last;
+  bool alerted = false;
+  for (int day = 0; day < 120; ++day) {
+    const double toxin = 5.0 + 4.0 * std::sin(day * 0.37) + rng.normal(0, 0.2);
+    toxin_history.push_back(toxin);
+    const double admissions =
+        toxin_history.size() > 3
+            ? 20.0 + 3.0 * toxin_history[toxin_history.size() - 4] +
+                  rng.normal(0, 0.5)
+            : 20.0 + rng.normal(0, 0.5);
+    last = detector.push(toxin, admissions);
+    alerted = alerted || last.alert;
+  }
+  EXPECT_TRUE(alerted);
+  EXPECT_EQ(last.lag, 3u) << "detector must recover the 3-day lead";
+  EXPECT_GT(last.correlation, 0.8);
+}
+
+TEST(CorrelationDetector, NoAlertOnIndependentStreams) {
+  common::Rng rng(13);
+  CorrelationDetector detector(20, 5, 0.8, 2);
+  for (int day = 0; day < 200; ++day) {
+    detector.push(rng.normal(), rng.normal());
+  }
+  EXPECT_EQ(detector.alerts_raised(), 0u);
+}
+
+TEST(CorrelationDetector, PersistenceGatesOneOffSpikes) {
+  // A single coincidental window above threshold must not alert when
+  // min_persistence = 3.
+  CorrelationDetector detector(5, 0, 0.9, 3);
+  // Two perfectly correlated pushes within one window, then decorrelated.
+  common::Rng rng(3);
+  std::size_t alerts = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto report = detector.push(i, 2.0 * i);  // r = 1 once windowed
+    alerts += report.alert ? 1 : 0;
+    if (i == 5) break;
+  }
+  // Only 6 aligned samples: streak reaches 2 at most after window fills.
+  EXPECT_EQ(alerts, 0u);
+}
+
+}  // namespace
+}  // namespace pgrid
