@@ -11,9 +11,10 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pgrid;
-  bench::experiment_banner(
+  bench::Experiment experiment(
+      argc, argv,
       "EXP-AB1: ablation — partial-state size vs aggregation strategy",
       "tree aggregation wins while the state record stays near the sample "
       "size; bloated state records hand the win to cluster collection");
@@ -60,10 +61,10 @@ int main() {
          est_tree.energy_j <= est_cluster.energy_j ? "tree" : "cluster",
          to_string(decided)});
   }
-  table.print(std::cout);
-  std::cout << "\nShape check: the measured winner flips from tree to "
-               "cluster as the state record grows past ~2x the 16 B sample; "
-               "the estimator (and therefore the decision maker) flips at "
-               "the same knee.\n";
+  experiment.series("state_size_sweep", table);
+  experiment.note("Shape check: the measured winner flips from tree to "
+                  "cluster as the state record grows past ~2x the 16 B "
+                  "sample; the estimator (and therefore the decision maker) "
+                  "flips at the same knee.");
   return 0;
 }

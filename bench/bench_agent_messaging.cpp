@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "agent/platform.hpp"
+#include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "net/churn.hpp"
@@ -45,11 +46,11 @@ std::unique_ptr<agent::AgentDeputy> make_deputy(DeputyKind kind) {
 
 }  // namespace
 
-int main() {
-  common::print_banner(std::cout,
-                       "EXP-A1: envelope delivery under churn, per deputy");
-  std::cout << "Paper: deputies add disconnection management and "
-               "transcoding under a uniform deliver() abstraction.\n\n";
+int main(int argc, char** argv) {
+  bench::Experiment experiment(
+      argc, argv, "EXP-A1: envelope delivery under churn, per deputy",
+      "deputies add disconnection management and transcoding under a "
+      "uniform deliver() abstraction.");
 
   common::Table table({"deputy", "churn", "delivered", "of", "rate",
                        "mean latency (s)", "bytes on wire"});
@@ -126,9 +127,9 @@ int main() {
                      common::Table::num(network.stats().bytes_sent)});
     }
   }
-  table.print(std::cout);
-  std::cout << "\nShape check: under churn, store-and-forward delivers far "
-               "more than direct (at higher latency); transcoding moves "
-               "~1/4 of the payload bytes per hop.\n";
+  experiment.series("delivery", table);
+  experiment.note("Shape check: under churn, store-and-forward delivers far "
+                  "more than direct (at higher latency); transcoding moves "
+                  "~1/4 of the payload bytes per hop.");
   return 0;
 }

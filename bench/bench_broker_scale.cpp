@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "agent/platform.hpp"
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "discovery/broker.hpp"
@@ -76,7 +77,7 @@ BENCHMARK(BM_ExactMatch)->Arg(100)->Arg(1000)->Arg(10000);
 
 /// Part B: centralized broker vs a 4-broker federation, services spread
 /// evenly; report simulated discovery latency from a far client.
-void federated_latency_table() {
+void federated_latency_table(bench::Experiment& experiment) {
   common::Table table({"topology", "services", "latency (ms)", "found"});
   for (std::size_t services : {200, 2000}) {
     for (int federated = 0; federated < 2; ++federated) {
@@ -147,19 +148,24 @@ void federated_latency_table() {
                      common::Table::num(std::uint64_t(found))});
     }
   }
-  table.print(std::cout);
+  experiment.series("federated_latency", table);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  common::print_banner(std::cout, "EXP-D2: broker scalability");
-  std::cout << "Paper: discovery must scale to smart-dust service counts; "
-               "a distributed broker set replaces the centralized model.\n\n";
-  federated_latency_table();
-  std::cout << "\nShape check: federation adds one forwarding round-trip "
-               "for non-local services but splits registry load 4x.\n\n";
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  bench::Experiment experiment(
+      argc, argv, "EXP-D2: broker scalability",
+      "discovery must scale to smart-dust service counts; a distributed "
+      "broker set replaces the centralized model.");
+  federated_latency_table(experiment);
+  experiment.note("Shape check: federation adds one forwarding round-trip "
+                  "for non-local services but splits registry load 4x.\n");
+  // The google-benchmark matcher sweep writes its own report format; it
+  // only runs in text mode so the JSON document stays one object.
+  if (!experiment.json()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

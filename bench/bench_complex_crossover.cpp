@@ -16,9 +16,10 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pgrid;
-  bench::experiment_banner(
+  bench::Experiment experiment(
+      argc, argv,
       "EXP-P4: complex-query placement crossover + region-accuracy trade",
       "grid offload wins once computation dominates the backhaul round "
       "trip; region averaging buys sensor energy with accuracy");
@@ -58,10 +59,9 @@ int main() {
                        common::Table::num(times[1], 3),
                        common::Table::num(times[2], 3), winner});
   }
-  crossover.print(std::cout);
+  experiment.series("placement_crossover", crossover);
 
   // Part B: region-average accuracy/energy trade at fixed PDE size.
-  std::cout << '\n';
   auto config = bench::standard_config(100);
   config.pde_resolution = 25;
   core::PervasiveGridRuntime runtime(config);
@@ -107,9 +107,9 @@ int main() {
                    common::Table::num(hybrid.accuracy, 2)});
     runtime.reset_energy();
   }
-  trade.print(std::cout);
-  std::cout << "\nShape check: the winner flips from base to grid as the "
-               "PDE grows; fewer regions -> lower energy, higher RMS "
-               "error.\n";
+  experiment.series("region_accuracy_trade", trade);
+  experiment.note("Shape check: the winner flips from base to grid as the "
+                  "PDE grows; fewer regions -> lower energy, higher RMS "
+                  "error.");
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "agent/platform.hpp"
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "compose/manager.hpp"
 #include "compose/provider.hpp"
@@ -17,12 +18,12 @@
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pgrid;
-  common::print_banner(std::cout,
-                       "EXP-C1: composition under service failures");
-  std::cout << "Paper: fault detection + re-binding keeps composites "
-               "available; optional stages degrade instead of failing.\n\n";
+  bench::Experiment experiment(
+      argc, argv, "EXP-C1: composition under service failures",
+      "fault detection + re-binding keeps composites available; optional "
+      "stages degrade instead of failing.");
 
   common::Table table({"fail prob", "rebinds allowed", "success rate",
                        "avg service level", "avg rebinds"});
@@ -119,9 +120,9 @@ int main() {
            common::Table::num(rebind_sum / kTrials, 2)});
     }
   }
-  table.print(std::cout);
-  std::cout << "\nShape check: without rebinds, success collapses as "
-               "failures rise; with 3 rebinds the composite survives far "
-               "deeper, degrading (service level < 1) before failing.\n";
+  experiment.series("fault_tolerance", table);
+  experiment.note("Shape check: without rebinds, success collapses as "
+                  "failures rise; with 3 rebinds the composite survives far "
+                  "deeper, degrading (service level < 1) before failing.");
   return 0;
 }

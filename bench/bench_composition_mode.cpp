@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "agent/platform.hpp"
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "compose/manager.hpp"
 #include "compose/planner.hpp"
@@ -17,12 +18,12 @@
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pgrid;
-  common::print_banner(std::cout,
-                       "EXP-C2: proactive vs reactive composition");
-  std::cout << "Paper: proactive pre-binding suits high-frequency requests; "
-               "reactive binding suits one-shots and volatile services.\n\n";
+  bench::Experiment experiment(
+      argc, argv, "EXP-C2: proactive vs reactive composition",
+      "proactive pre-binding suits high-frequency requests; reactive "
+      "binding suits one-shots and volatile services.");
 
   common::Table table({"requests", "mode", "total latency (s)",
                        "discovery round-trips", "latency/request (s)"});
@@ -113,11 +114,12 @@ int main() {
            common::Table::num(total_latency / double(request_count), 4)});
     }
   }
-  table.print(std::cout);
-  std::cout << "\nShape check: proactive discovery traffic stays constant "
-               "(one precompute) while reactive's grows linearly with "
-               "requests; negotiated pays a contract-net round per task but "
-               "binds the committed-fastest provider, beating reactive's "
-               "registry-order binding when provider speeds differ.\n";
+  experiment.series("mode_comparison", table);
+  experiment.note("Shape check: proactive discovery traffic stays constant "
+                  "(one precompute) while reactive's grows linearly with "
+                  "requests; negotiated pays a contract-net round per task "
+                  "but binds the committed-fastest provider, beating "
+                  "reactive's registry-order binding when provider speeds "
+                  "differ.");
   return 0;
 }

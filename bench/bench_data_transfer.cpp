@@ -8,10 +8,10 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pgrid;
-  bench::experiment_banner(
-      "EXP-P3: data transfer vs network size and epoch rate",
+  bench::Experiment experiment(
+      argc, argv, "EXP-P3: data transfer vs network size and epoch rate",
       "raw collection bytes grow superlinearly with n (hop count grows too); "
       "aggregation stays ~linear; per-second cost of a continuous query "
       "scales inversely with its epoch duration");
@@ -39,11 +39,10 @@ int main() {
       runtime.reset_energy();
     }
   }
-  scale.print(std::cout);
+  experiment.series("network_size_sweep", scale);
 
   // Part B: continuous query cost per wall-clock second vs epoch duration
   // (the paper's "different rates").
-  std::cout << '\n';
   common::Table rates({"epoch (s)", "epochs run", "total bytes",
                        "bytes per second"});
   for (double epoch_s : {1.0, 10.0, 60.0}) {
@@ -66,9 +65,9 @@ int main() {
                        static_cast<double>(outcome.actual.data_bytes) / span_s,
                        1)});
   }
-  rates.print(std::cout);
-  std::cout << "\nShape check: bytes/sensor grows with n for all-to-base "
-               "(multi-hop), stays flat for tree; bytes/second falls as the "
-               "epoch stretches.\n";
+  experiment.series("epoch_rate_sweep", rates);
+  experiment.note("Shape check: bytes/sensor grows with n for all-to-base "
+                  "(multi-hop), stays flat for tree; bytes/second falls as "
+                  "the epoch stretches.");
   return 0;
 }

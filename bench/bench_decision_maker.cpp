@@ -28,9 +28,10 @@ struct Scenario {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pgrid;
-  bench::experiment_banner(
+  bench::Experiment experiment(
+      argc, argv,
       "EXP-P6: decision maker — oracle agreement and adaptive calibration",
       "a decision tree trained on simulation traces picks the right "
       "solution model; estimate error shrinks once actuals feed back");
@@ -104,7 +105,7 @@ int main() {
     labelled.push_back({cls.inner, scenario.metric, profile, oracle});
     maker.add_example(cls.inner, scenario.metric, profile, oracle);
   }
-  oracle_table.print(std::cout);
+  experiment.series("oracle_agreement", oracle_table);
 
   // Train and evaluate the tree on its own experience (resubstitution —
   // the paper's "historic data") plus the analytic baseline.
@@ -113,18 +114,21 @@ int main() {
   for (const auto& c : labelled) {
     if (maker.decide(c.inner, c.metric, c.profile) == c.oracle) ++tree_agree;
   }
-  std::cout << "\nAnalytic-estimate agreement with oracle: " << analytic_agree
-            << "/" << total << "\nDecision-tree agreement after training:  "
-            << tree_agree << "/" << total << " (tree has "
-            << maker.tree().node_count() << " nodes, depth "
-            << maker.tree().depth() << ")\n";
+  common::Table agreement({"predictor", "agree", "of", "tree nodes",
+                           "tree depth"});
+  agreement.add_row({"analytic", common::Table::num(std::uint64_t(analytic_agree)),
+                     common::Table::num(std::uint64_t(total)), "-", "-"});
+  agreement.add_row({"decision-tree", common::Table::num(std::uint64_t(tree_agree)),
+                     common::Table::num(std::uint64_t(total)),
+                     common::Table::num(std::uint64_t(maker.tree().node_count())),
+                     common::Table::num(std::uint64_t(maker.tree().depth()))});
+  experiment.series("predictor_agreement", agreement);
 
   // Adaptation: calibration shrinks the energy-estimate error.  Simple
   // reads are the interesting case — the analytic estimate assumes an
   // average-depth sensor, but a standing query keeps hitting one specific
   // sensor whose route is shallower, so the raw estimate is biased until
   // actuals feed back.
-  std::cout << '\n';
   core::PervasiveGridRuntime runtime(bench::standard_config(100));
   bench::ignite_standard_fire(runtime);
   partition::DecisionMaker adaptive;
@@ -152,9 +156,9 @@ int main() {
                      outcome.actual.response_s);
     runtime.reset_energy();
   }
-  adapt.print(std::cout);
-  std::cout << "\nShape check: run 1 carries the analytic bias (the "
-               "average-depth assumption); from run 2 the calibrated "
-               "estimate tracks the actual closely.\n";
+  experiment.series("calibration", adapt);
+  experiment.note("Shape check: run 1 carries the analytic bias (the "
+                  "average-depth assumption); from run 2 the calibrated "
+                  "estimate tracks the actual closely.");
   return 0;
 }

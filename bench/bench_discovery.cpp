@@ -30,8 +30,9 @@ ServiceDescription printer(const std::string& name, const std::string& cls,
 
 }  // namespace
 
-int main() {
-  bench::experiment_banner(
+int main(int argc, char** argv) {
+  bench::Experiment experiment(
+      argc, argv,
       "EXP-D1: semantic vs Jini-exact vs SDP-UUID service matching",
       "semantic matching subsumes, ranks, and honours inequality "
       "constraints; exact/UUID matching misses subclasses and over-returns");
@@ -101,18 +102,19 @@ int main() {
   evaluate("semantic", semantic.match(corpus, request));
   evaluate("jini-exact", jini.match(corpus, jini_request));
   evaluate("sdp-uuid", sdp.match(corpus, sdp_request));
-  table.print(std::cout);
+  experiment.series("matcher_quality", table);
 
   // The paper's sentence, verbatim, as a check: "find a printer service
   // that has the shortest print queue ... within a prespecified cost
   // constraint".
   const auto ranked = semantic.match(corpus, request);
-  std::cout << "\nPaper's printer example: semantic top hit is '"
-            << (ranked.empty() ? "-" : ranked.front().service.name)
-            << "' (shortest queue among color-capable printers under "
-               "0.2/page; expected color-2).\n";
-  std::cout << "Jini cannot rank by queue or filter cost<=0.2 (equality "
-               "only) and misses the ColorLaserPrinters when asked for "
-               "ColorPrinter; SDP finds nothing without the exact UUID.\n";
+  experiment.note("Paper's printer example: semantic top hit is '" +
+                  (ranked.empty() ? std::string("-")
+                                  : ranked.front().service.name) +
+                  "' (shortest queue among color-capable printers under "
+                  "0.2/page; expected color-2).");
+  experiment.note("Jini cannot rank by queue or filter cost<=0.2 (equality "
+                  "only) and misses the ColorLaserPrinters when asked for "
+                  "ColorPrinter; SDP finds nothing without the exact UUID.");
   return 0;
 }

@@ -6,10 +6,10 @@
 // sensor deployment, estimated and measured sensor-battery energy.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pgrid;
-  bench::experiment_banner(
-      "EXP-P1: energy per query type x solution model",
+  bench::Experiment experiment(
+      argc, argv, "EXP-P1: energy per query type x solution model",
       "in-network aggregation minimizes sensor energy; shipping raw data is "
       "the most expensive; the hybrid trades accuracy for energy on complex "
       "queries");
@@ -33,6 +33,9 @@ int main() {
     auto parsed = query::parse_query(query_case.text);
     const auto cls = runtime.classifier().classify(parsed.value());
     for (auto model : partition::candidates_for(cls.inner)) {
+      // Reset before (not after) each run so the final query's ledger
+      // charges survive for attach_ledger below.
+      runtime.reset_energy();
       const auto outcome = runtime.submit_and_run(query_case.text, model);
       if (!outcome.ok) {
         std::cerr << "FAILED: " << query_case.label << " on "
@@ -48,12 +51,12 @@ int main() {
                      common::Table::num(outcome.actual.energy_j, 6),
                      common::Table::num(ratio, 2),
                      common::Table::num(outcome.actual.accuracy, 2)});
-      runtime.reset_energy();
     }
   }
-  table.print(std::cout);
-  std::cout << "\nShape check: tree < cluster < all-to-base for aggregates; "
-               "hybrid-region-grid is the energy winner for complex "
-               "queries.\n";
+  experiment.series("energy_per_model", table);
+  experiment.attach_ledger(runtime.telemetry());
+  experiment.note("Shape check: tree < cluster < all-to-base for "
+                  "aggregates; hybrid-region-grid is the energy winner for "
+                  "complex queries.");
   return 0;
 }

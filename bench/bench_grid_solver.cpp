@@ -8,6 +8,7 @@
 #include <sstream>
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "grid/solvers.hpp"
@@ -58,7 +59,7 @@ void BM_Cg3DThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_Cg3DThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
-void iteration_table() {
+void iteration_table(bench::Experiment& experiment) {
   common::Table table({"grid", "jacobi iters", "cg iters", "jacobi flops",
                        "cg flops", "flop ratio"});
   for (std::size_t n : {16, 32, 64}) {
@@ -76,20 +77,23 @@ void iteration_table() {
                    common::Table::num(cs.flops, 0),
                    common::Table::num(js.flops / cs.flops, 1)});
   }
-  table.print(std::cout);
+  experiment.series("solver_iterations", table);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  common::print_banner(std::cout,
-                       "EXP-G1: grid PDE solver ablation (Jacobi vs CG)");
-  std::cout << "Design choice under test: the complex-query flop estimator "
-               "assumes CG; Jacobi's O(n^2) sweep count would shift the "
-               "EXP-P4 crossover.\n\n";
-  iteration_table();
-  std::cout << '\n';
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  bench::Experiment experiment(
+      argc, argv, "EXP-G1: grid PDE solver ablation (Jacobi vs CG)",
+      "the complex-query flop estimator assumes CG; Jacobi's O(n^2) sweep "
+      "count would shift the EXP-P4 crossover.");
+  iteration_table(experiment);
+  // The google-benchmark kernel timings print their own format; text mode
+  // only, so the JSON document stays one object.
+  if (!experiment.json()) {
+    std::cout << '\n';
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

@@ -12,10 +12,10 @@
 #include "bench_util.hpp"
 #include "net/churn.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pgrid;
-  bench::experiment_banner(
-      "EXP-A2: continuous queries under churn and loss",
+  bench::Experiment experiment(
+      argc, argv, "EXP-A2: continuous queries under churn and loss",
       "the runtime degrades gracefully: reports drop with churn but every "
       "epoch completes and answers stay unbiased; retransmission converts "
       "frame loss into latency");
@@ -78,10 +78,9 @@ int main() {
                outcome.actual.energy_j / double(outcome.epochs.size()), 6)});
     }
   }
-  churn_table.print(std::cout);
+  experiment.series("churn_sweep", churn_table);
 
   // Part B: loss vs retries (the transport-level knob).
-  std::cout << '\n';
   common::Table loss_table({"loss prob", "retries", "reports", "of",
                             "response (s)"});
   for (double loss : {0.05, 0.2}) {
@@ -106,10 +105,10 @@ int main() {
            common::Table::num(outcome.actual.response_s, 3)});
     }
   }
-  loss_table.print(std::cout);
-  std::cout << "\nShape check: reports/epoch fall roughly with the flapping "
-               "fraction while the averaged answer stays ~ambient "
-               "(unbiased); retries recover most reports at the price of "
-               "added response time.\n";
+  experiment.series("loss_vs_retries", loss_table);
+  experiment.note("Shape check: reports/epoch fall roughly with the "
+                  "flapping fraction while the averaged answer stays "
+                  "~ambient (unbiased); retries recover most reports at the "
+                  "price of added response time.");
   return 0;
 }

@@ -6,10 +6,10 @@
 // transfers, queueing and compute.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pgrid;
-  bench::experiment_banner(
-      "EXP-P2: response time per query type x solution model",
+  bench::Experiment experiment(
+      argc, argv, "EXP-P2: response time per query type x solution model",
       "compute placement dominates complex-query latency (grid >> base >> "
       "handheld in speed); collection latency dominates aggregates");
 
@@ -61,8 +61,8 @@ int main() {
       runtime.reset_energy();
     }
   }
-  table.print(std::cout);
-  std::cout << "\nShape check: for complex queries handheld > all-to-base "
-               "(base CPU) > grid-offload once the PDE is big enough.\n";
+  experiment.series("response_time", table);
+  experiment.note("Shape check: for complex queries handheld > all-to-base "
+                  "(base CPU) > grid-offload once the PDE is big enough.");
   return 0;
 }

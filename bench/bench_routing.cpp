@@ -10,9 +10,10 @@
 #include "bench_util.hpp"
 #include "net/routing.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pgrid;
-  bench::experiment_banner(
+  bench::Experiment experiment(
+      argc, argv,
       "EXP-P7: dissemination under flooding / gossip / tree routing",
       "flooding reaches everyone at maximum cost; gossip trades coverage "
       "for energy; tree dissemination is cheapest per reached node");
@@ -69,11 +70,11 @@ int main() {
                      common::Table::num(net.battery_energy_consumed(), 6)});
     }
   }
-  table.print(std::cout);
-  std::cout << "\nShape check: flooding reaches the whole connected "
-               "component (sensors + infrastructure) with one rebroadcast "
-               "per node; gossip coverage rises with fanout; per-node tree "
-               "unicast is the most transmission-heavy (no broadcast "
-               "reuse).\n";
+  experiment.series("dissemination", table);
+  experiment.note("Shape check: flooding reaches the whole connected "
+                  "component (sensors + infrastructure) with one "
+                  "rebroadcast per node; gossip coverage rises with fanout; "
+                  "per-node tree unicast is the most transmission-heavy (no "
+                  "broadcast reuse).");
   return 0;
 }

@@ -7,10 +7,10 @@
 // estimate-vs-actual pair is the feedback loop of Section 4.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pgrid;
-  bench::experiment_banner(
-      "EXP-F1: general scenario (Figure 1)",
+  bench::Experiment experiment(
+      argc, argv, "EXP-F1: general scenario (Figure 1)",
       "handheld query -> base station -> sensor network + grid -> results");
 
   core::PervasiveGridRuntime runtime(bench::standard_config(100));
@@ -27,6 +27,9 @@ int main() {
                        "energy est (J)", "energy act (J)",
                        "time est (s)", "time act (s)", "handheld (s)"});
   for (const char* text : queries) {
+    // Reset before (not after) each run so the final query's ledger
+    // charges survive for attach_ledger below.
+    runtime.reset_energy();
     const auto outcome = runtime.submit_and_run(text);
     if (!outcome.ok) {
       std::cerr << "FAILED: " << text << " -> " << outcome.error << '\n';
@@ -40,10 +43,10 @@ int main() {
                    common::Table::num(outcome.estimate.response_s, 3),
                    common::Table::num(outcome.actual.response_s, 3),
                    common::Table::num(outcome.handheld_response_s, 3)});
-    runtime.reset_energy();
   }
-  table.print(std::cout);
-  std::cout << "\nShape check: simple << aggregate << complex in energy; the "
-               "continuous row reports per-epoch means.\n";
+  experiment.series("scenario", table);
+  experiment.attach_ledger(runtime.telemetry());
+  experiment.note("Shape check: simple << aggregate << complex in energy; "
+                  "the continuous row reports per-epoch means.");
   return 0;
 }

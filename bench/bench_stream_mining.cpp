@@ -11,18 +11,18 @@
 #include <iostream>
 #include <sstream>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "mining/ensemble.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pgrid;
   using namespace pgrid::mining;
 
-  common::print_banner(std::cout,
-                       "EXP-M1: stream mining via Fourier spectra [17]");
-  std::cout << "Paper: decision-tree ensembles combine in the Fourier "
-               "domain; dominant coefficients are cheap to ship over "
-               "wireless links.\n\n";
+  bench::Experiment experiment(
+      argc, argv, "EXP-M1: stream mining via Fourier spectra [17]",
+      "decision-tree ensembles combine in the Fourier domain; dominant "
+      "coefficients are cheap to ship over wireless links.");
 
   // Part A: coefficient budget sweep.
   const std::size_t kDims = 10;
@@ -57,7 +57,7 @@ int main() {
                     common::Table::num(std::uint64_t(result.spectrum_bytes)),
                     ratio.str()});
   }
-  budget.print(std::cout);
+  experiment.series("coefficient_budget", budget);
 
   // Baselines at a fixed budget.
   {
@@ -73,12 +73,14 @@ int main() {
     const double combined = accuracy(
         [&](const std::vector<bool>& x) { return result.predict(x); },
         test_window);
-    std::cout << "\nBaselines (6 windows, 15% label noise): single tree "
-              << common::Table::num(single, 3) << ", majority vote "
-              << common::Table::num(vote, 3) << ", Fourier-combined "
-              << common::Table::num(combined, 3) << " at "
-              << result.spectrum_bytes << " B vs " << result.tree_bytes
-              << " B for all trees.\n\n";
+    common::Table baselines({"combiner", "accuracy", "bytes shipped"});
+    baselines.add_row({"single tree", common::Table::num(single, 3), "-"});
+    baselines.add_row({"majority vote", common::Table::num(vote, 3),
+                       common::Table::num(std::uint64_t(result.tree_bytes))});
+    baselines.add_row(
+        {"fourier-combined", common::Table::num(combined, 3),
+         common::Table::num(std::uint64_t(result.spectrum_bytes))});
+    experiment.series("baselines_64_coefficients", baselines);
   }
 
   // Part B: drift — frozen vs retrained, window by window.
@@ -114,10 +116,10 @@ int main() {
                    common::Table::num(frozen_acc, 3),
                    common::Table::num(retrained_acc, 3)});
   }
-  drift.print(std::cout);
-  std::cout << "\nShape check: accuracy rises with the coefficient budget "
-               "and saturates near the full-spectrum value; after the drift "
-               "the frozen model decays toward chance while the retrained "
-               "ensemble recovers within ~3 windows.\n";
+  experiment.series("concept_drift", drift);
+  experiment.note("Shape check: accuracy rises with the coefficient budget "
+                  "and saturates near the full-spectrum value; after the "
+                  "drift the frozen model decays toward chance while the "
+                  "retrained ensemble recovers within ~3 windows.");
   return 0;
 }

@@ -10,9 +10,10 @@
 #include "bench_util.hpp"
 #include "sensornet/lifetime.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pgrid;
-  bench::experiment_banner(
+  bench::Experiment experiment(
+      argc, argv,
       "EXP-P5: TAG baseline — in-network aggregation vs centralized",
       "tree aggregation saves energy vs all-to-base, increasingly with "
       "network size, and extends lifetime (TAG [21], Kalpakis et al. [16])");
@@ -44,10 +45,9 @@ int main() {
                     common::Table::num(measured[1], 6),
                     common::Table::num(measured[2], 6), saving.str()});
   }
-  energy.print(std::cout);
+  experiment.series("per_round_energy", energy);
 
   // Lifetime: rounds of epoch collection until the first sensor dies.
-  std::cout << '\n';
   common::Table lifetime({"strategy", "rounds to first death",
                           "total energy (J)"});
   for (auto strategy : {sensornet::CollectionStrategy::kAllToBase,
@@ -73,8 +73,8 @@ int main() {
                       common::Table::num(std::uint64_t(result.rounds)),
                       common::Table::num(result.total_energy_j, 4)});
   }
-  lifetime.print(std::cout);
-  std::cout << "\nShape check: the tree's saving factor grows with n; tree "
-               "lifetime > cluster > all-to-base.\n";
+  experiment.series("lifetime", lifetime);
+  experiment.note("Shape check: the tree's saving factor grows with n; "
+                  "tree lifetime > cluster > all-to-base.");
   return 0;
 }

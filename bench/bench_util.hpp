@@ -1,13 +1,18 @@
 // Shared scaffolding for the experiment binaries: standard deployments,
 // fire setup, and labelled output so every bench prints uniform series.
+// Output routes through Experiment: human tables by default, one
+// machine-readable JSON document (telemetry::JsonReport) with `--json` or
+// PGRID_BENCH_JSON=1.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "common/table.hpp"
 #include "core/runtime.hpp"
+#include "telemetry/export.hpp"
 
 namespace pgrid::bench {
 
@@ -45,5 +50,65 @@ inline void experiment_banner(const std::string& id,
   common::print_banner(std::cout, id);
   std::cout << "Paper: " << claim << "\n\n";
 }
+
+/// The one output channel every bench uses.  Text mode prints the banner
+/// up front and each series as an aligned table; JSON mode buffers the
+/// same series into a telemetry::JsonReport and emits the document on
+/// destruction, so `bench --json | jq` always sees exactly one object.
+class Experiment {
+ public:
+  Experiment(int argc, char** argv, std::string id, std::string claim)
+      : json_(want_json(argc, argv)),
+        report_(std::move(id), std::move(claim)) {
+    if (!json_) experiment_banner(id_of(report_), claim_of(report_));
+  }
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+  ~Experiment() {
+    if (json_) std::cout << report_.str() << "\n";
+  }
+
+  bool json() const { return json_; }
+
+  /// Emits one named series (prints now, or buffers for the document).
+  void series(const std::string& name, const common::Table& table) {
+    report_.add_series(name, table.headers(), table.data());
+    if (!json_) {
+      if (!name.empty()) std::cout << name << "\n";
+      table.print(std::cout);
+      std::cout << "\n";
+    }
+  }
+
+  /// Free-form context line; dropped in JSON mode so the document stays a
+  /// single parseable object.
+  void note(const std::string& text) {
+    if (!json_) std::cout << text << "\n";
+  }
+
+  /// Attaches a deployment's cost ledger under the document's "telemetry"
+  /// key (no-op in text mode; the tables already carry the headline data).
+  void attach_ledger(const telemetry::CostLedger& ledger) {
+    if (json_) report_.attach_ledger(ledger);
+  }
+
+ private:
+  static bool want_json(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") return true;
+    }
+    const char* env = std::getenv("PGRID_BENCH_JSON");
+    return env != nullptr && std::string(env)[0] == '1';
+  }
+  static const std::string& id_of(const telemetry::JsonReport& r) {
+    return r.experiment();
+  }
+  static const std::string& claim_of(const telemetry::JsonReport& r) {
+    return r.claim();
+  }
+
+  bool json_;
+  telemetry::JsonReport report_;
+};
 
 }  // namespace pgrid::bench

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI entry point: build both presets (plain + ASan/UBSan) and run the full
+# test suite under each.  Any warning is an error (PGRID_WERROR=ON); any
+# sanitizer finding aborts the run (-fno-sanitize-recover=all).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+for preset in default asan-ubsan; do
+  echo "=== configure: ${preset} ==="
+  cmake --preset "${preset}"
+  echo "=== build: ${preset} ==="
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  echo "=== test: ${preset} ==="
+  ctest --preset "${preset}" -j "${JOBS}"
+done
+
+echo "CI OK: both presets built, all tests passed."

@@ -41,6 +41,10 @@ int main() {
 
   common::Table table({"query class", "chosen model", "answer", "energy (J)",
                        "response (s)"});
+  // Per-query cost attribution from the trace-scoped ledger: every
+  // outcome carries the subsystem breakdown of its own trace.
+  common::Table costs(
+      {"query class", "subsystem", "bytes", "joules", "ops", "span (s)"});
   for (const char* text : queries) {
     const auto outcome = runtime.submit_and_run(text);
     if (!outcome.ok) {
@@ -52,6 +56,17 @@ int main() {
                    common::Table::num(outcome.actual.value, 1),
                    common::Table::num(outcome.actual.energy_j, 6),
                    common::Table::num(outcome.handheld_response_s, 3)});
+    for (std::size_t i = 0; i < telemetry::kSubsystemCount; ++i) {
+      const auto subsystem = static_cast<telemetry::Subsystem>(i);
+      const auto& cost = outcome.telemetry[subsystem];
+      if (cost.empty()) continue;
+      costs.add_row({query::to_string(outcome.classification.primary),
+                     telemetry::to_string(subsystem),
+                     common::Table::num(cost.bytes),
+                     common::Table::num(cost.joules, 6),
+                     common::Table::num(cost.ops, 0),
+                     common::Table::num(cost.sim_seconds, 3)});
+    }
     runtime.reset_energy();
   }
 
@@ -60,6 +75,9 @@ int main() {
             << runtime.grid()->machine_count()
             << " grid machines, 1 handheld\n\n";
   table.print(std::cout);
+  std::cout << "\nWhere each query spent its resources (one trace per "
+               "query):\n";
+  costs.print(std::cout);
   std::cout << "\nThe hot spot is near (100, 90); MAX/complex queries see "
                "temperatures well above the 20 C ambient.\n";
   return 0;

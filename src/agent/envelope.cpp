@@ -30,6 +30,7 @@ Envelope make_reply(const Envelope& original, Performative performative,
   reply.ontology = original.ontology;
   reply.conversation_id = original.conversation_id;
   reply.in_reply_to = original.reply_with;
+  reply.trace = original.trace;
   reply.payload = std::move(payload);
   return reply;
 }

@@ -48,6 +48,11 @@ struct Envelope {
   std::uint64_t conversation_id = 0;
   std::uint64_t reply_with = 0;  ///< token the responder echoes
   std::uint64_t in_reply_to = 0;
+  /// Telemetry trace this conversation's costs attribute to (0 = none).
+  /// The platform re-establishes it while delivering, so the charge for
+  /// every hop of a handheld->base->sensors/grid conversation lands on the
+  /// same ledger row.  Replies inherit it (see make_reply).
+  std::uint64_t trace = 0;
   std::string payload;
 
   /// Serialized size used to charge the network; fixed framing plus

@@ -64,6 +64,18 @@ void AgentPlatform::send(Envelope envelope, SendCallback on_result) {
   const net::NodeId dst = receiver_it->second.agent->node();
   AgentDeputy& deputy = *receiver_it->second.deputy;
   auto env = std::make_shared<Envelope>(std::move(envelope));
+  // Deliver under the envelope's trace so the physical hops (and everything
+  // the receiving agent does in response) attribute to the conversation.
+  // The logical-layer charge records envelope traffic per subsystem; the
+  // per-hop wireless/backhaul bytes are charged by the network itself.
+  auto& ledger = network_.telemetry();
+  const telemetry::TraceId trace =
+      env->trace != 0 ? env->trace : ledger.current_trace();
+  telemetry::Cost message;
+  message.bytes = env->wire_size();
+  message.count = 1;
+  ledger.charge(telemetry::Subsystem::kAgentMessaging, trace, message);
+  telemetry::TraceScope scope(simulator(), trace);
   deputy.deliver(*this, src, dst, *env,
                  [this, env, on_result](bool delivered) {
                    if (delivered) {
@@ -163,14 +175,22 @@ void StoreAndForwardDeputy::deliver(AgentPlatform& platform,
     platform.route_and_transmit(
         src_node, dest_node, bytes,
         [this, &platform, deadline, attempt, done_shared](bool ok) {
+          // `*attempt` captures `attempt`; break the cycle when the retry
+          // loop ends (deferred: the callback may run inside `*attempt`).
+          auto disarm = [&platform, attempt] {
+            platform.simulator().schedule(sim::SimTime::zero(),
+                                          [attempt] { *attempt = nullptr; });
+          };
           if (ok) {
             (*done_shared)(true);
+            disarm();
             return;
           }
           // Destination unreachable: hold the envelope and retry, modelling
           // disconnection management at the deputy.
           if (platform.simulator().now() + retry_every_ > deadline) {
             (*done_shared)(false);
+            disarm();
             return;
           }
           ++queued_;

@@ -1,12 +1,27 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 namespace pgrid::common {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kOff};
+LogLevel level_from_env() {
+  const char* env = std::getenv("PGRID_LOG");
+  if (!env) return LogLevel::kOff;
+  const std::string value(env);
+  if (value == "trace") return LogLevel::kTrace;
+  if (value == "debug") return LogLevel::kDebug;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "warn") return LogLevel::kWarn;
+  if (value == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
+std::atomic<std::uint64_t> g_trace{0};
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -24,9 +39,18 @@ const char* tag(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_trace(std::uint64_t trace) { g_trace.store(trace); }
+std::uint64_t log_trace() { return g_trace.load(); }
+
 void log_line(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
-  std::cerr << "[pgrid " << tag(level) << "] " << message << '\n';
+  const std::uint64_t trace = g_trace.load();
+  if (trace != 0) {
+    std::cerr << "[pgrid " << tag(level) << " #" << trace << "] " << message
+              << '\n';
+  } else {
+    std::cerr << "[pgrid " << tag(level) << "] " << message << '\n';
+  }
 }
 
 }  // namespace pgrid::common

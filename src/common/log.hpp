@@ -1,7 +1,9 @@
-// Leveled logging.  Off by default so tests and benches stay quiet; the
-// examples switch it on to narrate the scenario.
+// Leveled logging.  Off by default so tests and benches stay quiet; set
+// the PGRID_LOG environment variable (trace/debug/info/warn/error) or call
+// set_log_level to switch it on.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -12,6 +14,13 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// Global minimum level; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Active telemetry trace id; nonzero values prefix every log line with
+/// `#<trace>` so narration correlates with cost-ledger rows.  The simulation
+/// kernel keeps this in sync with its trace context — callers rarely set it
+/// directly.
+void set_log_trace(std::uint64_t trace);
+std::uint64_t log_trace();
 
 /// Emits one line to stderr with a level tag. Prefer the PGRID_LOG macro.
 void log_line(LogLevel level, const std::string& message);

@@ -24,6 +24,8 @@ class Table {
   static std::string num(std::uint64_t value);
 
   std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
 
   /// Renders with a separator line under the header.
   std::string str() const;

@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/log.hpp"
 #include "compose/provider.hpp"
 
 namespace pgrid::core {
@@ -310,26 +311,41 @@ void PervasiveGridRuntime::submit_internal(
   env.ontology = "pgrid-runtime";
   env.payload = "model=" + model_name + "\n" + query_text;
 
+  // One ledger trace per submission: the envelope carries it, the kernel
+  // propagates it along the causal event chain, and every layer's charges
+  // land on the same row.  The root span brackets submit -> answer.
+  auto& ledger = network_->telemetry();
+  const telemetry::TraceId trace = ledger.new_trace();
+  env.trace = trace;
+  telemetry::TraceScope scope(sim_, trace);
+  auto root = std::make_shared<telemetry::Span>(
+      ledger, telemetry::Subsystem::kRuntime);
+
+  PGRID_LOG(kInfo) << "submit: " << query_text;
   const sim::SimTime sent = sim_.now();
   platform_->request(
       env, sim::SimTime::seconds(3600.0),
-      [this, sent, done = std::move(done)](
+      [this, sent, trace, root, done = std::move(done)](
           common::Result<agent::Envelope> reply) {
+        root->close();
+        PGRID_LOG(kInfo) << (reply.ok() ? "answered" : "failed") << " after "
+                         << (sim_.now() - sent).to_seconds() << " s";
         QueryOutcome outcome;
         if (!reply.ok()) {
           outcome.error = reply.error();
-          done(outcome);
-          return;
-        }
-        auto it =
-            pending_->by_conversation.find(reply.value().conversation_id);
-        if (it != pending_->by_conversation.end()) {
-          outcome = std::move(it->second);
-          pending_->by_conversation.erase(it);
         } else {
-          outcome.error = "internal: outcome not recorded";
+          auto it =
+              pending_->by_conversation.find(reply.value().conversation_id);
+          if (it != pending_->by_conversation.end()) {
+            outcome = std::move(it->second);
+            pending_->by_conversation.erase(it);
+          } else {
+            outcome.error = "internal: outcome not recorded";
+          }
+          outcome.handheld_response_s = (sim_.now() - sent).to_seconds();
         }
-        outcome.handheld_response_s = (sim_.now() - sent).to_seconds();
+        outcome.trace = trace;
+        outcome.telemetry = network_->telemetry().trace(trace);
         done(std::move(outcome));
       });
 }

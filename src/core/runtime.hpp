@@ -24,6 +24,7 @@
 #include "query/classifier.hpp"
 #include "query/parser.hpp"
 #include "sensornet/sensor_network.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pgrid::core {
 
@@ -70,6 +71,15 @@ struct QueryOutcome {
   std::vector<partition::SolutionModel> epoch_models;
   /// End-to-end response seen by the handheld (includes the edge hop).
   double handheld_response_s = 0.0;
+  /// Ledger trace id the runtime opened for this query (kNoTrace when the
+  /// outcome never reached the ledger, e.g. parse-level failures surfaced
+  /// before submission).
+  telemetry::TraceId trace = telemetry::kNoTrace;
+  /// Everything this query spent, by subsystem — the ledger row for
+  /// `trace` at the moment the answer reached the handheld.  Wireless vs
+  /// backhaul bytes, grid compute time, agent messaging traffic and the
+  /// runtime's own root span are separable here.
+  telemetry::TraceCosts telemetry;
 };
 
 class PervasiveGridRuntime {
@@ -122,6 +132,12 @@ class PervasiveGridRuntime {
   query::QueryClassifier& classifier() { return classifier_; }
   net::NodeId handheld_node() const { return handheld_node_; }
   const RuntimeConfig& config() const { return config_; }
+  /// The deployment's cost ledger (owned by the network, so what_if clones
+  /// get their own and never pollute this one).
+  telemetry::CostLedger& telemetry() { return network_->telemetry(); }
+  const telemetry::CostLedger& telemetry() const {
+    return network_->telemetry();
+  }
 
   /// Execution context for direct (agent-less) execution — benches use this
   /// to sweep models without the messaging overhead.

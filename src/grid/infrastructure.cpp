@@ -4,6 +4,8 @@
 #include <limits>
 #include <memory>
 
+#include "telemetry/telemetry.hpp"
+
 namespace pgrid::grid {
 
 GridInfrastructure::GridInfrastructure(net::Network& network,
@@ -69,6 +71,12 @@ void GridInfrastructure::submit(double flops, std::uint64_t input_bytes,
     return;
   }
   const sim::SimTime submitted = network_.simulator().now();
+  // One grid-compute span per job: covers ship-in, queue+compute, and
+  // ship-out, so the ledger's grid-compute sim_seconds equal wall time a
+  // query spent waiting on the grid.  The per-hop backhaul bytes/joules are
+  // charged by the network; app-level flops by the executor.
+  auto span = std::make_shared<telemetry::Span>(
+      network_.telemetry(), telemetry::Subsystem::kGridCompute);
   const std::size_t chosen = pick_machine(flops);
   Machine& machine = machines_[chosen];
   const net::NodeId node = machine.node;
@@ -80,7 +88,8 @@ void GridInfrastructure::submit(double flops, std::uint64_t input_bytes,
 
   auto done_shared =
       std::make_shared<std::function<void(JobResult)>>(std::move(done));
-  auto fail = [this, result, done_shared] {
+  auto fail = [this, result, done_shared, span] {
+    span->close();
     network_.simulator().schedule(sim::SimTime::zero(),
                                   [result, done_shared] {
                                     result->ok = false;
@@ -90,7 +99,7 @@ void GridInfrastructure::submit(double flops, std::uint64_t input_bytes,
 
   // Phase 1: ship the input over the backhaul.
   network_.transmit(gateway_, node, input_bytes, [this, result, done_shared,
-                                                  fail, compute_s,
+                                                  fail, span, compute_s,
                                                   reserved_start, output_bytes,
                                                   chosen, node,
                                                   submitted](bool ok) {
@@ -111,12 +120,12 @@ void GridInfrastructure::submit(double flops, std::uint64_t input_bytes,
         start + sim::SimTime::seconds(result->compute_s);
     if (finish > m.busy_until) m.busy_until = finish;
     network_.simulator().schedule_at(finish, [this, result, done_shared,
-                                              fail, output_bytes, node,
+                                              fail, span, output_bytes, node,
                                               submitted] {
       // Phase 3: ship the result back.
       const sim::SimTime before_out = network_.simulator().now();
       network_.transmit(node, gateway_, output_bytes,
-                        [this, result, done_shared, fail, submitted,
+                        [this, result, done_shared, fail, span, submitted,
                          before_out](bool ok_out) {
                           if (!ok_out) {
                             fail();
@@ -127,6 +136,7 @@ void GridInfrastructure::submit(double flops, std::uint64_t input_bytes,
                               (now - before_out).to_seconds();
                           result->total_s = (now - submitted).to_seconds();
                           result->ok = true;
+                          span->close();
                           (*done_shared)(*result);
                         });
     });

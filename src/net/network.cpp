@@ -19,7 +19,7 @@ std::string to_string(NodeKind kind) {
 }
 
 Network::Network(sim::Simulator& simulator, common::Rng rng)
-    : sim_(simulator), rng_(rng) {}
+    : sim_(simulator), rng_(rng), ledger_(simulator) {}
 
 NodeId Network::add_node(const NodeConfig& config) {
   Node node;
@@ -83,19 +83,6 @@ std::optional<LinkClass> Network::link_between(NodeId a, NodeId b) const {
   return la.bandwidth_bps <= lb.bandwidth_bps ? la : lb;
 }
 
-void Network::charge_tx(Node& sender, std::uint64_t bytes, double distance_m) {
-  if (sender.energy.is_unlimited()) return;
-  sender.energy.consume(sender.radio.wireless
-                            ? RadioEnergyModel{}.tx_energy(bytes * 8, distance_m)
-                            : 0.0);
-}
-
-void Network::charge_rx(Node& receiver, std::uint64_t bytes) {
-  if (receiver.energy.is_unlimited()) return;
-  receiver.energy.consume(
-      receiver.radio.wireless ? RadioEnergyModel{}.rx_energy(bytes * 8) : 0.0);
-}
-
 void Network::transmit(NodeId from, NodeId to, std::uint64_t bytes,
                        DeliveryCallback cb) {
   auto link = link_between(from, to);
@@ -121,17 +108,27 @@ void Network::transmit(NodeId from, NodeId to, std::uint64_t bytes,
     ++attempts;
   }
 
+  // Ledger charge for this hop, attributed to the active trace: payload
+  // bytes per link-layer attempt (mirroring stats_.bytes_sent) and battery
+  // joules actually drawn.
+  telemetry::Cost usage;
+  const auto subsystem = link->wireless ? telemetry::Subsystem::kWireless
+                                        : telemetry::Subsystem::kBackhaul;
+
   sim::SimTime total = sim::SimTime::zero();
   bool sender_alive = true;
   for (std::size_t i = 0; i < attempts && sender_alive; ++i) {
     total += link->transfer_time(bytes);
     ++stats_.transmissions;
     stats_.bytes_sent += bytes;
+    usage.bytes += bytes;
+    ++usage.count;
     sender.tx_bytes += bytes;
     ++sender.tx_count;
     if (!sender.energy.is_unlimited() && link->wireless) {
       const double e = radio_model.tx_energy(bytes * 8, dist);
       stats_.energy_j += e;
+      usage.joules += e;
       if (!sender.energy.consume(e)) sender_alive = false;
     }
   }
@@ -143,6 +140,7 @@ void Network::transmit(NodeId from, NodeId to, std::uint64_t bytes,
     if (!receiver.energy.is_unlimited() && link->wireless) {
       const double e = radio_model.rx_energy(bytes * 8);
       stats_.energy_j += e;
+      usage.joules += e;
       if (!receiver.energy.consume(e)) success = false;
     }
   }
@@ -152,6 +150,7 @@ void Network::transmit(NodeId from, NodeId to, std::uint64_t bytes,
   } else {
     ++stats_.dropped;
   }
+  ledger_.charge(subsystem, usage);
   sim_.schedule(total, [cb = std::move(cb), success] { cb(success); });
 }
 
@@ -167,16 +166,23 @@ void Network::send_route(const std::vector<NodeId>& route, std::uint64_t bytes,
   auto route_copy = std::make_shared<std::vector<NodeId>>(route);
   auto step = std::make_shared<std::function<void()>>();
   auto shared_cb = std::make_shared<RouteCallback>(std::move(cb));
+  // `*step` captures `step`, a cycle that must be broken on the terminal
+  // paths or the closure (and everything it holds) leaks.  The failure
+  // path clears it directly (we execute inside transmit's callback, not
+  // inside `*step`); the success path defers the clear to a zero-delay
+  // event because destroying the std::function currently executing is UB.
   *step = [this, state, route_copy, bytes, step, shared_cb]() {
     const std::size_t hop = *state;
     if (hop + 1 >= route_copy->size()) {
       (*shared_cb)(true, hop);
+      sim_.schedule(sim::SimTime::zero(), [step] { *step = nullptr; });
       return;
     }
     transmit((*route_copy)[hop], (*route_copy)[hop + 1], bytes,
              [state, step, shared_cb](bool ok) {
                if (!ok) {
                  (*shared_cb)(false, *state);
+                 *step = nullptr;
                  return;
                }
                ++(*state);
@@ -195,6 +201,8 @@ struct Network::SpreadState {
   VisitCallback on_visit;
   DoneCallback done;
   bool done_fired = false;
+  /// Brackets the whole dissemination in the ledger (closed at quiesce).
+  std::optional<telemetry::Span> span;
 };
 
 void Network::spread_from(const std::shared_ptr<SpreadState>& state,
@@ -219,12 +227,14 @@ void Network::spread_from(const std::shared_ptr<SpreadState>& state,
       }
       if (state->in_flight == 0 && !state->done_fired) {
         state->done_fired = true;
+        if (state->span) state->span->close();
         if (state->done) state->done(state->reached);
       }
     });
   }
   if (state->in_flight == 0 && !state->done_fired) {
     state->done_fired = true;
+    if (state->span) state->span->close();
     if (state->done) state->done(state->reached);
   }
 }
@@ -245,6 +255,7 @@ void Network::flood(NodeId src, std::uint64_t bytes, VisitCallback on_visit,
   }
   state->visited[src] = true;
   state->reached = 1;
+  state->span.emplace(ledger_, telemetry::Subsystem::kWireless);
   if (state->on_visit) state->on_visit(src);
   spread_from(state, src);
 }
@@ -265,6 +276,7 @@ void Network::gossip(NodeId src, std::uint64_t bytes, std::size_t fanout,
   }
   state->visited[src] = true;
   state->reached = 1;
+  state->span.emplace(ledger_, telemetry::Subsystem::kWireless);
   if (state->on_visit) state->on_visit(src);
   spread_from(state, src);
 }
@@ -299,6 +311,7 @@ void Network::set_wired_link_up(NodeId a, NodeId b, bool up) {
 
 void Network::reset_stats() {
   stats_ = NetworkStats{};
+  ledger_.reset();
   for (auto& n : nodes_) {
     n.tx_bytes = n.rx_bytes = 0;
     n.tx_count = n.rx_count = 0;

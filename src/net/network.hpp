@@ -19,6 +19,7 @@
 #include "net/geometry.hpp"
 #include "net/link.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pgrid::net {
 
@@ -135,9 +136,17 @@ class Network {
   void set_max_retries(std::size_t retries) { max_retries_ = retries; }
 
   const NetworkStats& stats() const { return stats_; }
+  /// Clears aggregate stats, per-node counters, and the cost ledger.
   void reset_stats();
   /// Also clears per-node counters and refills batteries.
   void reset_energy();
+
+  /// The deployment's cost ledger.  Every transmission charges it (bytes
+  /// per attempt, battery joules actually drawn) under the active trace;
+  /// upper layers (agents, grid, sensornet, executor) charge their own
+  /// subsystems through the same ledger.
+  telemetry::CostLedger& telemetry() { return ledger_; }
+  const telemetry::CostLedger& telemetry() const { return ledger_; }
 
   /// Sum of energy consumed by battery-powered nodes.
   double battery_energy_consumed() const;
@@ -157,12 +166,11 @@ class Network {
   struct SpreadState;  // shared bookkeeping for flood/gossip
 
   const WiredLink* find_wired(NodeId a, NodeId b) const;
-  void charge_tx(Node& sender, std::uint64_t bytes, double distance_m);
-  void charge_rx(Node& receiver, std::uint64_t bytes);
   void spread_from(const std::shared_ptr<SpreadState>& state, NodeId at);
 
   sim::Simulator& sim_;
   common::Rng rng_;
+  telemetry::CostLedger ledger_;
   std::vector<Node> nodes_;
   std::vector<WiredLink> wired_;
   NetworkStats stats_;

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "net/routing.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pgrid::partition {
 
@@ -16,24 +17,40 @@ std::size_t effective_clusters(const ExecutionContext& context) {
       std::sqrt(static_cast<double>(context.sensors.sensors().size()))));
 }
 
-/// Per-run measurement bracket: captures network energy/bytes/time deltas.
+/// Per-run measurement bracket: a view over the telemetry ledger's row for
+/// the active trace.  ActualCost is the trace's cost delta between
+/// construction and finish() — the executor no longer sums energy or bytes
+/// by hand; it reads back what the layers charged.
 struct Measurement {
-  double energy_before;
-  std::uint64_t bytes_before;
+  telemetry::CostLedger& ledger;
+  telemetry::TraceId trace;
+  telemetry::TraceCosts before;
   sim::SimTime started;
 
   explicit Measurement(net::Network& network)
-      : energy_before(network.battery_energy_consumed()),
-        bytes_before(network.stats().bytes_sent),
+      : ledger(network.telemetry()),
+        trace(ledger.current_trace()),
+        before(ledger.trace(trace)),
         started(network.simulator().now()) {}
 
   void finish(net::Network& network, ActualCost& cost) const {
-    cost.energy_j = network.battery_energy_consumed() - energy_before;
-    cost.data_bytes = network.stats().bytes_sent - bytes_before;
+    const telemetry::TraceCosts delta = ledger.trace(trace) - before;
+    cost.energy_j = delta.total().joules;
+    cost.data_bytes = delta.network_bytes();
+    cost.compute_ops = delta.total().ops;
     cost.response_s =
         (network.simulator().now() - started).to_seconds();
   }
 };
+
+/// Charges application-level operations to the subsystem the solution model
+/// places the computation on, under the ambient trace.
+void charge_ops(ExecutionContext& context, telemetry::Subsystem subsystem,
+                double ops) {
+  telemetry::Cost cost;
+  cost.ops = ops;
+  context.sensors.network().telemetry().charge(subsystem, cost);
+}
 
 std::vector<grid::Reading> to_readings(
     const std::vector<sensornet::RawReading>& raw) {
@@ -115,7 +132,7 @@ void execute_simple(ExecutionContext& context, const query::Query& query,
             ActualCost cost;
             cost.ok = read.ok;
             cost.value = read.value;
-            cost.compute_ops = 1.0;
+            charge_ops(context, telemetry::Subsystem::kSensing, 1.0);
             if (!read.ok) cost.error = "sensor unreachable";
             complete(context, measurement, std::move(cost), done);
           });
@@ -142,15 +159,20 @@ void execute_aggregate(ExecutionContext& context, const query::Query& query,
     ActualCost cost;
     cost.ok = collected.reports > 0;
     cost.value = collected.aggregate.result(fn);
-    cost.compute_ops = static_cast<double>(collected.reports) + extra_ops;
+    const double ops = static_cast<double>(collected.reports) + extra_ops;
+    // The merge runs at the base station when it has a compute rate,
+    // otherwise it happened in-network during collection.
+    charge_ops(context,
+               ops_per_s > 0 ? telemetry::Subsystem::kEdgeCompute
+                             : telemetry::Subsystem::kSensing,
+               ops);
     cost.accuracy = collected.expected > 0
                         ? static_cast<double>(collected.reports) /
                               static_cast<double>(collected.expected)
                         : 0.0;
     if (!cost.ok) cost.error = "no sensor reports";
     // Charge the (tiny) aggregate computation where it runs.
-    const double compute_s =
-        ops_per_s > 0 ? cost.compute_ops / ops_per_s : 0.0;
+    const double compute_s = ops_per_s > 0 ? ops / ops_per_s : 0.0;
     context.sensors.network().simulator().schedule(
         sim::SimTime::seconds(compute_s),
         [&context, measurement, cost, done] {
@@ -189,7 +211,11 @@ void execute_aggregate(ExecutionContext& context, const query::Query& query,
             ActualCost cost;
             cost.ok = collected.reports > 0 && infra != nullptr;
             cost.value = collected.aggregate.result(fn);
-            cost.compute_ops = static_cast<double>(collected.reports);
+            const double ops = static_cast<double>(collected.reports);
+            // The base still pays the per-report bookkeeping whether or not
+            // a grid is reachable; the offloaded job itself is covered by
+            // the grid-compute span.
+            charge_ops(context, telemetry::Subsystem::kEdgeCompute, ops);
             if (infra == nullptr) {
               cost.error = "no grid reachable";
               complete(context, measurement, std::move(cost), done);
@@ -197,7 +223,7 @@ void execute_aggregate(ExecutionContext& context, const query::Query& query,
             }
             const std::uint64_t in_bytes =
                 collected.reports * context.sensors.config().sample_bytes;
-            infra->submit(cost.compute_ops * 10.0, in_bytes, 64,
+            infra->submit(ops * 10.0, in_bytes, 64,
                           [&context, measurement, cost,
                            done](grid::JobResult job) mutable {
                             cost.ok = cost.ok && job.ok;
@@ -250,7 +276,13 @@ void execute_complex(ExecutionContext& context, const query::Query& query,
         context.pde_ny, context.pde_nz, context.ambient, context.solver,
         context.pool);
     cost.ok = result.stats.converged;
-    cost.compute_ops = result.stats.flops;
+    const double flops = result.stats.flops;
+    const bool on_grid = model == SolutionModel::kGridOffload ||
+                         model == SolutionModel::kHybridRegionGrid;
+    charge_ops(context,
+               on_grid ? telemetry::Subsystem::kGridCompute
+                       : telemetry::Subsystem::kEdgeCompute,
+               flops);
     cost.accuracy = accuracy;
     cost.value = result.grid.max_value();
     cost.distribution = std::move(result.grid);
@@ -265,7 +297,7 @@ void execute_complex(ExecutionContext& context, const query::Query& query,
       case SolutionModel::kAllToBase: {
         // "It is simply not feasible to perform the computation for solving
         // such a query inside the network" — feasible at the base, but slow.
-        const double compute_s = cost.compute_ops / context.base_ops_per_s;
+        const double compute_s = flops / context.base_ops_per_s;
         context.sensors.network().simulator().schedule(
             sim::SimTime::seconds(compute_s),
             [&context, measurement, cost, done] {
@@ -278,8 +310,7 @@ void execute_complex(ExecutionContext& context, const query::Query& query,
         // then the PDA grinds through the solve.
         const double transfer_s =
             context.handheld_link.transfer_time(in_bytes).to_seconds();
-        const double compute_s =
-            cost.compute_ops / context.handheld_ops_per_s;
+        const double compute_s = flops / context.handheld_ops_per_s;
         context.sensors.network().simulator().schedule(
             sim::SimTime::seconds(transfer_s + compute_s),
             [&context, measurement, cost, done] {
@@ -296,7 +327,7 @@ void execute_complex(ExecutionContext& context, const query::Query& query,
           return;
         }
         context.grid->submit(
-            cost.compute_ops, in_bytes, field_bytes,
+            flops, in_bytes, field_bytes,
             [&context, measurement, cost, done](grid::JobResult job) mutable {
               cost.ok = cost.ok && job.ok;
               if (!job.ok) cost.error = "grid job failed";
@@ -394,6 +425,10 @@ void execute_continuous_adaptive(
                 run_epoch](std::size_t epoch) {
     if (epoch >= epochs) {
       (*done_shared)(*results, *models);
+      // `*run_epoch` captures `run_epoch`; break the cycle (deferred: we
+      // are executing inside `*run_epoch` right now).
+      context.sensors.network().simulator().schedule(
+          sim::SimTime::zero(), [run_epoch] { *run_epoch = nullptr; });
       return;
     }
     const SolutionModel model = (*choose_shared)(epoch);

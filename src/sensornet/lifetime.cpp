@@ -40,13 +40,21 @@ void measure_lifetime(SensorNetwork& network, const ScalarField& field,
   auto next_round = std::make_shared<std::function<void()>>();
   *next_round = [&network, &field, strategy, clusters, max_rounds, result,
                  done_shared, next_round] {
+    // `*next_round` captures `next_round`; break the cycle when the loop
+    // ends (deferred: we are executing inside `*next_round` right now).
+    auto disarm = [&network, next_round] {
+      network.network().simulator().schedule(
+          sim::SimTime::zero(), [next_round] { *next_round = nullptr; });
+    };
     if (network.network().dead_node_count() > 0) {
       (*done_shared)(*result);
+      disarm();
       return;
     }
     if (result->rounds >= max_rounds) {
       result->hit_round_cap = true;
       (*done_shared)(*result);
+      disarm();
       return;
     }
     run_collection(network, field, strategy, clusters,

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+
+#include "telemetry/telemetry.hpp"
 
 namespace pgrid::sensornet {
 
@@ -96,6 +99,9 @@ struct SensorNetwork::RoundState {
   double energy_before = 0.0;
   sim::SimTime started;
   bool finished = false;
+  /// Sensing span covering the whole round; the per-hop radio costs are
+  /// charged by the network under the same trace.
+  std::optional<telemetry::Span> span;
 };
 
 std::shared_ptr<SensorNetwork::RoundState> SensorNetwork::begin_round(
@@ -104,6 +110,7 @@ std::shared_ptr<SensorNetwork::RoundState> SensorNetwork::begin_round(
   round->done = std::move(done);
   round->energy_before = network_.battery_energy_consumed();
   round->started = network_.simulator().now();
+  round->span.emplace(network_.telemetry(), telemetry::Subsystem::kSensing);
   return round;
 }
 
@@ -115,6 +122,7 @@ void SensorNetwork::finish_round(const std::shared_ptr<RoundState>& round) {
   round->result.elapsed_s =
       (network_.simulator().now() - round->started).to_seconds();
   round->result.complete = round->result.reports == round->result.expected;
+  round->span->close();
   round->done(round->result);
 }
 
@@ -215,6 +223,10 @@ void SensorNetwork::collect_tree_aggregate(const ScalarField& field,
       round->result.reports =
           contributed == contributions->end() ? 0 : contributed->second;
       finish_round(round);
+      // `*run_level` captures `run_level`; break the cycle (deferred:
+      // destroying the std::function currently executing is UB).
+      network_.simulator().schedule(sim::SimTime::zero(),
+                                    [run_level] { *run_level = nullptr; });
       return;
     }
     const auto& level_nodes = (*levels)[depth];
@@ -370,13 +382,16 @@ void SensorNetwork::read_sensor(net::NodeId sensor, const ScalarField& field,
                                 ReadCallback done) {
   const double energy_before = network_.battery_energy_consumed();
   const sim::SimTime started = network_.simulator().now();
-  auto finish = [this, energy_before, started,
+  auto span = std::make_shared<telemetry::Span>(
+      network_.telemetry(), telemetry::Subsystem::kSensing);
+  auto finish = [this, energy_before, started, span,
                  done = std::move(done)](bool ok, double value) {
     ReadResult result;
     result.ok = ok;
     result.value = value;
     result.elapsed_s = (network_.simulator().now() - started).to_seconds();
     result.energy_j = network_.battery_energy_consumed() - energy_before;
+    span->close();
     done(result);
   };
 

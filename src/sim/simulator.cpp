@@ -1,6 +1,6 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
+#include "common/log.hpp"
 
 namespace pgrid::sim {
 
@@ -12,35 +12,38 @@ EventHandle Simulator::schedule(SimTime delay, Callback fn) {
 EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
   if (when < now_) when = now_;
   const std::uint64_t id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  queue_.push(Event{when, next_seq_++, id, trace_, std::move(fn)});
   return EventHandle{id};
 }
 
 bool Simulator::cancel(EventHandle handle) {
   if (handle.id == 0 || handle.id >= next_id_) return false;
-  if (std::find(cancelled_.begin(), cancelled_.end(), handle.id) !=
-      cancelled_.end()) {
-    return false;
-  }
-  cancelled_.push_back(handle.id);
-  ++cancelled_count_;
-  return true;
+  return cancelled_.insert(handle.id).second;
+}
+
+void Simulator::set_trace_context(std::uint64_t trace) {
+  trace_ = trace;
+  // Keep log lines correlatable with ledger rows (PGRID_LOG prefixes the
+  // active trace id).
+  common::set_log_trace(trace);
 }
 
 bool Simulator::pop_next(Event& out) {
   while (!queue_.empty()) {
     Event event = queue_.top();
     queue_.pop();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), event.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --cancelled_count_;
-      continue;
-    }
+    if (cancelled_.erase(event.id) > 0) continue;
     out = std::move(event);
     return true;
   }
   return false;
+}
+
+void Simulator::fire(Event& event) {
+  const std::uint64_t saved = trace_;
+  set_trace_context(event.trace);
+  event.fn();
+  set_trace_context(saved);
 }
 
 std::size_t Simulator::run() {
@@ -48,7 +51,7 @@ std::size_t Simulator::run() {
   Event event;
   while (pop_next(event)) {
     now_ = event.when;
-    event.fn();
+    fire(event);
     ++processed;
   }
   return processed;
@@ -67,7 +70,7 @@ std::size_t Simulator::run_until(SimTime deadline) {
       break;
     }
     now_ = event.when;
-    event.fn();
+    fire(event);
     ++processed;
   }
   if (now_ < deadline) now_ = deadline;
@@ -78,14 +81,13 @@ bool Simulator::step() {
   Event event;
   if (!pop_next(event)) return false;
   now_ = event.when;
-  event.fn();
+  fire(event);
   return true;
 }
 
 void Simulator::clear() {
   queue_ = {};
   cancelled_.clear();
-  cancelled_count_ = 0;
 }
 
 }  // namespace pgrid::sim

@@ -4,11 +4,18 @@
 // to simulate dynamic service composition.  Events at equal timestamps fire
 // in scheduling order (a monotone sequence number breaks ties), so a run is
 // a pure function of its seed and inputs.
+//
+// The kernel also propagates an opaque *trace context* (a uint64, used by
+// the telemetry layer as the active TraceId) along causal chains: an event
+// captures the context current when it was scheduled and re-establishes it
+// while it runs, so asynchronous continuations inherit the trace of the
+// activity that spawned them without any plumbing in the callbacks.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -48,16 +55,22 @@ class Simulator {
   /// Runs at most one event; returns false if the queue was empty.
   bool step();
 
-  std::size_t pending() const { return queue_.size() - cancelled_count_; }
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
 
   /// Drops all pending events (used between independent experiment runs).
   void clear();
+
+  /// The opaque context (telemetry TraceId) new events inherit; restored
+  /// around each event the kernel fires.
+  std::uint64_t trace_context() const { return trace_; }
+  void set_trace_context(std::uint64_t trace);
 
  private:
   struct Event {
     SimTime when;
     std::uint64_t seq;
     std::uint64_t id;
+    std::uint64_t trace;
     Callback fn;
     bool operator>(const Event& other) const {
       if (when != other.when) return when > other.when;
@@ -66,13 +79,14 @@ class Simulator {
   };
 
   bool pop_next(Event& out);
+  void fire(Event& event);
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
-  std::vector<std::uint64_t> cancelled_;
-  std::size_t cancelled_count_ = 0;
+  std::uint64_t trace_ = 0;
+  std::unordered_set<std::uint64_t> cancelled_;
 };
 
 }  // namespace pgrid::sim

@@ -1,0 +1,163 @@
+#include "telemetry/export.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace pgrid::telemetry {
+
+namespace {
+
+/// Shortest round-trip formatting for doubles (max_digits10), trimming the
+/// scientific noise a fixed precision would add to small energy values.
+std::string num(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+void write_cost_json(std::ostream& out, const Cost& cost) {
+  out << "{\"bytes\":" << cost.bytes << ",\"joules\":" << num(cost.joules)
+      << ",\"ops\":" << num(cost.ops)
+      << ",\"sim_seconds\":" << num(cost.sim_seconds)
+      << ",\"count\":" << cost.count << "}";
+}
+
+void write_subsystems_json(std::ostream& out, const TraceCosts& costs) {
+  out << "{";
+  bool first = true;
+  for (std::size_t i = 0; i < kSubsystemCount; ++i) {
+    const auto subsystem = static_cast<Subsystem>(i);
+    if (costs[subsystem].empty()) continue;
+    if (!first) out << ",";
+    first = false;
+    out << json_quote(to_string(subsystem)) << ":";
+    write_cost_json(out, costs[subsystem]);
+  }
+  out << "}";
+}
+
+void write_cost_csv(std::ostream& out, const std::string& trace,
+                    const std::string& subsystem, const Cost& cost) {
+  out << trace << ',' << subsystem << ',' << cost.bytes << ','
+      << num(cost.joules) << ',' << num(cost.ops) << ','
+      << num(cost.sim_seconds) << ',' << cost.count << '\n';
+}
+
+}  // namespace
+
+std::string json_quote(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void write_csv(std::ostream& out, const CostLedger& ledger) {
+  out << "trace,subsystem,bytes,joules,ops,sim_seconds,count\n";
+  for (std::size_t i = 0; i < kSubsystemCount; ++i) {
+    const auto subsystem = static_cast<Subsystem>(i);
+    if (ledger.totals()[subsystem].empty()) continue;
+    write_cost_csv(out, "total", to_string(subsystem),
+                   ledger.totals()[subsystem]);
+  }
+  for (TraceId id : ledger.trace_ids()) {
+    const TraceCosts costs = ledger.trace(id);
+    for (std::size_t i = 0; i < kSubsystemCount; ++i) {
+      const auto subsystem = static_cast<Subsystem>(i);
+      if (costs[subsystem].empty()) continue;
+      write_cost_csv(out, std::to_string(id), to_string(subsystem),
+                     costs[subsystem]);
+    }
+  }
+}
+
+void write_json(std::ostream& out, const CostLedger& ledger) {
+  out << "{\"totals\":";
+  write_subsystems_json(out, ledger.totals());
+  out << ",\"traces\":[";
+  bool first = true;
+  for (TraceId id : ledger.trace_ids()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"trace\":" << id << ",\"subsystems\":";
+    write_subsystems_json(out, ledger.trace(id));
+    out << "}";
+  }
+  out << "]}";
+}
+
+std::string to_csv(const CostLedger& ledger) {
+  std::ostringstream out;
+  write_csv(out, ledger);
+  return out.str();
+}
+
+std::string to_json(const CostLedger& ledger) {
+  std::ostringstream out;
+  write_json(out, ledger);
+  return out.str();
+}
+
+std::string to_json(const TraceCosts& costs) {
+  std::ostringstream out;
+  write_subsystems_json(out, costs);
+  return out.str();
+}
+
+void JsonReport::add_series(const std::string& name,
+                            const std::vector<std::string>& columns,
+                            const std::vector<std::vector<std::string>>& rows) {
+  series_.push_back(Series{name, columns, rows});
+}
+
+std::string JsonReport::str() const {
+  std::ostringstream out;
+  out << "{\"experiment\":" << json_quote(experiment_)
+      << ",\"claim\":" << json_quote(claim_) << ",\"series\":[";
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    if (s > 0) out << ",";
+    const Series& series = series_[s];
+    out << "{\"name\":" << json_quote(series.name) << ",\"columns\":[";
+    for (std::size_t c = 0; c < series.columns.size(); ++c) {
+      if (c > 0) out << ",";
+      out << json_quote(series.columns[c]);
+    }
+    out << "],\"rows\":[";
+    for (std::size_t r = 0; r < series.rows.size(); ++r) {
+      if (r > 0) out << ",";
+      out << "[";
+      for (std::size_t c = 0; c < series.rows[r].size(); ++c) {
+        if (c > 0) out << ",";
+        out << json_quote(series.rows[r][c]);
+      }
+      out << "]";
+    }
+    out << "]}";
+  }
+  out << "]";
+  if (!ledger_json_.empty()) out << ",\"telemetry\":" << ledger_json_;
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace pgrid::telemetry

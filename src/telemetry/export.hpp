@@ -1,0 +1,71 @@
+// Machine-readable views of the cost ledger, and the shared JSON report
+// builder the bench binaries emit through (`--json` / PGRID_BENCH_JSON=1).
+//
+// JSON schema (ledger):
+//   {"totals": {"<subsystem>": {"bytes":N,"joules":F,"ops":F,
+//                               "sim_seconds":F,"count":N}, ...},
+//    "traces": [{"trace":N, "subsystems": {"<subsystem>": {...}, ...}}]}
+// Subsystems with all-zero counters are omitted.  CSV is one row per
+// (trace, subsystem) pair plus `total` rows, same columns.
+//
+// JSON schema (bench report):
+//   {"experiment":"<id>", "claim":"<claim>",
+//    "series":[{"name":"<series>", "columns":[...],
+//               "rows":[["cell",...], ...]}],
+//    "telemetry": <ledger object, when attached>}
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace pgrid::telemetry {
+
+/// Escapes a string for embedding in a JSON document (quotes included).
+std::string json_quote(const std::string& text);
+
+void write_csv(std::ostream& out, const CostLedger& ledger);
+void write_json(std::ostream& out, const CostLedger& ledger);
+std::string to_csv(const CostLedger& ledger);
+std::string to_json(const CostLedger& ledger);
+
+/// One trace's per-subsystem breakdown as a JSON object.
+std::string to_json(const TraceCosts& costs);
+
+/// Accumulates named tabular series and renders one JSON document; the
+/// bench harness routes every experiment's output through this so each
+/// binary has a human table mode and a machine mode with identical data.
+class JsonReport {
+ public:
+  JsonReport(std::string experiment, std::string claim)
+      : experiment_(std::move(experiment)), claim_(std::move(claim)) {}
+
+  const std::string& experiment() const { return experiment_; }
+  const std::string& claim() const { return claim_; }
+
+  void add_series(const std::string& name,
+                  const std::vector<std::string>& columns,
+                  const std::vector<std::vector<std::string>>& rows);
+
+  /// Attaches the deployment ledger; rendered under "telemetry".
+  void attach_ledger(const CostLedger& ledger) { ledger_json_ = to_json(ledger); }
+
+  std::string str() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string experiment_;
+  std::string claim_;
+  std::vector<Series> series_;
+  std::string ledger_json_;
+};
+
+}  // namespace pgrid::telemetry

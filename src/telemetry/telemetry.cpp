@@ -1,0 +1,18 @@
+#include "telemetry/telemetry.hpp"
+
+namespace pgrid::telemetry {
+
+std::string to_string(Subsystem subsystem) {
+  switch (subsystem) {
+    case Subsystem::kWireless: return "wireless";
+    case Subsystem::kBackhaul: return "backhaul";
+    case Subsystem::kGridCompute: return "grid-compute";
+    case Subsystem::kAgentMessaging: return "agent-messaging";
+    case Subsystem::kSensing: return "sensing";
+    case Subsystem::kEdgeCompute: return "edge-compute";
+    case Subsystem::kRuntime: return "runtime";
+  }
+  return "?";
+}
+
+}  // namespace pgrid::telemetry
