@@ -16,4 +16,28 @@ for preset in default asan-ubsan; do
   ctest --preset "${preset}" -j "${JOBS}"
 done
 
-echo "CI OK: both presets built, all tests passed."
+echo "=== bench smoke: kernel + decision maker ==="
+# Quick-mode perf smoke on the plain build: the binaries must run, emit
+# schema-valid JSON, and the kernel bench must pass its built-in
+# serial/parallel determinism check (non-zero exit otherwise).  The kernel
+# report is kept as BENCH_kernel.json — the perf trajectory across PRs.
+out/default/bench/bench_sim_kernel --json --quick > BENCH_kernel.json
+out/default/bench/bench_decision_maker --json > /tmp/bench_dm.json
+python3 - BENCH_kernel.json /tmp/bench_dm.json <<'PY'
+import json, sys
+for path in sys.argv[1:]:
+    with open(path) as fh:
+        report = json.load(fh)
+    for key in ("experiment", "claim", "series"):
+        assert key in report, f"{path}: missing {key!r}"
+    assert report["series"], f"{path}: no series"
+    for series in report["series"]:
+        for key in ("name", "columns", "rows"):
+            assert key in series, f"{path}: series missing {key!r}"
+        width = len(series["columns"])
+        assert all(len(row) == width for row in series["rows"]), (
+            f"{path}: ragged rows in series {series['name']!r}")
+    print(f"bench JSON ok: {path} ({len(report['series'])} series)")
+PY
+
+echo "CI OK: both presets built, all tests passed, bench smoke clean."

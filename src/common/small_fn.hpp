@@ -1,0 +1,153 @@
+// Small-buffer-optimized callable: the event kernel's replacement for
+// std::function on the scheduling hot path.
+//
+// std::function must be copyable, so every capture set it stores has to be
+// copy-constructible, and the small-buffer threshold libstdc++ applies
+// (16 bytes) heap-allocates nearly every lambda the subsystems schedule.
+// SmallFn is move-only with an inline buffer sized by the caller: a capture
+// set that fits (and is nothrow-move-constructible, so moves stay noexcept)
+// lives inside the object and steady-state scheduling performs zero
+// allocations; anything bigger transparently falls back to the heap.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pgrid::common {
+
+template <typename Signature, std::size_t BufSize = 64>
+class SmallFn;
+
+template <typename R, typename... Args, std::size_t BufSize>
+class SmallFn<R(Args...), BufSize> {
+ public:
+  /// True when a callable of type D is stored inline (no allocation).
+  template <typename D>
+  static constexpr bool stores_inline =
+      sizeof(D) <= BufSize && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFn(F&& fn) {  // NOLINT(runtime/explicit)
+    emplace(std::forward<F>(fn));
+  }
+
+  /// Constructs a callable in place, dropping any current one.  Lets
+  /// hot-path containers (the event slab) build the callable directly in
+  /// its final home instead of paying a relocate from a temporary.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  void emplace(F&& fn) {
+    reset();
+    if constexpr (stores_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  /// Destroys the stored callable (no-op when empty).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  /// Null relocate means "memcpy the buffer" and null destroy means
+  /// "nothing to do" — trivial inline captures (the common case on the
+  /// event hot path) then cost zero indirect calls to move or drop.
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static D* inline_ptr(void* storage) noexcept {
+    return std::launder(reinterpret_cast<D*>(storage));
+  }
+  template <typename D>
+  static D** heap_ptr(void* storage) noexcept {
+    return std::launder(reinterpret_cast<D**>(storage));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      /*invoke=*/+[](void* storage, Args&&... args) -> R {
+        return (*inline_ptr<D>(storage))(std::forward<Args>(args)...);
+      },
+      /*relocate=*/
+      std::is_trivially_copyable_v<D>
+          ? nullptr
+          : +[](void* dst, void* src) noexcept {
+              ::new (dst) D(std::move(*inline_ptr<D>(src)));
+              inline_ptr<D>(src)->~D();
+            },
+      /*destroy=*/
+      std::is_trivially_destructible_v<D>
+          ? nullptr
+          : +[](void* storage) noexcept { inline_ptr<D>(storage)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      /*invoke=*/+[](void* storage, Args&&... args) -> R {
+        return (**heap_ptr<D>(storage))(std::forward<Args>(args)...);
+      },
+      /*relocate=*/+[](void* dst, void* src) noexcept {
+        ::new (dst) D*(*heap_ptr<D>(src));
+      },
+      /*destroy=*/+[](void* storage) noexcept { delete *heap_ptr<D>(storage); },
+  };
+
+  void move_from(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+      } else {
+        std::memcpy(buf_, other.buf_, kStorage);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  static constexpr std::size_t kStorage =
+      BufSize < sizeof(void*) ? sizeof(void*) : BufSize;
+
+  alignas(std::max_align_t) unsigned char buf_[kStorage];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace pgrid::common

@@ -1,5 +1,7 @@
 #include "core/runtime.hpp"
 
+#include <algorithm>
+#include <future>
 #include <map>
 #include <sstream>
 
@@ -32,7 +34,7 @@ PervasiveGridRuntime::PervasiveGridRuntime(RuntimeConfig config)
   }
   platform_ = std::make_unique<agent::AgentPlatform>(*network_);
   ontology_ = discovery::make_standard_ontology();
-  pool_ = std::make_unique<common::ThreadPool>(0);
+  pool_ = std::make_unique<common::ThreadPool>(config_.pool_threads);
   pending_ = std::make_unique<RuntimePending>();
 
   register_agents();
@@ -379,18 +381,41 @@ QueryOutcome PervasiveGridRuntime::what_if(const std::string& query_text,
 
 std::vector<QueryOutcome> PervasiveGridRuntime::what_if_all(
     const std::string& query_text) {
-  std::vector<QueryOutcome> outcomes;
   auto parsed = query::parse_query(query_text);
   if (!parsed.ok()) {
     QueryOutcome failed;
     failed.error = parsed.error();
+    std::vector<QueryOutcome> outcomes;
     outcomes.push_back(std::move(failed));
     return outcomes;
   }
   const auto cls = classifier_.classify(parsed.value());
-  for (auto model : partition::candidates_for(cls.inner)) {
-    outcomes.push_back(what_if(query_text, model));
+  const auto models = partition::candidates_for(cls.inner);
+  std::vector<QueryOutcome> outcomes(models.size());
+
+  // Each trial runs on an isolated clone (own Simulator, own CostLedger,
+  // own learner state), reading only this runtime's immutable config and
+  // field snapshot — so clones evaluate concurrently on the pool while the
+  // outcomes stay bit-identical to serial evaluation, in candidate order.
+  std::size_t parallelism = config_.what_if_parallelism == 0
+                                ? pool_->size()
+                                : config_.what_if_parallelism;
+  parallelism = std::min(parallelism, models.size());
+  if (parallelism <= 1 || pool_->on_worker_thread()) {
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      outcomes[i] = what_if(query_text, models[i]);
+    }
+    return outcomes;
   }
+  std::vector<std::future<void>> trials;
+  trials.reserve(models.size());
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    trials.push_back(
+        pool_->submit([this, &query_text, &outcomes, i, model = models[i]] {
+          outcomes[i] = what_if(query_text, model);
+        }));
+  }
+  for (auto& trial : trials) trial.get();
   return outcomes;
 }
 

@@ -50,6 +50,17 @@ struct RuntimeConfig {
   bool advertise_sensor_services = true;
   /// Epochs to run when a continuous query is submitted.
   std::size_t continuous_epochs = 10;
+  /// Worker threads in the runtime's compute pool (0 = hardware
+  /// concurrency).  The pool serves both the PDE solvers and parallel
+  /// what-if trials; clones inherit the setting, so solver chunking — and
+  /// therefore every floating-point result — is identical across the
+  /// deployment and its trial clones.
+  std::size_t pool_threads = 0;
+  /// Max what-if trials in flight inside what_if_all: 0 = one per pool
+  /// worker, 1 = strictly serial.  Each trial runs on an isolated clone
+  /// (own Simulator, own CostLedger), so any setting returns outcomes
+  /// bit-identical to serial evaluation, in candidate order.
+  std::size_t what_if_parallelism = 0;
 };
 
 /// Everything known about one answered query.
@@ -116,6 +127,10 @@ class PervasiveGridRuntime {
 
   /// Trials every supported model for the query on clones and returns the
   /// outcomes in candidate order — the measured basis for an oracle label.
+  /// Trials evaluate concurrently on the runtime's thread pool (see
+  /// RuntimeConfig::what_if_parallelism): every clone is a fully isolated
+  /// deterministic deployment, so the outcomes are bit-identical to serial
+  /// evaluation regardless of parallelism or scheduling.
   std::vector<QueryOutcome> what_if_all(const std::string& query_text);
 
   // --- world & subsystem access -------------------------------------------

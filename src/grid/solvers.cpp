@@ -1,7 +1,6 @@
 #include "grid/solvers.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 
 namespace pgrid::grid {
@@ -9,18 +8,18 @@ namespace pgrid::grid {
 namespace {
 
 /// Runs body over [0, n) — through the pool when given, inline otherwise —
-/// and returns the max of per-chunk partial results.
+/// and returns the max of per-chunk partial results.  Partials are indexed
+/// by the deterministic chunk index, so the combine order (and the result's
+/// bit pattern) never depends on thread scheduling.
 double run_chunks_max(
     common::ThreadPool* pool, std::size_t n,
     const std::function<double(std::size_t, std::size_t)>& body) {
   if (!pool) return body(0, n);
-  std::vector<double> partials(pool->size() * 4, 0.0);
-  std::atomic<std::size_t> slot{0};
-  pool->parallel_for(n, [&](std::size_t first, std::size_t last) {
-    const std::size_t mine = slot.fetch_add(1);
-    partials[mine % partials.size()] =
-        std::max(partials[mine % partials.size()], body(first, last));
-  });
+  std::vector<double> partials(pool->chunk_count(n), 0.0);
+  pool->parallel_for_chunks(
+      n, [&](std::size_t chunk, std::size_t first, std::size_t last) {
+        partials[chunk] = body(first, last);
+      });
   double result = 0.0;
   for (double p : partials) result = std::max(result, p);
   return result;
@@ -30,12 +29,11 @@ double run_chunks_sum(
     common::ThreadPool* pool, std::size_t n,
     const std::function<double(std::size_t, std::size_t)>& body) {
   if (!pool) return body(0, n);
-  std::vector<double> partials(pool->size() * 4, 0.0);
-  std::atomic<std::size_t> slot{0};
-  pool->parallel_for(n, [&](std::size_t first, std::size_t last) {
-    const std::size_t mine = slot.fetch_add(1);
-    partials[mine % partials.size()] += body(first, last);
-  });
+  std::vector<double> partials(pool->chunk_count(n), 0.0);
+  pool->parallel_for_chunks(
+      n, [&](std::size_t chunk, std::size_t first, std::size_t last) {
+        partials[chunk] = body(first, last);
+      });
   double result = 0.0;
   for (double p : partials) result += p;
   return result;

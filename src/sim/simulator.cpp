@@ -1,6 +1,6 @@
 #include "sim/simulator.hpp"
 
-#include "common/log.hpp"
+#include <algorithm>
 
 namespace pgrid::sim {
 
@@ -10,48 +10,92 @@ EventHandle Simulator::schedule(SimTime delay, Callback fn) {
 }
 
 EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
-  if (when < now_) when = now_;
-  const std::uint64_t id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, trace_, std::move(fn)});
-  return EventHandle{id};
+  const std::uint32_t slot = prepare_slot(when);
+  record_at(slot).fn = std::move(fn);
+  return finish_schedule(slot, when);
 }
 
 bool Simulator::cancel(EventHandle handle) {
-  if (handle.id == 0 || handle.id >= next_id_) return false;
-  return cancelled_.insert(handle.id).second;
-}
-
-void Simulator::set_trace_context(std::uint64_t trace) {
-  trace_ = trace;
-  // Keep log lines correlatable with ledger rows (PGRID_LOG prefixes the
-  // active trace id).
-  common::set_log_trace(trace);
-}
-
-bool Simulator::pop_next(Event& out) {
-  while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
-    if (cancelled_.erase(event.id) > 0) continue;
-    out = std::move(event);
-    return true;
+  const std::uint32_t slot = static_cast<std::uint32_t>(handle.id);
+  const std::uint32_t generation =
+      static_cast<std::uint32_t>(handle.id >> 32);
+  if (generation == 0 || slot >= slab_size_) return false;
+  EventRecord& record = record_at(slot);
+  // A released slot bumps its generation, so handles for fired, cancelled,
+  // or cleared events fail this check even after the slot is reused.
+  if (record.generation != generation || heap_index_[slot] == kNotInHeap) {
+    return false;
   }
-  return false;
+  heap_remove(heap_index_[slot]);
+  record.fn.reset();
+  release_slot(slot);
+  return true;
 }
 
-void Simulator::fire(Event& event) {
-  const std::uint64_t saved = trace_;
-  set_trace_context(event.trace);
-  event.fn();
-  set_trace_context(saved);
+void Simulator::renumber_sequences() {
+  // Order-preserving compaction of the 40-bit seq space: relative seq order
+  // is untouched, so (when, seq) comparisons — and therefore every heap
+  // position — are unchanged.
+  std::vector<std::uint32_t> order(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    order[i] = static_cast<std::uint32_t>(physical_of(i));
+  }
+  std::sort(order.begin(), order.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return entry_at(a).seq_slot < entry_at(b).seq_slot;
+            });
+  std::uint64_t next = 0;
+  for (const std::uint32_t physical : order) {
+    HeapEntry& entry = entry_at(physical);
+    entry.seq_slot = (next++ << 24) | (entry.seq_slot & kSlotMask);
+  }
+  next_seq_ = next;
+}
+
+void Simulator::sift_down(std::size_t physical, const HeapEntry& entry) {
+  const std::size_t last = last_physical();
+  for (;;) {
+    const std::size_t child_group = physical == 0 ? 1 : physical - 2;
+    const std::size_t first_child = child_group * 4;
+    if (first_child > last) break;
+#if defined(__GNUC__)
+    // The four grandchild groups are contiguous (groups first_child - 2 ..
+    // first_child + 1); warm them while the tournament below runs.
+    if (first_child + 1 < groups_.size()) {
+      __builtin_prefetch(&groups_[first_child - 2]);
+      __builtin_prefetch(&groups_[first_child - 1]);
+      __builtin_prefetch(&groups_[first_child]);
+      __builtin_prefetch(&groups_[first_child + 1]);
+    }
+#endif
+    // Branch-light 4-way tournament over one cache line; lanes past the
+    // live tail hold +inf sentinels and can never win.
+    const HeapEntry* lane = groups_[child_group].lane;
+    const std::size_t b01 = entry_less_flat(lane[1], lane[0]) ? 1 : 0;
+    const std::size_t b23 = entry_less_flat(lane[3], lane[2]) ? 3 : 2;
+    const std::size_t best = entry_less(lane[b23], lane[b01]) ? b23 : b01;
+    const HeapEntry winner = lane[best];
+    if (!entry_less(winner, entry)) break;
+    place(physical, winner);
+    physical = first_child + best;
+  }
+  place(physical, entry);
+}
+
+void Simulator::heap_remove(std::size_t physical) {
+  const std::size_t last = last_physical();
+  const HeapEntry moved = entry_at(last);
+  entry_at(last) = kSentinel;
+  --count_;
+  if (physical == last) return;  // removed the tail entry
+  sift_up(physical, moved);
+  sift_down(heap_index_[moved.slot()], moved);
 }
 
 std::size_t Simulator::run() {
   std::size_t processed = 0;
-  Event event;
-  while (pop_next(event)) {
-    now_ = event.when;
-    fire(event);
+  while (count_ > 0) {
+    fire_top();
     ++processed;
   }
   return processed;
@@ -59,35 +103,22 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::run_until(SimTime deadline) {
   std::size_t processed = 0;
-  Event event;
-  while (!queue_.empty()) {
-    if (queue_.top().when > deadline) break;
-    if (!pop_next(event)) break;
-    if (event.when > deadline) {
-      // Re-queue: pop_next skipped cancelled entries and may have surfaced a
-      // later event than the one we peeked.
-      queue_.push(std::move(event));
-      break;
-    }
-    now_ = event.when;
-    fire(event);
+  while (count_ > 0 && entry_at(0).when_us <= deadline.us) {
+    fire_top();
     ++processed;
   }
   if (now_ < deadline) now_ = deadline;
   return processed;
 }
 
-bool Simulator::step() {
-  Event event;
-  if (!pop_next(event)) return false;
-  now_ = event.when;
-  fire(event);
-  return true;
-}
-
 void Simulator::clear() {
-  queue_ = {};
-  cancelled_.clear();
+  for (std::size_t i = 0; i < count_; ++i) {
+    HeapEntry& entry = entry_at(physical_of(i));
+    record_at(entry.slot()).fn.reset();
+    release_slot(entry.slot());
+    entry = kSentinel;
+  }
+  count_ = 0;
 }
 
 }  // namespace pgrid::sim

@@ -186,19 +186,18 @@ class CostLedger {
 /// Sets the simulation kernel's trace context for the current scope and
 /// restores the previous one on exit.  Events scheduled inside the scope
 /// inherit the trace, so the id follows the causal chain automatically.
+/// Thin telemetry-typed wrapper over the kernel's own save/restore guard —
+/// the same mechanism the fire path uses, so scope nesting and event
+/// execution compose without special cases.
 class TraceScope {
  public:
   TraceScope(sim::Simulator& simulator, TraceId trace)
-      : sim_(simulator), saved_(simulator.trace_context()) {
-    sim_.set_trace_context(trace);
-  }
-  ~TraceScope() { sim_.set_trace_context(saved_); }
+      : guard_(simulator, trace) {}
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
 
  private:
-  sim::Simulator& sim_;
-  std::uint64_t saved_;
+  sim::TraceContextGuard guard_;
 };
 
 /// RAII bracket stamped with simulated time.  On close (or destruction) it

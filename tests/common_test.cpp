@@ -2,12 +2,16 @@
 // tables, results.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <set>
 #include <thread>
 
 #include "common/result.hpp"
+#include "common/small_fn.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -212,6 +216,116 @@ TEST(ThreadPool, ParallelForZeroAndOne) {
     sum += static_cast<int>(last - first);
   });
   EXPECT_EQ(sum.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerParallelForRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> touched(100, 0);
+  pool.parallel_for(100, [&](std::size_t first, std::size_t last) {
+    for (std::size_t i = first; i < last; ++i) ++touched[i];
+  });
+  for (int t : touched) EXPECT_EQ(t, 1);
+}
+
+TEST(ThreadPool, ParallelForFromWorkerDoesNotDeadlock) {
+  // A worker that blocks on parallel_for futures served by its own queue
+  // would deadlock a saturated pool; the pool degrades to inline execution
+  // instead.
+  ThreadPool pool(2);
+  std::atomic<int> covered{0};
+  std::vector<std::future<void>> outer;
+  for (int t = 0; t < 4; ++t) {
+    outer.push_back(pool.submit([&pool, &covered] {
+      EXPECT_TRUE(pool.on_worker_thread());
+      pool.parallel_for(64, [&covered](std::size_t first, std::size_t last) {
+        covered += static_cast<int>(last - first);
+      });
+    }));
+  }
+  for (auto& f : outer) f.get();
+  EXPECT_EQ(covered.load(), 4 * 64);
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
+TEST(ThreadPool, ChunkIndexIsDeterministic) {
+  ThreadPool pool(4);
+  const std::size_t n = 1003;
+  ASSERT_EQ(pool.chunk_count(n), 4u);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::size_t> firsts(pool.chunk_count(n), SIZE_MAX);
+    std::vector<std::size_t> lasts(pool.chunk_count(n), 0);
+    pool.parallel_for_chunks(
+        n, [&](std::size_t chunk, std::size_t first, std::size_t last) {
+          firsts[chunk] = first;
+          lasts[chunk] = last;
+        });
+    // Chunk c always owns the same contiguous range, independent of thread
+    // scheduling — the property solver reductions rely on for bit-identical
+    // floating-point results.
+    const std::size_t per = (n + 3) / 4;
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(firsts[c], c * per);
+      EXPECT_EQ(lasts[c], std::min(c * per + per, n));
+    }
+  }
+}
+
+TEST(SmallFn, InlineStorageAndInvocation) {
+  int hits = 0;
+  SmallFn<void(), 64> fn([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+  using Fn = SmallFn<void(), 64>;
+  struct Small {
+    void* p[2];
+    void operator()() {}
+  };
+  static_assert(Fn::stores_inline<Small>, "two pointers must fit inline");
+}
+
+TEST(SmallFn, HeapFallbackForLargeCaptures) {
+  using Fn = SmallFn<void(), 16>;
+  struct Big {
+    double values[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    double sum = 0;
+    void operator()() {
+      for (double v : values) sum += v;
+    }
+  };
+  static_assert(!Fn::stores_inline<Big>, "64-byte capture must spill");
+  double got = 0;
+  Fn fn([big = Big{}, &got]() mutable {
+    big();
+    got = big.sum;
+  });
+  fn();
+  EXPECT_DOUBLE_EQ(got, 36.0);
+}
+
+TEST(SmallFn, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  SmallFn<void()> a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  SmallFn<void()> b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_EQ(counter.use_count(), 2) << "move must not copy the capture";
+  b();
+  EXPECT_EQ(*counter, 1);
+  SmallFn<void()> c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(*counter, 2);
+  c.reset();
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(SmallFn, MoveOnlyCaptureAndArguments) {
+  auto owned = std::make_unique<int>(5);
+  SmallFn<int(int), 48> fn(
+      [p = std::move(owned)](int x) { return *p + x; });
+  EXPECT_EQ(fn(10), 15);
 }
 
 TEST(Table, AlignsAndCounts) {

@@ -2,6 +2,8 @@
 // cancellation, bounded runs.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -143,6 +145,158 @@ TEST(Simulator, ScheduleAtAbsoluteTime) {
   EXPECT_DOUBLE_EQ(fire_time, 4.0);
 }
 
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  int fired = 0;
+  auto handle = sim.schedule(SimTime::seconds(1.0), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.cancel(handle)) << "fired events must not be cancellable";
+  EXPECT_EQ(sim.pending(), 0u) << "stale cancel must not corrupt pending()";
+  // The queue stays fully usable afterwards.
+  sim.schedule(SimTime::seconds(1.0), [&] { ++fired; });
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StaleHandleNeverAliasesAReusedSlot) {
+  Simulator sim;
+  bool late_fired = false;
+  auto first = sim.schedule(SimTime::seconds(1.0), [] {});
+  sim.run();
+  // The fired event's slot is recycled for the next event; the old handle
+  // must not cancel the newcomer.
+  auto second = sim.schedule(SimTime::seconds(1.0), [&] { late_fired = true; });
+  EXPECT_FALSE(sim.cancel(first));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(late_fired);
+  EXPECT_FALSE(sim.cancel(second));
+}
+
+TEST(Simulator, CancelledHandleStaysDeadAfterSlotReuse) {
+  Simulator sim;
+  bool fired = false;
+  auto victim = sim.schedule(SimTime::seconds(1.0), [] {});
+  EXPECT_TRUE(sim.cancel(victim));
+  sim.schedule(SimTime::seconds(2.0), [&] { fired = true; });
+  EXPECT_FALSE(sim.cancel(victim)) << "cancel must not hit the reused slot";
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, PendingIsExactThroughCancelAndFire) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(sim.schedule(SimTime::seconds(1.0 + i), [] {}));
+  }
+  EXPECT_EQ(sim.pending(), 8u);
+  sim.cancel(handles[2]);
+  sim.cancel(handles[5]);
+  EXPECT_EQ(sim.pending(), 6u);
+  sim.run_until(SimTime::seconds(4.0));  // fires 1s, 3s, 4s (2s cancelled)
+  EXPECT_EQ(sim.pending(), 3u);
+  EXPECT_FALSE(sim.cancel(handles[0])) << "already fired";
+  EXPECT_EQ(sim.pending(), 3u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunUntilExactlyAtEventTimestamp) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(SimTime::seconds(5.0), [&] { ++fired; });
+  sim.schedule(SimTime::seconds(5.0), [&] { ++fired; });
+  sim.schedule(SimTime{5000001}, [&] { ++fired; });
+  // Events at exactly the deadline fire; one microsecond later does not.
+  EXPECT_EQ(sim.run_until(SimTime::seconds(5.0)), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime::seconds(5.0));
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, ClearWithPendingCancellations) {
+  Simulator sim;
+  int fired = 0;
+  auto a = sim.schedule(SimTime::seconds(1.0), [&] { ++fired; });
+  auto b = sim.schedule(SimTime::seconds(2.0), [&] { ++fired; });
+  sim.schedule(SimTime::seconds(3.0), [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(a));
+  sim.clear();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.cancel(b)) << "clear() invalidates outstanding handles";
+  // Slots recycled by clear() host new events cleanly.
+  auto c = sim.schedule(SimTime::seconds(1.0), [&] { ++fired; });
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.cancel(a));
+  EXPECT_FALSE(sim.cancel(b));
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.cancel(c));
+}
+
+TEST(Simulator, CancelDuringCallbackTargetsLaterEvent) {
+  Simulator sim;
+  bool victim_fired = false;
+  EventHandle victim;
+  sim.schedule(SimTime::seconds(1.0), [&] {
+    EXPECT_TRUE(sim.cancel(victim));
+    EXPECT_FALSE(sim.cancel(victim));
+  });
+  victim = sim.schedule(SimTime::seconds(2.0), [&] { victim_fired = true; });
+  sim.run();
+  EXPECT_FALSE(victim_fired);
+}
+
+TEST(Simulator, TraceContextRestoredAcrossNestedSchedules) {
+  Simulator sim;
+  std::vector<std::uint64_t> observed;
+  sim.set_trace_context(7);
+  sim.schedule(SimTime::seconds(1.0), [&] {
+    observed.push_back(sim.trace_context());  // inherits 7
+    sim.set_trace_context(11);
+    // This continuation inherits 11, the context at scheduling time...
+    sim.schedule(SimTime::seconds(1.0), [&] {
+      observed.push_back(sim.trace_context());
+      sim.set_trace_context(13);
+    });
+  });
+  sim.schedule(SimTime::seconds(3.0), [&] {
+    // ...while a sibling scheduled under 7 still sees 7: the kernel
+    // restores the pre-fire context after every event, including ones
+    // that mutated it (directly or via nested schedules).
+    observed.push_back(sim.trace_context());
+  });
+  sim.set_trace_context(0);
+  sim.schedule(SimTime::seconds(4.0), [&] {
+    observed.push_back(sim.trace_context());
+  });
+  sim.run();
+  EXPECT_EQ(observed, (std::vector<std::uint64_t>{7, 11, 7, 0}));
+  EXPECT_EQ(sim.trace_context(), 0u);
+}
+
+TEST(Simulator, MoveOnlyCaptureAndHeapSpill) {
+  Simulator sim;
+  // Move-only captures were impossible under std::function; large captures
+  // exercise SmallFn's heap fallback on the same code path.
+  auto payload = std::make_unique<int>(41);
+  int got = 0;
+  sim.schedule(SimTime::seconds(1.0),
+               [p = std::move(payload), &got] { got = *p + 1; });
+  struct Big {
+    double a[16] = {3.5};
+  } big;
+  double big_got = 0.0;
+  sim.schedule(SimTime::seconds(2.0), [big, &big_got] { big_got = big.a[0]; });
+  sim.run();
+  EXPECT_EQ(got, 42);
+  EXPECT_DOUBLE_EQ(big_got, 3.5);
+}
+
 TEST(Simulator, ManyEventsStressOrdering) {
   Simulator sim;
   std::vector<std::int64_t> fire_us;
@@ -156,6 +310,32 @@ TEST(Simulator, ManyEventsStressOrdering) {
   for (std::size_t i = 1; i < fire_us.size(); ++i) {
     EXPECT_LE(fire_us[i - 1], fire_us[i]);
   }
+}
+
+TEST(Simulator, StressOrderingWithInterleavedCancels) {
+  // Heavy mixed workload: scatter-scheduled events, a deterministic third
+  // of them cancelled (some from inside callbacks), order still exact and
+  // pending() still precise throughout.
+  Simulator sim;
+  std::vector<std::int64_t> fire_us;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 4000; ++i) {
+    const auto t = SimTime::microseconds((i * 6007) % 9973 + 1);
+    handles.push_back(
+        sim.schedule(t, [&fire_us, &sim] { fire_us.push_back(sim.now().us); }));
+  }
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < handles.size(); i += 3) {
+    ASSERT_TRUE(sim.cancel(handles[i]));
+    ++cancelled;
+  }
+  EXPECT_EQ(sim.pending(), 4000u - cancelled);
+  sim.run();
+  EXPECT_EQ(fire_us.size(), 4000u - cancelled);
+  for (std::size_t i = 1; i < fire_us.size(); ++i) {
+    EXPECT_LE(fire_us[i - 1], fire_us[i]);
+  }
+  EXPECT_EQ(sim.pending(), 0u);
 }
 
 }  // namespace

@@ -94,6 +94,59 @@ TEST_F(WhatIfFixture, OracleLabelFromTrialsFeedsTheLearner) {
             best->model);
 }
 
+TEST_F(WhatIfFixture, ParallelTrialsBitIdenticalToSerial) {
+  // what_if_all evaluates candidate clones concurrently on the runtime's
+  // pool; every clone is an isolated deterministic deployment, so the
+  // parallel outcomes must be bit-for-bit the serial ones, in candidate
+  // order.  Run a parallel deployment (4 pool workers, 4 trials in flight)
+  // against a strictly serial one built from the same scenario.
+  auto parallel_config = scenario_config();
+  parallel_config.pool_threads = 4;
+  parallel_config.what_if_parallelism = 4;
+  auto serial_config = scenario_config();
+  serial_config.pool_threads = 4;  // same solver chunking as the clones
+  serial_config.what_if_parallelism = 1;
+  core::PervasiveGridRuntime parallel_rt(parallel_config);
+  core::PervasiveGridRuntime serial_rt(serial_config);
+  sensornet::FireSource fire;
+  fire.pos = {60, 60, 0};
+  fire.start = sim::SimTime::seconds(-3600.0);
+  fire.spread_m_per_s = 0.0;
+  parallel_rt.field().ignite(fire);
+  serial_rt.field().ignite(fire);
+
+  const std::string q = "SELECT AVG(temp) FROM sensors";
+  const auto par = parallel_rt.what_if_all(q);
+  const auto ser = serial_rt.what_if_all(q);
+  ASSERT_EQ(par.size(), ser.size());
+  for (std::size_t i = 0; i < par.size(); ++i) {
+    EXPECT_EQ(par[i].model, ser[i].model);
+    EXPECT_EQ(par[i].ok, ser[i].ok);
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(par[i].actual.value, ser[i].actual.value);
+    EXPECT_EQ(par[i].actual.energy_j, ser[i].actual.energy_j);
+    EXPECT_EQ(par[i].actual.response_s, ser[i].actual.response_s);
+    EXPECT_EQ(par[i].actual.data_bytes, ser[i].actual.data_bytes);
+    EXPECT_EQ(par[i].actual.compute_ops, ser[i].actual.compute_ops);
+    EXPECT_EQ(par[i].handheld_response_s, ser[i].handheld_response_s);
+    EXPECT_EQ(par[i].telemetry.network_bytes(),
+              ser[i].telemetry.network_bytes());
+  }
+}
+
+TEST_F(WhatIfFixture, ParallelTrialsLeaveTheRealDeploymentUntouched) {
+  auto config = scenario_config();
+  config.pool_threads = 4;
+  core::PervasiveGridRuntime rt(config);
+  const auto energy_before = rt.network().battery_energy_consumed();
+  const auto now_before = rt.simulator().now();
+  const auto outcomes = rt.what_if_all("SELECT AVG(temp) FROM sensors");
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (const auto& outcome : outcomes) EXPECT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_DOUBLE_EQ(rt.network().battery_energy_consumed(), energy_before);
+  EXPECT_EQ(rt.simulator().now(), now_before);
+}
+
 TEST_F(WhatIfFixture, ParseErrorSurfaces) {
   const auto outcomes = runtime_.what_if_all("SELEKT");
   ASSERT_EQ(outcomes.size(), 1u);
