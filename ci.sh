@@ -16,6 +16,16 @@ for preset in default asan-ubsan; do
   ctest --preset "${preset}" -j "${JOBS}"
 done
 
+echo "=== chaos smoke: 25 seeds/mix, all invariants, asan-ubsan ==="
+# Seeded fault-injection sweep under the sanitizer build: 25 seeds per
+# canned mix (75 scenarios), every invariant checked after each run.  On a
+# violation the test prints the exact seed, mix, and minimized fault
+# schedule; reproduce locally with the printed command, e.g.
+#   PGRID_CHAOS_SEED=<seed> PGRID_CHAOS_MIX=<mix> \
+#     out/asan-ubsan/tests/test_chaos --gtest_filter='ChaosReplay.ReplaySeed'
+PGRID_CHAOS_SEEDS=25 out/asan-ubsan/tests/test_chaos \
+  --gtest_filter='ChaosSweep.*'
+
 echo "=== bench smoke: kernel + decision maker ==="
 # Quick-mode perf smoke on the plain build: the binaries must run, emit
 # schema-valid JSON, and the kernel bench must pass its built-in

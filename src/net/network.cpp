@@ -54,6 +54,7 @@ const Network::WiredLink* Network::find_wired(NodeId a, NodeId b) const {
 
 bool Network::connected(NodeId a, NodeId b) const {
   if (a == b || !alive(a) || !alive(b)) return false;
+  if (fault_injector_ && fault_injector_->severed(a, b)) return false;
   if (const WiredLink* w = find_wired(a, b)) return w->up;
   const Node& na = nodes_[a];
   const Node& nb = nodes_[b];
@@ -72,6 +73,7 @@ std::vector<NodeId> Network::neighbors(NodeId id) const {
 }
 
 std::optional<LinkClass> Network::link_between(NodeId a, NodeId b) const {
+  if (fault_injector_ && fault_injector_->severed(a, b)) return std::nullopt;
   if (const WiredLink* w = find_wired(a, b)) {
     if (!w->up) return std::nullopt;
     return w->link;
@@ -97,10 +99,16 @@ void Network::transmit(NodeId from, NodeId to, std::uint64_t bytes,
   const double dist = distance(sender.pos, receiver.pos);
   const RadioEnergyModel radio_model;
 
+  // The injector sees every hop that found a usable link; its effects
+  // (added loss, forced drop, duplication, jitter) compose with the link's
+  // own loss model.  No injector => zero extra rng draws.
+  FaultInjector::HopEffect effect;
+  if (fault_injector_) effect = fault_injector_->on_transmit(from, to, bytes);
+
   // Decide attempts up front; deterministic given the rng stream.
   std::size_t attempts = 1;
   bool success = true;
-  while (rng_.bernoulli(link->loss_prob)) {
+  while (rng_.bernoulli(link->loss_prob + effect.extra_loss)) {
     if (attempts > max_retries_) {
       success = false;
       break;
@@ -133,6 +141,9 @@ void Network::transmit(NodeId from, NodeId to, std::uint64_t bytes,
     }
   }
   if (!sender_alive) success = false;
+  // A forced drop loses the payload in transit: the sender paid for every
+  // attempt, the receiver never hears the frame.
+  if (effect.drop) success = false;
 
   if (success) {
     receiver.rx_bytes += bytes;
@@ -145,11 +156,41 @@ void Network::transmit(NodeId from, NodeId to, std::uint64_t bytes,
     }
   }
 
+  if (success && effect.duplicate && sender_alive) {
+    // A spurious retransmission both endpoints pay for: one extra link-layer
+    // attempt plus one extra receive.  Upper layers still see exactly one
+    // delivery; only resources and counters record the ghost copy.
+    ++stats_.duplicated;
+    ++stats_.transmissions;
+    stats_.bytes_sent += bytes;
+    usage.bytes += bytes;
+    ++usage.count;
+    sender.tx_bytes += bytes;
+    ++sender.tx_count;
+    receiver.rx_bytes += bytes;
+    ++receiver.rx_count;
+    if (link->wireless) {
+      if (!sender.energy.is_unlimited()) {
+        const double e = radio_model.tx_energy(bytes * 8, dist);
+        stats_.energy_j += e;
+        usage.joules += e;
+        sender.energy.consume(e);
+      }
+      if (!receiver.energy.is_unlimited()) {
+        const double e = radio_model.rx_energy(bytes * 8);
+        stats_.energy_j += e;
+        usage.joules += e;
+        receiver.energy.consume(e);
+      }
+    }
+  }
+
   if (success) {
     ++stats_.delivered;
   } else {
     ++stats_.dropped;
   }
+  total += effect.extra_delay;
   ledger_.charge(subsystem, usage);
   sim_.schedule(total, [cb = std::move(cb), success] { cb(success); });
 }
@@ -213,7 +254,9 @@ void Network::spread_from(const std::shared_ptr<SpreadState>& state,
     targets.resize(state->fanout);
   }
   for (NodeId next : targets) {
-    if (state->visited[next]) continue;
+    // Nodes added after the spread started have no bookkeeping slot; they
+    // were not part of the dissemination's population.
+    if (next >= state->visited.size() || state->visited[next]) continue;
     // Mark before the transfer completes so concurrent branches do not
     // duplicate delivery (mirrors suppression of already-seen flood ids).
     state->visited[next] = true;
@@ -224,6 +267,15 @@ void Network::spread_from(const std::shared_ptr<SpreadState>& state,
         ++state->reached;
         if (state->on_visit) state->on_visit(next);
         spread_from(state, next);
+      } else {
+        // The claim failed (frame loss, injected drop, or the target went
+        // down mid-flood): release the bookkeeping entry so a branch that
+        // reaches the node later — e.g. after churn brings it back up —
+        // may still deliver.  Without this the node stays marked visited
+        // forever and the flood silently blacklists it.  Termination is
+        // unaffected: every reached node spreads exactly once, so each
+        // node is re-claimed at most once per reached neighbour.
+        state->visited[next] = false;
       }
       if (state->in_flight == 0 && !state->done_fired) {
         state->done_fired = true;
@@ -279,6 +331,14 @@ void Network::gossip(NodeId src, std::uint64_t bytes, std::size_t fanout,
   state->span.emplace(ledger_, telemetry::Subsystem::kWireless);
   if (state->on_visit) state->on_visit(src);
   spread_from(state, src);
+}
+
+void Network::set_fault_injector(FaultInjector* injector) {
+  if (fault_injector_ == injector) return;
+  fault_injector_ = injector;
+  // Installing or removing an injector can change connectivity answers
+  // (partitions, blackouts), so routing caches must not survive it.
+  ++topology_version_;
 }
 
 void Network::set_node_up(NodeId id, bool up) {

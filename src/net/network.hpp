@@ -63,8 +63,35 @@ struct NetworkStats {
   std::uint64_t transmissions = 0;  ///< link-layer attempts (incl. retries)
   std::uint64_t delivered = 0;      ///< successful single-hop deliveries
   std::uint64_t dropped = 0;        ///< single-hop failures after retries
+  std::uint64_t duplicated = 0;     ///< injected duplicate deliveries
   std::uint64_t bytes_sent = 0;     ///< payload bytes over all attempts
   double energy_j = 0.0;            ///< radio energy across battery nodes
+};
+
+/// Transport-level fault-injection hook, installed by the chaos engine
+/// (`sim::ChaosEngine`).  The network consults it on the send path and in
+/// connectivity queries; when none is installed behaviour (including rng
+/// consumption) is bit-identical to a fault-free deployment.
+class FaultInjector {
+ public:
+  /// Per-hop effect, decided once per transmit() call.
+  struct HopEffect {
+    bool drop = false;           ///< lose the payload after the sender paid
+    bool duplicate = false;      ///< receiver also processes a second copy
+    sim::SimTime extra_delay{};  ///< jitter added to the completion time
+    double extra_loss = 0.0;     ///< added per-attempt frame loss probability
+  };
+
+  virtual ~FaultInjector() = default;
+
+  /// True while an active partition or link blackout severs a <-> b.  Must
+  /// be symmetric; consulted from connectivity queries, so routing, trees
+  /// and discovery all observe the cut.
+  virtual bool severed(NodeId a, NodeId b) const = 0;
+
+  /// Consulted once per transmit() that found a usable link.
+  virtual HopEffect on_transmit(NodeId from, NodeId to,
+                                std::uint64_t bytes) = 0;
 };
 
 /// The simulated network.  All sends are asynchronous: callbacks fire from
@@ -132,6 +159,16 @@ class Network {
   /// Incremented on every topology-affecting change.
   std::uint64_t topology_version() const { return topology_version_; }
 
+  /// Installs (or clears, with nullptr) the transport fault injector.
+  /// At most one is active; the chaos engine installs itself.
+  void set_fault_injector(FaultInjector* injector);
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
+  /// Explicit topology-version bump for external connectivity modifiers
+  /// (the fault injector's partitions and blackouts change what
+  /// connected() answers without touching node or link state).
+  void bump_topology_version() { ++topology_version_; }
+
   std::size_t max_retries() const { return max_retries_; }
   void set_max_retries(std::size_t retries) { max_retries_ = retries; }
 
@@ -176,6 +213,7 @@ class Network {
   NetworkStats stats_;
   std::size_t max_retries_ = 3;
   std::uint64_t topology_version_ = 0;
+  FaultInjector* fault_injector_ = nullptr;
 };
 
 /// Places `count` nodes on a uniform grid inside [0,width]x[0,height] at

@@ -11,6 +11,7 @@ std::string to_string(Subsystem subsystem) {
     case Subsystem::kSensing: return "sensing";
     case Subsystem::kEdgeCompute: return "edge-compute";
     case Subsystem::kRuntime: return "runtime";
+    case Subsystem::kChaos: return "chaos";
   }
   return "?";
 }

@@ -38,8 +38,9 @@ enum class Subsystem : std::uint8_t {
   kSensing,           ///< in-network sampling/aggregation rounds
   kEdgeCompute,       ///< base-station / handheld computation
   kRuntime,           ///< end-to-end query brackets
+  kChaos,             ///< injected faults (chaos engine events)
 };
-inline constexpr std::size_t kSubsystemCount = 7;
+inline constexpr std::size_t kSubsystemCount = 8;
 
 std::string to_string(Subsystem subsystem);
 

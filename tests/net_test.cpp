@@ -8,6 +8,8 @@
 #include "net/churn.hpp"
 #include "net/network.hpp"
 #include "net/routing.hpp"
+#include "sim/chaos.hpp"
+#include "sim/invariants.hpp"
 #include "sim/simulator.hpp"
 
 namespace pgrid::net {
@@ -346,6 +348,159 @@ TEST_F(NetFixture, DeployRandomDeterministicGivenSeed) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(net.node(a[i]).pos, net2.node(b[i]).pos);
   }
+}
+
+// Drops the first transmission over one specific hop, then behaves
+// transparently.  Deterministic stand-in for a transient frame loss.
+class DropHopOnceInjector final : public FaultInjector {
+ public:
+  DropHopOnceInjector(NodeId from, NodeId to) : from_(from), to_(to) {}
+
+  bool severed(NodeId, NodeId) const override { return false; }
+  HopEffect on_transmit(NodeId from, NodeId to, std::uint64_t) override {
+    HopEffect effect;
+    if (!fired_ && from == from_ && to == to_) {
+      fired_ = true;
+      effect.drop = true;
+    }
+    return effect;
+  }
+
+ private:
+  NodeId from_;
+  NodeId to_;
+  bool fired_ = false;
+};
+
+// Regression for the flood stale-claim bug: a node whose first delivery
+// fails used to stay marked visited in SpreadState forever, blacklisting
+// it from every later branch.  Here b->c is dropped once; c must still be
+// reached via the other branch (a-x-y-z-c).
+TEST_F(NetFixture, FloodRedeliversAfterTransientHopFailure) {
+  //   a(0,0) - b(20,0) - c(40,0)
+  //   |         |         |
+  //   x(0,20) - y(20,20)- z(40,20)     (25 m radio: no diagonals)
+  const auto a = net.add_node(sensor_at(0, 0));
+  const auto b = net.add_node(sensor_at(20, 0));
+  const auto c = net.add_node(sensor_at(40, 0));
+  net.add_node(sensor_at(0, 20));   // x
+  net.add_node(sensor_at(20, 20));  // y
+  net.add_node(sensor_at(40, 20));  // z
+  DropHopOnceInjector injector(b, c);
+  net.set_fault_injector(&injector);
+  std::set<NodeId> visited;
+  std::size_t reached = 0;
+  net.flood(a, 50, [&](NodeId id) { visited.insert(id); },
+            [&](std::size_t r) { reached = r; });
+  sim.run();
+  net.set_fault_injector(nullptr);
+  EXPECT_EQ(reached, 6u);
+  EXPECT_TRUE(visited.count(c)) << "failed claim must be released so the "
+                                   "other branch can deliver";
+}
+
+// A node that churns down mid-flood must not wedge the flood: the failed
+// delivery releases its SpreadState entry and the flood quiesces without it.
+TEST_F(NetFixture, FloodSkipsNodeThatChurnsDownMidFlood) {
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(net.add_node(sensor_at(20.0 * i, 0)));
+  }
+  // The far-end node churns down while the flood is in flight, before the
+  // wavefront (one ~20 ms hop per link) arrives.
+  std::size_t reached = 0;
+  bool done = false;
+  net.flood(ids[0], 50, nullptr, [&](std::size_t r) {
+    reached = r;
+    done = true;
+  });
+  sim.schedule(sim::SimTime::milliseconds(30),
+               [&] { net.set_node_up(ids[4], false); });
+  sim.run();
+  EXPECT_TRUE(done) << "flood must quiesce even when a member went down";
+  EXPECT_EQ(reached, 4u);
+}
+
+// The audited churn-mid-flood case end to end: a node goes down after the
+// flood starts (its claim fails and must be released) and churns back up
+// while the flood is still spreading — a later branch must deliver to it.
+TEST_F(NetFixture, FloodRecoversNodeThatChurnsDownAndBackMidFlood) {
+  // Same 2x3 grid as above; c is reachable from b (fails: c is down) and
+  // later from z (succeeds: c is back up).
+  const auto a = net.add_node(sensor_at(0, 0));
+  net.add_node(sensor_at(20, 0));  // b
+  const auto c = net.add_node(sensor_at(40, 0));
+  net.add_node(sensor_at(0, 20));   // x
+  net.add_node(sensor_at(20, 20));  // y
+  net.add_node(sensor_at(40, 20));  // z
+  // Hop time is ~20.4 ms (10 ms latency + 50 B at 38.4 kbps).  b claims c
+  // at ~20 ms (down -> claim released); z claims c at ~61 ms (back up).
+  sim.schedule(sim::SimTime::milliseconds(15),
+               [&] { net.set_node_up(c, false); });
+  sim.schedule(sim::SimTime::milliseconds(50),
+               [&] { net.set_node_up(c, true); });
+  std::set<NodeId> visited;
+  std::size_t reached = 0;
+  net.flood(a, 50, [&](NodeId id) { visited.insert(id); },
+            [&](std::size_t r) { reached = r; });
+  sim.run();
+  EXPECT_EQ(reached, 6u);
+  EXPECT_TRUE(visited.count(c))
+      << "node must be re-claimable after churning back up mid-flood";
+}
+
+// Partition-then-heal: no delivery crosses an active partition, routing
+// (sink trees) excludes the cut side, and after the heal a rebuilt tree
+// converges over the full deployment again.
+TEST_F(NetFixture, SinkTreePartitionThenHeal) {
+  // Chain s(0) - m(20) - f(40) - g(60); cut {f, g} off for 5 s.
+  const auto s = net.add_node(sensor_at(0, 0));
+  const auto m = net.add_node(sensor_at(20, 0));
+  const auto f = net.add_node(sensor_at(40, 0));
+  const auto g = net.add_node(sensor_at(60, 0));
+  sim::ChaosEngine engine(net, 77);
+  sim::Fault cut;
+  cut.kind = sim::FaultKind::kPartition;
+  cut.at = sim::SimTime::seconds(1.0);
+  cut.duration = sim::SimTime::seconds(5.0);
+  cut.group = {f, g};
+  engine.arm_schedule({cut});
+
+  const std::uint64_t version_before = net.topology_version();
+  sim.run_until(sim::SimTime::seconds(2.0));  // partition active
+
+  // Routing observes the cut: a fresh tree only spans the sink's side...
+  SinkTree during(net, s);
+  EXPECT_TRUE(during.contains(m));
+  EXPECT_FALSE(during.contains(f));
+  EXPECT_FALSE(during.contains(g));
+  EXPECT_TRUE(shortest_path(net, s, f).empty());
+  // ...the inside of the cut still holds together...
+  EXPECT_TRUE(net.connected(f, g));
+  // ...and no message is delivered across the active partition.
+  const std::uint64_t f_rx_before = net.node(f).rx_bytes;
+  bool delivered = true;
+  net.transmit(m, f, 64, [&](bool ok) { delivered = ok; });
+  sim.run_until(sim::SimTime::seconds(3.0));
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.node(f).rx_bytes, f_rx_before);
+
+  sim.run();  // heal fires at t = 6 s
+  EXPECT_TRUE(engine.quiescent());
+  EXPECT_GT(net.topology_version(), version_before)
+      << "cut and heal must invalidate routing caches";
+
+  // After the heal a rebuilt tree converges over the whole chain and
+  // passes the structural invariant.
+  SinkTree healed(net, s);
+  EXPECT_TRUE(healed.contains(f));
+  EXPECT_TRUE(healed.contains(g));
+  EXPECT_EQ(healed.depth(g), 3u);
+  EXPECT_FALSE(sim::check_sink_tree_consistent(net, s).has_value());
+  bool redelivered = false;
+  net.transmit(m, f, 64, [&](bool ok) { redelivered = ok; });
+  sim.run();
+  EXPECT_TRUE(redelivered);
 }
 
 TEST_F(NetFixture, ChurnTogglesNodes) {

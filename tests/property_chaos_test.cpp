@@ -1,0 +1,94 @@
+// Determinism properties of the chaos engine: a seed fully determines the
+// fault schedule and the entire run it produces — network counters and
+// ledger totals are bit-identical across runs — while different seeds
+// produce different schedules.
+#include <gtest/gtest.h>
+
+#include "chaos_harness.hpp"
+#include "sim/chaos.hpp"
+
+namespace {
+
+using namespace pgrid;
+
+class ChaosDeterminism
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+ protected:
+  static chaos_harness::ScenarioConfig make_config(std::size_t mix_index,
+                                                   std::uint64_t seed) {
+    chaos_harness::ScenarioConfig config;
+    config.seed = seed;
+    config.mix = sim::canned_mixes()[mix_index];
+    config.fault_count = 10;
+    config.horizon_s = 60.0;
+    return config;
+  }
+};
+
+TEST_P(ChaosDeterminism, SameSeedBitIdenticalScheduleStatsAndLedger) {
+  const auto [mix_index, seed] = GetParam();
+  const auto config = make_config(mix_index, seed);
+
+  const auto first = chaos_harness::run_scenario(config);
+  const auto second = chaos_harness::run_scenario(config);
+
+  // Identical fault schedule, fault for fault.
+  EXPECT_EQ(first.schedule, second.schedule)
+      << "first:\n" << sim::format_schedule(first.schedule) << "second:\n"
+      << sim::format_schedule(second.schedule);
+  EXPECT_EQ(first.faults_injected, second.faults_injected);
+  EXPECT_EQ(first.crash_transitions, second.crash_transitions);
+
+  // Identical traffic counters — exact, not approximate.
+  EXPECT_EQ(first.net_stats.transmissions, second.net_stats.transmissions);
+  EXPECT_EQ(first.net_stats.delivered, second.net_stats.delivered);
+  EXPECT_EQ(first.net_stats.dropped, second.net_stats.dropped);
+  EXPECT_EQ(first.net_stats.duplicated, second.net_stats.duplicated);
+  EXPECT_EQ(first.net_stats.bytes_sent, second.net_stats.bytes_sent);
+  // Energy is a double, but both runs accumulate in the same order, so
+  // bit-identical equality is the contract.
+  EXPECT_EQ(first.net_stats.energy_j, second.net_stats.energy_j);
+
+  // Identical ledger totals.
+  EXPECT_EQ(first.ledger_total.bytes, second.ledger_total.bytes);
+  EXPECT_EQ(first.ledger_total.count, second.ledger_total.count);
+  EXPECT_EQ(first.ledger_total.joules, second.ledger_total.joules);
+  EXPECT_EQ(first.ledger_total.ops, second.ledger_total.ops);
+  EXPECT_EQ(first.ledger_total.sim_seconds, second.ledger_total.sim_seconds);
+  EXPECT_EQ(first.ledger_chaos_count, second.ledger_chaos_count);
+
+  // Identical query outcomes.
+  EXPECT_EQ(first.queries_ok, second.queries_ok);
+  EXPECT_EQ(first.queries_failed, second.queries_failed);
+}
+
+TEST_P(ChaosDeterminism, DifferentSeedsDifferentSchedules) {
+  const auto [mix_index, seed] = GetParam();
+  sim::Simulator sim;
+  net::Network network(sim, common::Rng(3));
+  for (int i = 0; i < 12; ++i) {
+    net::NodeConfig cfg;
+    cfg.pos = {8.0 * i, 0.0, 0.0};
+    network.add_node(cfg);
+  }
+  sim::ChaosConfig config;
+  config.fault_count = 10;
+  config.mix = sim::canned_mixes()[mix_index];
+  const auto a = sim::generate_schedule(network, config, seed);
+  const auto b = sim::generate_schedule(network, config, seed + 1);
+  EXPECT_NE(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMixes, ChaosDeterminism,
+    ::testing::Combine(::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{2}),
+                       ::testing::Values(std::uint64_t{31},
+                                         std::uint64_t{1977})),
+    [](const auto& info) {
+      return sim::canned_mixes()[std::get<0>(info.param)].name.substr(0, 1) +
+             "mix" + std::to_string(std::get<0>(info.param)) + "seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
