@@ -1,23 +1,60 @@
 // EXP-P7 — routing technique matters: flooding vs gossiping vs tree routes.
+// EXP-N1 — topology/routing scaling: the acceleration layer (spatial
+//          neighbour index, versioned adjacency snapshot, LRU route cache)
+//          vs the naive O(N) scan / fresh-Dijkstra path, N ∈ {100, 400,
+//          1600, 6400}.
 //
 // "The data routing technique used in the network would not be the same for
 // all networks. A particular network may use flooding technique to route
-// data, while another may use gossiping."  We disseminate a query packet
-// from the base station under each technique and report coverage,
-// transmissions and energy.
+// data, while another may use gossiping."  EXP-P7 disseminates a query
+// packet from the base station under each technique and reports coverage,
+// transmissions and energy.  EXP-N1 measures the substrate underneath: how
+// fast the runtime can even ask "who are my neighbours?" and "what is the
+// route?" as deployments grow — wall-clock, since the subject is the
+// machine, not the model.  The bench exits non-zero if the accelerated
+// answers ever diverge from the naive oracles.
+//
+// Modes: --json (machine output), --quick (CI smoke: N ≤ 400, fewer reps).
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "net/routing.hpp"
 
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace pgrid;
+  const bool quick = has_flag(argc, argv, "--quick");
   bench::Experiment experiment(
       argc, argv,
-      "EXP-P7: dissemination under flooding / gossip / tree routing",
+      "EXP-P7/EXP-N1: dissemination techniques + topology/routing scaling",
       "flooding reaches everyone at maximum cost; gossip trades coverage "
-      "for energy; tree dissemination is cheapest per reached node");
+      "for energy; underneath, neighbour and route acquisition must scale "
+      "far below the naive O(N)/O(N^2) floor for any of it to run at "
+      "production size");
 
+  // -------------------------------------------------------------------
+  // EXP-P7: dissemination under flooding / gossip / tree routing.
   common::Table table({"sensors", "technique", "reached", "transmissions",
                        "energy (J)"});
   for (std::size_t n : {49, 100, 225}) {
@@ -76,5 +113,130 @@ int main(int argc, char** argv) {
                   "rebroadcast per node; gossip coverage rises with fanout; "
                   "per-node tree unicast is the most transmission-heavy (no "
                   "broadcast reuse).");
+
+  // -------------------------------------------------------------------
+  // EXP-N1: topology/routing scaling sweep.
+  common::Table neighbor_table({"nodes", "naive us/query", "indexed us/query",
+                                "speedup"});
+  common::Table route_table({"nodes", "naive us/route", "cold us/route",
+                             "warm us/route", "warm speedup",
+                             "cache hit rate"});
+  bool oracle_ok = true;
+
+  std::vector<std::size_t> sweep = {100, 400};
+  if (!quick) {
+    sweep.push_back(1600);
+    sweep.push_back(6400);
+  }
+  for (std::size_t n : sweep) {
+    core::PervasiveGridRuntime runtime(bench::standard_config(n));
+    auto& net = runtime.network();
+    const std::size_t nodes = net.size();
+
+    // --- Neighbour queries: full-deployment sweeps, naive vs indexed.
+    // One warm-up + equality pass (also primes the spatial index caches).
+    for (net::NodeId id = 0; id < nodes; ++id) {
+      if (net.neighbors(id) != net.neighbors_naive(id)) {
+        oracle_ok = false;
+      }
+    }
+    const std::size_t naive_reps = quick ? 1 : (n >= 1600 ? 1 : 3);
+    const std::size_t indexed_reps = quick ? 3 : 10;
+    std::size_t sink = 0;  // defeat dead-code elimination
+    auto start = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < naive_reps; ++rep) {
+      for (net::NodeId id = 0; id < nodes; ++id) {
+        sink += net.neighbors_naive(id).size();
+      }
+    }
+    const double naive_us =
+        seconds_since(start) * 1e6 / double(naive_reps * nodes);
+    start = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < indexed_reps; ++rep) {
+      for (net::NodeId id = 0; id < nodes; ++id) {
+        sink += net.neighbors(id).size();
+      }
+    }
+    const double indexed_us =
+        seconds_since(start) * 1e6 / double(indexed_reps * nodes);
+    neighbor_table.add_row({common::Table::num(std::uint64_t(nodes)),
+                            common::Table::num(naive_us, 3),
+                            common::Table::num(indexed_us, 3),
+                            common::Table::num(naive_us / indexed_us, 2)});
+
+    // --- Route acquisition: naive fresh Dijkstra vs cold cache (first
+    // acquisition after a topology bump: snapshot build + Dijkstra + cache
+    // fill, amortized over the burst) vs warm cache (repeat acquisition).
+    common::Rng pair_rng(0x70b0ULL + n);
+    const std::size_t pair_count = quick ? 8 : 16;
+    std::vector<std::pair<net::NodeId, net::NodeId>> route_pairs;
+    for (std::size_t i = 0; i < pair_count; ++i) {
+      route_pairs.emplace_back(
+          static_cast<net::NodeId>(pair_rng.index(nodes)),
+          static_cast<net::NodeId>(pair_rng.index(nodes)));
+    }
+    for (const auto& [src, dst] : route_pairs) {
+      if (net::cached_shortest_path(net, src, dst) !=
+          net::shortest_path_naive(net, src, dst)) {
+        oracle_ok = false;
+      }
+    }
+    const std::size_t naive_pairs =
+        std::min<std::size_t>(pair_count, n >= 1600 ? 4 : pair_count);
+    start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < naive_pairs; ++i) {
+      sink += net::shortest_path_naive(net, route_pairs[i].first,
+                                       route_pairs[i].second)
+                  .size();
+    }
+    const double naive_route_us =
+        seconds_since(start) * 1e6 / double(naive_pairs);
+    const std::size_t cold_reps = quick ? 2 : (n >= 1600 ? 3 : 8);
+    start = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < cold_reps; ++rep) {
+      net.bump_topology_version();  // invalidate: every acquisition is cold
+      for (const auto& [src, dst] : route_pairs) {
+        sink += net::cached_shortest_path(net, src, dst).size();
+      }
+    }
+    const double cold_us =
+        seconds_since(start) * 1e6 / double(cold_reps * pair_count);
+    const auto warm_stats_before = net.route_cache().stats();
+    const std::size_t warm_reps = quick ? 20 : 200;
+    start = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < warm_reps; ++rep) {
+      for (const auto& [src, dst] : route_pairs) {
+        sink += net::cached_shortest_path(net, src, dst).size();
+      }
+    }
+    const double warm_us =
+        seconds_since(start) * 1e6 / double(warm_reps * pair_count);
+    const auto warm_stats = net.route_cache().stats();
+    const auto lookups = (warm_stats.hits - warm_stats_before.hits) +
+                         (warm_stats.misses - warm_stats_before.misses);
+    const double hit_rate =
+        lookups == 0 ? 0.0
+                     : double(warm_stats.hits - warm_stats_before.hits) /
+                           double(lookups);
+    route_table.add_row({common::Table::num(std::uint64_t(nodes)),
+                         common::Table::num(naive_route_us, 1),
+                         common::Table::num(cold_us, 1),
+                         common::Table::num(warm_us, 3),
+                         common::Table::num(naive_route_us / warm_us, 1),
+                         common::Table::num(hit_rate, 3)});
+    if (sink == 0) std::cerr << "";  // keep `sink` observable
+  }
+  experiment.series("neighbor-queries", neighbor_table);
+  experiment.series("route-acquisition", route_table);
+  experiment.note("EXP-N1 shape check: indexed neighbour cost is flat in N "
+                  "(3x3x3 cell block) while the naive scan grows linearly; "
+                  "warm-cache route acquisition is a hash lookup + copy "
+                  "regardless of N, and even cold acquisition beats naive "
+                  "by sharing one CSR snapshot across the burst.");
+  if (!oracle_ok) {
+    std::cerr << "FATAL: accelerated topology answers diverged from the "
+                 "naive oracles\n";
+    return 1;
+  }
   return 0;
 }

@@ -26,14 +26,16 @@ echo "=== chaos smoke: 25 seeds/mix, all invariants, asan-ubsan ==="
 PGRID_CHAOS_SEEDS=25 out/asan-ubsan/tests/test_chaos \
   --gtest_filter='ChaosSweep.*'
 
-echo "=== bench smoke: kernel + decision maker ==="
+echo "=== bench smoke: kernel + decision maker + topology ==="
 # Quick-mode perf smoke on the plain build: the binaries must run, emit
-# schema-valid JSON, and the kernel bench must pass its built-in
-# serial/parallel determinism check (non-zero exit otherwise).  The kernel
-# report is kept as BENCH_kernel.json — the perf trajectory across PRs.
+# schema-valid JSON, and the kernel/topology benches must pass their
+# built-in determinism/oracle checks (non-zero exit otherwise).  The kernel
+# and topology reports are kept as BENCH_kernel.json / BENCH_topology.json —
+# the perf trajectory across PRs.
 out/default/bench/bench_sim_kernel --json --quick > BENCH_kernel.json
 out/default/bench/bench_decision_maker --json > /tmp/bench_dm.json
-python3 - BENCH_kernel.json /tmp/bench_dm.json <<'PY'
+out/default/bench/bench_routing --json --quick > BENCH_topology.json
+python3 - BENCH_kernel.json /tmp/bench_dm.json BENCH_topology.json <<'PY'
 import json, sys
 for path in sys.argv[1:]:
     with open(path) as fh:

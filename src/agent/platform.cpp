@@ -140,7 +140,10 @@ void AgentPlatform::route_and_transmit(net::NodeId src, net::NodeId dst,
                          [done = std::move(done)] { done(true); });
     return;
   }
-  auto route = net::shortest_path(network_, src, dst);
+  // Envelope bursts between the same endpoints hit the route cache; any
+  // topology change or battery death invalidates it via the network's
+  // version discipline.
+  auto route = net::cached_shortest_path(network_, src, dst);
   if (route.empty()) {
     simulator().schedule(sim::SimTime::zero(),
                          [done = std::move(done)] { done(false); });
@@ -210,7 +213,8 @@ void TranscodingDeputy::deliver(AgentPlatform& platform, net::NodeId src_node,
   std::uint64_t bytes = envelope.wire_size();
   // Inspect the first hop the route would take; a thin channel triggers
   // payload transcoding before transmission.
-  auto route = net::shortest_path(platform.network(), src_node, dest_node);
+  auto route = net::cached_shortest_path(platform.network(), src_node,
+                                         dest_node);
   if (route.size() >= 2) {
     auto link = platform.network().link_between(route[0], route[1]);
     if (link && link->bandwidth_bps < threshold_bps_) {

@@ -1,0 +1,13 @@
+// Node identity, shared by the network substrate and the topology
+// acceleration layer (which must not depend on network.hpp).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pgrid::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace pgrid::net

@@ -30,13 +30,26 @@ NodeId Network::add_node(const NodeConfig& config) {
   node.energy = config.unlimited_energy ? EnergyMeter::unlimited()
                                         : EnergyMeter(config.battery_j);
   nodes_.push_back(std::move(node));
+  if (config.radio.wireless) {
+    grid_.insert(nodes_.back().id, config.pos, config.radio.range_m);
+  }
   ++topology_version_;
   return nodes_.back().id;
 }
 
 void Network::add_wired_link(NodeId a, NodeId b, LinkClass link) {
   link.wireless = false;
+  const auto index = static_cast<std::uint32_t>(wired_.size());
   wired_.push_back(WiredLink{a, b, std::move(link), true});
+  // First link per pair wins (emplace never overwrites), preserving the
+  // historical first-match semantics of the linear scan.
+  const bool fresh_pair = wired_index_.emplace(pair_key(a, b), index).second;
+  if (fresh_pair) {
+    const NodeId hi = std::max(a, b);
+    if (hi >= wired_peers_.size()) wired_peers_.resize(hi + 1);
+    wired_peers_[a].push_back(b);
+    wired_peers_[b].push_back(a);
+  }
   ++topology_version_;
 }
 
@@ -45,11 +58,24 @@ bool Network::alive(NodeId id) const {
   return n.up && !n.energy.dead();
 }
 
+bool Network::consume_energy(Node& node, double joules) {
+  const bool was_dead = node.energy.dead();
+  const bool ok = node.energy.consume(joules);
+  // Battery death severs every link touching the node without going
+  // through a topology bump; the internal liveness version keeps the
+  // snapshot and route cache honest about it.
+  if (!was_dead && node.energy.dead()) ++liveness_version_;
+  return ok;
+}
+
+void Network::drain_energy(NodeId id, double joules) {
+  consume_energy(nodes_.at(id), joules);
+}
+
 const Network::WiredLink* Network::find_wired(NodeId a, NodeId b) const {
-  for (const auto& w : wired_) {
-    if ((w.a == a && w.b == b) || (w.a == b && w.b == a)) return &w;
-  }
-  return nullptr;
+  if (wired_index_.empty()) return nullptr;
+  auto it = wired_index_.find(pair_key(a, b));
+  return it == wired_index_.end() ? nullptr : &wired_[it->second];
 }
 
 bool Network::connected(NodeId a, NodeId b) const {
@@ -63,13 +89,68 @@ bool Network::connected(NodeId a, NodeId b) const {
   return d <= std::min(na.radio.range_m, nb.radio.range_m);
 }
 
+void Network::collect_neighbors(NodeId id, std::vector<NodeId>& out) const {
+  if (!alive(id)) return;
+  // Candidate superset: the spatial block around the node (covers every
+  // wireless peer within mutual range, since cells are at least as wide as
+  // any radio range) plus its wired peers.  connected() then applies the
+  // exact check, so the result is identical to the naive full scan.
+  scratch_.clear();
+  if (nodes_[id].radio.wireless) grid_.gather(id, scratch_);
+  if (id < wired_peers_.size()) {
+    scratch_.insert(scratch_.end(), wired_peers_[id].begin(),
+                    wired_peers_[id].end());
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                 scratch_.end());
+  for (NodeId candidate : scratch_) {
+    if (connected(id, candidate)) out.push_back(candidate);
+  }
+}
+
 std::vector<NodeId> Network::neighbors(NodeId id) const {
+  ++topo_stats_.neighbor_queries;
+  std::vector<NodeId> out;
+  collect_neighbors(id, out);
+  return out;
+}
+
+std::vector<NodeId> Network::neighbors_naive(NodeId id) const {
   std::vector<NodeId> out;
   if (!alive(id)) return out;
   for (const auto& other : nodes_) {
     if (other.id != id && connected(id, other.id)) out.push_back(other.id);
   }
   return out;
+}
+
+const TopologySnapshot& Network::topology_snapshot() const {
+  if (snapshot_built_ && snapshot_.topology_version == topology_version_ &&
+      snapshot_.liveness_version == liveness_version_) {
+    return snapshot_;
+  }
+  ++topo_stats_.snapshot_builds;
+  snapshot_.topology_version = topology_version_;
+  snapshot_.liveness_version = liveness_version_;
+  snapshot_.offsets.assign(1, 0);
+  snapshot_.offsets.reserve(nodes_.size() + 1);
+  snapshot_.adjacency.clear();
+  snapshot_.hop_distance.clear();
+  std::vector<NodeId> row;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    row.clear();
+    collect_neighbors(id, row);
+    for (NodeId peer : row) {
+      snapshot_.adjacency.push_back(peer);
+      snapshot_.hop_distance.push_back(
+          distance(nodes_[id].pos, nodes_[peer].pos));
+    }
+    snapshot_.offsets.push_back(
+        static_cast<std::uint32_t>(snapshot_.adjacency.size()));
+  }
+  snapshot_built_ = true;
+  return snapshot_;
 }
 
 std::optional<LinkClass> Network::link_between(NodeId a, NodeId b) const {
@@ -137,7 +218,7 @@ void Network::transmit(NodeId from, NodeId to, std::uint64_t bytes,
       const double e = radio_model.tx_energy(bytes * 8, dist);
       stats_.energy_j += e;
       usage.joules += e;
-      if (!sender.energy.consume(e)) sender_alive = false;
+      if (!consume_energy(sender, e)) sender_alive = false;
     }
   }
   if (!sender_alive) success = false;
@@ -152,7 +233,7 @@ void Network::transmit(NodeId from, NodeId to, std::uint64_t bytes,
       const double e = radio_model.rx_energy(bytes * 8);
       stats_.energy_j += e;
       usage.joules += e;
-      if (!receiver.energy.consume(e)) success = false;
+      if (!consume_energy(receiver, e)) success = false;
     }
   }
 
@@ -174,13 +255,13 @@ void Network::transmit(NodeId from, NodeId to, std::uint64_t bytes,
         const double e = radio_model.tx_energy(bytes * 8, dist);
         stats_.energy_j += e;
         usage.joules += e;
-        sender.energy.consume(e);
+        consume_energy(sender, e);
       }
       if (!receiver.energy.is_unlimited()) {
         const double e = radio_model.rx_energy(bytes * 8);
         stats_.energy_j += e;
         usage.joules += e;
-        receiver.energy.consume(e);
+        consume_energy(receiver, e);
       }
     }
   }
@@ -248,7 +329,12 @@ struct Network::SpreadState {
 
 void Network::spread_from(const std::shared_ptr<SpreadState>& state,
                           NodeId at) {
-  auto targets = neighbors(at);
+  // The snapshot is rebuilt lazily on topology/liveness changes, so this
+  // always equals neighbors(at) — but consecutive rebroadcasts within one
+  // version share a single adjacency build instead of re-deriving
+  // connectivity per reached node.
+  const auto row = topology_snapshot().row(at);
+  std::vector<NodeId> targets(row.begin(), row.end());
   if (state->fanout > 0 && targets.size() > state->fanout) {
     rng_.shuffle(std::span<NodeId>(targets));
     targets.resize(state->fanout);
@@ -353,19 +439,18 @@ void Network::move_node(NodeId id, Vec3 position) {
   Node& n = nodes_.at(id);
   if (!(n.pos == position)) {
     n.pos = position;
+    grid_.move(id, position);
     ++topology_version_;
   }
 }
 
 void Network::set_wired_link_up(NodeId a, NodeId b, bool up) {
-  for (auto& w : wired_) {
-    if ((w.a == a && w.b == b) || (w.a == b && w.b == a)) {
-      if (w.up != up) {
-        w.up = up;
-        ++topology_version_;
-      }
-      return;
-    }
+  auto it = wired_index_.find(pair_key(a, b));
+  if (it == wired_index_.end()) return;
+  WiredLink& w = wired_[it->second];
+  if (w.up != up) {
+    w.up = up;
+    ++topology_version_;
   }
 }
 

@@ -12,19 +12,19 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "net/energy.hpp"
 #include "net/geometry.hpp"
+#include "net/ids.hpp"
 #include "net/link.hpp"
+#include "net/topology.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace pgrid::net {
-
-using NodeId = std::uint32_t;
-inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 
 /// Coarse role of a node; upper layers attach richer metadata.
 enum class NodeKind { kSensor, kBaseStation, kHandheld, kGrid, kGeneric };
@@ -56,6 +56,13 @@ struct Node {
   std::uint64_t rx_bytes = 0;
   std::uint64_t tx_count = 0;
   std::uint64_t rx_count = 0;
+};
+
+/// Diagnostics for the topology acceleration layer (spatial index,
+/// adjacency snapshot); route-cache counters live on the RouteCache.
+struct TopologyStats {
+  std::uint64_t neighbor_queries = 0;  ///< indexed neighbors() calls
+  std::uint64_t snapshot_builds = 0;   ///< lazy CSR rebuilds (per version)
 };
 
 /// Aggregate traffic/energy counters for one experiment run.
@@ -120,8 +127,26 @@ class Network {
   /// wired link is up).
   bool connected(NodeId a, NodeId b) const;
 
-  /// All nodes directly reachable from `id` right now.
+  /// All nodes directly reachable from `id` right now, ascending id order.
+  /// Served from the spatial index + wired peer lists: only the 3x3x3 cell
+  /// block around the node is inspected, not the whole deployment.
   std::vector<NodeId> neighbors(NodeId id) const;
+
+  /// Reference implementation of neighbors(): the O(N) scan over every
+  /// node.  Kept as the oracle for the topology property tests and the
+  /// indexed-vs-naive bench series; answers are always identical to
+  /// neighbors().
+  std::vector<NodeId> neighbors_naive(NodeId id) const;
+
+  /// Flat CSR adjacency of the whole deployment, built lazily once per
+  /// (topology, liveness) version and shared by Dijkstra, SinkTree
+  /// construction and flooding.  Valid until the next topology bump or
+  /// battery death.
+  const TopologySnapshot& topology_snapshot() const;
+
+  /// The deployment's shortest-path cache (see net::cached_shortest_path).
+  /// Mutable through a const network: caching never changes answers.
+  RouteCache& route_cache() const { return route_cache_; }
 
   /// The link class a transmission a->b would use (wired link preferred).
   std::optional<LinkClass> link_between(NodeId a, NodeId b) const;
@@ -159,6 +184,17 @@ class Network {
   /// Incremented on every topology-affecting change.
   std::uint64_t topology_version() const { return topology_version_; }
 
+  /// Incremented when a battery node dies of energy exhaustion.  Battery
+  /// death changes connectivity answers without bumping topology_version()
+  /// (upper layers deliberately keep stale sink trees across it), so the
+  /// snapshot and route cache track both versions.
+  std::uint64_t liveness_version() const { return liveness_version_; }
+
+  /// Drains battery energy outside a transmission (e.g. the chaos engine's
+  /// reboot state loss).  Routed through the network so a resulting death
+  /// invalidates the snapshot and route cache; does not charge the ledger.
+  void drain_energy(NodeId id, double joules);
+
   /// Installs (or clears, with nullptr) the transport fault injector.
   /// At most one is active; the chaos engine installs itself.
   void set_fault_injector(FaultInjector* injector);
@@ -173,6 +209,8 @@ class Network {
   void set_max_retries(std::size_t retries) { max_retries_ = retries; }
 
   const NetworkStats& stats() const { return stats_; }
+  const TopologyStats& topology_stats() const { return topo_stats_; }
+  const SpatialGrid& spatial_grid() const { return grid_; }
   /// Clears aggregate stats, per-node counters, and the cost ledger.
   void reset_stats();
   /// Also clears per-node counters and refills batteries.
@@ -202,18 +240,44 @@ class Network {
 
   struct SpreadState;  // shared bookkeeping for flood/gossip
 
+  /// Canonical key for an unordered node pair (wired-link index).
+  static std::uint64_t pair_key(NodeId a, NodeId b) {
+    const NodeId lo = a < b ? a : b;
+    const NodeId hi = a < b ? b : a;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
   const WiredLink* find_wired(NodeId a, NodeId b) const;
   void spread_from(const std::shared_ptr<SpreadState>& state, NodeId at);
+  /// Candidate gathering + exact filtering behind neighbors() and the
+  /// snapshot build; appends the sorted neighbour set of `id` to `out`.
+  void collect_neighbors(NodeId id, std::vector<NodeId>& out) const;
+  /// Energy draw that bumps liveness_version_ on a death transition.
+  bool consume_energy(Node& node, double joules);
 
   sim::Simulator& sim_;
   common::Rng rng_;
   telemetry::CostLedger ledger_;
   std::vector<Node> nodes_;
   std::vector<WiredLink> wired_;
+  /// (min,max) pair -> index of the first wired_ entry for that pair; the
+  /// first link added wins, matching the historical linear-scan semantics.
+  std::unordered_map<std::uint64_t, std::uint32_t> wired_index_;
+  /// Per-node wired peers (deduplicated), merged into neighbour candidates.
+  std::vector<std::vector<NodeId>> wired_peers_;
+  SpatialGrid grid_;
   NetworkStats stats_;
   std::size_t max_retries_ = 3;
   std::uint64_t topology_version_ = 0;
+  std::uint64_t liveness_version_ = 0;
   FaultInjector* fault_injector_ = nullptr;
+
+  // Acceleration state: logically caches, so mutable behind const queries.
+  mutable TopologySnapshot snapshot_;
+  mutable bool snapshot_built_ = false;
+  mutable RouteCache route_cache_;
+  mutable std::vector<NodeId> scratch_;  ///< candidate buffer (single-threaded)
+  mutable TopologyStats topo_stats_;
 };
 
 /// Places `count` nodes on a uniform grid inside [0,width]x[0,height] at

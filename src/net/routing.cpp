@@ -7,18 +7,22 @@
 namespace pgrid::net {
 
 namespace {
-constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
-}
 
-std::vector<NodeId> shortest_path(const Network& network, NodeId src,
-                                  NodeId dst) {
+constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
+
+/// Dijkstra with cost = (hops, total distance), parameterized over an
+/// adjacency source so the snapshot-backed fast path and the naive oracle
+/// expand nodes identically: `for_each_edge(at, fn)` must invoke
+/// `fn(next, hop_distance)` in ascending-`next` order.
+template <typename ForEachEdge>
+std::vector<NodeId> dijkstra(const Network& network, NodeId src, NodeId dst,
+                             ForEachEdge&& for_each_edge) {
   const std::size_t n = network.size();
   if (src >= n || dst >= n || !network.alive(src) || !network.alive(dst)) {
     return {};
   }
   if (src == dst) return {src};
 
-  // Dijkstra with cost = (hops, total distance).
   using Cost = std::pair<std::size_t, double>;
   std::vector<Cost> best(n, {kUnreachable, 0.0});
   std::vector<NodeId> prev(n, kInvalidNode);
@@ -32,16 +36,14 @@ std::vector<NodeId> shortest_path(const Network& network, NodeId src,
     pq.pop();
     if (cost > best[at]) continue;
     if (at == dst) break;
-    for (NodeId next : network.neighbors(at)) {
-      const double d =
-          distance(network.node(at).pos, network.node(next).pos);
+    for_each_edge(at, [&](NodeId next, double d) {
       Cost candidate{cost.first + 1, cost.second + d};
       if (candidate < best[next]) {
         best[next] = candidate;
         prev[next] = at;
         pq.push({candidate, next});
       }
-    }
+    });
   }
 
   if (best[dst].first == kUnreachable) return {};
@@ -55,6 +57,40 @@ std::vector<NodeId> shortest_path(const Network& network, NodeId src,
   return route;
 }
 
+}  // namespace
+
+std::vector<NodeId> shortest_path(const Network& network, NodeId src,
+                                  NodeId dst) {
+  const TopologySnapshot& topo = network.topology_snapshot();
+  return dijkstra(network, src, dst, [&topo](NodeId at, auto&& visit) {
+    const auto row = topo.row(at);
+    const auto dist = topo.row_distance(at);
+    for (std::size_t i = 0; i < row.size(); ++i) visit(row[i], dist[i]);
+  });
+}
+
+std::vector<NodeId> shortest_path_naive(const Network& network, NodeId src,
+                                        NodeId dst) {
+  return dijkstra(network, src, dst, [&network](NodeId at, auto&& visit) {
+    for (NodeId next : network.neighbors_naive(at)) {
+      visit(next, distance(network.node(at).pos, network.node(next).pos));
+    }
+  });
+}
+
+std::vector<NodeId> cached_shortest_path(const Network& network, NodeId src,
+                                         NodeId dst) {
+  RouteCache& cache = network.route_cache();
+  const std::uint64_t topo = network.topology_version();
+  const std::uint64_t live = network.liveness_version();
+  if (const std::vector<NodeId>* hit = cache.find(src, dst, topo, live)) {
+    return *hit;
+  }
+  std::vector<NodeId> route = shortest_path(network, src, dst);
+  cache.insert(src, dst, topo, live, route);
+  return route;
+}
+
 SinkTree::SinkTree(const Network& network, NodeId sink)
     : sink_(sink),
       parent_(network.size(), kInvalidNode),
@@ -62,6 +98,7 @@ SinkTree::SinkTree(const Network& network, NodeId sink)
       depth_(network.size(), kUnreachable),
       version_(network.topology_version()) {
   if (sink >= network.size() || !network.alive(sink)) return;
+  const TopologySnapshot& topo = network.topology_snapshot();
   depth_[sink] = 0;
   order_.push_back(sink);
   std::queue<NodeId> frontier;
@@ -69,10 +106,12 @@ SinkTree::SinkTree(const Network& network, NodeId sink)
   while (!frontier.empty()) {
     const NodeId at = frontier.front();
     frontier.pop();
-    // Deterministic child order: neighbors() iterates by ascending id.
-    for (NodeId next : network.neighbors(at)) {
+    // Deterministic child order: snapshot rows are in ascending id order,
+    // exactly like neighbors().
+    for (NodeId next : topo.row(at)) {
       if (depth_[next] != kUnreachable) continue;
       depth_[next] = depth_[at] + 1;
+      if (depth_[next] > max_depth_) max_depth_ = depth_[next];
       parent_[next] = at;
       children_[at].push_back(next);
       order_.push_back(next);
@@ -96,14 +135,6 @@ const std::vector<NodeId>& SinkTree::children(NodeId id) const {
 
 std::size_t SinkTree::depth(NodeId id) const {
   return id < depth_.size() ? depth_[id] : kUnreachable;
-}
-
-std::size_t SinkTree::max_depth() const {
-  std::size_t deepest = 0;
-  for (auto d : depth_) {
-    if (d != kUnreachable) deepest = std::max(deepest, d);
-  }
-  return deepest;
 }
 
 std::vector<NodeId> SinkTree::route_to_sink(NodeId id) const {

@@ -18,8 +18,27 @@ namespace pgrid::net {
 
 /// Dijkstra shortest path by hop count with distance tie-break.  Returns an
 /// empty vector when no route exists.  Both endpoints are included.
+/// Iterates the network's shared TopologySnapshot (CSR adjacency built
+/// lazily once per topology/liveness version) instead of re-deriving
+/// connectivity per expanded node.
 std::vector<NodeId> shortest_path(const Network& network, NodeId src,
                                   NodeId dst);
+
+/// Reference implementation of shortest_path() over the naive O(N)
+/// neighbour scan, bypassing the spatial index, snapshot and cache.  Kept
+/// as the oracle for the topology property tests and the bench baseline;
+/// answers are always identical to shortest_path().
+std::vector<NodeId> shortest_path_naive(const Network& network, NodeId src,
+                                        NodeId dst);
+
+/// shortest_path() through the network's LRU route cache, keyed by
+/// (src, dst) and valid for one (topology, liveness) version pair — chaos
+/// faults, churn, mobility and battery deaths all invalidate it through
+/// the existing version discipline.  This is the hot entry point for the
+/// agent platform's envelope delivery and the sensornet unicast paths,
+/// where message bursts between the same endpoints amortize one Dijkstra.
+std::vector<NodeId> cached_shortest_path(const Network& network, NodeId src,
+                                         NodeId dst);
 
 /// A routing tree rooted at a sink (base station), built over the current
 /// topology.  This is the substrate for TAG-style in-network aggregation:
@@ -37,7 +56,9 @@ class SinkTree {
   const std::vector<NodeId>& children(NodeId id) const;
   /// Hop distance from the sink; SIZE_MAX if unreachable.
   std::size_t depth(NodeId id) const;
-  std::size_t max_depth() const;
+  /// Deepest reachable node, cached at construction (the build already
+  /// visits every depth once).
+  std::size_t max_depth() const { return max_depth_; }
   /// Route from `id` up to the sink (inclusive both ends); empty when
   /// unreachable.
   std::vector<NodeId> route_to_sink(NodeId id) const;
@@ -54,6 +75,7 @@ class SinkTree {
   std::vector<std::size_t> depth_;
   std::vector<NodeId> order_;
   std::uint64_t version_;
+  std::size_t max_depth_ = 0;
 };
 
 }  // namespace pgrid::net

@@ -1,0 +1,185 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pgrid::net {
+
+namespace {
+
+/// 64-bit finalizer (splitmix64 tail): spreads cell coordinates over the
+/// key space so adjacent cells land in distinct buckets.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t cell_key(std::int64_t cx, std::int64_t cy, std::int64_t cz) {
+  std::uint64_t key = mix(static_cast<std::uint64_t>(cx));
+  key = mix(key ^ static_cast<std::uint64_t>(cy));
+  key = mix(key ^ static_cast<std::uint64_t>(cz));
+  return key;
+}
+
+std::int64_t cell_coord(double v, double cell_m) {
+  return static_cast<std::int64_t>(std::floor(v / cell_m));
+}
+
+}  // namespace
+
+std::uint64_t SpatialGrid::key_of(Vec3 pos) const {
+  return cell_key(cell_coord(pos.x, cell_m_), cell_coord(pos.y, cell_m_),
+                  cell_coord(pos.z, cell_m_));
+}
+
+void SpatialGrid::rebuild(double new_cell_m) {
+  cell_m_ = new_cell_m;
+  cells_.clear();
+  for (NodeId id = 0; id < entries_.size(); ++id) {
+    Entry& entry = entries_[id];
+    if (!entry.indexed) continue;
+    entry.key = key_of(entry.pos);
+    cells_[entry.key].push_back(id);
+  }
+  ++rebuilds_;
+}
+
+void SpatialGrid::remove_from_bucket(std::uint64_t key, NodeId id) {
+  auto it = cells_.find(key);
+  if (it == cells_.end()) return;
+  auto& bucket = it->second;
+  auto pos = std::find(bucket.begin(), bucket.end(), id);
+  if (pos != bucket.end()) {
+    // Swap-erase: bucket order is irrelevant (queries sort), removal O(1).
+    *pos = bucket.back();
+    bucket.pop_back();
+  }
+  if (bucket.empty()) cells_.erase(it);
+}
+
+void SpatialGrid::insert(NodeId id, Vec3 pos, double range_m) {
+  // Cells must be at least as wide as any mutual radio range; a range of
+  // zero still needs a positive cell so same-position pairs share a block.
+  const double needed = std::max(range_m, 1.0);
+  if (needed > cell_m_) rebuild(needed);
+  if (id >= entries_.size()) entries_.resize(id + 1);
+  Entry& entry = entries_[id];
+  if (entry.indexed) remove_from_bucket(entry.key, id);
+  else ++indexed_;
+  entry.pos = pos;
+  entry.range_m = std::max(range_m, 0.0);
+  entry.key = key_of(pos);
+  entry.indexed = true;
+  cells_[entry.key].push_back(id);
+}
+
+void SpatialGrid::move(NodeId id, Vec3 pos) {
+  if (id >= entries_.size() || !entries_[id].indexed) return;
+  Entry& entry = entries_[id];
+  const std::uint64_t key = key_of(pos);
+  if (key != entry.key) {
+    remove_from_bucket(entry.key, id);
+    cells_[key].push_back(id);
+    entry.key = key;
+  }
+  entry.pos = pos;
+}
+
+void SpatialGrid::gather(NodeId id, std::vector<NodeId>& out) const {
+  if (id >= entries_.size() || !entries_[id].indexed) return;
+  const Entry& entry = entries_[id];
+  const Vec3 pos = entry.pos;
+  // Every connected peer lies within the querier's own range r (the link
+  // test is d <= min(ra, rb) <= r), so only cells intersecting the box
+  // pos ± r can hold neighbours.  r <= cell size, so each axis spans at
+  // most 3 cells; short-range radios usually span 1-2.
+  const double r = entry.range_m;
+  const std::int64_t x0 = cell_coord(pos.x - r, cell_m_);
+  const std::int64_t x1 = cell_coord(pos.x + r, cell_m_);
+  const std::int64_t y0 = cell_coord(pos.y - r, cell_m_);
+  const std::int64_t y1 = cell_coord(pos.y + r, cell_m_);
+  const std::int64_t z0 = cell_coord(pos.z - r, cell_m_);
+  const std::int64_t z1 = cell_coord(pos.z + r, cell_m_);
+  // Hash collisions can map two of the block cells to one key; visiting a
+  // bucket twice would emit duplicates, so keys are deduplicated first.
+  std::uint64_t seen[27];
+  int seen_count = 0;
+  for (std::int64_t cz = z0; cz <= z1; ++cz) {
+    for (std::int64_t cy = y0; cy <= y1; ++cy) {
+      for (std::int64_t cx = x0; cx <= x1; ++cx) {
+        const std::uint64_t key = cell_key(cx, cy, cz);
+        bool duplicate = false;
+        for (int i = 0; i < seen_count; ++i) {
+          if (seen[i] == key) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        seen[seen_count++] = key;
+        auto it = cells_.find(key);
+        if (it == cells_.end()) continue;
+        for (NodeId member : it->second) {
+          if (member != id) out.push_back(member);
+        }
+      }
+    }
+  }
+}
+
+void RouteCache::sync_version(std::uint64_t topology_version,
+                              std::uint64_t liveness_version) {
+  if (has_version_ && topology_version_ == topology_version &&
+      liveness_version_ == liveness_version) {
+    return;
+  }
+  if (!map_.empty()) {
+    ++stats_.invalidations;
+    map_.clear();
+    lru_.clear();
+  }
+  topology_version_ = topology_version;
+  liveness_version_ = liveness_version;
+  has_version_ = true;
+}
+
+const std::vector<NodeId>* RouteCache::find(NodeId src, NodeId dst,
+                                            std::uint64_t topology_version,
+                                            std::uint64_t liveness_version) {
+  sync_version(topology_version, liveness_version);
+  auto it = map_.find(key_of(src, dst));
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->second;
+}
+
+void RouteCache::insert(NodeId src, NodeId dst,
+                        std::uint64_t topology_version,
+                        std::uint64_t liveness_version,
+                        std::vector<NodeId> route) {
+  sync_version(topology_version, liveness_version);
+  const std::uint64_t key = key_of(src, dst);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = std::move(route);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(route));
+  map_[key] = lru_.begin();
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace pgrid::net

@@ -1,0 +1,170 @@
+// Topology acceleration layer: the data structures that keep topology
+// queries off the network hot path.
+//
+// The paper's runtime is defined by "low bandwidth, high latency,
+// disconnections and dynamic topology" (Section 1), which means every
+// message pays for topology questions: who is in radio range, what is the
+// route, is the mesh partitioned.  Asked naively those cost O(N) per
+// neighbour query and O(N^2) per route, the quadratic floor under every
+// large sweep.  Three structures remove it:
+//
+//  - SpatialGrid: an incremental spatial hash over wireless node positions
+//    (cell size = the largest radio range seen), updated in place by
+//    mobility moves instead of rebuilt, so a neighbour query inspects only
+//    the 3x3x3 cell block around a node.
+//  - TopologySnapshot: a CSR-style flat adjacency built lazily once per
+//    (topology, liveness) version and shared by Dijkstra, SinkTree
+//    construction and flooding, so multi-node algorithms stop re-deriving
+//    connectivity (distance + wired scan + fault-injector probe) per edge
+//    per query.
+//  - RouteCache: a bounded LRU of shortest-path results, valid for exactly
+//    one (topology, liveness) version pair, so message bursts between the
+//    same endpoints amortize one Dijkstra.
+//
+// None of these structures draws randomness or changes answers: they are
+// exact accelerators over Network::connected(), and the property suite
+// (tests/property_topology_test.cpp) holds them bit-identical to the naive
+// scan / fresh-Dijkstra oracles under mobility, churn and chaos.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/geometry.hpp"
+#include "net/ids.hpp"
+
+namespace pgrid::net {
+
+/// Incremental spatial hash over wireless node positions.  Cells are cubes
+/// of side >= the largest radio range indexed, so every pair within mutual
+/// range lands in adjacent cells and gather() over the cells within a
+/// node's own range (at most a 3x3x3 block) is a superset of its true
+/// radio neighbourhood.  Cell coordinates
+/// are hashed to 64-bit keys; a key collision merely merges two buckets
+/// (the caller filters candidates through the exact connectivity check),
+/// so the structure is correct for any coordinates.
+class SpatialGrid {
+ public:
+  /// Indexes a wireless node.  Growing the observed maximum range rebuilds
+  /// the grid with larger cells (rare: once per distinct radio class).
+  void insert(NodeId id, Vec3 pos, double range_m);
+
+  /// Moves an indexed node to a new position; no-op for unindexed ids.
+  void move(NodeId id, Vec3 pos);
+
+  /// Appends every indexed node in the cells overlapping the box
+  /// `pos ± range` around `id` (excluding `id` itself) to `out`.  Any
+  /// connected peer lies within `id`'s own range (connectivity requires
+  /// d <= min(ra, rb) <= ra), and range <= cell size, so the scan touches
+  /// at most a 3x3x3 block — usually far fewer cells for short-range
+  /// radios.  Unsorted, may contain hash-collision strays; always a
+  /// superset of the in-range peers.
+  void gather(NodeId id, std::vector<NodeId>& out) const;
+
+  double cell_size_m() const { return cell_m_; }
+  std::size_t indexed_count() const { return indexed_; }
+  std::uint64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  struct Entry {
+    Vec3 pos;
+    double range_m = 0.0;
+    std::uint64_t key = 0;
+    bool indexed = false;
+  };
+
+  std::uint64_t key_of(Vec3 pos) const;
+  void rebuild(double new_cell_m);
+  void remove_from_bucket(std::uint64_t key, NodeId id);
+
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> cells_;
+  std::vector<Entry> entries_;  ///< indexed by NodeId
+  double cell_m_ = 0.0;
+  std::size_t indexed_ = 0;
+  std::uint64_t rebuilds_ = 0;
+};
+
+/// Flat CSR adjacency of the whole deployment at one (topology, liveness)
+/// version: row(id) lists the nodes directly reachable from `id`, in
+/// ascending id order (the iteration-order contract of
+/// Network::neighbors()), with the matching hop distances alongside for
+/// Dijkstra's tie-break.  Built lazily by Network::topology_snapshot();
+/// any topology bump or battery death invalidates it.
+struct TopologySnapshot {
+  std::uint64_t topology_version = 0;
+  std::uint64_t liveness_version = 0;
+  std::vector<std::uint32_t> offsets;  ///< size() + 1 entries
+  std::vector<NodeId> adjacency;       ///< ascending ids per row
+  std::vector<double> hop_distance;    ///< parallel to adjacency
+
+  std::size_t size() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::size_t edge_count() const { return adjacency.size(); }
+
+  std::span<const NodeId> row(NodeId id) const {
+    if (id + 1 >= offsets.size()) return {};
+    return {adjacency.data() + offsets[id],
+            adjacency.data() + offsets[id + 1]};
+  }
+  std::span<const double> row_distance(NodeId id) const {
+    if (id + 1 >= offsets.size()) return {};
+    return {hop_distance.data() + offsets[id],
+            hop_distance.data() + offsets[id + 1]};
+  }
+};
+
+/// Bounded LRU cache of shortest-path results, keyed by (src, dst) and
+/// valid for exactly one (topology, liveness) version pair — any version
+/// change empties it wholesale, which is equivalent to (and cheaper than)
+/// keying entries by version.  Failed lookups (empty routes) are cached
+/// too: "no route" is as deterministic as a route, and recomputing it is
+/// the most expensive Dijkstra of all.
+class RouteCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;  ///< whole-cache clears (version bumps)
+  };
+
+  explicit RouteCache(std::size_t capacity = 1024)
+      : capacity_(capacity ? capacity : 1) {}
+
+  /// The cached route for src -> dst at the given versions, or nullptr.
+  /// The pointer is valid until the next insert() or find() call.
+  const std::vector<NodeId>* find(NodeId src, NodeId dst,
+                                  std::uint64_t topology_version,
+                                  std::uint64_t liveness_version);
+
+  void insert(NodeId src, NodeId dst, std::uint64_t topology_version,
+              std::uint64_t liveness_version, std::vector<NodeId> route);
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  using LruList = std::list<std::pair<std::uint64_t, std::vector<NodeId>>>;
+
+  static std::uint64_t key_of(NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+  void sync_version(std::uint64_t topology_version,
+                    std::uint64_t liveness_version);
+
+  std::size_t capacity_;
+  std::uint64_t topology_version_ = 0;
+  std::uint64_t liveness_version_ = 0;
+  bool has_version_ = false;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> map_;
+  Stats stats_;
+};
+
+}  // namespace pgrid::net

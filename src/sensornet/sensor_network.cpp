@@ -306,7 +306,7 @@ void SensorNetwork::collect_clustered(const ScalarField& field, std::size_t k,
       auto advance = [this, round, pending] {
         if (--*pending == 0) finish_round(round);
       };
-      auto route = net::shortest_path(network_, cluster.head, base_);
+      auto route = net::cached_shortest_path(network_, cluster.head, base_);
       if (route.empty() || state.count == 0) {
         network_.simulator().schedule(sim::SimTime::zero(), advance);
         continue;
@@ -343,7 +343,7 @@ void SensorNetwork::collect_clustered(const ScalarField& field, std::size_t k,
         ++(*head_reports)[c];
         continue;
       }
-      auto route = net::shortest_path(network_, member, cluster.head);
+      auto route = net::cached_shortest_path(network_, member, cluster.head);
       if (route.empty()) continue;
       ++*phase1_pending;
       network_.send_route(route, config_.sample_bytes,
@@ -395,7 +395,7 @@ void SensorNetwork::read_sensor(net::NodeId sensor, const ScalarField& field,
     done(result);
   };
 
-  auto down = net::shortest_path(network_, base_, sensor);
+  auto down = net::cached_shortest_path(network_, base_, sensor);
   if (down.empty()) {
     network_.simulator().schedule(
         sim::SimTime::zero(), [finish] { finish(false, 0.0); });
@@ -410,7 +410,7 @@ void SensorNetwork::read_sensor(net::NodeId sensor, const ScalarField& field,
         }
         const double value =
             sample(sensor, field, network_.simulator().now());
-        auto up = net::shortest_path(network_, sensor, base_);
+        auto up = net::cached_shortest_path(network_, sensor, base_);
         if (up.empty()) {
           finish(false, 0.0);
           return;

@@ -344,7 +344,9 @@ void ChaosEngine::expire(std::size_t index) {
       // event inherited from apply().
       net::Node& node = network_.node(fault.node);
       if (!node.energy.is_unlimited() && fault.magnitude > 0.0) {
-        node.energy.consume(fault.magnitude);
+        // Routed through the network so a reboot that exhausts the battery
+        // invalidates the adjacency snapshot and route cache.
+        network_.drain_energy(fault.node, fault.magnitude);
         telemetry::Cost reboot;
         reboot.joules = fault.magnitude;
         network_.telemetry().charge(telemetry::Subsystem::kChaos, reboot);
