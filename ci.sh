@@ -26,16 +26,21 @@ echo "=== chaos smoke: 25 seeds/mix, all invariants, asan-ubsan ==="
 PGRID_CHAOS_SEEDS=25 out/asan-ubsan/tests/test_chaos \
   --gtest_filter='ChaosSweep.*'
 
-echo "=== bench smoke: kernel + decision maker + topology ==="
+echo "=== bench smoke: kernel + decision maker + topology + reliability ==="
 # Quick-mode perf smoke on the plain build: the binaries must run, emit
-# schema-valid JSON, and the kernel/topology benches must pass their
-# built-in determinism/oracle checks (non-zero exit otherwise).  The kernel
-# and topology reports are kept as BENCH_kernel.json / BENCH_topology.json —
-# the perf trajectory across PRs.
+# schema-valid JSON, and the kernel/topology/reliability benches must pass
+# their built-in determinism/oracle/ablation gates (non-zero exit
+# otherwise).  The kernel, topology, and reliability reports are kept as
+# BENCH_kernel.json / BENCH_topology.json / BENCH_resilience.json — the
+# perf and robustness trajectory across PRs.  The resilience run is the
+# EXP-R1 sweep: reliability on/off over identical seeded chaos schedules,
+# with the success-rate, coverage, exactly-once, ledger-conservation, and
+# kill-switch bit-identity gates enforced inside the binary.
 out/default/bench/bench_sim_kernel --json --quick > BENCH_kernel.json
 out/default/bench/bench_decision_maker --json > /tmp/bench_dm.json
 out/default/bench/bench_routing --json --quick > BENCH_topology.json
-python3 - BENCH_kernel.json /tmp/bench_dm.json BENCH_topology.json <<'PY'
+out/default/bench/bench_resilience --chaos --json > BENCH_resilience.json
+python3 - BENCH_kernel.json /tmp/bench_dm.json BENCH_topology.json BENCH_resilience.json <<'PY'
 import json, sys
 for path in sys.argv[1:]:
     with open(path) as fh:

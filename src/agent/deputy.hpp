@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "agent/envelope.hpp"
+#include "common/small_fn.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -21,8 +22,10 @@ namespace pgrid::agent {
 
 class AgentPlatform;
 
-/// Outcome callback for a deliver() call.
-using DeliverCallback = std::function<void(bool delivered)>;
+/// Outcome callback for a deliver() call.  Move-only small-buffer callable
+/// (PR 2 kernel convention): the deputy retry loop re-arms without
+/// allocating for its continuation.
+using DeliverCallback = common::SmallFn<void(bool delivered)>;
 
 /// The deputy interface: the only thing the platform knows about delivery.
 class AgentDeputy {
@@ -50,8 +53,13 @@ class DirectDeputy final : public AgentDeputy {
 };
 
 /// Disconnection-managing deputy: when the destination is unreachable the
-/// envelope is queued and retried periodically until a deadline.  This is
-/// the "disconnection management" feature the paper attributes to deputies.
+/// envelope is held and retried with exponential backoff (retry_every is
+/// the initial interval) until a deadline — the envelope's own deadline if
+/// it carries one, else give_up_after from now.  Give-up is owned by a
+/// dedicated event at the deadline, so done(false) fires exactly once at
+/// that instant even if the target dies mid-retry or the last attempt is
+/// still in flight.  This is the "disconnection management" feature the
+/// paper attributes to deputies.
 class StoreAndForwardDeputy final : public AgentDeputy {
  public:
   explicit StoreAndForwardDeputy(
@@ -64,12 +72,20 @@ class StoreAndForwardDeputy final : public AgentDeputy {
                DeliverCallback done) override;
   std::string kind() const override { return "store-and-forward"; }
 
+  /// Envelopes currently held awaiting a retry.
   std::size_t queued() const { return queued_; }
+  /// Total route attempts across all deliveries (backoff diagnostics).
+  std::uint64_t attempts() const { return attempts_; }
 
  private:
+  struct RetryState;
+  void attempt(AgentPlatform& platform,
+               const std::shared_ptr<RetryState>& state);
+
   sim::SimTime retry_every_;
   sim::SimTime give_up_after_;
   std::size_t queued_ = 0;
+  std::uint64_t attempts_ = 0;
 };
 
 /// Transcoding deputy: shrinks payloads before transmission when the first

@@ -53,6 +53,11 @@ struct Envelope {
   /// every hop of a handheld->base->sensors/grid conversation lands on the
   /// same ledger row.  Replies inherit it (see make_reply).
   std::uint64_t trace = 0;
+  /// Absolute simulated-time deadline in microseconds (0 = none).  The
+  /// delivery budget: deputies stop retrying and the reliable channel stops
+  /// retransmitting once it passes.  Stamped by the platform's request()
+  /// when the reliability layer is enabled.
+  std::int64_t deadline_us = 0;
   std::string payload;
 
   /// Serialized size used to charge the network; fixed framing plus

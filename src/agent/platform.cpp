@@ -93,6 +93,12 @@ void AgentPlatform::request(Envelope envelope, sim::SimTime timeout,
   const std::uint64_t token = next_token();
   envelope.reply_with = token;
   if (envelope.conversation_id == 0) envelope.conversation_id = token;
+  // With the reliability layer on, the request timeout doubles as the
+  // delivery budget: deputies and the acked channel stop retrying once the
+  // requester would have timed out anyway.
+  if (reliable_ && envelope.deadline_us == 0) {
+    envelope.deadline_us = (simulator().now() + timeout).us;
+  }
   const AgentId requester = envelope.sender;
 
   auto timeout_handle = simulator().schedule(timeout, [this, token] {
@@ -132,12 +138,16 @@ void AgentPlatform::dispatch(const Envelope& envelope) {
 }
 
 void AgentPlatform::route_and_transmit(net::NodeId src, net::NodeId dst,
-                                       std::uint64_t bytes,
-                                       std::function<void(bool)> done) {
+                                       std::uint64_t bytes, net::Budget budget,
+                                       DeliverCallback done) {
   if (src == dst) {
     // Local delivery is instantaneous but still asynchronous.
     simulator().schedule(sim::SimTime::zero(),
-                         [done = std::move(done)] { done(true); });
+                         [done = std::move(done)]() mutable { done(true); });
+    return;
+  }
+  if (reliable_) {
+    reliable_->unicast(src, dst, bytes, budget, std::move(done));
     return;
   }
   // Envelope bursts between the same endpoints hit the route cache; any
@@ -146,64 +156,123 @@ void AgentPlatform::route_and_transmit(net::NodeId src, net::NodeId dst,
   auto route = net::cached_shortest_path(network_, src, dst);
   if (route.empty()) {
     simulator().schedule(sim::SimTime::zero(),
-                         [done = std::move(done)] { done(false); });
+                         [done = std::move(done)]() mutable { done(false); });
     return;
   }
   network_.send_route(route, bytes,
-                      [done = std::move(done)](bool ok, std::size_t) { done(ok); });
+                      [done = std::move(done)](bool ok, std::size_t) mutable {
+                        done(ok);
+                      });
 }
 
 // ---------------------------------------------------------------------------
 // Deputies
 // ---------------------------------------------------------------------------
 
+namespace {
+
+net::Budget envelope_budget(const Envelope& envelope) {
+  return envelope.deadline_us > 0
+             ? net::Budget::until(
+                   sim::SimTime::microseconds(envelope.deadline_us))
+             : net::Budget::unlimited();
+}
+
+}  // namespace
+
 void DirectDeputy::deliver(AgentPlatform& platform, net::NodeId src_node,
                            net::NodeId dest_node, const Envelope& envelope,
                            DeliverCallback done) {
   platform.route_and_transmit(src_node, dest_node, envelope.wire_size(),
-                              std::move(done));
+                              envelope_budget(envelope), std::move(done));
 }
+
+/// Per-delivery retry bookkeeping.  The give-up event owns termination:
+/// nothing else may call done(false), and done(true) cancels it, so the
+/// outcome callback fires exactly once regardless of how the retry loop and
+/// target churn interleave.
+struct StoreAndForwardDeputy::RetryState {
+  net::NodeId src = net::kInvalidNode;
+  net::NodeId dst = net::kInvalidNode;
+  std::uint64_t bytes = 0;
+  sim::SimTime deadline;
+  sim::SimTime interval;  ///< next retry delay; doubles per failure
+  DeliverCallback done;
+  sim::EventHandle give_up;
+  bool finished = false;
+  bool counted = false;  ///< currently counted in queued_
+};
 
 void StoreAndForwardDeputy::deliver(AgentPlatform& platform,
                                     net::NodeId src_node,
                                     net::NodeId dest_node,
                                     const Envelope& envelope,
                                     DeliverCallback done) {
-  const std::uint64_t bytes = envelope.wire_size();
-  const sim::SimTime deadline = platform.simulator().now() + give_up_after_;
-  auto attempt = std::make_shared<std::function<void()>>();
-  auto done_shared = std::make_shared<DeliverCallback>(std::move(done));
-  *attempt = [this, &platform, src_node, dest_node, bytes, deadline, attempt,
-              done_shared]() {
-    platform.route_and_transmit(
-        src_node, dest_node, bytes,
-        [this, &platform, deadline, attempt, done_shared](bool ok) {
-          // `*attempt` captures `attempt`; break the cycle when the retry
-          // loop ends (deferred: the callback may run inside `*attempt`).
-          auto disarm = [&platform, attempt] {
-            platform.simulator().schedule(sim::SimTime::zero(),
-                                          [attempt] { *attempt = nullptr; });
-          };
-          if (ok) {
-            (*done_shared)(true);
-            disarm();
-            return;
-          }
-          // Destination unreachable: hold the envelope and retry, modelling
-          // disconnection management at the deputy.
-          if (platform.simulator().now() + retry_every_ > deadline) {
-            (*done_shared)(false);
-            disarm();
-            return;
-          }
-          ++queued_;
-          platform.simulator().schedule(retry_every_, [this, attempt] {
-            --queued_;
-            (*attempt)();
-          });
-        });
-  };
-  (*attempt)();
+  const sim::SimTime now = platform.simulator().now();
+  sim::SimTime deadline = now + give_up_after_;
+  if (envelope.deadline_us > 0) {
+    const auto env_deadline = sim::SimTime::microseconds(envelope.deadline_us);
+    if (env_deadline < deadline) deadline = env_deadline;
+  }
+  auto state = std::make_shared<RetryState>();
+  state->src = src_node;
+  state->dst = dest_node;
+  state->bytes = envelope.wire_size();
+  state->deadline = deadline;
+  state->interval = retry_every_;
+  state->done = std::move(done);
+  if (deadline <= now) {
+    platform.simulator().schedule(sim::SimTime::zero(), [state]() mutable {
+      state->finished = true;
+      if (state->done) state->done(false);
+    });
+    return;
+  }
+  state->give_up =
+      platform.simulator().schedule_at(deadline, [this, state]() mutable {
+        if (state->finished) return;
+        state->finished = true;
+        if (state->counted) {
+          state->counted = false;
+          --queued_;
+        }
+        if (state->done) state->done(false);
+      });
+  attempt(platform, state);
+}
+
+void StoreAndForwardDeputy::attempt(AgentPlatform& platform,
+                                    const std::shared_ptr<RetryState>& state) {
+  if (state->finished) return;
+  ++attempts_;
+  platform.route_and_transmit(
+      state->src, state->dst, state->bytes, net::Budget::until(state->deadline),
+      [this, &platform, state](bool ok) mutable {
+        if (state->finished) return;  // gave up while this attempt was in air
+        if (ok) {
+          state->finished = true;
+          platform.simulator().cancel(state->give_up);
+          if (state->done) state->done(true);
+          return;
+        }
+        // Destination unreachable: hold the envelope and retry with
+        // exponential backoff, modelling disconnection management at the
+        // deputy.  Retries that would land past the deadline are dropped —
+        // the give-up event reports the failure at the deadline itself.
+        const sim::SimTime delay = state->interval;
+        state->interval = state->interval + state->interval;
+        if (platform.simulator().now() + delay >= state->deadline) return;
+        state->counted = true;
+        ++queued_;
+        platform.simulator().schedule(
+            delay, [this, &platform, state]() mutable {
+              if (state->counted) {
+                state->counted = false;
+                --queued_;
+              }
+              attempt(platform, state);
+            });
+      });
 }
 
 void TranscodingDeputy::deliver(AgentPlatform& platform, net::NodeId src_node,
@@ -225,7 +294,8 @@ void TranscodingDeputy::deliver(AgentPlatform& platform, net::NodeId src_node,
       ++transcoded_;
     }
   }
-  platform.route_and_transmit(src_node, dest_node, bytes, std::move(done));
+  platform.route_and_transmit(src_node, dest_node, bytes,
+                              envelope_budget(envelope), std::move(done));
 }
 
 }  // namespace pgrid::agent

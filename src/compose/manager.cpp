@@ -6,6 +6,23 @@
 
 namespace pgrid::compose {
 
+namespace {
+
+/// Clamps a protocol timeout to the composite's remaining deadline budget
+/// (no-op when no deadline is set).
+sim::SimTime clamp_to_deadline(const CompositionOptions& options,
+                               sim::SimTime base, sim::SimTime now) {
+  if (options.deadline.us <= 0) return base;
+  const sim::SimTime remaining = options.deadline - now;
+  return remaining < base ? remaining : base;
+}
+
+bool deadline_blown(const CompositionOptions& options, sim::SimTime now) {
+  return options.deadline.us > 0 && now >= options.deadline;
+}
+
+}  // namespace
+
 struct CompositionManager::RunState {
   TaskGraph graph;
   CompositionOptions options;
@@ -68,6 +85,13 @@ void CompositionManager::bind_and_invoke(const std::shared_ptr<RunState>& run,
   if (run->run_failed) return;
   const TaskSpec& spec = run->graph.task(index);
 
+  // Budget exhausted: no point discovering or invoking — fail the task now
+  // (optional tasks still degrade gracefully in complete_task).
+  if (deadline_blown(run->options, platform_.simulator().now())) {
+    complete_task(run, index, false);
+    return;
+  }
+
   // Proactive mode: use the cached binding when fresh and not already
   // known-bad for this task.
   if (run->options.mode == CompositionMode::kProactive) {
@@ -86,7 +110,9 @@ void CompositionManager::bind_and_invoke(const std::shared_ptr<RunState>& run,
   request.require_subsumption = true;
   ++run->report.discoveries;
   discovery::discover(
-      platform_, client_, broker_, request, run->options.discover_timeout,
+      platform_, client_, broker_, request,
+      clamp_to_deadline(run->options, run->options.discover_timeout,
+                        platform_.simulator().now()),
       [this, run, index, rebinds_left](std::vector<discovery::Match> matches) {
         // Drop providers that already failed this task.
         const auto& bad = run->failed_services[index];
@@ -95,6 +121,18 @@ void CompositionManager::bind_and_invoke(const std::shared_ptr<RunState>& run,
                                        return bad.count(m.service.name) > 0;
                                      }),
                       matches.end());
+        // Drop providers whose circuit breaker is open: re-discovery routes
+        // around tripped services instead of burning the budget on them.
+        if (auto* breakers = run->options.provider_breakers) {
+          const sim::SimTime now = platform_.simulator().now();
+          matches.erase(
+              std::remove_if(matches.begin(), matches.end(),
+                             [&](const discovery::Match& m) {
+                               return breakers->state(m.service.name, now) ==
+                                      net::BreakerState::kOpen;
+                             }),
+              matches.end());
+        }
         if (matches.empty()) {
           complete_task(run, index, false);
           return;
@@ -155,15 +193,39 @@ void CompositionManager::invoke_bound(
     const discovery::ServiceDescription& service, std::size_t rebinds_left) {
   if (run->run_failed) return;
   const TaskSpec& spec = run->graph.task(index);
+  const sim::SimTime now = platform_.simulator().now();
+  if (deadline_blown(run->options, now)) {
+    complete_task(run, index, false);
+    return;
+  }
+  auto* breakers = run->options.provider_breakers;
+  if (breakers && !breakers->admit(service.name, now)) {
+    // Breaker open and cooling: don't spend the invocation; treat as a
+    // provider failure and re-bind elsewhere (without blacklisting — the
+    // provider may heal and its half-open probe re-admit it later).
+    ++run->report.breaker_short_circuits;
+    if (rebinds_left > 0) {
+      ++run->report.rebinds;
+      bind_and_invoke(run, index, rebinds_left - 1);
+      return;
+    }
+    complete_task(run, index, false);
+    return;
+  }
   invoke_service(
       platform_, client_, service, spec.compute_ops, spec.input_bytes,
-      spec.output_bytes, run->options.invoke_timeout,
+      spec.output_bytes,
+      clamp_to_deadline(run->options, run->options.invoke_timeout, now),
       [this, run, index, rebinds_left,
        service_name = service.name](InvokeResult result) {
+        auto* breakers = run->options.provider_breakers;
+        const sim::SimTime now = platform_.simulator().now();
         if (result.success) {
+          if (breakers) breakers->record_success(service_name, now);
           complete_task(run, index, true);
           return;
         }
+        if (breakers) breakers->record_failure(service_name, now);
         // Fault control: remember the failed provider, re-discover, re-bind.
         run->failed_services[index].insert(service_name);
         if (rebinds_left > 0) {

@@ -27,6 +27,7 @@
 #include "compose/invoke.hpp"
 #include "compose/task.hpp"
 #include "discovery/broker.hpp"
+#include "net/reliable.hpp"
 
 namespace pgrid::compose {
 
@@ -44,6 +45,14 @@ struct CompositionOptions {
   bool allow_degraded = true;
   sim::SimTime discover_timeout = sim::SimTime::seconds(5.0);
   sim::SimTime invoke_timeout = sim::SimTime::seconds(30.0);
+  /// Absolute deadline for the whole composite (zero = none).  Discover and
+  /// invoke timeouts are clamped to the remaining budget, and tasks that
+  /// start past the deadline fail immediately instead of re-discovering.
+  sim::SimTime deadline{};
+  /// Provider-keyed circuit breakers (null = disabled).  Open providers are
+  /// excluded from discovery results, and each invocation must be admitted;
+  /// invocation outcomes feed back as success/failure.
+  net::BreakerRegistry<std::string>* provider_breakers = nullptr;
 };
 
 /// Outcome of one composite execution.
@@ -55,6 +64,8 @@ struct CompositionReport {
   std::size_t rebinds = 0;        ///< fault-recovery re-bindings
   std::size_t discoveries = 0;    ///< broker round-trips
   std::size_t negotiations = 0;   ///< contract-net rounds run
+  /// Invocations rejected up-front by an open provider breaker.
+  std::size_t breaker_short_circuits = 0;
   double elapsed_s = 0.0;
   std::string failure_reason;
 

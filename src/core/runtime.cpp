@@ -37,6 +37,17 @@ PervasiveGridRuntime::PervasiveGridRuntime(RuntimeConfig config)
   pool_ = std::make_unique<common::ThreadPool>(config_.pool_threads);
   pending_ = std::make_unique<RuntimePending>();
 
+  if (config_.reliability.enabled) {
+    // The channel's jitter stream is seeded independently of rng_ so that
+    // enabling reliability never perturbs the fork order the deployment's
+    // other streams (placement, noise, loss) were built from.
+    reliable_ = std::make_unique<net::ReliableChannel>(
+        *network_, config_.reliability.channel,
+        common::Rng(config_.seed ^ 0x9E3779B97F4A7C15ULL));
+    platform_->set_reliable_channel(reliable_.get());
+    sensors_->set_reliable_channel(reliable_.get());
+  }
+
   register_agents();
   // Let registrations and advertisements play out, then start experiments
   // from full batteries.
@@ -57,6 +68,10 @@ partition::ExecutionContext PervasiveGridRuntime::execution_context() {
       config_.sensors.floors > 1 ? config_.pde_depth_resolution : 1;
   ctx.ambient = config_.ambient_celsius;
   ctx.pool = pool_.get();
+  if (reliable_) {
+    ctx.reliable = reliable_.get();
+    ctx.default_budget_s = config_.reliability.query_budget_s;
+  }
   return ctx;
 }
 
@@ -220,7 +235,8 @@ void PervasiveGridRuntime::run_pipeline(
   };
 
   if (outcome->classification.continuous) {
-    auto summarize = [outcome, ctx, finish](
+    const bool reliable_on = reliable_ != nullptr;
+    auto summarize = [outcome, ctx, finish, reliable_on](
                          std::vector<partition::ActualCost> epochs,
                          std::vector<partition::SolutionModel> models) {
       outcome->epochs = std::move(epochs);
@@ -231,8 +247,14 @@ void PervasiveGridRuntime::run_pipeline(
       partition::ActualCost total;
       total.ok = !outcome->epochs.empty();
       double response_sum = 0.0;
+      double coverage_sum = 0.0;
+      bool any_ok = false;
+      bool any_degraded = false;
       for (const auto& epoch : outcome->epochs) {
         total.ok = total.ok && epoch.ok;
+        any_ok = any_ok || epoch.ok;
+        any_degraded = any_degraded || epoch.degraded || !epoch.ok;
+        coverage_sum += epoch.ok ? epoch.coverage : 0.0;
         total.energy_j += epoch.energy_j;
         total.data_bytes += epoch.data_bytes;
         total.compute_ops += epoch.compute_ops;
@@ -243,9 +265,21 @@ void PervasiveGridRuntime::run_pipeline(
         total.response_s =
             response_sum / static_cast<double>(outcome->epochs.size());
         total.accuracy = outcome->epochs.back().accuracy;
+        total.coverage =
+            coverage_sum / static_cast<double>(outcome->epochs.size());
+      }
+      if (reliable_on) {
+        // Degraded-result semantics: a standing query stays useful as long
+        // as any epoch answered; lost epochs show up as reduced coverage
+        // and a degraded flag instead of failing the whole query.
+        const bool all_ok = total.ok;
+        total.ok = any_ok;
+        total.degraded = total.ok && (!all_ok || any_degraded);
       }
       outcome->actual = std::move(total);
       outcome->ok = outcome->actual.ok;
+      outcome->coverage = outcome->actual.coverage;
+      outcome->degraded = outcome->actual.degraded;
       finish();
     };
 
@@ -283,6 +317,8 @@ void PervasiveGridRuntime::run_pipeline(
       [outcome, ctx, finish](partition::ActualCost actual) {
         outcome->actual = std::move(actual);
         outcome->ok = outcome->actual.ok;
+        outcome->coverage = outcome->actual.coverage;
+        outcome->degraded = outcome->actual.degraded;
         if (!outcome->ok && outcome->error.empty()) {
           outcome->error = outcome->actual.error;
         }

@@ -30,6 +30,21 @@ namespace pgrid::core {
 
 struct RuntimePending;  // pending outcomes keyed by conversation (internal)
 
+/// End-to-end reliability layer (acked delivery, deadline budgets, circuit
+/// breakers, coverage-graded degraded results).  Off by default — with
+/// `enabled` false every legacy code path runs byte-for-byte unchanged, so
+/// a run reproduces the pre-reliability build bit-identically (the kill
+/// switch the acceptance gate replays).
+struct ReliabilityConfig {
+  bool enabled = false;
+  /// Channel tuning: ACK sizing, per-hop attempts, backoff, window, link
+  /// breaker thresholds.
+  net::ReliableConfig channel;
+  /// Default per-query delivery budget in seconds when the query carries no
+  /// COST TIME clause (0 = unlimited).
+  double query_budget_s = 30.0;
+};
+
 struct RuntimeConfig {
   std::uint64_t seed = 42;
   sensornet::SensorNetworkConfig sensors;
@@ -61,6 +76,8 @@ struct RuntimeConfig {
   /// (own Simulator, own CostLedger), so any setting returns outcomes
   /// bit-identical to serial evaluation, in candidate order.
   std::size_t what_if_parallelism = 0;
+  /// Reliability layer (PR 5); disabled by default.
+  ReliabilityConfig reliability;
 };
 
 /// Everything known about one answered query.
@@ -82,6 +99,12 @@ struct QueryOutcome {
   std::vector<partition::SolutionModel> epoch_models;
   /// End-to-end response seen by the handheld (includes the edge hop).
   double handheld_response_s = 0.0;
+  /// Fraction of qualifying sensors represented in the answer (mean over
+  /// epochs for continuous queries; failed epochs count as zero).
+  double coverage = 1.0;
+  /// True when the answer is usable but built from partial data — the
+  /// reliability layer's coverage-graded degraded-result path.
+  bool degraded = false;
   /// Ledger trace id the runtime opened for this query (kNoTrace when the
   /// outcome never reached the ledger, e.g. parse-level failures surfaced
   /// before submission).
@@ -147,6 +170,8 @@ class PervasiveGridRuntime {
   query::QueryClassifier& classifier() { return classifier_; }
   net::NodeId handheld_node() const { return handheld_node_; }
   const RuntimeConfig& config() const { return config_; }
+  /// The reliability channel, or null when the layer is disabled.
+  net::ReliableChannel* reliable_channel() { return reliable_.get(); }
   /// The deployment's cost ledger (owned by the network, so what_if clones
   /// get their own and never pollute this one).
   telemetry::CostLedger& telemetry() { return network_->telemetry(); }
@@ -175,6 +200,7 @@ class PervasiveGridRuntime {
   sim::Simulator sim_;
   common::Rng rng_;
   std::unique_ptr<net::Network> network_;
+  std::unique_ptr<net::ReliableChannel> reliable_;
   std::unique_ptr<sensornet::SensorNetwork> sensors_;
   std::unique_ptr<sensornet::BuildingTemperatureField> field_;
   std::unique_ptr<grid::GridInfrastructure> grid_;

@@ -171,7 +171,8 @@ void Network::transmit(NodeId from, NodeId to, std::uint64_t bytes,
   auto link = link_between(from, to);
   if (!link) {
     // No usable link: fail asynchronously so callers see uniform semantics.
-    sim_.schedule(sim::SimTime::zero(), [cb = std::move(cb)] { cb(false); });
+    sim_.schedule(sim::SimTime::zero(),
+                  [cb = std::move(cb)]() mutable { cb(false); });
     return;
   }
 
@@ -273,14 +274,16 @@ void Network::transmit(NodeId from, NodeId to, std::uint64_t bytes,
   }
   total += effect.extra_delay;
   ledger_.charge(subsystem, usage);
-  sim_.schedule(total, [cb = std::move(cb), success] { cb(success); });
+  sim_.schedule(total,
+                [cb = std::move(cb), success]() mutable { cb(success); });
 }
 
 void Network::send_route(const std::vector<NodeId>& route, std::uint64_t bytes,
                          RouteCallback cb) {
   if (route.size() < 2) {
-    sim_.schedule(sim::SimTime::zero(),
-                  [cb = std::move(cb), n = route.size()] { cb(n == 1, 0); });
+    sim_.schedule(
+        sim::SimTime::zero(),
+        [cb = std::move(cb), n = route.size()]() mutable { cb(n == 1, 0); });
     return;
   }
   // Hop-by-hop continuation: each delivery schedules the next hop.

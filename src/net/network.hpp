@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/small_fn.hpp"
 #include "net/energy.hpp"
 #include "net/geometry.hpp"
 #include "net/ids.hpp"
@@ -105,8 +106,13 @@ class FaultInjector {
 /// the simulator when the (simulated) transfer completes.
 class Network {
  public:
-  using DeliveryCallback = std::function<void(bool delivered)>;
-  using RouteCallback = std::function<void(bool delivered, std::size_t hops)>;
+  /// Move-only small-buffer callables (PR 2 kernel convention): the unicast
+  /// delivery paths — including the reliability layer's retransmissions —
+  /// complete without allocating for their continuations.  Dissemination
+  /// callbacks stay std::function (they are copied across branches).
+  using DeliveryCallback = common::SmallFn<void(bool delivered)>;
+  using RouteCallback =
+      common::SmallFn<void(bool delivered, std::size_t hops)>;
   using VisitCallback = std::function<void(NodeId)>;
   using DoneCallback = std::function<void(std::size_t reached)>;
 

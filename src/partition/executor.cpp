@@ -17,6 +17,33 @@ std::size_t effective_clusters(const ExecutionContext& context) {
       std::sqrt(static_cast<double>(context.sensors.sensors().size()))));
 }
 
+/// Delivery budget for one epoch of `query`: an explicit COST TIME clause
+/// wins, else the context default.  Unlimited without the reliability layer
+/// (legacy paths ignore budgets anyway) or when no bound is configured.
+net::Budget query_budget(ExecutionContext& context,
+                         const query::Query& query) {
+  if (context.reliable == nullptr) return net::Budget::unlimited();
+  double seconds = context.default_budget_s;
+  if (query.cost.metric == query::CostMetric::kTime && query.cost.limit > 0) {
+    seconds = query.cost.limit;
+  }
+  if (seconds <= 0.0) return net::Budget::unlimited();
+  return net::Budget::until(context.sensors.network().simulator().now() +
+                            sim::SimTime::seconds(seconds));
+}
+
+/// Grades a collection round: coverage is the fraction of qualifying
+/// sensors represented in the answer; degraded marks a usable-but-partial
+/// result.
+void grade_coverage(const sensornet::CollectionResult& collected,
+                    ActualCost& cost) {
+  cost.coverage = collected.expected > 0
+                      ? static_cast<double>(collected.reports) /
+                            static_cast<double>(collected.expected)
+                      : 0.0;
+  cost.degraded = cost.ok && collected.reports < collected.expected;
+}
+
 /// Per-run measurement bracket: a view over the telemetry ledger's row for
 /// the active trace.  ActualCost is the trace's cost delta between
 /// construction and finish() — the executor no longer sums energy or bytes
@@ -104,20 +131,24 @@ bool make_sensor_filter(ExecutionContext& context, const query::Query& query,
   return true;
 }
 
-/// Finishes a run: stamps the measurement and hands off.
+/// Finishes a run: stamps the measurement and hands off.  The callback is
+/// shared because continuations fan out through copyable std::function
+/// layers (collection callbacks, grid jobs) before converging here.
 void complete(ExecutionContext& context,
               const std::shared_ptr<Measurement>& measurement,
-              ActualCost cost, const ExecuteCallback& done) {
+              ActualCost cost, const std::shared_ptr<ExecuteCallback>& done) {
   measurement->finish(context.sensors.network(), cost);
-  done(std::move(cost));
+  (*done)(std::move(cost));
 }
 
 void execute_simple(ExecutionContext& context, const query::Query& query,
-                    ExecuteCallback done) {
+                    ExecuteCallback done_cb) {
   auto measurement =
       std::make_shared<Measurement>(context.sensors.network());
+  auto done = std::make_shared<ExecuteCallback>(std::move(done_cb));
   const query::Predicate* pred = query.predicate_on("sensor");
   ActualCost failed;
+  failed.coverage = 0.0;
   if (pred == nullptr || !pred->numeric) {
     failed.error = "simple query needs a 'sensor = <id>' predicate";
   } else {
@@ -132,10 +163,12 @@ void execute_simple(ExecutionContext& context, const query::Query& query,
             ActualCost cost;
             cost.ok = read.ok;
             cost.value = read.value;
+            cost.coverage = read.ok ? 1.0 : 0.0;
             charge_ops(context, telemetry::Subsystem::kSensing, 1.0);
             if (!read.ok) cost.error = "sensor unreachable";
             complete(context, measurement, std::move(cost), done);
-          });
+          },
+          query_budget(context, query));
       return;
     }
   }
@@ -147,12 +180,14 @@ void execute_simple(ExecutionContext& context, const query::Query& query,
 
 void execute_aggregate(ExecutionContext& context, const query::Query& query,
                        const query::Classification& cls, SolutionModel model,
-                       ExecuteCallback done) {
+                       ExecuteCallback done_cb) {
   auto measurement =
       std::make_shared<Measurement>(context.sensors.network());
+  auto done = std::make_shared<ExecuteCallback>(std::move(done_cb));
   const auto fn = cls.aggregate;
   sensornet::SensorNetwork::SensorFilter filter;
   make_sensor_filter(context, query, filter);
+  const net::Budget budget = query_budget(context, query);
   auto finish_with = [&context, measurement, fn,
                       done](const sensornet::CollectionResult& collected,
                             double extra_ops, double ops_per_s) {
@@ -170,6 +205,7 @@ void execute_aggregate(ExecutionContext& context, const query::Query& query,
                         ? static_cast<double>(collected.reports) /
                               static_cast<double>(collected.expected)
                         : 0.0;
+    grade_coverage(collected, cost);
     if (!cost.ok) cost.error = "no sensor reports";
     // Charge the (tiny) aggregate computation where it runs.
     const double compute_s = ops_per_s > 0 ? ops / ops_per_s : 0.0;
@@ -187,7 +223,7 @@ void execute_aggregate(ExecutionContext& context, const query::Query& query,
           [finish_with, &context](auto collected) {
             finish_with(collected, 0.0, context.base_ops_per_s);
           },
-          filter);
+          filter, budget);
       return;
     case SolutionModel::kTreeAggregate:
       context.sensors.collect_tree_aggregate(
@@ -195,13 +231,13 @@ void execute_aggregate(ExecutionContext& context, const query::Query& query,
           [finish_with](auto collected) {
             finish_with(collected, 0.0, 0.0);  // merged in-network
           },
-          filter);
+          filter, budget);
       return;
     case SolutionModel::kClusterAggregate:
       context.sensors.collect_cluster_aggregate(
           context.field, effective_clusters(context),
           [finish_with](auto collected) { finish_with(collected, 0.0, 0.0); },
-          filter);
+          filter, budget);
       return;
     case SolutionModel::kGridOffload: {
       grid::GridInfrastructure* infra = context.grid;
@@ -211,6 +247,7 @@ void execute_aggregate(ExecutionContext& context, const query::Query& query,
             ActualCost cost;
             cost.ok = collected.reports > 0 && infra != nullptr;
             cost.value = collected.aggregate.result(fn);
+            grade_coverage(collected, cost);
             const double ops = static_cast<double>(collected.reports);
             // The base still pays the per-report bookkeeping whether or not
             // a grid is reachable; the offloaded job itself is covered by
@@ -232,11 +269,12 @@ void execute_aggregate(ExecutionContext& context, const query::Query& query,
                                      done);
                           });
           },
-          filter);
+          filter, budget);
       return;
     }
     default: {
       ActualCost cost;
+      cost.coverage = 0.0;
       cost.error = "model does not support aggregate queries";
       context.sensors.network().simulator().schedule(
           sim::SimTime::zero(), [&context, measurement, cost, done] {
@@ -248,13 +286,15 @@ void execute_aggregate(ExecutionContext& context, const query::Query& query,
 }
 
 void execute_complex(ExecutionContext& context, const query::Query& query,
-                     SolutionModel model, ExecuteCallback done) {
+                     SolutionModel model, ExecuteCallback done_cb) {
   auto measurement =
       std::make_shared<Measurement>(context.sensors.network());
+  auto done = std::make_shared<ExecuteCallback>(std::move(done_cb));
   const double width = context.sensors.config().width_m;
   const double height = context.sensors.config().height_m;
   sensornet::SensorNetwork::SensorFilter filter;
   make_sensor_filter(context, query, filter);
+  const net::Budget budget = query_budget(context, query);
 
   // Stage 2, shared by every placement: solve the PDE (real numerics on the
   // host) and charge its flops to wherever the model places the compute.
@@ -263,6 +303,7 @@ void execute_complex(ExecutionContext& context, const query::Query& query,
                                  double accuracy) {
     ActualCost cost;
     if (collected.raw.empty()) {
+      cost.coverage = 0.0;
       cost.error = "no readings reached the base station";
       complete(context, measurement, std::move(cost), done);
       return;
@@ -286,6 +327,7 @@ void execute_complex(ExecutionContext& context, const query::Query& query,
     cost.accuracy = accuracy;
     cost.value = result.grid.max_value();
     cost.distribution = std::move(result.grid);
+    grade_coverage(collected, cost);
     if (!cost.ok) cost.error = "solver did not converge";
 
     const std::uint64_t field_bytes =
@@ -355,14 +397,14 @@ void execute_complex(ExecutionContext& context, const query::Query& query,
         [solve_and_finish, accuracy](auto collected) {
           solve_and_finish(collected, accuracy);
         },
-        filter);
+        filter, budget);
   } else {
     context.sensors.collect_all_to_base(
         context.field,
         [solve_and_finish](auto collected) {
           solve_and_finish(collected, 1.0);
         },
-        filter);
+        filter, budget);
   }
 }
 

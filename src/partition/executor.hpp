@@ -11,9 +11,11 @@
 #include <optional>
 #include <vector>
 
+#include "common/small_fn.hpp"
 #include "common/thread_pool.hpp"
 #include "grid/infrastructure.hpp"
 #include "grid/temperature.hpp"
+#include "net/reliable.hpp"
 #include "partition/cost_model.hpp"
 #include "partition/models.hpp"
 #include "query/classifier.hpp"
@@ -39,6 +41,14 @@ struct ExecutionContext {
   double ambient = 20.0;
   grid::SolverKind solver = grid::SolverKind::kCg;
   common::ThreadPool* pool = nullptr;
+  /// Reliability layer (null = legacy best-effort).  When set, collection
+  /// rounds run over acked delivery and are bounded by the query's deadline
+  /// budget.
+  net::ReliableChannel* reliable = nullptr;
+  /// Default per-query delivery budget in seconds when the query carries no
+  /// COST TIME clause (0 = unlimited).  Only honoured when `reliable` is
+  /// set.
+  double default_budget_s = 0.0;
 };
 
 /// Measured outcome of one execution.
@@ -49,6 +59,12 @@ struct ActualCost {
   std::uint64_t data_bytes = 0;
   double compute_ops = 0.0;
   double accuracy = 1.0;
+  /// Fraction of qualifying sensors whose data is represented in the
+  /// answer (1.0 when every expected report arrived; reads: 1 or 0).
+  double coverage = 1.0;
+  /// True when the answer is usable but built from partial data — the
+  /// coverage-graded degraded-result path of the reliability layer.
+  bool degraded = false;
   /// Scalar answer: the reading (simple), the aggregate (aggregate), or the
   /// field maximum (complex) — enough for assertions and reports.
   double value = 0.0;
@@ -57,7 +73,9 @@ struct ActualCost {
   std::string error;
 };
 
-using ExecuteCallback = std::function<void(ActualCost)>;
+/// Move-only small-buffer callable (PR 2 kernel convention); the executor
+/// wraps it in a shared_ptr internally where continuations fan out.
+using ExecuteCallback = common::SmallFn<void(ActualCost)>;
 
 /// Runs one epoch of `query` (classified as `cls`) under `model`.  Fires
 /// the callback from the simulator when the answer reaches the client.

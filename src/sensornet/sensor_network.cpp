@@ -146,29 +146,39 @@ std::vector<std::pair<net::NodeId, double>> qualifying_samples(
 
 void SensorNetwork::collect_all_to_base(const ScalarField& field,
                                         CollectCallback done,
-                                        SensorFilter filter) {
+                                        SensorFilter filter,
+                                        net::Budget budget) {
   auto round = begin_round(std::move(done));
   const auto& routing_tree = tree();
   const auto qualified = qualifying_samples(*this, field, filter);
   round->result.expected = qualified.size();
   for (const auto& [sensor, value] : qualified) {
-    auto route = routing_tree.route_to_sink(sensor);
-    if (route.empty()) continue;  // disconnected; counted as missing
     const net::Vec3 pos = network_.node(sensor).pos;
-    ++round->outstanding;
     const net::NodeId sensor_id = sensor;
     const double reading = value;
+    auto complete = [this, round, sensor_id, pos, reading](bool ok) {
+      if (ok) {
+        round->result.aggregate.add(reading);
+        round->result.raw.push_back(RawReading{sensor_id, pos, reading});
+        ++round->result.reports;
+      }
+      --round->outstanding;
+      finish_round(round);
+    };
+    if (reliable_) {
+      // The channel routes (and re-routes) itself; no tree precheck.
+      ++round->outstanding;
+      reliable_->unicast(sensor_id, base_, config_.sample_bytes, budget,
+                         std::move(complete));
+      continue;
+    }
+    auto route = routing_tree.route_to_sink(sensor);
+    if (route.empty()) continue;  // disconnected; counted as missing
+    ++round->outstanding;
     network_.send_route(route, config_.sample_bytes,
-                        [this, round, sensor_id, pos, reading](bool ok,
-                                                               std::size_t) {
-                          if (ok) {
-                            round->result.aggregate.add(reading);
-                            round->result.raw.push_back(
-                                RawReading{sensor_id, pos, reading});
-                            ++round->result.reports;
-                          }
-                          --round->outstanding;
-                          finish_round(round);
+                        [complete = std::move(complete)](bool ok,
+                                                         std::size_t) mutable {
+                          complete(ok);
                         });
   }
   if (round->outstanding == 0) {
@@ -179,7 +189,8 @@ void SensorNetwork::collect_all_to_base(const ScalarField& field,
 
 void SensorNetwork::collect_tree_aggregate(const ScalarField& field,
                                            CollectCallback done,
-                                           SensorFilter filter) {
+                                           SensorFilter filter,
+                                           net::Budget budget) {
   auto round = begin_round(std::move(done));
   // Snapshot the tree: topology churn mid-round must not invalidate the
   // schedule this round was built against.
@@ -214,7 +225,7 @@ void SensorNetwork::collect_tree_aggregate(const ScalarField& field,
 
   auto run_level = std::make_shared<std::function<void(std::size_t)>>();
   *run_level = [this, round, states, contributions, levels, run_level,
-                routing_tree](std::size_t depth) {
+                routing_tree, budget](std::size_t depth) {
     if (depth == 0) {
       // All partial states have arrived at (or failed before) the base.
       auto it = states->find(base_);
@@ -249,16 +260,23 @@ void SensorNetwork::collect_tree_aggregate(const ScalarField& field,
       }
       const AggregateState to_send = state_it->second;
       const std::size_t contributed = (*contributions)[id];
-      network_.transmit(
-          id, parent, config_.state_bytes,
-          [states, contributions, parent, to_send, contributed,
-           advance](bool ok) {
-            if (ok) {
-              (*states)[parent].merge(to_send);
-              (*contributions)[parent] += contributed;
-            }
-            advance();
-          });
+      auto complete = [states, contributions, parent, to_send, contributed,
+                       advance](bool ok) {
+        if (ok) {
+          (*states)[parent].merge(to_send);
+          (*contributions)[parent] += contributed;
+        }
+        advance();
+      };
+      if (reliable_) {
+        // Parent hops become acked transfers: a lost partial state is
+        // retransmitted instead of silently shrinking the subtree.
+        reliable_->acked_transmit(id, parent, config_.state_bytes, budget,
+                                  std::move(complete));
+      } else {
+        network_.transmit(id, parent, config_.state_bytes,
+                          std::move(complete));
+      }
     }
   };
   if (deepest == 0) {
@@ -272,7 +290,8 @@ void SensorNetwork::collect_tree_aggregate(const ScalarField& field,
 void SensorNetwork::collect_clustered(const ScalarField& field, std::size_t k,
                                       bool keep_raw_averages,
                                       CollectCallback done,
-                                      SensorFilter filter) {
+                                      SensorFilter filter,
+                                      net::Budget budget) {
   auto round = begin_round(std::move(done));
   auto clusters = std::make_shared<std::vector<Cluster>>(
       form_clusters(network_, sensors_, k, rng_));
@@ -296,7 +315,7 @@ void SensorNetwork::collect_clustered(const ScalarField& field, std::size_t k,
   auto phase1_pending = std::make_shared<std::size_t>(0);
 
   auto phase2 = [this, round, clusters, head_states, head_reports,
-                 keep_raw_averages] {
+                 keep_raw_averages, budget] {
     // Phase 2: each head forwards one partial state to the base station.
     auto pending = std::make_shared<std::size_t>(clusters->size());
     for (std::size_t c = 0; c < clusters->size(); ++c) {
@@ -306,29 +325,39 @@ void SensorNetwork::collect_clustered(const ScalarField& field, std::size_t k,
       auto advance = [this, round, pending] {
         if (--*pending == 0) finish_round(round);
       };
-      auto route = net::cached_shortest_path(network_, cluster.head, base_);
-      if (route.empty() || state.count == 0) {
+      if (state.count == 0) {
         network_.simulator().schedule(sim::SimTime::zero(), advance);
         continue;
       }
       const net::Vec3 centroid = cluster.centroid;
-      network_.send_route(
-          route, config_.state_bytes,
-          [round, state, reports, centroid, keep_raw_averages, advance](
-              bool ok, std::size_t) {
-            if (ok) {
-              round->result.aggregate.merge(state);
-              round->result.reports += reports;
-              if (keep_raw_averages) {
-                // Region averages arrive as synthetic readings at the
-                // region centroid.
-                round->result.raw.push_back(
-                    RawReading{net::kInvalidNode, centroid,
-                               state.result(AggregateFunction::kAvg)});
-              }
-            }
-            advance();
-          });
+      auto complete = [round, state, reports, centroid, keep_raw_averages,
+                       advance](bool ok) {
+        if (ok) {
+          round->result.aggregate.merge(state);
+          round->result.reports += reports;
+          if (keep_raw_averages) {
+            // Region averages arrive as synthetic readings at the
+            // region centroid.
+            round->result.raw.push_back(
+                RawReading{net::kInvalidNode, centroid,
+                           state.result(AggregateFunction::kAvg)});
+          }
+        }
+        advance();
+      };
+      if (reliable_) {
+        reliable_->unicast(cluster.head, base_, config_.state_bytes, budget,
+                           std::move(complete));
+        continue;
+      }
+      auto route = net::cached_shortest_path(network_, cluster.head, base_);
+      if (route.empty()) {
+        network_.simulator().schedule(sim::SimTime::zero(), advance);
+        continue;
+      }
+      network_.send_route(route, config_.state_bytes,
+                          [complete = std::move(complete)](
+                              bool ok, std::size_t) mutable { complete(ok); });
     }
   };
 
@@ -343,18 +372,26 @@ void SensorNetwork::collect_clustered(const ScalarField& field, std::size_t k,
         ++(*head_reports)[c];
         continue;
       }
+      auto complete = [c, value, head_states, head_reports, phase1_pending,
+                       phase2](bool ok) {
+        if (ok) {
+          (*head_states)[c].add(value);
+          ++(*head_reports)[c];
+        }
+        if (--*phase1_pending == 0) phase2();
+      };
+      if (reliable_) {
+        ++*phase1_pending;
+        reliable_->unicast(member, cluster.head, config_.sample_bytes, budget,
+                           std::move(complete));
+        continue;
+      }
       auto route = net::cached_shortest_path(network_, member, cluster.head);
       if (route.empty()) continue;
       ++*phase1_pending;
       network_.send_route(route, config_.sample_bytes,
-                          [c, value, head_states, head_reports,
-                           phase1_pending, phase2](bool ok, std::size_t) {
-                            if (ok) {
-                              (*head_states)[c].add(value);
-                              ++(*head_reports)[c];
-                            }
-                            if (--*phase1_pending == 0) phase2();
-                          });
+                          [complete = std::move(complete)](
+                              bool ok, std::size_t) mutable { complete(ok); });
     }
   }
   if (*phase1_pending == 0) {
@@ -365,21 +402,23 @@ void SensorNetwork::collect_clustered(const ScalarField& field, std::size_t k,
 void SensorNetwork::collect_cluster_aggregate(const ScalarField& field,
                                               std::size_t k,
                                               CollectCallback done,
-                                              SensorFilter filter) {
+                                              SensorFilter filter,
+                                              net::Budget budget) {
   collect_clustered(field, k, /*keep_raw_averages=*/false, std::move(done),
-                    std::move(filter));
+                    std::move(filter), budget);
 }
 
 void SensorNetwork::collect_region_averages(const ScalarField& field,
                                             std::size_t regions,
                                             CollectCallback done,
-                                            SensorFilter filter) {
+                                            SensorFilter filter,
+                                            net::Budget budget) {
   collect_clustered(field, regions, /*keep_raw_averages=*/true,
-                    std::move(done), std::move(filter));
+                    std::move(done), std::move(filter), budget);
 }
 
 void SensorNetwork::read_sensor(net::NodeId sensor, const ScalarField& field,
-                                ReadCallback done) {
+                                ReadCallback done, net::Budget budget) {
   const double energy_before = network_.battery_energy_consumed();
   const sim::SimTime started = network_.simulator().now();
   auto span = std::make_shared<telemetry::Span>(
@@ -395,6 +434,24 @@ void SensorNetwork::read_sensor(net::NodeId sensor, const ScalarField& field,
     done(result);
   };
 
+  if (reliable_) {
+    // Acked request down to the sensor, acked reading back up; both legs
+    // share the round's budget so the whole round trip respects it.
+    reliable_->unicast(
+        base_, sensor, kRequestBytes, budget,
+        [this, sensor, &field, finish, budget](bool ok) {
+          if (!ok) {
+            finish(false, 0.0);
+            return;
+          }
+          const double value = sample(sensor, field, network_.simulator().now());
+          reliable_->unicast(sensor, base_, config_.sample_bytes, budget,
+                             [finish, value](bool ok_up) {
+                               finish(ok_up, ok_up ? value : 0.0);
+                             });
+        });
+    return;
+  }
   auto down = net::cached_shortest_path(network_, base_, sensor);
   if (down.empty()) {
     network_.simulator().schedule(

@@ -21,6 +21,7 @@
 
 #include "common/rng.hpp"
 #include "net/network.hpp"
+#include "net/reliable.hpp"
 #include "net/routing.hpp"
 #include "sensornet/aggregation.hpp"
 #include "sensornet/clustering.hpp"
@@ -107,6 +108,15 @@ class SensorNetwork {
   net::Network& network() { return network_; }
   const SensorNetworkConfig& config() const { return config_; }
 
+  /// Attaches (or detaches, with nullptr) the reliable channel.  When set,
+  /// every collection transfer goes through acked per-hop delivery bounded
+  /// by the round's budget; when null the legacy best-effort paths run
+  /// byte-for-byte unchanged.
+  void set_reliable_channel(net::ReliableChannel* channel) {
+    reliable_ = channel;
+  }
+  net::ReliableChannel* reliable_channel() { return reliable_; }
+
   /// Noisy sample of the field at a sensor's position.
   double sample(net::NodeId sensor, const ScalarField& field, sim::SimTime t);
 
@@ -129,30 +139,37 @@ class SensorNetwork {
   // --- solution models -----------------------------------------------------
 
   /// Every sensor ships its raw reading to the base over the routing tree.
+  /// `budget` bounds the round's retransmissions when the reliable channel
+  /// is attached (ignored otherwise, as for all collect_* overloads).
   void collect_all_to_base(const ScalarField& field, CollectCallback done,
-                           SensorFilter filter = nullptr);
+                           SensorFilter filter = nullptr,
+                           net::Budget budget = net::Budget::unlimited());
 
   /// TAG: constant-size partial aggregates merge up the tree, deepest level
   /// first.
   void collect_tree_aggregate(const ScalarField& field, CollectCallback done,
-                              SensorFilter filter = nullptr);
+                              SensorFilter filter = nullptr,
+                              net::Budget budget = net::Budget::unlimited());
 
   /// Cluster heads gather raw member readings, merge, and forward one
   /// partial state each to the base.
   void collect_cluster_aggregate(const ScalarField& field, std::size_t k,
                                  CollectCallback done,
-                                 SensorFilter filter = nullptr);
+                                 SensorFilter filter = nullptr,
+                                 net::Budget budget = net::Budget::unlimited());
 
   /// Region-average downsampling: k regional averages are computed
   /// in-network and delivered as raw (region centroid, average) pairs —
   /// the accuracy/cost knob for grid offload.
   void collect_region_averages(const ScalarField& field, std::size_t regions,
                                CollectCallback done,
-                               SensorFilter filter = nullptr);
+                               SensorFilter filter = nullptr,
+                               net::Budget budget = net::Budget::unlimited());
 
   /// Round-trip read of one sensor from the base station (Simple Query).
   void read_sensor(net::NodeId sensor, const ScalarField& field,
-                   ReadCallback done);
+                   ReadCallback done,
+                   net::Budget budget = net::Budget::unlimited());
 
  private:
   struct RoundState;
@@ -160,13 +177,14 @@ class SensorNetwork {
   void finish_round(const std::shared_ptr<RoundState>& round);
   void collect_clustered(const ScalarField& field, std::size_t k,
                          bool keep_raw_averages, CollectCallback done,
-                         SensorFilter filter);
+                         SensorFilter filter, net::Budget budget);
 
   net::Network& network_;
   SensorNetworkConfig config_;
   common::Rng rng_;
   std::vector<net::NodeId> sensors_;
   net::NodeId base_ = net::kInvalidNode;
+  net::ReliableChannel* reliable_ = nullptr;
   std::unique_ptr<net::SinkTree> tree_;
 };
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "agent/platform.hpp"
+#include "net/churn.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -290,6 +291,79 @@ TEST_F(AgentFixture, StoreAndForwardGivesUpAfterDeadline) {
   sim_.run();
   EXPECT_FALSE(result);
   EXPECT_TRUE(inbox.empty());
+}
+
+TEST_F(AgentFixture, StoreAndForwardGiveUpFiresOnceAtDeadlineUnderChurn) {
+  // Regression: the give-up event must fire done(false) exactly once AT the
+  // deadline even when the target crashes and restarts mid-retry.  The old
+  // retry loop reported failure from whichever retry straddled the
+  // deadline, so a node death between retries could delay — or with an
+  // unlucky interleave repeat — the failure report.
+  const auto a = add_node(0, 0);
+  const auto b = add_node(5000, 0);  // permanently out of radio range
+  std::vector<Envelope> inbox;
+  auto* s = add_recorder("s", a, &inbox);
+  auto* r = add_recorder("r", b, &inbox,
+                         std::make_unique<StoreAndForwardDeputy>(
+                             sim::SimTime::seconds(0.5),
+                             sim::SimTime::seconds(3.0)));
+  // The target flaps throughout the retry window.
+  net::ChurnConfig churn_config;
+  churn_config.mean_up = sim::SimTime::seconds(0.4);
+  churn_config.mean_down = sim::SimTime::seconds(0.4);
+  churn_config.horizon = sim::SimTime::seconds(6.0);
+  net::NodeChurn churn(net_, {b}, churn_config, common::Rng(17));
+  churn.start();
+
+  Envelope env;
+  env.sender = s->id();
+  env.receiver = r->id();
+  int done_count = 0;
+  bool last_result = true;
+  sim::SimTime done_at{};
+  platform_.send(env, [&](bool delivered) {
+    ++done_count;
+    last_result = delivered;
+    done_at = sim_.now();
+  });
+  sim_.run();
+
+  EXPECT_EQ(done_count, 1) << "done must fire exactly once";
+  EXPECT_FALSE(last_result);
+  EXPECT_EQ(done_at, sim::SimTime::seconds(3.0))
+      << "failure reports AT the deadline, not at whichever retry tripped it";
+  EXPECT_GT(churn.transitions(), 0u) << "the churn actually flapped the node";
+  EXPECT_TRUE(inbox.empty());
+}
+
+TEST_F(AgentFixture, StoreAndForwardRetriesBackOffExponentially) {
+  const auto a = add_node(0, 0);
+  const auto b = add_node(50, 0);
+  std::vector<Envelope> inbox;
+  auto* s = add_recorder("s", a, &inbox);
+  auto deputy = std::make_unique<StoreAndForwardDeputy>(
+      sim::SimTime::seconds(0.5), sim::SimTime::seconds(8.0));
+  auto* deputy_raw = deputy.get();
+  auto* r = add_recorder("r", b, &inbox, std::move(deputy));
+  net_.set_node_up(b, false);  // never comes back
+
+  Envelope env;
+  env.sender = s->id();
+  env.receiver = r->id();
+  bool result = true;
+  sim::SimTime done_at{};
+  platform_.send(env, [&](bool delivered) {
+    result = delivered;
+    done_at = sim_.now();
+  });
+  sim_.run();
+
+  EXPECT_FALSE(result);
+  EXPECT_EQ(done_at, sim::SimTime::seconds(8.0));
+  // Doubling intervals: attempts at t=0, 0.5, 1.5, 3.5, 7.5 — the next
+  // (15.5) would land past the deadline, so the retry loop stops and lets
+  // the give-up event report.  A fixed 0.5 s cadence would try 16 times.
+  EXPECT_EQ(deputy_raw->attempts(), 5u);
 }
 
 TEST_F(AgentFixture, DirectDeputyFailsImmediatelyWhenDown) {
