@@ -16,6 +16,25 @@ for preset in default asan-ubsan; do
   ctest --preset "${preset}" -j "${JOBS}"
 done
 
+echo "=== tsan: lockstep sharding + thread pool under the race detector ==="
+# The sharded lockstep layer is the one place worker threads touch
+# simulators concurrently (one lane per shard, mailbox exchange at window
+# barriers), so its property suite plus the thread-pool/runtime suites run
+# under ThreadSanitizer.  Gated on libtsan actually linking, so the stage
+# degrades to a notice on images without it.
+if echo 'int main(){return 0;}' | c++ -fsanitize=thread -x c++ - -o /tmp/pgrid_tsan_probe 2>/dev/null; then
+  rm -f /tmp/pgrid_tsan_probe
+  cmake --preset tsan
+  cmake --build --preset tsan -j "${JOBS}" \
+    --target test_common test_property_shard test_whatif
+  for tsan_bin in test_common test_property_shard test_whatif; do
+    TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+      "out/tsan/tests/${tsan_bin}"
+  done
+else
+  echo "tsan: libtsan unavailable on this image; stage skipped"
+fi
+
 echo "=== chaos smoke: 25 seeds/mix, all invariants, asan-ubsan ==="
 # Seeded fault-injection sweep under the sanitizer build: 25 seeds per
 # canned mix (75 scenarios), every invariant checked after each run.  On a

@@ -22,6 +22,10 @@ struct RuntimePending {
 };
 
 PervasiveGridRuntime::PervasiveGridRuntime(RuntimeConfig config)
+    : PervasiveGridRuntime(std::move(config), nullptr) {}
+
+PervasiveGridRuntime::PervasiveGridRuntime(RuntimeConfig config,
+                                           common::ThreadPool* shared_pool)
     : config_(std::move(config)), rng_(config_.seed) {
   network_ = std::make_unique<net::Network>(sim_, rng_.fork());
   sensors_ = std::make_unique<sensornet::SensorNetwork>(
@@ -34,7 +38,11 @@ PervasiveGridRuntime::PervasiveGridRuntime(RuntimeConfig config)
   }
   platform_ = std::make_unique<agent::AgentPlatform>(*network_);
   ontology_ = discovery::make_standard_ontology();
-  pool_ = std::make_unique<common::ThreadPool>(config_.pool_threads);
+  if (shared_pool != nullptr) {
+    shared_pool_ = shared_pool;
+  } else {
+    pool_ = std::make_unique<common::ThreadPool>(config_.pool_threads);
+  }
   pending_ = std::make_unique<RuntimePending>();
 
   if (config_.reliability.enabled) {
@@ -67,7 +75,7 @@ partition::ExecutionContext PervasiveGridRuntime::execution_context() {
   ctx.pde_nz =
       config_.sensors.floors > 1 ? config_.pde_depth_resolution : 1;
   ctx.ambient = config_.ambient_celsius;
-  ctx.pool = pool_.get();
+  ctx.pool = &compute_pool();
   if (reliable_) {
     ctx.reliable = reliable_.get();
     ctx.default_budget_s = config_.reliability.query_budget_s;
@@ -88,7 +96,10 @@ void PervasiveGridRuntime::register_agents() {
   net::NodeConfig handheld_config;
   handheld_config.kind = net::NodeKind::kHandheld;
   handheld_config.radio = net::LinkClass::wifi();
-  handheld_config.pos = config_.sensors.base_pos + net::Vec3{2.0, 0.0, 0.0};
+  // World frame: the handheld stands next to the base station wherever the
+  // deployment's origin put it (see SensorNetworkConfig::origin).
+  handheld_config.pos = config_.sensors.base_pos + config_.sensors.origin +
+                        net::Vec3{2.0, 0.0, 0.0};
   handheld_config.unlimited_energy = true;
   handheld_node_ = network_->add_node(handheld_config);
   // The base station needs a wifi-capable path to the handheld; model the
@@ -405,14 +416,20 @@ QueryOutcome PervasiveGridRuntime::submit_and_run(
   return result;
 }
 
-QueryOutcome PervasiveGridRuntime::what_if(const std::string& query_text,
-                                           partition::SolutionModel model) {
+QueryOutcome PervasiveGridRuntime::run_trial(const std::string& query_text,
+                                             partition::SolutionModel model,
+                                             common::ThreadPool* shared_pool) {
   // A scratch deployment from the same config and seed mirrors this one's
   // topology exactly; the physical field is copied so the clone observes
   // the same world (fires included).
-  PervasiveGridRuntime clone(config_);
+  PervasiveGridRuntime clone(config_, shared_pool);
   *clone.field_ = *field_;
   return clone.submit_and_run(query_text, model);
+}
+
+QueryOutcome PervasiveGridRuntime::what_if(const std::string& query_text,
+                                           partition::SolutionModel model) {
+  return run_trial(query_text, model, nullptr);
 }
 
 std::vector<QueryOutcome> PervasiveGridRuntime::what_if_all(
@@ -427,31 +444,47 @@ std::vector<QueryOutcome> PervasiveGridRuntime::what_if_all(
   }
   const auto cls = classifier_.classify(parsed.value());
   const auto models = partition::candidates_for(cls.inner);
-  std::vector<QueryOutcome> outcomes(models.size());
+  const std::size_t trials = models.size();
+  std::vector<QueryOutcome> outcomes(trials);
 
   // Each trial runs on an isolated clone (own Simulator, own CostLedger,
   // own learner state), reading only this runtime's immutable config and
   // field snapshot — so clones evaluate concurrently on the pool while the
   // outcomes stay bit-identical to serial evaluation, in candidate order.
   std::size_t parallelism = config_.what_if_parallelism == 0
-                                ? pool_->size()
+                                ? compute_pool().size()
                                 : config_.what_if_parallelism;
-  parallelism = std::min(parallelism, models.size());
-  if (parallelism <= 1 || pool_->on_worker_thread()) {
-    for (std::size_t i = 0; i < models.size(); ++i) {
+  parallelism = std::min(parallelism, trials);
+  // Serial fallback: with too few trials the dispatch overhead dominates,
+  // and on a pool worker nested submission would run inline anyway.
+  if (trials < config_.what_if_serial_threshold || parallelism <= 1 ||
+      compute_pool().on_worker_thread()) {
+    for (std::size_t i = 0; i < trials; ++i) {
       outcomes[i] = what_if(query_text, models[i]);
     }
     return outcomes;
   }
-  std::vector<std::future<void>> trials;
-  trials.reserve(models.size());
-  for (std::size_t i = 0; i < models.size(); ++i) {
-    trials.push_back(
-        pool_->submit([this, &query_text, &outcomes, i, model = models[i]] {
-          outcomes[i] = what_if(query_text, model);
+  // One task per worker, each owning a contiguous batch of trials: the
+  // handoff count scales with the worker count, not the candidate count,
+  // and every clone borrows this runtime's already-spawned compute pool
+  // instead of spawning its own (the 0.64x regression: N trials x M fresh
+  // threads oversubscribed the machine before any trial ran).  Borrowed
+  // pools keep solver chunking — and so every floating-point result —
+  // bit-identical to the serial path (see the shared-pool constructor).
+  std::vector<std::future<void>> batches;
+  batches.reserve(parallelism);
+  for (std::size_t w = 0; w < parallelism; ++w) {
+    const std::size_t begin = w * trials / parallelism;
+    const std::size_t end = (w + 1) * trials / parallelism;
+    if (begin == end) continue;
+    batches.push_back(compute_pool().submit(
+        [this, &query_text, &outcomes, &models, begin, end] {
+          for (std::size_t i = begin; i < end; ++i) {
+            outcomes[i] = run_trial(query_text, models[i], &compute_pool());
+          }
         }));
   }
-  for (auto& trial : trials) trial.get();
+  for (auto& batch : batches) batch.get();
   return outcomes;
 }
 

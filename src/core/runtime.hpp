@@ -24,6 +24,7 @@
 #include "query/classifier.hpp"
 #include "query/parser.hpp"
 #include "sensornet/sensor_network.hpp"
+#include "sim/shard.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace pgrid::core {
@@ -76,6 +77,17 @@ struct RuntimeConfig {
   /// (own Simulator, own CostLedger), so any setting returns outcomes
   /// bit-identical to serial evaluation, in candidate order.
   std::size_t what_if_parallelism = 0;
+  /// Below this many candidate models what_if_all evaluates serially even
+  /// when parallelism allows more: with only a couple of trials the task
+  /// handoffs and clone construction dominate and the parallel dispatch is
+  /// pure overhead.
+  std::size_t what_if_serial_threshold = 3;
+  /// SPMD world sharding (core/sharded.hpp).  A plain PervasiveGridRuntime
+  /// ignores this block entirely — it configures how a ShardedDeployment
+  /// built from this config partitions its regions across lockstep lanes.
+  /// The default (1 shard) is the kill switch: every region runs on one
+  /// lane, and results are bit-identical at any shard count by design.
+  sim::ShardingConfig sharding;
   /// Reliability layer (PR 5); disabled by default.
   ReliabilityConfig reliability;
 };
@@ -187,6 +199,23 @@ class PervasiveGridRuntime {
   void reset_energy() { network_->reset_energy(); }
 
  private:
+  /// Shared-pool construction: the clone borrows `shared_pool` instead of
+  /// spawning its own workers.  Chunk boundaries in parallel_for_chunks are
+  /// a pure function of (n, pool size) and the borrowed pool was built from
+  /// the same config, so every floating-point result is bit-identical to a
+  /// clone that owns its pool — only the thread-spawn cost disappears.
+  PervasiveGridRuntime(RuntimeConfig config, common::ThreadPool* shared_pool);
+
+  /// One what-if trial on a fresh clone; a non-null `shared_pool` is lent
+  /// to the clone (see the shared-pool constructor).
+  QueryOutcome run_trial(const std::string& query_text,
+                         partition::SolutionModel model,
+                         common::ThreadPool* shared_pool);
+
+  common::ThreadPool& compute_pool() {
+    return shared_pool_ != nullptr ? *shared_pool_ : *pool_;
+  }
+
   void register_agents();
   void run_pipeline(const std::string& text,
                     std::optional<partition::SolutionModel> forced,
@@ -213,7 +242,8 @@ class PervasiveGridRuntime {
   net::NodeId handheld_node_ = net::kInvalidNode;
   query::QueryClassifier classifier_;
   partition::DecisionMaker decision_maker_;
-  std::unique_ptr<common::ThreadPool> pool_;
+  std::unique_ptr<common::ThreadPool> pool_;  ///< null when borrowing
+  common::ThreadPool* shared_pool_ = nullptr;
   std::unique_ptr<RuntimePending> pending_;
 };
 

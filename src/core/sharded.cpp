@@ -1,0 +1,159 @@
+#include "core/sharded.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace pgrid::core {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mixing for derived region seeds.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t ShardedDeployment::region_seed(std::uint64_t base,
+                                             std::size_t r) {
+  // Region 0 keeps the base seed untouched: a single-region deployment is
+  // byte-identical to a standalone PervasiveGridRuntime (the kill-switch
+  // gate), and region 0's solo trajectory always matches legacy.
+  if (r == 0) return base;
+  return base ^ mix64(0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(r));
+}
+
+net::Vec3 ShardedDeployment::region_origin(std::size_t r) const {
+  const auto cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(config_.regions))));
+  const std::size_t col = cols == 0 ? 0 : r % cols;
+  const std::size_t row = cols == 0 ? 0 : r / cols;
+  return net::Vec3{static_cast<double>(col) * config_.region_spacing_m,
+                   static_cast<double>(row) * config_.region_spacing_m, 0.0};
+}
+
+ShardedDeployment::ShardedDeployment(ShardedDeploymentConfig config)
+    : config_(std::move(config)) {
+  if (config_.regions == 0) config_.regions = 1;
+  regions_.reserve(config_.regions);
+  chaos_.resize(config_.regions);
+
+  // Region anchor points: every region's map shares the same centers, so
+  // region_of_pos agrees globally no matter which map answers.
+  std::vector<net::Vec3> centers;
+  centers.reserve(config_.regions);
+  for (std::size_t r = 0; r < config_.regions; ++r) {
+    centers.push_back(region_origin(r) + config_.base.sensors.base_pos);
+  }
+  const double cell_m = std::max(config_.base.sensors.radio.range_m, 1.0);
+
+  std::vector<sim::Simulator*> sims;
+  sims.reserve(config_.regions);
+  for (std::size_t r = 0; r < config_.regions; ++r) {
+    RuntimeConfig region_config = config_.base;
+    region_config.seed = region_seed(config_.base.seed, r);
+    region_config.sensors.origin = region_origin(r);
+    regions_.push_back(
+        std::make_unique<PervasiveGridRuntime>(std::move(region_config)));
+    PervasiveGridRuntime& rt = *regions_.back();
+
+    auto map = std::make_unique<net::ShardMap>(centers, cell_m);
+    net::Network& network = rt.network();
+    for (std::size_t i = 0; i < network.size(); ++i) {
+      const auto id = static_cast<net::NodeId>(i);
+      map->assign(id, network.node(id).pos);
+    }
+    network.set_shard_map(map.get());
+    maps_.push_back(std::move(map));
+    sims.push_back(&rt.simulator());
+  }
+  world_ = std::make_unique<sim::LockstepWorld>(config_.base.sharding,
+                                                std::move(sims));
+}
+
+ShardedDeployment::~ShardedDeployment() {
+  // Chaos engines reference region networks; drop them first.
+  chaos_.clear();
+  world_.reset();
+  regions_.clear();
+}
+
+common::ThreadPool* ShardedDeployment::lane_pool() {
+  const sim::ShardingConfig& sharding = config_.base.sharding;
+  if (!sharding.parallel || sharding.shards <= 1) return nullptr;
+  if (!lane_pool_) {
+    lane_pool_ = std::make_unique<common::ThreadPool>(
+        std::min(sharding.shards, regions_.size()));
+  }
+  return lane_pool_.get();
+}
+
+void ShardedDeployment::submit(std::size_t r, sim::SimTime at,
+                               const std::string& query_text,
+                               std::function<void(QueryOutcome)> done) {
+  PervasiveGridRuntime* rt = regions_.at(r).get();
+  world_->post_control(static_cast<std::uint32_t>(r), at,
+                       [rt, query_text, done = std::move(done)]() mutable {
+                         rt->submit(query_text, std::move(done));
+                       });
+}
+
+void ShardedDeployment::submit_remote(std::size_t from, std::size_t to,
+                                      sim::SimTime at,
+                                      const std::string& query_text,
+                                      std::function<void(QueryOutcome)> done) {
+  assert(from < regions_.size());
+  PervasiveGridRuntime* rt = regions_.at(to).get();
+  // The wired backhaul carries the query between base stations; arrival is
+  // sender-timestamped, so it satisfies the lookahead bound as long as
+  // backhaul_latency >= the lockstep window.
+  const sim::SimTime arrive = at + config_.backhaul_latency;
+  world_->post(static_cast<std::uint32_t>(from), static_cast<std::uint32_t>(to),
+               arrive, [rt, query_text, done = std::move(done)]() mutable {
+                 rt->submit(query_text, std::move(done));
+               });
+}
+
+const sim::Schedule& ShardedDeployment::arm_chaos(std::size_t r,
+                                                  const sim::ChaosConfig& cfg) {
+  PervasiveGridRuntime& rt = region(r);
+  if (!chaos_[r]) {
+    chaos_[r] = std::make_unique<sim::ChaosEngine>(rt.network(),
+                                                   rt.config().seed);
+  }
+  return chaos_[r]->arm(cfg);
+}
+
+void ShardedDeployment::inject_remote(std::size_t to, sim::Fault fault) {
+  assert(chaos_.at(to) != nullptr && "arm_chaos(to, ...) must run first");
+  sim::ChaosEngine* engine = chaos_[to].get();
+  const sim::SimTime at = fault.at;
+  world_->post_control(static_cast<std::uint32_t>(to), at,
+                       [engine, fault = std::move(fault)] {
+                         engine->inject(fault);
+                       });
+}
+
+sim::LockstepStats ShardedDeployment::run() {
+  return world_->run(lane_pool());
+}
+
+sim::LockstepStats ShardedDeployment::run_until(sim::SimTime deadline) {
+  return world_->run_until(deadline, lane_pool());
+}
+
+double ShardedDeployment::total_ledger_joules() const {
+  double joules = 0.0;
+  for (const auto& rt : regions_) {
+    const PervasiveGridRuntime& region = *rt;
+    joules += region.telemetry().total().joules;
+  }
+  return joules;
+}
+
+}  // namespace pgrid::core

@@ -1,0 +1,119 @@
+// ShardedDeployment: the runtime-layer face of SPMD world partitioning.
+//
+// One PervasiveGridRuntime per base-station region — each with its own
+// Simulator (own slab + heap), Network, CostLedger and agent platform —
+// placed on a world grid via SensorNetworkConfig::origin and advanced in
+// deterministic lockstep windows by sim::LockstepWorld.  Cross-region
+// effects (wired-backhaul query forwarding, chaos faults aimed at a remote
+// region) ride the lockstep mailbox and land at window barriers in
+// canonical order, so per-region outcomes (QueryOutcome, NetworkStats,
+// ledger joules, chaos schedules) are bit-identical across shard counts
+// {1, 2, 4, ...} and across serial vs pooled lane execution.
+//
+// Kill switch: RuntimeConfig::sharding defaults to 1 shard, and a
+// single-region deployment built from a config is byte-identical to a
+// plain PervasiveGridRuntime built from the same config — region 0 keeps
+// the config's seed and a zero origin, and nothing else differs.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "net/shard_map.hpp"
+#include "sim/chaos.hpp"
+#include "sim/shard.hpp"
+
+namespace pgrid::core {
+
+struct ShardedDeploymentConfig {
+  /// Template for every region.  `seed` seeds region 0 as-is; region r > 0
+  /// derives seed ^ (r * golden-ratio mix), so region 0's solo trajectory
+  /// matches a standalone runtime bit for bit.  `sharding` picks the lane
+  /// count / window / parallel knobs.
+  RuntimeConfig base;
+  std::size_t regions = 1;
+  /// World-grid pitch between region origins (ceil(sqrt(R)) columns).
+  /// Keep it larger than the deployment footprint plus radio range so
+  /// regions never overlap in the air.
+  double region_spacing_m = 500.0;
+  /// Wired backhaul latency for cross-region submissions and injections.
+  /// Must be >= the lockstep window (the conservative lookahead bound) or
+  /// deliveries count as lookahead violations and are clamped.
+  sim::SimTime backhaul_latency = sim::SimTime::milliseconds(10);
+};
+
+class ShardedDeployment {
+ public:
+  explicit ShardedDeployment(ShardedDeploymentConfig config);
+  ~ShardedDeployment();
+
+  ShardedDeployment(const ShardedDeployment&) = delete;
+  ShardedDeployment& operator=(const ShardedDeployment&) = delete;
+
+  std::size_t region_count() const { return regions_.size(); }
+  PervasiveGridRuntime& region(std::size_t r) { return *regions_.at(r); }
+  /// Region r's shard map (every region holds the same centers, so
+  /// region_of_pos agrees globally; node registration is per-network).
+  net::ShardMap& shard_map(std::size_t r) { return *maps_.at(r); }
+  sim::LockstepWorld& world() { return *world_; }
+  const ShardedDeploymentConfig& config() const { return config_; }
+  /// World position of region r's base station.
+  net::Vec3 region_origin(std::size_t r) const;
+
+  /// Derived per-region seed (region 0 == base seed).
+  static std::uint64_t region_seed(std::uint64_t base, std::size_t r);
+
+  /// Submits query text to region `r`'s handheld through the control lane:
+  /// the submission is a cross-shard message delivered at a window barrier,
+  /// so its placement in `r`'s timeline is canonical.  `at` is absolute
+  /// simulated time (clamped to the region's clock if already past).
+  void submit(std::size_t r, sim::SimTime at, const std::string& query_text,
+              std::function<void(QueryOutcome)> done);
+
+  /// Wired-backhaul forwarding: region `from`'s base station hands the
+  /// query to region `to`, arriving `backhaul_latency` after `at` on the
+  /// mailbox's `from` lane.
+  void submit_remote(std::size_t from, std::size_t to, sim::SimTime at,
+                     const std::string& query_text,
+                     std::function<void(QueryOutcome)> done);
+
+  /// Arms a seeded chaos schedule over region `r`'s network (engine seed =
+  /// the region's derived seed, so schedules are a pure function of
+  /// (config, region) and identical at every shard count).
+  const sim::Schedule& arm_chaos(std::size_t r, const sim::ChaosConfig& cfg);
+  sim::ChaosEngine* chaos(std::size_t r) { return chaos_.at(r).get(); }
+
+  /// Injects one fault into remote region `to` via the control lane; the
+  /// fault fires in `to`'s own timeline at fault.at (clamped like any
+  /// cross-shard delivery).  arm_chaos(to, ...) must have run first.
+  void inject_remote(std::size_t to, sim::Fault fault);
+
+  /// Runs lockstep windows until every region drains (run) or reaches
+  /// `deadline` (run_until).  Lanes run on an internal pool when
+  /// base.sharding.parallel and shards > 1; results are bit-identical
+  /// either way.
+  sim::LockstepStats run();
+  sim::LockstepStats run_until(sim::SimTime deadline);
+
+  std::uint64_t order_digest() const { return world_->order_digest(); }
+
+  /// Sum of ledger joules across regions (a cheap cross-region witness).
+  double total_ledger_joules() const;
+
+ private:
+  common::ThreadPool* lane_pool();
+
+  ShardedDeploymentConfig config_;
+  std::vector<std::unique_ptr<PervasiveGridRuntime>> regions_;
+  std::vector<std::unique_ptr<net::ShardMap>> maps_;
+  std::vector<std::unique_ptr<sim::ChaosEngine>> chaos_;
+  std::unique_ptr<sim::LockstepWorld> world_;
+  std::unique_ptr<common::ThreadPool> lane_pool_;
+};
+
+}  // namespace pgrid::core

@@ -29,4 +29,11 @@ struct Vec3 {
 
 inline double distance(Vec3 a, Vec3 b) { return (a - b).norm(); }
 
+/// Squared distance: exact comparisons (nearest-center assignment) without
+/// the sqrt.
+inline double distance_squared(Vec3 a, Vec3 b) {
+  const Vec3 d = a - b;
+  return d.x * d.x + d.y * d.y + d.z * d.z;
+}
+
 }  // namespace pgrid::net

@@ -181,6 +181,15 @@ void Network::transmit(NodeId from, NodeId to, std::uint64_t bytes,
   const double dist = distance(sender.pos, receiver.pos);
   const RadioEnergyModel radio_model;
 
+  // Boundary detection for SPMD partitioning: a frame whose endpoints live
+  // in different regions is cross-shard traffic.  Counting it here — once
+  // per logical send, before loss/retry resolution — lets the sharded
+  // deployment verify that a region cut is radio-tight (zero crossings) or
+  // meter exactly how much traffic must ride the mailbox.
+  if (shard_map_ != nullptr && shard_map_->boundary(from, to)) {
+    ++stats_.cross_region_frames;
+  }
+
   // The injector sees every hop that found a usable link; its effects
   // (added loss, forced drop, duplication, jitter) compose with the link's
   // own loss model.  No injector => zero extra rng draws.

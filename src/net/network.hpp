@@ -21,6 +21,7 @@
 #include "net/geometry.hpp"
 #include "net/ids.hpp"
 #include "net/link.hpp"
+#include "net/shard_map.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
@@ -74,6 +75,10 @@ struct NetworkStats {
   std::uint64_t duplicated = 0;     ///< injected duplicate deliveries
   std::uint64_t bytes_sent = 0;     ///< payload bytes over all attempts
   double energy_j = 0.0;            ///< radio energy across battery nodes
+  /// Frames whose endpoints sit in different shard-map regions — traffic
+  /// that, under SPMD partitioning, must ride the cross-shard mailbox.
+  /// Stays 0 (and costs nothing) until a ShardMap is installed.
+  std::uint64_t cross_region_frames = 0;
 };
 
 /// Transport-level fault-injection hook, installed by the chaos engine
@@ -206,6 +211,18 @@ class Network {
   void set_fault_injector(FaultInjector* injector);
   FaultInjector* fault_injector() const { return fault_injector_; }
 
+  /// Installs (or clears) the SPMD region map.  With a map installed the
+  /// send path detects boundary crossings (stats().cross_region_frames) —
+  /// the partition-validation signal the sharded deployment and its tests
+  /// use to prove a region cut is radio-tight.  Non-owning; no map means
+  /// bit-identical legacy behaviour.
+  void set_shard_map(const ShardMap* map) { shard_map_ = map; }
+  const ShardMap* shard_map() const { return shard_map_; }
+  /// Region of a node under the installed map (kInvalidRegion without one).
+  RegionId region_of(NodeId id) const {
+    return shard_map_ ? shard_map_->region_of(id) : kInvalidRegion;
+  }
+
   /// Explicit topology-version bump for external connectivity modifiers
   /// (the fault injector's partitions and blackouts change what
   /// connected() answers without touching node or link state).
@@ -277,6 +294,7 @@ class Network {
   std::uint64_t topology_version_ = 0;
   std::uint64_t liveness_version_ = 0;
   FaultInjector* fault_injector_ = nullptr;
+  const ShardMap* shard_map_ = nullptr;
 
   // Acceleration state: logically caches, so mutable behind const queries.
   mutable TopologySnapshot snapshot_;

@@ -1,0 +1,51 @@
+#include "net/shard_map.hpp"
+
+#include <cassert>
+
+#include "net/topology.hpp"
+
+namespace pgrid::net {
+
+ShardMap::ShardMap(std::vector<Vec3> centers, double cell_m)
+    : centers_(std::move(centers)), cell_m_(cell_m > 0.0 ? cell_m : 1.0) {
+  assert(!centers_.empty() && "a shard map needs at least one region");
+}
+
+RegionId ShardMap::region_of_pos(Vec3 pos) const {
+  if (centers_.empty()) return kInvalidRegion;
+  const std::int64_t cx = spatial_cell_coord(pos.x, cell_m_);
+  const std::int64_t cy = spatial_cell_coord(pos.y, cell_m_);
+  const std::int64_t cz = spatial_cell_coord(pos.z, cell_m_);
+  const std::uint64_t key = spatial_cell_key(cx, cy, cz);
+  const auto it = cell_region_.find(key);
+  if (it != cell_region_.end()) return it->second;
+  // Assign the whole cell by its center: every node in the cell gets the
+  // same region, so the boundary is a union of complete cells.
+  const Vec3 cell_center{(static_cast<double>(cx) + 0.5) * cell_m_,
+                         (static_cast<double>(cy) + 0.5) * cell_m_,
+                         (static_cast<double>(cz) + 0.5) * cell_m_};
+  RegionId best = 0;
+  double best_d2 = distance_squared(cell_center, centers_[0]);
+  for (RegionId r = 1; r < centers_.size(); ++r) {
+    const double d2 = distance_squared(cell_center, centers_[r]);
+    // Strict less keeps ties on the lowest region id — a deterministic,
+    // order-independent rule.
+    if (d2 < best_d2) {
+      best = r;
+      best_d2 = d2;
+    }
+  }
+  cell_region_.emplace(key, best);
+  return best;
+}
+
+void ShardMap::assign(NodeId id, Vec3 pos) {
+  if (id >= node_region_.size()) node_region_.resize(id + 1, kInvalidRegion);
+  node_region_[id] = region_of_pos(pos);
+}
+
+RegionId ShardMap::region_of(NodeId id) const {
+  return id < node_region_.size() ? node_region_[id] : kInvalidRegion;
+}
+
+}  // namespace pgrid::net

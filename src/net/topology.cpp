@@ -18,22 +18,28 @@ std::uint64_t mix(std::uint64_t x) {
   return x;
 }
 
-std::uint64_t cell_key(std::int64_t cx, std::int64_t cy, std::int64_t cz) {
+}  // namespace
+
+std::uint64_t spatial_cell_key(std::int64_t cx, std::int64_t cy,
+                               std::int64_t cz) {
   std::uint64_t key = mix(static_cast<std::uint64_t>(cx));
   key = mix(key ^ static_cast<std::uint64_t>(cy));
   key = mix(key ^ static_cast<std::uint64_t>(cz));
   return key;
 }
 
-std::int64_t cell_coord(double v, double cell_m) {
+std::int64_t spatial_cell_coord(double v, double cell_m) {
   return static_cast<std::int64_t>(std::floor(v / cell_m));
 }
 
-}  // namespace
+std::uint64_t spatial_cell_key(Vec3 pos, double cell_m) {
+  return spatial_cell_key(spatial_cell_coord(pos.x, cell_m),
+                          spatial_cell_coord(pos.y, cell_m),
+                          spatial_cell_coord(pos.z, cell_m));
+}
 
 std::uint64_t SpatialGrid::key_of(Vec3 pos) const {
-  return cell_key(cell_coord(pos.x, cell_m_), cell_coord(pos.y, cell_m_),
-                  cell_coord(pos.z, cell_m_));
+  return spatial_cell_key(pos, cell_m_);
 }
 
 void SpatialGrid::rebuild(double new_cell_m) {
@@ -98,12 +104,12 @@ void SpatialGrid::gather(NodeId id, std::vector<NodeId>& out) const {
   // pos ± r can hold neighbours.  r <= cell size, so each axis spans at
   // most 3 cells; short-range radios usually span 1-2.
   const double r = entry.range_m;
-  const std::int64_t x0 = cell_coord(pos.x - r, cell_m_);
-  const std::int64_t x1 = cell_coord(pos.x + r, cell_m_);
-  const std::int64_t y0 = cell_coord(pos.y - r, cell_m_);
-  const std::int64_t y1 = cell_coord(pos.y + r, cell_m_);
-  const std::int64_t z0 = cell_coord(pos.z - r, cell_m_);
-  const std::int64_t z1 = cell_coord(pos.z + r, cell_m_);
+  const std::int64_t x0 = spatial_cell_coord(pos.x - r, cell_m_);
+  const std::int64_t x1 = spatial_cell_coord(pos.x + r, cell_m_);
+  const std::int64_t y0 = spatial_cell_coord(pos.y - r, cell_m_);
+  const std::int64_t y1 = spatial_cell_coord(pos.y + r, cell_m_);
+  const std::int64_t z0 = spatial_cell_coord(pos.z - r, cell_m_);
+  const std::int64_t z1 = spatial_cell_coord(pos.z + r, cell_m_);
   // Hash collisions can map two of the block cells to one key; visiting a
   // bucket twice would emit duplicates, so keys are deduplicated first.
   std::uint64_t seen[27];
@@ -111,7 +117,7 @@ void SpatialGrid::gather(NodeId id, std::vector<NodeId>& out) const {
   for (std::int64_t cz = z0; cz <= z1; ++cz) {
     for (std::int64_t cy = y0; cy <= y1; ++cy) {
       for (std::int64_t cx = x0; cx <= x1; ++cx) {
-        const std::uint64_t key = cell_key(cx, cy, cz);
+        const std::uint64_t key = spatial_cell_key(cx, cy, cz);
         bool duplicate = false;
         for (int i = 0; i < seen_count; ++i) {
           if (seen[i] == key) {

@@ -39,6 +39,16 @@
 
 namespace pgrid::net {
 
+/// Cell quantization shared by the SpatialGrid and the sharding layer's
+/// ShardMap (net/shard_map.hpp): floor-division cell coordinates and the
+/// mixed 64-bit cell key.  The shard map assigns regions at this exact
+/// granularity, so "same cell" means the same thing to the spatial index
+/// and to the region partition.
+std::int64_t spatial_cell_coord(double v, double cell_m);
+std::uint64_t spatial_cell_key(std::int64_t cx, std::int64_t cy,
+                               std::int64_t cz);
+std::uint64_t spatial_cell_key(Vec3 pos, double cell_m);
+
 /// Incremental spatial hash over wireless node positions.  Cells are cubes
 /// of side >= the largest radio range indexed, so every pair within mutual
 /// range lands in adjacent cells and gather() over the cells within a

@@ -21,6 +21,10 @@ SensorNetwork::SensorNetwork(net::Network& network,
   sensor_config.radio = config_.radio;
   sensor_config.battery_j = config_.battery_j;
   const std::size_t floors = std::max<std::size_t>(1, config_.floors);
+  // A non-zero world origin translates the whole deployment after local
+  // placement; with the default zero origin no node is touched, keeping the
+  // legacy single-region layout byte-identical (no extra move_node calls).
+  const bool shifted = !(config_.origin == net::Vec3{});
   for (std::size_t floor = 0; floor < floors; ++floor) {
     const double z = static_cast<double>(floor) * config_.floor_height_m;
     std::vector<net::NodeId> storey;
@@ -33,10 +37,12 @@ SensorNetwork::SensorNetwork(net::Network& network,
                                   config_.width_m, config_.height_m,
                                   sensor_config, rng_);
     }
-    if (floor > 0) {
+    if (floor > 0 || shifted) {
       for (net::NodeId id : storey) {
         auto pos = network_.node(id).pos;
-        pos.z = z;
+        pos.x += config_.origin.x;
+        pos.y += config_.origin.y;
+        pos.z = config_.origin.z + z;
         network_.move_node(id, pos);
       }
     }
@@ -45,7 +51,7 @@ SensorNetwork::SensorNetwork(net::Network& network,
   net::NodeConfig base_config;
   base_config.kind = net::NodeKind::kBaseStation;
   base_config.radio = config_.radio;
-  base_config.pos = config_.base_pos;
+  base_config.pos = config_.base_pos + config_.origin;
   base_config.unlimited_energy = true;
   base_ = network_.add_node(base_config);
 }

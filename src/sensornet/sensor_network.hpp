@@ -45,6 +45,13 @@ struct SensorNetworkConfig {
   double battery_j = 2.0;
   /// Base station position; it gets the same radio but mains power.
   net::Vec3 base_pos{0.0, 0.0, 0.0};
+  /// World-placement offset applied to every node (sensors and base).  The
+  /// deployment is laid out in local coordinates and then translated by
+  /// this vector, so multi-region sharded deployments (core/sharded.hpp)
+  /// can place each region's building at its own spot in a shared world
+  /// frame without touching the per-region placement streams.  Zero = the
+  /// legacy single-region layout, byte for byte.
+  net::Vec3 origin{0.0, 0.0, 0.0};
   /// Gaussian sampling noise (sensor measurement error).
   double noise_std = 0.5;
   /// Bytes of one raw reading on the wire (value + id + framing).

@@ -216,6 +216,16 @@ const Schedule& ChaosEngine::arm_schedule(Schedule schedule) {
   return schedule_;
 }
 
+std::size_t ChaosEngine::inject(Fault fault) {
+  const std::size_t index = schedule_.size();
+  schedule_.push_back(std::move(fault));
+  cut_slot_of_.push_back(0);
+  Simulator& sim = network_.simulator();
+  const SimTime at = std::max(schedule_[index].at, sim.now());
+  armed_.push_back(sim.schedule_at(at, [this, index] { apply(index); }));
+  return index;
+}
+
 void ChaosEngine::disarm() {
   Simulator& sim = network_.simulator();
   for (EventHandle handle : armed_) sim.cancel(handle);

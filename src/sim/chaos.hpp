@@ -139,6 +139,14 @@ class ChaosEngine final : public net::FaultInjector {
   /// is already past are clamped to "now".
   const Schedule& arm_schedule(Schedule schedule);
 
+  /// Appends one fault to the armed schedule at runtime without disturbing
+  /// faults already armed.  This is how remote shards steer chaos: a
+  /// cross-shard control message delivered at a lockstep window barrier
+  /// calls inject(), so the fault lands deterministically in the target
+  /// region's own timeline.  Times already past are clamped to "now",
+  /// mirroring arm_schedule.  Returns the fault's index in schedule().
+  std::size_t inject(Fault fault);
+
   const Schedule& schedule() const { return schedule_; }
   std::uint64_t seed() const { return seed_; }
 

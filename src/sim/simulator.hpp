@@ -101,6 +101,14 @@ class Simulator {
   /// Exact count of live (scheduled, not yet fired or cancelled) events.
   std::size_t pending() const { return count_; }
 
+  /// Timestamp of the earliest pending event; pending() must be > 0.  The
+  /// lockstep sharding layer (sim/shard.hpp) uses this to pick window
+  /// boundaries without popping.
+  SimTime next_time() const {
+    assert(count_ > 0);
+    return SimTime{entry_at(0).when_us};
+  }
+
   /// Drops all pending events (used between independent experiment runs).
   /// Handles issued before the clear are invalidated, and their slots are
   /// recycled for new events.

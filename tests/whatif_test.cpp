@@ -147,6 +147,55 @@ TEST_F(WhatIfFixture, ParallelTrialsLeaveTheRealDeploymentUntouched) {
   EXPECT_EQ(rt.simulator().now(), now_before);
 }
 
+TEST_F(WhatIfFixture, SerialThresholdForcesSerialPathBitIdentically) {
+  // Raising the serial threshold above the candidate count must route
+  // what_if_all down the serial path — and since the parallel path is
+  // bit-identical by contract, the outcomes cannot change.
+  auto thresholded_config = scenario_config();
+  thresholded_config.pool_threads = 4;
+  thresholded_config.what_if_serial_threshold = 100;
+  auto batched_config = scenario_config();
+  batched_config.pool_threads = 4;
+  batched_config.what_if_serial_threshold = 0;
+  core::PervasiveGridRuntime thresholded(thresholded_config);
+  core::PervasiveGridRuntime batched(batched_config);
+
+  const std::string q = "SELECT AVG(temp) FROM sensors";
+  const auto serial = thresholded.what_if_all(q);
+  const auto parallel = batched.what_if_all(q);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].actual.value, parallel[i].actual.value);
+    EXPECT_EQ(serial[i].actual.energy_j, parallel[i].actual.energy_j);
+    EXPECT_EQ(serial[i].actual.data_bytes, parallel[i].actual.data_bytes);
+  }
+}
+
+TEST_F(WhatIfFixture, BatchedTrialsWithFewerWorkersThanCandidates) {
+  // what_if_parallelism = 2 splits 4 candidates into two batches of two:
+  // the batch boundaries must not leak into the outcomes.
+  auto batched_config = scenario_config();
+  batched_config.pool_threads = 4;
+  batched_config.what_if_parallelism = 2;
+  auto serial_config = scenario_config();
+  serial_config.pool_threads = 4;
+  serial_config.what_if_parallelism = 1;
+  core::PervasiveGridRuntime batched(batched_config);
+  core::PervasiveGridRuntime serial(serial_config);
+
+  const std::string q = "SELECT AVG(temp) FROM sensors";
+  const auto two_batches = batched.what_if_all(q);
+  const auto one_by_one = serial.what_if_all(q);
+  ASSERT_EQ(two_batches.size(), one_by_one.size());
+  for (std::size_t i = 0; i < two_batches.size(); ++i) {
+    EXPECT_EQ(two_batches[i].model, one_by_one[i].model);
+    EXPECT_EQ(two_batches[i].actual.value, one_by_one[i].actual.value);
+    EXPECT_EQ(two_batches[i].actual.energy_j, one_by_one[i].actual.energy_j);
+    EXPECT_EQ(two_batches[i].telemetry.network_bytes(),
+              one_by_one[i].telemetry.network_bytes());
+  }
+}
+
 TEST_F(WhatIfFixture, ParseErrorSurfaces) {
   const auto outcomes = runtime_.what_if_all("SELEKT");
   ASSERT_EQ(outcomes.size(), 1u);
