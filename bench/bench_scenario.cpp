@@ -1,18 +1,313 @@
-// EXP-F1 — Figure 1, the general scenario, as a running system.
+// Two experiments share this binary:
 //
-// A handheld installs queries at the base station; data streams from the
-// sensor network; results flow back; the grid does the heavy lifting when
-// chosen.  For each of the paper's four query types we print the decision
-// maker's choice, its prior estimate, and the measured actuals — the
-// estimate-vs-actual pair is the feedback loop of Section 4.
+//   default    EXP-F1 — Figure 1, the general scenario, as a running system.
+//              A handheld installs queries at the base station; data streams
+//              from the sensor network; results flow back; the grid does the
+//              heavy lifting when chosen.
+//
+//   --city     EXP-N2 — the flow-level fast path at city scale.  Three
+//              stages, every gate enforced in the exit code:
+//                1. calibration: packet oracle vs flow tier on identical
+//                   seeded deployments at N <= 1600 — battery energy within
+//                   +/-10%, delivery success within 2 points, TAG epoch
+//                   latency within +/-15%;
+//                2. kill switch: flow disabled vs installed-but-all-packet
+//                   fidelity, bit-identical query outcomes and NetworkStats;
+//                3. city: a ShardedDeployment of dozens of base-station
+//                   regions (>= 100k sensors total; --quick shrinks it to CI
+//                   size) running local + cross-region queries and bulk
+//                   backhaul flows end to end in flow mode — the scenario
+//                   the per-hop packet tier cannot reach.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bench_util.hpp"
+#include "core/sharded.hpp"
 
-int main(int argc, char** argv) {
-  using namespace pgrid;
-  bench::Experiment experiment(
-      argc, argv, "EXP-F1: general scenario (Figure 1)",
-      "handheld query -> base station -> sensor network + grid -> results");
+namespace {
 
+using namespace pgrid;
+
+// --- EXP-N2 stage 1: calibration -------------------------------------------
+
+/// Tolerance band (documented in EXPERIMENTS.md / README): the flow tier
+/// charges expectation values where the packet tier charges realizations,
+/// so totals converge as rounds accumulate but never match bit for bit.
+constexpr double kEnergyTolerance = 0.10;   ///< relative, battery joules
+constexpr double kSuccessTolerance = 0.02;  ///< absolute, delivery fraction
+constexpr double kLatencyTolerance = 0.15;  ///< relative, tree epoch elapsed
+
+struct CalibResult {
+  double energy_j = 0.0;   ///< battery joules over all rounds
+  double success = 1.0;    ///< delivered reports / expected
+  double tree_s = 0.0;     ///< mean TAG epoch elapsed
+  std::uint64_t flows = 0;
+  std::uint64_t tree_epochs = 0;
+};
+
+CalibResult run_collection_rounds(std::size_t n, bool flow_mode,
+                                  std::size_t rounds) {
+  auto config = bench::standard_config(n);
+  config.flow.enabled = flow_mode;
+  core::PervasiveGridRuntime runtime(config);
+  CalibResult out;
+  std::uint64_t reports = 0;
+  std::uint64_t expected = 0;
+  double tree_elapsed = 0.0;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    sensornet::CollectionResult tree_round;
+    runtime.sensors().collect_tree_aggregate(
+        runtime.field(),
+        [&](sensornet::CollectionResult r) { tree_round = std::move(r); });
+    runtime.simulator().run();
+    out.energy_j += tree_round.energy_j;
+    tree_elapsed += tree_round.elapsed_s;
+    reports += tree_round.reports;
+    expected += tree_round.expected;
+
+    sensornet::CollectionResult raw_round;
+    runtime.sensors().collect_all_to_base(
+        runtime.field(),
+        [&](sensornet::CollectionResult r) { raw_round = std::move(r); });
+    runtime.simulator().run();
+    out.energy_j += raw_round.energy_j;
+    reports += raw_round.reports;
+    expected += raw_round.expected;
+  }
+  out.success = expected == 0
+                    ? 1.0
+                    : static_cast<double>(reports) / static_cast<double>(expected);
+  out.tree_s = tree_elapsed / static_cast<double>(rounds);
+  if (auto* flow = runtime.flow_model()) {
+    out.flows = flow->stats().flows;
+    out.tree_epochs = flow->stats().tree_epochs;
+  }
+  return out;
+}
+
+bool within_rel(double oracle, double measured, double tol) {
+  if (oracle == 0.0) return measured == 0.0;
+  return std::abs(measured - oracle) <= tol * std::abs(oracle);
+}
+
+// --- EXP-N2 stage 2: kill-switch bit-identity ------------------------------
+
+/// Everything a query run leaves behind that the flow tier could possibly
+/// perturb: the answer, both cost axes, and the network's raw counters.
+struct QueryFingerprint {
+  double value = 0.0;
+  double energy_j = 0.0;
+  double response_s = 0.0;
+  double handheld_s = 0.0;
+  net::NetworkStats net;
+
+  bool operator==(const QueryFingerprint& o) const {
+    return value == o.value && energy_j == o.energy_j &&
+           response_s == o.response_s && handheld_s == o.handheld_s &&
+           net.transmissions == o.net.transmissions &&
+           net.delivered == o.net.delivered && net.dropped == o.net.dropped &&
+           net.bytes_sent == o.net.bytes_sent &&
+           net.energy_j == o.net.energy_j &&
+           net.cross_region_frames == o.net.cross_region_frames;
+  }
+};
+
+std::vector<QueryFingerprint> run_query_suite(core::RuntimeConfig config) {
+  static const char* kQueries[] = {
+      "SELECT temp FROM sensors WHERE sensor = 10",
+      "SELECT AVG(temp) FROM sensors",
+      "SELECT temp FROM sensors WHERE sensor = 10 EPOCH DURATION 10",
+  };
+  core::PervasiveGridRuntime runtime(std::move(config));
+  bench::ignite_standard_fire(runtime);
+  std::vector<QueryFingerprint> prints;
+  for (const char* text : kQueries) {
+    runtime.reset_energy();
+    const auto outcome = runtime.submit_and_run(text);
+    QueryFingerprint p;
+    p.value = outcome.actual.value;
+    p.energy_j = outcome.actual.energy_j;
+    p.response_s = outcome.actual.response_s;
+    p.handheld_s = outcome.handheld_response_s;
+    p.net = runtime.network().stats();
+    prints.push_back(p);
+  }
+  return prints;
+}
+
+// --- EXP-N2 stage 3: the city ----------------------------------------------
+
+struct CityResult {
+  std::size_t regions = 0;
+  std::size_t sensors_total = 0;
+  std::size_t queries = 0;
+  std::size_t queries_ok = 0;
+  std::uint64_t cross_region_frames = 0;
+  std::uint64_t flows = 0;
+  std::uint64_t analytic_hops = 0;
+  std::uint64_t tree_epochs = 0;
+  std::uint64_t packet_fallbacks = 0;
+  double sim_elapsed_s = 0.0;
+  double build_ms = 0.0;
+  double run_ms = 0.0;
+};
+
+CityResult run_city(std::size_t regions, std::size_t sensors_per_region) {
+  const auto t0 = std::chrono::steady_clock::now();
+  core::ShardedDeploymentConfig cfg;
+  cfg.base = bench::standard_config(sensors_per_region);
+  cfg.base.flow.enabled = true;
+  cfg.base.sharding.shards = std::min<std::size_t>(4, regions);
+  cfg.regions = regions;
+  // Regions must not overlap in the air: footprint + both radio ranges.
+  cfg.region_spacing_m =
+      cfg.base.sensors.width_m + 2.0 * cfg.base.sensors.radio.range_m + 50.0;
+  core::ShardedDeployment city(cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  CityResult out;
+  out.regions = regions;
+  out.sensors_total = regions * sensors_per_region;
+  const std::string query = "SELECT AVG(temp) FROM sensors";
+  auto accept = [&out](core::QueryOutcome outcome) {
+    if (outcome.ok) ++out.queries_ok;
+  };
+  // Local traffic: every base station answers its own aggregate query...
+  for (std::size_t r = 0; r < regions; ++r) {
+    city.submit(r, sim::SimTime::seconds(1.0 + 0.01 * static_cast<double>(r)),
+                query, accept);
+    ++out.queries;
+  }
+  // ...then forwards one to its ring neighbour over the wired backhaul (a
+  // counted cross-region flow), followed by a bulk result transfer back.
+  for (std::size_t r = 0; r < regions; ++r) {
+    city.submit_remote(r, (r + 1) % regions,
+                       sim::SimTime::seconds(5.0 + 0.01 * static_cast<double>(r)),
+                       query, accept);
+    ++out.queries;
+  }
+  std::size_t transfers_done = 0;
+  for (std::size_t r = 0; r < regions; ++r) {
+    city.transfer_remote(r, (r + 1) % regions, sim::SimTime::seconds(9.0),
+                         1 << 20, [&transfers_done](bool ok) {
+                           if (ok) ++transfers_done;
+                         });
+  }
+  city.run();
+  const auto t2 = std::chrono::steady_clock::now();
+
+  for (std::size_t r = 0; r < regions; ++r) {
+    const auto& stats = city.region(r).network().stats();
+    out.cross_region_frames += stats.cross_region_frames;
+    if (auto* flow = city.region(r).flow_model()) {
+      out.flows += flow->stats().flows;
+      out.analytic_hops += flow->stats().analytic_hops;
+      out.tree_epochs += flow->stats().tree_epochs;
+      out.packet_fallbacks += flow->stats().packet_fallbacks;
+    }
+    out.sim_elapsed_s = std::max(
+        out.sim_elapsed_s, city.region(r).simulator().now().to_seconds());
+  }
+  out.queries_ok = std::min(out.queries_ok, out.queries);
+  if (transfers_done != regions) out.queries_ok = 0;  // transfer gate folded in
+  out.build_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.run_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+  return out;
+}
+
+int run_city_experiment(bench::Experiment& experiment, bool quick) {
+  bool ok = true;
+
+  // Stage 1: calibration sweep, packet oracle vs flow tier.
+  const std::vector<std::size_t> sweep =
+      quick ? std::vector<std::size_t>{100, 400}
+            : std::vector<std::size_t>{100, 400, 1600};
+  const std::size_t rounds = 5;
+  common::Table calib({"n", "energy pkt (J)", "energy flow (J)",
+                       "success pkt", "success flow", "tree pkt (s)",
+                       "tree flow (s)", "flows", "gate"});
+  for (std::size_t n : sweep) {
+    const CalibResult packet = run_collection_rounds(n, false, rounds);
+    const CalibResult flow = run_collection_rounds(n, true, rounds);
+    const bool pass =
+        within_rel(packet.energy_j, flow.energy_j, kEnergyTolerance) &&
+        std::abs(packet.success - flow.success) <= kSuccessTolerance &&
+        within_rel(packet.tree_s, flow.tree_s, kLatencyTolerance) &&
+        flow.flows > 0 && flow.tree_epochs == rounds;
+    ok = ok && pass;
+    calib.add_row({std::to_string(n),
+                   common::Table::num(packet.energy_j, 6),
+                   common::Table::num(flow.energy_j, 6),
+                   common::Table::num(packet.success, 4),
+                   common::Table::num(flow.success, 4),
+                   common::Table::num(packet.tree_s, 4),
+                   common::Table::num(flow.tree_s, 4),
+                   std::to_string(flow.flows), pass ? "PASS" : "FAIL"});
+  }
+  experiment.series("calibration", calib);
+
+  // Stage 2: kill switch.  Disabled vs installed-with-all-packet-fidelity
+  // must leave bit-identical fingerprints — the all-packet model draws no
+  // randomness and every path falls through to the packet tier.
+  auto disabled_config = bench::standard_config(100);
+  auto all_packet_config = bench::standard_config(100);
+  all_packet_config.flow.enabled = true;
+  all_packet_config.flow.default_fidelity = net::Fidelity::kPacket;
+  const auto disabled = run_query_suite(disabled_config);
+  const auto all_packet = run_query_suite(all_packet_config);
+  common::Table kill({"query", "energy off (J)", "energy all-pkt (J)",
+                      "identical"});
+  for (std::size_t i = 0; i < disabled.size(); ++i) {
+    const bool same = disabled[i] == all_packet[i];
+    ok = ok && same;
+    kill.add_row({std::to_string(i),
+                  common::Table::num(disabled[i].energy_j, 9),
+                  common::Table::num(all_packet[i].energy_j, 9),
+                  same ? "YES" : "NO"});
+  }
+  experiment.series("kill_switch", kill);
+
+  // Stage 3: the city itself.
+  const std::size_t regions = quick ? 4 : 36;
+  const std::size_t per_region = quick ? 100 : 2916;  // 36 * 2916 = 104,976
+  const CityResult city = run_city(regions, per_region);
+  const bool city_pass = city.queries_ok == city.queries &&
+                         city.cross_region_frames >=
+                             static_cast<std::uint64_t>(2 * regions) &&
+                         city.flows > 0 && city.tree_epochs > 0 &&
+                         (quick || city.sensors_total >= 100000);
+  ok = ok && city_pass;
+  common::Table table({"regions", "sensors", "queries", "ok",
+                       "x-region frames", "flows", "analytic hops",
+                       "tree epochs", "fallbacks", "sim (s)", "build (ms)",
+                       "run (ms)", "gate"});
+  table.add_row({std::to_string(city.regions),
+                 std::to_string(city.sensors_total),
+                 std::to_string(city.queries),
+                 std::to_string(city.queries_ok),
+                 std::to_string(city.cross_region_frames),
+                 std::to_string(city.flows),
+                 std::to_string(city.analytic_hops),
+                 std::to_string(city.tree_epochs),
+                 std::to_string(city.packet_fallbacks),
+                 common::Table::num(city.sim_elapsed_s, 3),
+                 common::Table::num(city.build_ms, 1),
+                 common::Table::num(city.run_ms, 1),
+                 city_pass ? "PASS" : "FAIL"});
+  experiment.series("city", table);
+
+  experiment.note(ok ? "EXP-N2 gates: all PASS."
+                     : "EXP-N2 gates: FAILURE (see tables).");
+  return ok ? 0 : 1;
+}
+
+// --- EXP-F1 (the original scenario table) -----------------------------------
+
+int run_figure1(bench::Experiment& experiment) {
   core::PervasiveGridRuntime runtime(bench::standard_config(100));
   bench::ignite_standard_fire(runtime);
 
@@ -49,4 +344,27 @@ int main(int argc, char** argv) {
   experiment.note("Shape check: simple << aggregate << complex in energy; "
                   "the continuous row reports per-epoch means.");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool city = false;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--city") == 0) city = true;
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  if (city) {
+    bench::Experiment experiment(
+        argc, argv, "EXP-N2: flow-level fast path at city scale",
+        "analytic flow tier within tolerance of the packet oracle at "
+        "N<=1600; kill switch bit-identical; >=100k sensors across dozens "
+        "of regions end to end in flow mode");
+    return run_city_experiment(experiment, quick);
+  }
+  bench::Experiment experiment(
+      argc, argv, "EXP-F1: general scenario (Figure 1)",
+      "handheld query -> base station -> sensor network + grid -> results");
+  return run_figure1(experiment);
 }

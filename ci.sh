@@ -45,21 +45,26 @@ echo "=== chaos smoke: 25 seeds/mix, all invariants, asan-ubsan ==="
 PGRID_CHAOS_SEEDS=25 out/asan-ubsan/tests/test_chaos \
   --gtest_filter='ChaosSweep.*'
 
-echo "=== bench smoke: kernel + decision maker + topology + reliability ==="
+echo "=== bench smoke: kernel + decision maker + topology + reliability + city ==="
 # Quick-mode perf smoke on the plain build: the binaries must run, emit
-# schema-valid JSON, and the kernel/topology/reliability benches must pass
-# their built-in determinism/oracle/ablation gates (non-zero exit
-# otherwise).  The kernel, topology, and reliability reports are kept as
-# BENCH_kernel.json / BENCH_topology.json / BENCH_resilience.json — the
-# perf and robustness trajectory across PRs.  The resilience run is the
-# EXP-R1 sweep: reliability on/off over identical seeded chaos schedules,
-# with the success-rate, coverage, exactly-once, ledger-conservation, and
-# kill-switch bit-identity gates enforced inside the binary.
+# schema-valid JSON, and the kernel/topology/reliability/scenario benches
+# must pass their built-in determinism/oracle/ablation gates (non-zero exit
+# otherwise).  The kernel, topology, reliability, and scenario reports are
+# kept as BENCH_kernel.json / BENCH_topology.json / BENCH_resilience.json /
+# BENCH_scenario.json — the perf and robustness trajectory across PRs.  The
+# resilience run is the EXP-R1 sweep: reliability on/off over identical
+# seeded chaos schedules, with the success-rate, coverage, exactly-once,
+# ledger-conservation, and kill-switch bit-identity gates enforced inside
+# the binary.  The scenario run is EXP-N2 at CI size: the flow-tier
+# calibration sweep against the packet oracle, the flow kill-switch
+# bit-identity check, and a sharded multi-region city run in flow mode —
+# all gates enforced via the exit code (full scale: --city without --quick).
 out/default/bench/bench_sim_kernel --json --quick > BENCH_kernel.json
 out/default/bench/bench_decision_maker --json > /tmp/bench_dm.json
 out/default/bench/bench_routing --json --quick > BENCH_topology.json
 out/default/bench/bench_resilience --chaos --json > BENCH_resilience.json
-python3 - BENCH_kernel.json /tmp/bench_dm.json BENCH_topology.json BENCH_resilience.json <<'PY'
+out/default/bench/bench_scenario --city --quick --json > BENCH_scenario.json
+python3 - BENCH_kernel.json /tmp/bench_dm.json BENCH_topology.json BENCH_resilience.json BENCH_scenario.json <<'PY'
 import json, sys
 for path in sys.argv[1:]:
     with open(path) as fh:

@@ -56,6 +56,17 @@ PervasiveGridRuntime::PervasiveGridRuntime(RuntimeConfig config,
     sensors_->set_reliable_channel(reliable_.get());
   }
 
+  if (config_.flow.enabled) {
+    // Like the reliable channel, the flow model's loss-draw stream is
+    // seeded off the base seed, not the fork chain: enabling the analytic
+    // tier must not perturb placement/noise/packet-loss draws, so a
+    // flow-mode run samples the same sensor readings as a packet-mode run.
+    flow_ = std::make_unique<net::FlowModel>(
+        *network_, config_.flow,
+        common::Rng(config_.seed ^ 0xC2B2AE3D27D4EB4FULL));
+    network_->set_flow_model(flow_.get());
+  }
+
   register_agents();
   // Let registrations and advertisements play out, then start experiments
   // from full batteries.

@@ -18,6 +18,7 @@
 #include "agent/platform.hpp"
 #include "common/rng.hpp"
 #include "discovery/broker.hpp"
+#include "net/flow.hpp"
 #include "grid/infrastructure.hpp"
 #include "partition/decision_maker.hpp"
 #include "partition/executor.hpp"
@@ -90,6 +91,10 @@ struct RuntimeConfig {
   sim::ShardingConfig sharding;
   /// Reliability layer (PR 5); disabled by default.
   ReliabilityConfig reliability;
+  /// Analytic flow tier (net/flow.hpp); disabled by default.  With
+  /// `flow.enabled` false no FlowModel is constructed and every network
+  /// path runs bit-identically to the packet-only build.
+  net::FlowConfig flow;
 };
 
 /// Everything known about one answered query.
@@ -184,6 +189,8 @@ class PervasiveGridRuntime {
   const RuntimeConfig& config() const { return config_; }
   /// The reliability channel, or null when the layer is disabled.
   net::ReliableChannel* reliable_channel() { return reliable_.get(); }
+  /// The analytic flow tier, or null when disabled.
+  net::FlowModel* flow_model() { return flow_.get(); }
   /// The deployment's cost ledger (owned by the network, so what_if clones
   /// get their own and never pollute this one).
   telemetry::CostLedger& telemetry() { return network_->telemetry(); }
@@ -230,6 +237,7 @@ class PervasiveGridRuntime {
   common::Rng rng_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<net::ReliableChannel> reliable_;
+  std::unique_ptr<net::FlowModel> flow_;
   std::unique_ptr<sensornet::SensorNetwork> sensors_;
   std::unique_ptr<sensornet::BuildingTemperatureField> field_;
   std::unique_ptr<grid::GridInfrastructure> grid_;

@@ -112,11 +112,41 @@ void ShardedDeployment::submit_remote(std::size_t from, std::size_t to,
   // The wired backhaul carries the query between base stations; arrival is
   // sender-timestamped, so it satisfies the lookahead bound as long as
   // backhaul_latency >= the lockstep window.
-  const sim::SimTime arrive = at + config_.backhaul_latency;
+  sim::SimTime arrive = at + config_.backhaul_latency;
+  if (config_.base.flow.enabled) {
+    // Flow tier on: the forwarding leg is one analytic backhaul flow —
+    // counted and charged at the sender, wire time added to the arrival —
+    // instead of a free hop.  Off (the kill switch), the PR 6 timeline is
+    // reproduced byte for byte.
+    const auto bytes = static_cast<std::uint64_t>(query_text.size());
+    regions_.at(from)->network().record_cross_region_flow(bytes);
+    arrive += net::LinkClass::wired().transfer_time(bytes);
+  }
   world_->post(static_cast<std::uint32_t>(from), static_cast<std::uint32_t>(to),
                arrive, [rt, query_text, done = std::move(done)]() mutable {
                  rt->submit(query_text, std::move(done));
                });
+}
+
+void ShardedDeployment::transfer_remote(std::size_t from, std::size_t to,
+                                        sim::SimTime at, std::uint64_t bytes,
+                                        std::function<void(bool)> done) {
+  assert(from < regions_.size());
+  regions_.at(from)->network().record_cross_region_flow(bytes);
+  const sim::SimTime arrive =
+      at + config_.backhaul_latency + net::LinkClass::wired().transfer_time(bytes);
+  world_->post(static_cast<std::uint32_t>(from), static_cast<std::uint32_t>(to),
+               arrive, [done = std::move(done)]() mutable {
+                 if (done) done(true);
+               });
+}
+
+void ShardedDeployment::set_region_fidelity(std::size_t r,
+                                            net::RegionId target,
+                                            net::Fidelity fidelity) {
+  if (net::FlowModel* flow = regions_.at(r)->flow_model()) {
+    flow->set_region_fidelity(target, fidelity);
+  }
 }
 
 const sim::Schedule& ShardedDeployment::arm_chaos(std::size_t r,

@@ -77,10 +77,28 @@ class ShardedDeployment {
 
   /// Wired-backhaul forwarding: region `from`'s base station hands the
   /// query to region `to`, arriving `backhaul_latency` after `at` on the
-  /// mailbox's `from` lane.
+  /// mailbox's `from` lane.  With the flow tier enabled the query's
+  /// backhaul leg is itself a flow — one counted cross-region completion
+  /// at the sending network plus analytic wire time — instead of an
+  /// unaccounted hop (the PR 6 leftover).
   void submit_remote(std::size_t from, std::size_t to, sim::SimTime at,
                      const std::string& query_text,
                      std::function<void(QueryOutcome)> done);
+
+  /// Flow-level bulk transfer over the wired backhaul: ONE logical
+  /// completion rides the mailbox barrier exchange (no per-hop frames),
+  /// booked at the sending region's network as a cross-region frame —
+  /// NetworkStats::cross_region_frames counts flows and packet frames
+  /// consistently.  Arrival = at + backhaul_latency + wired transfer time;
+  /// `done(true)` fires in region `to`'s timeline.
+  void transfer_remote(std::size_t from, std::size_t to, sim::SimTime at,
+                       std::uint64_t bytes, std::function<void(bool)> done);
+
+  /// Sets the fidelity of global region `target` inside region `r`'s flow
+  /// model (no-op while the flow tier is disabled).  Every region shares
+  /// the same ShardMap centers, so `target` means the same area everywhere.
+  void set_region_fidelity(std::size_t r, net::RegionId target,
+                           net::Fidelity fidelity);
 
   /// Arms a seeded chaos schedule over region `r`'s network (engine seed =
   /// the region's derived seed, so schedules are a pure function of

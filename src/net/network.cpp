@@ -5,6 +5,8 @@
 #include <memory>
 #include <span>
 
+#include "net/flow.hpp"
+
 namespace pgrid::net {
 
 std::string to_string(NodeKind kind) {
@@ -295,6 +297,17 @@ void Network::send_route(const std::vector<NodeId>& route, std::uint64_t bytes,
         [cb = std::move(cb), n = route.size()]() mutable { cb(n == 1, 0); });
     return;
   }
+  // Fidelity dispatch: routes the installed flow model may serve resolve
+  // analytically in one event; ineligible routes (packet-forced links,
+  // packet-fidelity regions, armed chaos) fall through to the exact
+  // hop-by-hop path below.
+  if (flow_model_ != nullptr) {
+    if (flow_model_->route_eligible(route)) {
+      flow_model_->send_flow(route, bytes, std::move(cb));
+      return;
+    }
+    flow_model_->note_packet_fallback();
+  }
   // Hop-by-hop continuation: each delivery schedules the next hop.
   auto state = std::make_shared<std::size_t>(0);
   auto route_copy = std::make_shared<std::vector<NodeId>>(route);
@@ -429,6 +442,17 @@ void Network::gossip(NodeId src, std::uint64_t bytes, std::size_t fanout,
   state->span.emplace(ledger_, telemetry::Subsystem::kWireless);
   if (state->on_visit) state->on_visit(src);
   spread_from(state, src);
+}
+
+void Network::record_cross_region_flow(std::uint64_t bytes) {
+  ++stats_.cross_region_frames;
+  ++stats_.transmissions;
+  ++stats_.delivered;
+  stats_.bytes_sent += bytes;
+  telemetry::Cost usage;
+  usage.bytes = bytes;
+  usage.count = 1;
+  ledger_.charge(telemetry::Subsystem::kBackhaul, usage);
 }
 
 void Network::set_fault_injector(FaultInjector* injector) {

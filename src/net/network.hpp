@@ -28,6 +28,8 @@
 
 namespace pgrid::net {
 
+class FlowModel;
+
 /// Coarse role of a node; upper layers attach richer metadata.
 enum class NodeKind { kSensor, kBaseStation, kHandheld, kGrid, kGeneric };
 
@@ -223,6 +225,20 @@ class Network {
     return shard_map_ ? shard_map_->region_of(id) : kInvalidRegion;
   }
 
+  /// Installs (or clears, with nullptr) the analytic flow tier
+  /// (net/flow.hpp).  With a model installed, send_route dispatches
+  /// flow-eligible routes to the single-event analytic path; everything
+  /// else — and everything when no model is installed — runs the packet
+  /// tier byte-for-byte unchanged.  Non-owning; the runtime owns the model.
+  void set_flow_model(FlowModel* model) { flow_model_ = model; }
+  FlowModel* flow_model() const { return flow_model_; }
+
+  /// Books one flow-level cross-region backhaul completion: the sharded
+  /// deployment's barrier-exchange transfers land here so
+  /// stats().cross_region_frames counts flows and frames consistently
+  /// (once per logical transfer, charged at the sending network).
+  void record_cross_region_flow(std::uint64_t bytes);
+
   /// Explicit topology-version bump for external connectivity modifiers
   /// (the fault injector's partitions and blackouts change what
   /// connected() answers without touching node or link state).
@@ -254,6 +270,11 @@ class Network {
   sim::Simulator& simulator() { return sim_; }
 
  private:
+  /// The flow tier mirrors the packet tier's books (stats, ledger, battery
+  /// draws via consume_energy) without re-deriving them through public
+  /// wrappers, so it reaches into the same internals transmit() uses.
+  friend class FlowModel;
+
   struct WiredLink {
     NodeId a;
     NodeId b;
@@ -295,6 +316,7 @@ class Network {
   std::uint64_t liveness_version_ = 0;
   FaultInjector* fault_injector_ = nullptr;
   const ShardMap* shard_map_ = nullptr;
+  FlowModel* flow_model_ = nullptr;
 
   // Acceleration state: logically caches, so mutable behind const queries.
   mutable TopologySnapshot snapshot_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "net/flow.hpp"
 #include "net/routing.hpp"
 
 namespace pgrid::net {
@@ -81,7 +82,28 @@ void ReliableChannel::begin(const std::shared_ptr<Transfer>& t) {
       return;
     }
   }
+  mark_route(t);
   hop_cycle(t);
+}
+
+void ReliableChannel::mark_route(const std::shared_ptr<Transfer>& t) {
+  unmark_route(t);
+  FlowModel* flow = network_.flow_model();
+  if (flow == nullptr) return;
+  for (std::size_t i = 0; i + 1 < t->route.size(); ++i) {
+    flow->force_packet(t->route[i], t->route[i + 1]);
+  }
+  t->forced_route = t->route;
+}
+
+void ReliableChannel::unmark_route(const std::shared_ptr<Transfer>& t) {
+  if (t->forced_route.empty()) return;
+  if (FlowModel* flow = network_.flow_model()) {
+    for (std::size_t i = 0; i + 1 < t->forced_route.size(); ++i) {
+      flow->release_packet(t->forced_route[i], t->forced_route[i + 1]);
+    }
+  }
+  t->forced_route.clear();
 }
 
 void ReliableChannel::hop_cycle(const std::shared_ptr<Transfer>& t) {
@@ -191,6 +213,7 @@ void ReliableChannel::route_failed(const std::shared_ptr<Transfer>& t) {
     t->route = std::move(fresh);
     t->hop = 0;
     t->attempt = 0;
+    mark_route(t);
     hop_cycle(t);
     return;
   }
@@ -207,6 +230,7 @@ void ReliableChannel::route_failed(const std::shared_ptr<Transfer>& t) {
 
 void ReliableChannel::finish(const std::shared_ptr<Transfer>& t,
                              bool delivered) {
+  unmark_route(t);
   if (delivered) {
     ++stats_.delivered;
   } else {

@@ -315,6 +315,9 @@ class ReliableChannel {
     std::size_t reroutes = 0;
     bool single_hop = false;  ///< acked_transmit: fixed route, no reroute
     std::uint64_t pair = 0;   ///< window key (directed src->dst)
+    /// Links currently held packet-forced in the flow model (flow traffic
+    /// must not skim links whose ACK/retransmit semantics are in flight).
+    std::vector<NodeId> forced_route;
   };
 
   struct PairState {
@@ -328,6 +331,11 @@ class ReliableChannel {
   void retry_or_abandon(const std::shared_ptr<Transfer>& t);
   void route_failed(const std::shared_ptr<Transfer>& t);
   void finish(const std::shared_ptr<Transfer>& t, bool delivered);
+  /// Marks/releases the transfer's current route as packet-forced in the
+  /// installed flow model (no-ops without one).  Counted holds, so
+  /// overlapping transfers compose; re-marking first releases the old route.
+  void mark_route(const std::shared_ptr<Transfer>& t);
+  void unmark_route(const std::shared_ptr<Transfer>& t);
   /// First acceptance of `seq` at `node`?  (False => duplicate, re-ACK only.)
   bool accept(const std::shared_ptr<Transfer>& t, NodeId node);
   sim::SimTime backoff_delay(std::size_t attempt);

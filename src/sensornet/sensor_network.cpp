@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "net/flow.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace pgrid::sensornet {
@@ -197,6 +198,19 @@ void SensorNetwork::collect_tree_aggregate(const ScalarField& field,
                                            CollectCallback done,
                                            SensorFilter filter,
                                            net::Budget budget) {
+  // Fidelity dispatch: with a flow model installed and every tree edge
+  // eligible, the whole epoch resolves analytically in one event.  The
+  // reliable channel keeps the packet path (acked per-hop semantics are
+  // exactly what the analytic tier must not approximate), as does any
+  // tree with a packet-forced or packet-fidelity edge.
+  if (reliable_ == nullptr && network_.flow_model() != nullptr) {
+    net::FlowModel& flow = *network_.flow_model();
+    if (flow.tree_eligible(tree())) {
+      collect_tree_flow(field, std::move(done), std::move(filter));
+      return;
+    }
+    flow.note_packet_fallback();
+  }
   auto round = begin_round(std::move(done));
   // Snapshot the tree: topology churn mid-round must not invalidate the
   // schedule this round was built against.
@@ -291,6 +305,95 @@ void SensorNetwork::collect_tree_aggregate(const ScalarField& field,
     return;
   }
   (*run_level)(deepest);
+}
+
+void SensorNetwork::collect_tree_flow(const ScalarField& field,
+                                      CollectCallback done,
+                                      SensorFilter filter) {
+  auto round = begin_round(std::move(done));
+  net::FlowModel& flow = *network_.flow_model();
+  const net::SinkTree& routing_tree = tree();
+  const auto qualified = qualifying_samples(*this, field, filter);
+
+  std::map<net::NodeId, AggregateState> states;
+  std::map<net::NodeId, std::size_t> contributions;
+  std::size_t expected = 0;
+  for (const auto& [sensor, value] : qualified) {
+    if (!routing_tree.contains(sensor)) continue;
+    AggregateState state;
+    state.add(value);
+    states[sensor] = state;
+    contributions[sensor] = 1;
+    ++expected;
+  }
+  round->result.expected = expected;
+
+  const std::size_t deepest = routing_tree.max_depth();
+  if (deepest == 0) {
+    network_.simulator().schedule(sim::SimTime::zero(),
+                                  [this, round] { finish_round(round); });
+    return;
+  }
+  std::vector<std::vector<net::NodeId>> levels(deepest + 1);
+  for (net::NodeId id : routing_tree.bfs_order()) {
+    if (id == base_) continue;
+    levels[routing_tree.depth(id)].push_back(id);
+  }
+
+  // TAG's epoch schedule, resolved analytically: per level (deepest first),
+  // every state-holding node's parent edge gets one loss draw + one
+  // expectation-value charge, and the level's duration is the slowest of
+  // the n concurrent transmitters — E[max of n truncated-geometric attempt
+  // counts], not n * E[attempts], so deep fan-in does not underestimate.
+  double total_us = 0.0;
+  for (std::size_t depth = deepest; depth >= 1; --depth) {
+    std::vector<net::NodeId> transmitters;
+    for (net::NodeId id : levels[depth]) {
+      auto it = states.find(id);
+      if (it == states.end() || it->second.count == 0) continue;
+      if (!network_.alive(id)) continue;
+      transmitters.push_back(id);
+    }
+    if (transmitters.empty()) continue;
+    const std::size_t n = transmitters.size();
+    double level_us = 0.0;
+    for (net::NodeId id : transmitters) {
+      const net::NodeId parent = routing_tree.parent(id);
+      net::FlowModel::HopOutcome hop;
+      if (!flow.hop_outcome(id, parent, config_.state_bytes, hop)) {
+        // Edge vanished since the tree was built: the subtree is lost and
+        // nobody is charged, as the packet tier's no-link transmit fails.
+        continue;
+      }
+      bool ok = flow.rng().uniform01() < hop.success_p;
+      ok = flow.charge_hop(id, parent, config_.state_bytes, hop, ok) && ok;
+      if (ok) {
+        states[parent].merge(states[id]);
+        contributions[parent] += contributions[id];
+      }
+      const double slowest = net::FlowModel::expected_max_attempts(
+          n, hop.loss_p, network_.max_retries());
+      level_us = std::max(
+          level_us, static_cast<double>(hop.base_latency.us) * slowest);
+    }
+    total_us += level_us;
+  }
+
+  AggregateState aggregate;
+  if (auto it = states.find(base_); it != states.end()) aggregate = it->second;
+  std::size_t reports = 0;
+  if (auto it = contributions.find(base_); it != contributions.end()) {
+    reports = it->second;
+  }
+  flow.note_tree_epoch();
+  network_.simulator().schedule(
+      sim::SimTime::microseconds(
+          static_cast<std::int64_t>(std::llround(total_us))),
+      [this, round, aggregate, reports] {
+        round->result.aggregate = aggregate;
+        round->result.reports = reports;
+        finish_round(round);
+      });
 }
 
 void SensorNetwork::collect_clustered(const ScalarField& field, std::size_t k,

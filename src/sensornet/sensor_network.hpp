@@ -182,6 +182,14 @@ class SensorNetwork {
   struct RoundState;
   std::shared_ptr<RoundState> begin_round(CollectCallback done);
   void finish_round(const std::shared_ptr<RoundState>& round);
+  /// Whole-subtree analytic TAG epoch (net/flow.hpp): per-edge outcomes and
+  /// charges resolve synchronously, level durations come from the
+  /// expected-max-attempts order statistic, and ONE simulator event delivers
+  /// the round — the collection path that makes 100k-sensor epochs viable.
+  /// Only taken when every tree edge is flow-eligible and no reliable
+  /// channel is attached.
+  void collect_tree_flow(const ScalarField& field, CollectCallback done,
+                         SensorFilter filter);
   void collect_clustered(const ScalarField& field, std::size_t k,
                          bool keep_raw_averages, CollectCallback done,
                          SensorFilter filter, net::Budget budget);
