@@ -18,6 +18,14 @@
 //                   size) running local + cross-region queries and bulk
 //                   backhaul flows end to end in flow mode — the scenario
 //                   the per-hop packet tier cannot reach.
+//
+//   --load     EXP-Q1 — multi-query sharing under sustained load.  An
+//              overlap sweep submits G canonical groups x F subscribers on
+//              identical seeds with and without the sharing layer, then
+//              gates on: >=3x sustained qps at <=1% deadline-miss at full
+//              overlap, strictly fewer radio transmissions shared than
+//              unshared, and bit-identical fingerprints with the sharing
+//              layer enabled but untriggered (the kill-switch contract).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -305,6 +313,197 @@ int run_city_experiment(bench::Experiment& experiment, bool quick) {
   return ok ? 0 : 1;
 }
 
+// --- EXP-Q1: multi-query sharing under sustained load ------------------------
+
+/// The load stage stresses the one resource this simulator genuinely
+/// contends on: sensor battery.  Every unshared continuous aggregate runs
+/// its own TAG collection, so offered load drains the field linearly in
+/// the overlap factor; the sharing layer runs one collection per canonical
+/// group no matter how many subscribers ride it.  The battery is sized so
+/// the relay sensors (which forward the whole tree) survive the shared
+/// sweep at full overlap but die partway through the unshared one.
+constexpr double kLoadBatteryJ = 0.02;
+constexpr std::size_t kLoadSensors = 49;
+constexpr std::size_t kLoadGroups = 4;       ///< distinct canonical keys
+constexpr std::size_t kLoadEpochs = 4;       ///< rounds per standing query
+constexpr double kLoadWindowS = 8.0;         ///< arrival window per level
+/// A query misses its deadline when it is shed, fails outright, answers
+/// late, or answers from under 80% of the field (two of four epochs lost,
+/// or worse — a stale or hollow answer, not a usable one).
+constexpr double kLoadCoverageFloor = 0.8;
+
+struct LoadLevel {
+  std::size_t overlap = 0;
+  std::size_t queries = 0;
+  std::size_t missed = 0;
+  double miss_rate = 0.0;
+  double offered_qps = 0.0;
+  bool sustained = false;  ///< miss rate within the 1% budget
+  std::uint64_t transmissions = 0;
+  std::uint64_t collections = 0;  ///< shared-tree rounds run
+  std::uint64_t fanouts = 0;      ///< per-subscriber epoch deliveries
+  double battery_j = 0.0;         ///< field energy consumed
+};
+
+LoadLevel run_load_level(bool sharing, std::size_t overlap,
+                         std::uint64_t seed) {
+  auto config = bench::standard_config(kLoadSensors, seed);
+  config.continuous_epochs = kLoadEpochs;
+  config.reliability.enabled = true;
+  config.sensors.battery_j = kLoadBatteryJ;
+  config.sharing.enabled = sharing;
+  // Generous admission bounds: this stage measures the physical sharing
+  // advantage, so the controller must never be the binding constraint.
+  config.sharing.max_active = 64;
+  config.sharing.max_queue = 256;
+  core::PervasiveGridRuntime runtime(config);
+  auto& sim = runtime.simulator();
+
+  LoadLevel out;
+  out.overlap = overlap;
+  out.queries = kLoadGroups * overlap;
+  out.offered_qps = static_cast<double>(out.queries) / kLoadWindowS;
+
+  static const char* kFns[] = {"AVG", "MAX", "MIN", "SUM", "COUNT"};
+  std::size_t arrival = 0;
+  for (std::size_t f = 0; f < overlap; ++f) {
+    for (std::size_t g = 0; g < kLoadGroups; ++g) {
+      const int epoch_s = 2 + static_cast<int>(g % 2);
+      // Per-query deadline: the epochs themselves, one extra epoch a late
+      // joiner may wait for its group's next round, and delivery slack.
+      const double deadline_s =
+          static_cast<double>((kLoadEpochs + 1) * epoch_s) + 3.0;
+      const std::string text =
+          std::string("SELECT ") + kFns[f % 5] + "(temp) FROM sensors" +
+          (g < 2 ? "" : " WHERE temp > 0") + " COST TIME " +
+          std::to_string(static_cast<int>(deadline_s)) +
+          " EPOCH DURATION " + std::to_string(epoch_s);
+      const double at_s = 1.0 + kLoadWindowS *
+                                    static_cast<double>(arrival++) /
+                                    static_cast<double>(out.queries);
+      sim.schedule(sim::SimTime::seconds(at_s),
+                   [&runtime, &out, text, deadline_s] {
+                     const sim::SimTime sent = runtime.simulator().now();
+                     runtime.submit(
+                         text, [&runtime, &out, sent,
+                                deadline_s](core::QueryOutcome o) {
+                           const double took =
+                               (runtime.simulator().now() - sent).to_seconds();
+                           if (o.shed || !o.ok ||
+                               o.coverage < kLoadCoverageFloor ||
+                               took > deadline_s) {
+                             ++out.missed;
+                           }
+                         });
+                   });
+    }
+  }
+  sim.run();
+
+  out.miss_rate = static_cast<double>(out.missed) /
+                  static_cast<double>(out.queries);
+  out.sustained = out.miss_rate <= 0.01;
+  out.transmissions = runtime.network().stats().transmissions;
+  out.battery_j = runtime.network().battery_energy_consumed();
+  if (auto* share = runtime.sharing()) {
+    out.collections = share->registry().stats().collections;
+    out.fanouts = share->registry().stats().fanouts;
+  }
+  return out;
+}
+
+int run_load_experiment(bench::Experiment& experiment, bool quick) {
+  bool ok = true;
+
+  // Stage 1: the overlap sweep.  Identical seeds per level; only the
+  // sharing flag differs between the two runs of a level.
+  const std::vector<std::size_t> levels =
+      quick ? std::vector<std::size_t>{1, 8}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  common::Table table({"overlap", "mode", "queries", "missed", "miss rate",
+                       "offered qps", "sustained", "transmissions",
+                       "collections", "fanouts", "battery (J)"});
+  double sustained_shared = 0.0;
+  double sustained_unshared = 0.0;
+  LoadLevel top_shared, top_unshared;
+  for (std::size_t overlap : levels) {
+    const std::uint64_t seed = 42 + overlap;
+    const LoadLevel unshared = run_load_level(false, overlap, seed);
+    const LoadLevel shared = run_load_level(true, overlap, seed);
+    if (unshared.sustained) {
+      sustained_unshared = std::max(sustained_unshared, unshared.offered_qps);
+    }
+    if (shared.sustained) {
+      sustained_shared = std::max(sustained_shared, shared.offered_qps);
+    }
+    if (overlap == levels.back()) {
+      top_shared = shared;
+      top_unshared = unshared;
+    }
+    for (const LoadLevel* level : {&unshared, &shared}) {
+      table.add_row({std::to_string(level->overlap),
+                     level == &shared ? "shared" : "unshared",
+                     std::to_string(level->queries),
+                     std::to_string(level->missed),
+                     common::Table::num(level->miss_rate, 3),
+                     common::Table::num(level->offered_qps, 2),
+                     level->sustained ? "YES" : "no",
+                     std::to_string(level->transmissions),
+                     std::to_string(level->collections),
+                     std::to_string(level->fanouts),
+                     common::Table::num(level->battery_j, 4)});
+    }
+  }
+  experiment.series("sustained_load", table);
+
+  // Gates: the shared build must hold the full-overlap level inside the 1%
+  // miss budget and sustain >= 3x the unshared throughput; the baseline
+  // must be viable at trivial load (or the comparison is vacuous); and the
+  // sharing advantage must be physical — fewer radio transmissions at
+  // identical offered load, with more epoch deliveries than collections.
+  const bool qps_gate = top_shared.sustained &&
+                        sustained_unshared > 0.0 &&
+                        sustained_shared >= 3.0 * sustained_unshared;
+  const bool tx_gate = top_shared.transmissions < top_unshared.transmissions &&
+                       top_shared.fanouts > top_shared.collections;
+  ok = ok && qps_gate && tx_gate;
+
+  common::Table gates({"gate", "measured", "required", "verdict"});
+  gates.add_row({"sustained qps ratio",
+                 common::Table::num(sustained_unshared > 0.0
+                                        ? sustained_shared / sustained_unshared
+                                        : 0.0,
+                                    2),
+                 ">= 3.0", qps_gate ? "PASS" : "FAIL"});
+  gates.add_row({"transmissions at full overlap",
+                 std::to_string(top_shared.transmissions) + " vs " +
+                     std::to_string(top_unshared.transmissions),
+                 "shared < unshared", tx_gate ? "PASS" : "FAIL"});
+
+  // Stage 2: kill switch.  Sharing enabled but untriggered (the standard
+  // suite holds no shareable query) must leave fingerprints bit-identical
+  // to the disabled build — admission passthrough and canonicalization add
+  // no observable work.
+  auto off_config = bench::standard_config(100);
+  auto on_config = bench::standard_config(100);
+  on_config.sharing.enabled = true;
+  const auto off_prints = run_query_suite(off_config);
+  const auto on_prints = run_query_suite(on_config);
+  bool identical = off_prints.size() == on_prints.size();
+  for (std::size_t i = 0; identical && i < off_prints.size(); ++i) {
+    identical = off_prints[i] == on_prints[i];
+  }
+  ok = ok && identical;
+  gates.add_row({"kill switch fingerprints",
+                 identical ? "bit-identical" : "DIVERGED", "bit-identical",
+                 identical ? "PASS" : "FAIL"});
+  experiment.series("gates", gates);
+
+  experiment.note(ok ? "EXP-Q1 gates: all PASS."
+                     : "EXP-Q1 gates: FAILURE (see tables).");
+  return ok ? 0 : 1;
+}
+
 // --- EXP-F1 (the original scenario table) -----------------------------------
 
 int run_figure1(bench::Experiment& experiment) {
@@ -350,10 +549,21 @@ int run_figure1(bench::Experiment& experiment) {
 
 int main(int argc, char** argv) {
   bool city = false;
+  bool load = false;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--city") == 0) city = true;
+    if (std::strcmp(argv[i], "--load") == 0) load = true;
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  if (load) {
+    bench::Experiment experiment(
+        argc, argv, "EXP-Q1: multi-query sharing under sustained load",
+        "shared TAG trees sustain >=3x the unshared query rate at <=1% "
+        "deadline-miss under overlapping standing aggregates; kill switch "
+        "bit-identical; fewer radio transmissions at identical offered "
+        "load");
+    return run_load_experiment(experiment, quick);
   }
   if (city) {
     bench::Experiment experiment(

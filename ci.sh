@@ -12,8 +12,16 @@ for preset in default asan-ubsan; do
   cmake --preset "${preset}"
   echo "=== build: ${preset} ==="
   cmake --build --preset "${preset}" -j "${JOBS}"
-  echo "=== test: ${preset} ==="
-  ctest --preset "${preset}" -j "${JOBS}"
+  echo "=== test: ${preset} (heavy sweeps) ==="
+  # The suites are labelled by weight (tests/CMakeLists.txt): `heavy` marks
+  # the deployment-scale chaos/load/property sweeps that dominate the wall
+  # clock — an order of magnitude more so under the sanitizers.  Running
+  # them as their own stage (COST-ordered, widest first) keeps the longest
+  # test off the tail of the run and surfaces sweep failures before the
+  # hundreds of fast unit cases queue up behind them.
+  ctest --preset "${preset}" -j "${JOBS}" -L heavy
+  echo "=== test: ${preset} (fast suites) ==="
+  ctest --preset "${preset}" -j "${JOBS}" -LE heavy
 done
 
 echo "=== tsan: lockstep sharding + thread pool under the race detector ==="
@@ -45,7 +53,7 @@ echo "=== chaos smoke: 25 seeds/mix, all invariants, asan-ubsan ==="
 PGRID_CHAOS_SEEDS=25 out/asan-ubsan/tests/test_chaos \
   --gtest_filter='ChaosSweep.*'
 
-echo "=== bench smoke: kernel + decision maker + topology + reliability + city ==="
+echo "=== bench smoke: kernel + decision maker + topology + reliability + city + load ==="
 # Quick-mode perf smoke on the plain build: the binaries must run, emit
 # schema-valid JSON, and the kernel/topology/reliability/scenario benches
 # must pass their built-in determinism/oracle/ablation gates (non-zero exit
@@ -59,12 +67,18 @@ echo "=== bench smoke: kernel + decision maker + topology + reliability + city =
 # calibration sweep against the packet oracle, the flow kill-switch
 # bit-identity check, and a sharded multi-region city run in flow mode —
 # all gates enforced via the exit code (full scale: --city without --quick).
+# The load run is EXP-Q1: the multi-query sharing sweep — overlapping
+# standing aggregates with and without shared TAG trees on identical
+# seeds, gating on >=3x sustained qps at <=1% deadline-miss, strictly
+# fewer radio transmissions shared than unshared, and sharing kill-switch
+# fingerprint bit-identity; kept as BENCH_load.json.
 out/default/bench/bench_sim_kernel --json --quick > BENCH_kernel.json
 out/default/bench/bench_decision_maker --json > /tmp/bench_dm.json
 out/default/bench/bench_routing --json --quick > BENCH_topology.json
 out/default/bench/bench_resilience --chaos --json > BENCH_resilience.json
 out/default/bench/bench_scenario --city --quick --json > BENCH_scenario.json
-python3 - BENCH_kernel.json /tmp/bench_dm.json BENCH_topology.json BENCH_resilience.json BENCH_scenario.json <<'PY'
+out/default/bench/bench_scenario --load --quick --json > BENCH_load.json
+python3 - BENCH_kernel.json /tmp/bench_dm.json BENCH_topology.json BENCH_resilience.json BENCH_scenario.json BENCH_load.json <<'PY'
 import json, sys
 for path in sys.argv[1:]:
     with open(path) as fh:

@@ -31,6 +31,12 @@ Envelope make_reply(const Envelope& original, Performative performative,
   reply.conversation_id = original.conversation_id;
   reply.in_reply_to = original.reply_with;
   reply.trace = original.trace;
+  // The requester's delivery deadline is end-to-end: the reply leg spends
+  // whatever remains of it.  Without this the reply travels on an unlimited
+  // budget, which the reliable channel caps at max_reroutes — a reply to a
+  // still-waiting requester could be dropped permanently during an outage
+  // instead of re-routing until the requester's own timeout.
+  reply.deadline_us = original.deadline_us;
   reply.payload = std::move(payload);
   return reply;
 }

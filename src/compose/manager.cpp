@@ -21,6 +21,28 @@ bool deadline_blown(const CompositionOptions& options, sim::SimTime now) {
   return options.deadline.us > 0 && now >= options.deadline;
 }
 
+/// Canonical identity of a discover sub-plan: service class plus the sorted
+/// constraint set.  Constraint order never changes which services satisfy a
+/// request, so it never splits a dedup group; anything semantic (property,
+/// op, value, hardness) lands in the key.
+std::string discovery_key(const TaskSpec& spec) {
+  std::vector<std::string> parts;
+  parts.reserve(spec.constraints.size());
+  for (const auto& constraint : spec.constraints) {
+    parts.push_back(constraint.property + ' ' +
+                    discovery::to_string(constraint.op) + ' ' +
+                    discovery::to_string(constraint.value) +
+                    (constraint.hard ? "!" : "?"));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string key = spec.service_class;
+  for (const auto& part : parts) {
+    key += '|';
+    key += part;
+  }
+  return key;
+}
+
 }  // namespace
 
 struct CompositionManager::RunState {
@@ -103,16 +125,8 @@ void CompositionManager::bind_and_invoke(const std::shared_ptr<RunState>& run,
     }
   }
 
-  discovery::ServiceRequest request;
-  request.desired_class = spec.service_class;
-  request.constraints = spec.constraints;
-  request.max_results = 5;
-  request.require_subsumption = true;
-  ++run->report.discoveries;
-  discovery::discover(
-      platform_, client_, broker_, request,
-      clamp_to_deadline(run->options, run->options.discover_timeout,
-                        platform_.simulator().now()),
+  discover_deduped(
+      run, spec,
       [this, run, index, rebinds_left](std::vector<discovery::Match> matches) {
         // Drop providers that already failed this task.
         const auto& bad = run->failed_services[index];
@@ -144,6 +158,68 @@ void CompositionManager::bind_and_invoke(const std::shared_ptr<RunState>& run,
         }
         invoke_bound(run, index, matches.front().service, rebinds_left);
       });
+}
+
+void CompositionManager::discover_deduped(
+    const std::shared_ptr<RunState>& run, const TaskSpec& spec,
+    MatchesCallback deliver) {
+  const auto issue = [this, run, &spec](MatchesCallback done) {
+    discovery::ServiceRequest request;
+    request.desired_class = spec.service_class;
+    request.constraints = spec.constraints;
+    request.max_results = 5;
+    request.require_subsumption = true;
+    ++run->report.discoveries;
+    discovery::discover(
+        platform_, client_, broker_, request,
+        clamp_to_deadline(run->options, run->options.discover_timeout,
+                          platform_.simulator().now()),
+        std::move(done));
+  };
+
+  if (!run->options.dedup_discoveries) {
+    issue(std::move(deliver));
+    return;
+  }
+
+  const std::string key = discovery_key(spec);
+  const sim::SimTime now = platform_.simulator().now();
+
+  auto cached = dedup_cache_.find(key);
+  if (cached != dedup_cache_.end()) {
+    if (now - cached->second.resolved_at <= run->options.dedup_validity) {
+      ++run->report.dedup_hits;
+      // Deliver asynchronously so a cache hit keeps discovery's
+      // callback-from-an-event ordering (consumers may recurse into
+      // bind_and_invoke).
+      auto matches = cached->second.matches;
+      platform_.simulator().schedule(
+          sim::SimTime::zero(),
+          [deliver = std::move(deliver), matches = std::move(matches)] {
+            deliver(matches);
+          });
+      return;
+    }
+    dedup_cache_.erase(cached);  // past its epoch: re-resolve
+  }
+
+  auto waiters = dedup_waiters_.find(key);
+  if (waiters != dedup_waiters_.end()) {
+    // An identical sub-plan is already in flight: coalesce onto it.
+    ++run->report.dedup_hits;
+    waiters->second.push_back(std::move(deliver));
+    return;
+  }
+
+  dedup_waiters_[key] = {};
+  issue([this, key, deliver = std::move(deliver)](
+            std::vector<discovery::Match> matches) {
+    dedup_cache_[key] = {matches, platform_.simulator().now()};
+    auto pending = std::move(dedup_waiters_[key]);
+    dedup_waiters_.erase(key);
+    deliver(matches);
+    for (auto& waiter : pending) waiter(matches);
+  });
 }
 
 void CompositionManager::negotiate_and_invoke(

@@ -53,6 +53,16 @@ struct CompositionOptions {
   /// excluded from discovery results, and each invocation must be admitted;
   /// invocation outcomes feed back as success/failure.
   net::BreakerRegistry<std::string>* provider_breakers = nullptr;
+  /// Sub-plan deduplication (the multi-query sharing layer's compose half).
+  /// Identical discover sub-plans — same service class and constraint set —
+  /// issued while one is in flight coalesce onto a single broker
+  /// round-trip, and resolved match lists are reused for `dedup_validity`
+  /// ("resolved once per epoch").  Per-task filtering (failed providers,
+  /// open breakers) still applies to each consumer of a shared result.
+  /// Off by default (kill switch): with false, discovery traffic is
+  /// byte-for-byte what it was before this option existed.
+  bool dedup_discoveries = false;
+  sim::SimTime dedup_validity = sim::SimTime::seconds(10.0);
 };
 
 /// Outcome of one composite execution.
@@ -66,6 +76,9 @@ struct CompositionReport {
   std::size_t negotiations = 0;   ///< contract-net rounds run
   /// Invocations rejected up-front by an open provider breaker.
   std::size_t breaker_short_circuits = 0;
+  /// Discover sub-plans served from the dedup cache or coalesced onto an
+  /// in-flight lookup instead of a broker round-trip.
+  std::size_t dedup_hits = 0;
   double elapsed_s = 0.0;
   std::string failure_reason;
 
@@ -100,12 +113,29 @@ class CompositionManager {
   void invalidate_cache() { cache_.clear(); }
   std::size_t cached_bindings() const { return cache_.size(); }
 
+  /// Drops resolved dedup entries (in-flight coalescing is untouched).
+  void invalidate_dedup() { dedup_cache_.clear(); }
+  std::size_t dedup_cached() const { return dedup_cache_.size(); }
+  /// Coalesced lookups currently awaiting a broker reply — must be zero at
+  /// drain (the load test's plan-cache leak check).
+  std::size_t dedup_in_flight() const { return dedup_waiters_.size(); }
+
  private:
   struct RunState;
+  using MatchesCallback =
+      std::function<void(std::vector<discovery::Match>)>;
+  struct DedupEntry {
+    std::vector<discovery::Match> matches;
+    sim::SimTime resolved_at{};
+  };
 
   void start_task(const std::shared_ptr<RunState>& run, std::size_t index);
   void bind_and_invoke(const std::shared_ptr<RunState>& run,
                        std::size_t index, std::size_t rebinds_left);
+  /// Issues (or dedups) the discovery for `spec`, delivering matches to
+  /// `deliver` — from the broker, the dedup cache, or a coalesced reply.
+  void discover_deduped(const std::shared_ptr<RunState>& run,
+                        const TaskSpec& spec, MatchesCallback deliver);
   /// Contract-net binding among discovered candidates.
   void negotiate_and_invoke(const std::shared_ptr<RunState>& run,
                             std::size_t index, std::size_t rebinds_left,
@@ -123,6 +153,11 @@ class CompositionManager {
   agent::AgentId broker_;
   /// Proactive bindings keyed by task name.
   std::map<std::string, discovery::ServiceDescription> cache_;
+  /// Resolved discover sub-plans keyed by (service class, constraints).
+  std::map<std::string, DedupEntry> dedup_cache_;
+  /// Lookups in flight: later identical sub-plans append a waiter instead
+  /// of issuing their own broker round-trip.
+  std::map<std::string, std::vector<MatchesCallback>> dedup_waiters_;
 };
 
 }  // namespace pgrid::compose

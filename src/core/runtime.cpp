@@ -67,6 +67,14 @@ PervasiveGridRuntime::PervasiveGridRuntime(RuntimeConfig config,
     network_->set_flow_model(flow_.get());
   }
 
+  if (config_.sharing.enabled) {
+    // The sharing layer performs only synchronous bookkeeping until a
+    // shareable query actually arrives: constructing it schedules no
+    // events and draws no rng, so enabling it leaves non-shared paths
+    // bit-identical to the disabled build.
+    sharing_ = std::make_unique<QuerySharing>(config_.sharing, *sensors_);
+  }
+
   register_agents();
   // Let registrations and advertisements play out, then start experiments
   // from full batteries.
@@ -229,6 +237,61 @@ void PervasiveGridRuntime::run_pipeline(
   outcome->parsed = std::move(parsed).take();
   outcome->classification = classifier_.classify(outcome->parsed);
 
+  if (!sharing_) {
+    dispatch_query(std::move(outcome), forced, nullptr, std::move(done));
+    return;
+  }
+
+  // Sharing layer: canonicalize (pure), then pass admission control.  With
+  // free slots the admit path runs the dispatch synchronously — identical
+  // event/rng behaviour to the disabled build.
+  auto canonical = std::make_shared<const query::CanonicalQuery>(
+      query::canonicalize(outcome->parsed, outcome->classification));
+  net::Budget budget = net::Budget::unlimited();
+  if (reliable_ != nullptr) {
+    double seconds = config_.reliability.query_budget_s;
+    if (outcome->parsed.cost.metric == query::CostMetric::kTime &&
+        outcome->parsed.cost.limit > 0) {
+      seconds = outcome->parsed.cost.limit;
+    }
+    if (seconds > 0.0) {
+      budget = net::Budget::until(sim_.now() + sim::SimTime::seconds(seconds));
+    }
+  }
+  // A continuous query cannot finish before its epochs elapse — the floor
+  // the admission controller sheds against.
+  double min_runtime_s = 0.0;
+  if (outcome->classification.continuous && config_.continuous_epochs > 1) {
+    min_runtime_s = outcome->parsed.epoch_duration_s.value_or(1.0) *
+                    static_cast<double>(config_.continuous_epochs - 1);
+  }
+  auto done_shared =
+      std::make_shared<std::function<void(QueryOutcome)>>(std::move(done));
+  sharing_->admit(
+      *canonical, budget, min_runtime_s,
+      /*proceed=*/
+      [this, outcome, forced, canonical, done_shared] {
+        // Completion frees the admission slot and drains the queue.
+        dispatch_query(outcome, forced, canonical,
+                       [this, done_shared](QueryOutcome result) {
+                         (*done_shared)(std::move(result));
+                         sharing_->on_complete();
+                       });
+      },
+      /*shed=*/
+      [this, outcome, done_shared](const std::string& reason) {
+        outcome->shed = true;
+        outcome->error = reason;
+        sim_.schedule(sim::SimTime::zero(),
+                      [outcome, done_shared] { (*done_shared)(*outcome); });
+      });
+}
+
+void PervasiveGridRuntime::dispatch_query(
+    std::shared_ptr<QueryOutcome> outcome,
+    std::optional<partition::SolutionModel> forced,
+    std::shared_ptr<const query::CanonicalQuery> canonical,
+    std::function<void(QueryOutcome)> done) {
   // The context must outlive the asynchronous execution.
   auto ctx = std::make_shared<partition::ExecutionContext>(
       execution_context());
@@ -316,6 +379,20 @@ void PervasiveGridRuntime::run_pipeline(
       decision_maker_.observe(inner, model, epoch_estimate, actual.energy_j,
                               actual.response_s);
     };
+    // Shared TAG tree path: a shareable continuous aggregate (unforced, or
+    // forced to the tree model sharing uses anyway) rides its group's
+    // single collection — one sensor transmission per epoch regardless of
+    // how many subscribers the canonical key has.
+    if (sharing_ && canonical && canonical->shareable &&
+        (!forced || *forced == partition::SolutionModel::kTreeAggregate) &&
+        sharing_->execute_shared(ctx, *canonical, config_.continuous_epochs,
+                                 per_epoch_observe, summarize)) {
+      outcome->shared = true;
+      outcome->model = partition::SolutionModel::kTreeAggregate;
+      outcome->estimate = decision_maker_.calibrated_estimate(
+          profile, inner, partition::SolutionModel::kTreeAggregate);
+      return;
+    }
     if (forced) {
       partition::execute_continuous_adaptive(
           *ctx, outcome->parsed, outcome->classification,

@@ -17,6 +17,7 @@
 
 #include "agent/platform.hpp"
 #include "common/rng.hpp"
+#include "core/sharing.hpp"
 #include "discovery/broker.hpp"
 #include "net/flow.hpp"
 #include "grid/infrastructure.hpp"
@@ -95,6 +96,11 @@ struct RuntimeConfig {
   /// `flow.enabled` false no FlowModel is constructed and every network
   /// path runs bit-identically to the packet-only build.
   net::FlowConfig flow;
+  /// Multi-query sharing layer (core/sharing.hpp): shared TAG trees,
+  /// admission control, per-subscriber cost attribution.  Disabled by
+  /// default; with `sharing.enabled` false the layer is never constructed
+  /// and every submission path runs bit-identically to a build without it.
+  SharingConfig sharing;
 };
 
 /// Everything known about one answered query.
@@ -131,6 +137,12 @@ struct QueryOutcome {
   /// backhaul bytes, grid compute time, agent messaging traffic and the
   /// runtime's own root span are separable here.
   telemetry::TraceCosts telemetry;
+  /// True when the answer was served by a shared TAG tree group (the
+  /// sharing layer); false on every legacy path.
+  bool shared = false;
+  /// True when admission control refused the query (overload or an
+  /// infeasible deadline budget); `error` carries the reason.
+  bool shed = false;
 };
 
 class PervasiveGridRuntime {
@@ -191,6 +203,8 @@ class PervasiveGridRuntime {
   net::ReliableChannel* reliable_channel() { return reliable_.get(); }
   /// The analytic flow tier, or null when disabled.
   net::FlowModel* flow_model() { return flow_.get(); }
+  /// The multi-query sharing layer, or null when disabled.
+  QuerySharing* sharing() { return sharing_.get(); }
   /// The deployment's cost ledger (owned by the network, so what_if clones
   /// get their own and never pollute this one).
   telemetry::CostLedger& telemetry() { return network_->telemetry(); }
@@ -227,6 +241,13 @@ class PervasiveGridRuntime {
   void run_pipeline(const std::string& text,
                     std::optional<partition::SolutionModel> forced,
                     std::function<void(QueryOutcome)> done);
+  /// Everything downstream of admission: model decision, shared or legacy
+  /// execution, per-epoch feedback, completion.  `canonical` is null when
+  /// the sharing layer is disabled.
+  void dispatch_query(std::shared_ptr<QueryOutcome> outcome,
+                      std::optional<partition::SolutionModel> forced,
+                      std::shared_ptr<const query::CanonicalQuery> canonical,
+                      std::function<void(QueryOutcome)> done);
   /// Sends the query envelope; model_name "-" lets the decision maker pick.
   void submit_internal(const std::string& query_text,
                        const std::string& model_name,
@@ -240,6 +261,9 @@ class PervasiveGridRuntime {
   std::unique_ptr<net::FlowModel> flow_;
   std::unique_ptr<sensornet::SensorNetwork> sensors_;
   std::unique_ptr<sensornet::BuildingTemperatureField> field_;
+  /// Declared after sensors_ so the sharing layer (which references the
+  /// sensor network) is destroyed first.
+  std::unique_ptr<QuerySharing> sharing_;
   std::unique_ptr<grid::GridInfrastructure> grid_;
   std::unique_ptr<agent::AgentPlatform> platform_;
   discovery::Ontology ontology_;

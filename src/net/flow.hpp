@@ -127,6 +127,10 @@ class FlowModel {
   void force_packet(NodeId a, NodeId b);
   void release_packet(NodeId a, NodeId b);
   bool packet_forced(NodeId a, NodeId b) const;
+  /// Links currently held at the packet tier by at least one holder.  Every
+  /// reliable transfer releases its holds on completion, so a drained run
+  /// must read zero here — the load test's force-packet leak check.
+  std::size_t forced_link_count() const { return forced_packet_.size(); }
 
   /// May hop a->b be served analytically right now?  Requires the tier
   /// enabled, no armed FaultInjector (unless flow_under_chaos), the link

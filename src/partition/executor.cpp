@@ -87,11 +87,8 @@ std::vector<grid::Reading> to_readings(
   return readings;
 }
 
-/// Builds the in-network WHERE filter from the query's selection
-/// predicates.  Supported attributes: `sensor` (index), `room` (floor-plan
-/// room), `x`/`y` (position in metres), and the sensed attribute itself
-/// (any other name, e.g. `temp`), which qualifies on the reading — TAG's
-/// value predicates.  Returns false on no predicates (null filter).
+}  // namespace
+
 bool make_sensor_filter(ExecutionContext& context, const query::Query& query,
                         sensornet::SensorNetwork::SensorFilter& out) {
   if (query.where.empty()) {
@@ -130,6 +127,8 @@ bool make_sensor_filter(ExecutionContext& context, const query::Query& query,
   };
   return true;
 }
+
+namespace {
 
 /// Finishes a run: stamps the measurement and hands off.  The callback is
 /// shared because continuations fan out through copyable std::function

@@ -110,6 +110,16 @@ void execute_continuous_adaptive(
     std::function<void(std::vector<ActualCost>,
                        std::vector<SolutionModel>)> done);
 
+/// Builds the in-network WHERE filter from the query's selection
+/// predicates.  Supported attributes: `sensor` (index), `room` (floor-plan
+/// room), `x`/`y` (position in metres), and the sensed attribute itself
+/// (any other name, e.g. `temp`), which qualifies on the reading — TAG's
+/// value predicates.  Returns false on no predicates (null filter).  Public
+/// so the sharing layer (core/sharing.hpp) builds one filter per shared
+/// group with exactly the executor's qualification semantics.
+bool make_sensor_filter(ExecutionContext& context, const query::Query& query,
+                        sensornet::SensorNetwork::SensorFilter& out);
+
 /// Builds the estimator profile from live context (topology depths, grid
 /// speed, query compute demand).
 NetworkProfile profile_from(ExecutionContext& context,

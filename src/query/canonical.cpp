@@ -1,0 +1,152 @@
+#include "query/canonical.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+#include <tuple>
+
+namespace pgrid::query {
+
+namespace {
+
+std::string lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+/// Deterministic full-precision number rendering for key text.
+void append_number(std::ostringstream& out, double value) {
+  out << std::setprecision(17) << value;
+}
+
+bool predicate_less(const Predicate& a, const Predicate& b) {
+  return std::tie(a.attribute, a.op, a.numeric, a.number, a.text) <
+         std::tie(b.attribute, b.op, b.numeric, b.number, b.text);
+}
+
+bool predicate_equal(const Predicate& a, const Predicate& b) {
+  return std::tie(a.attribute, a.op, a.numeric, a.number, a.text) ==
+         std::tie(b.attribute, b.op, b.numeric, b.number, b.text);
+}
+
+void append_predicates(std::ostringstream& out,
+                       const std::vector<Predicate>& preds) {
+  out << "where=[";
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (i > 0) out << ';';
+    const Predicate& pred = preds[i];
+    out << pred.attribute << ' ' << to_string(pred.op) << ' ';
+    if (pred.numeric) {
+      append_number(out, pred.number);
+    } else {
+      out << "s:" << pred.text;
+    }
+  }
+  out << ']';
+}
+
+void append_cadence_and_cost(std::ostringstream& out, const Query& query) {
+  out << "|epoch=";
+  if (query.epoch_duration_s) {
+    append_number(out, *query.epoch_duration_s);
+  } else {
+    out << '-';
+  }
+  out << "|cost=";
+  if (query.cost.metric == CostMetric::kNone) {
+    out << '-';
+  } else {
+    out << to_string(query.cost.metric) << ':';
+    append_number(out, query.cost.limit);
+  }
+}
+
+}  // namespace
+
+bool is_identity_attribute(const std::string& attribute) {
+  return attribute == "sensor" || attribute == "room" ||
+         attribute == "floor" || attribute == "x" || attribute == "y";
+}
+
+std::vector<Predicate> normalize_predicates(
+    const std::vector<Predicate>& where) {
+  std::vector<Predicate> normalized = where;
+  for (Predicate& pred : normalized) {
+    pred.attribute = lower(pred.attribute);
+    if (!is_identity_attribute(pred.attribute)) pred.attribute = "value";
+  }
+  std::sort(normalized.begin(), normalized.end(), predicate_less);
+  normalized.erase(
+      std::unique(normalized.begin(), normalized.end(), predicate_equal),
+      normalized.end());
+  return normalized;
+}
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+CanonicalQuery canonicalize(const Query& query, const Classification& cls) {
+  CanonicalQuery canonical;
+  const std::string from = lower(query.from);
+  const std::vector<Predicate> normalized =
+      normalize_predicates(query.where);
+
+  canonical.shareable = cls.continuous &&
+                        cls.inner == QueryClass::kAggregate &&
+                        from == "sensors";
+
+  std::ostringstream key;
+  if (canonical.shareable) {
+    // The aggregate function is deliberately excluded: every built-in
+    // finalizes from the same merged partial state, so AVG and MAX over the
+    // same qualifying set ride one collection.
+    key << "agg|from=" << from << '|';
+    append_predicates(key, normalized);
+    append_cadence_and_cost(key, query);
+  } else {
+    // Non-shareable queries still get a stable identity (admission and
+    // diagnostics group by it), distinguished by their full SELECT list.
+    key << "solo|select=[";
+    for (std::size_t i = 0; i < query.select.size(); ++i) {
+      if (i > 0) key << ';';
+      const SelectItem& item = query.select[i];
+      if (item.kind == SelectItem::Kind::kFunction) {
+        key << lower(item.name) << '(';
+        for (std::size_t a = 0; a < item.args.size(); ++a) {
+          if (a > 0) key << ',';
+          key << lower(item.args[a]);
+        }
+        key << ')';
+      } else {
+        key << lower(item.name);
+      }
+    }
+    key << "]|from=" << from << '|';
+    append_predicates(key, normalized);
+    append_cadence_and_cost(key, query);
+  }
+  canonical.key.text = key.str();
+  canonical.key.hash = fnv1a(canonical.key.text);
+
+  if (canonical.shareable) {
+    canonical.aggregate = cls.aggregate;
+    canonical.shared.select = {{SelectItem::Kind::kFunction, "AGG", {"value"}}};
+    canonical.shared.from = from;
+    canonical.shared.where = normalized;
+    canonical.shared.cost = query.cost;
+    canonical.shared.epoch_duration_s = query.epoch_duration_s;
+    canonical.shared.source_text = canonical.key.text;
+  }
+  return canonical;
+}
+
+}  // namespace pgrid::query

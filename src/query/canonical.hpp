@@ -1,0 +1,82 @@
+// Canonical query keys off the AST — the basis of multi-query sharing.
+//
+// Section 4's workload is many handheld clients standing up *continuous*
+// queries over the same deployment.  TAG's observation is that one
+// in-network schedule can feed many consumers: two queries asking for
+// aggregates over the same qualifying sensors at the same epoch cadence can
+// share one tree collection, with each subscriber's aggregate function
+// finalized at the base station from the same constant-size partial state
+// (AggregateState carries count/sum/min/max, so MIN, MAX, AVG, SUM and
+// COUNT all finalize from one merged record).
+//
+// canonicalize() normalizes a parsed query into the key that decides "same
+// collection": FROM, the normalized WHERE conjunction, the epoch cadence
+// and the COST clause.  Normalization is purely syntactic — predicate
+// order, duplicates, attribute case and sensed-attribute spelling never
+// change meaning, so they never split a group; anything that *could* change
+// which sensors qualify or when they are sampled lands in the key text and
+// keeps the queries apart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/ast.hpp"
+#include "query/classifier.hpp"
+
+namespace pgrid::query {
+
+/// Sharing-scope identity of a query: equal keys may share one collection.
+struct CanonicalKey {
+  std::string text;        ///< normalized form; the authoritative identity
+  std::uint64_t hash = 0;  ///< FNV-1a of `text` (fast map/bench labels)
+
+  bool operator==(const CanonicalKey& other) const {
+    return text == other.text;
+  }
+  bool operator!=(const CanonicalKey& other) const {
+    return !(*this == other);
+  }
+  bool operator<(const CanonicalKey& other) const {
+    return text < other.text;
+  }
+};
+
+/// A query reduced to its sharable essence.
+struct CanonicalQuery {
+  /// True only for continuous aggregate queries over the sensor table — the
+  /// TAG-tree case.  Everything else executes unshared.
+  bool shareable = false;
+  CanonicalKey key;
+  /// The query the shared collection runs (normalized WHERE, canonical
+  /// FROM); per-subscriber differences live outside it.
+  Query shared;
+  /// This subscriber's finalizer, applied to the shared partial state at
+  /// the base station.  Deliberately NOT part of the key.
+  sensornet::AggregateFunction aggregate =
+      sensornet::AggregateFunction::kAvg;
+};
+
+/// Normalizes a WHERE conjunction: lowercases attributes, aliases every
+/// sensed-value attribute (anything the executor does not resolve against
+/// sensor identity or placement — see make_sensor_filter) to "value", sorts
+/// and deduplicates.  Conjunction semantics make order and duplicates
+/// irrelevant; the alias is exact because the executor evaluates all such
+/// predicates against the sensed reading.
+std::vector<Predicate> normalize_predicates(
+    const std::vector<Predicate>& where);
+
+/// True when the executor resolves `attribute` (already lowercased) against
+/// sensor identity/placement rather than the sensed reading.
+bool is_identity_attribute(const std::string& attribute);
+
+/// FNV-1a 64-bit hash (stable across platforms and runs).
+std::uint64_t fnv1a(const std::string& text);
+
+/// Builds the canonical form of a classified query.  Always fills the key
+/// (non-shareable queries get a self-distinguishing one that includes the
+/// SELECT list); fills `shared`/`aggregate` only when shareable.
+CanonicalQuery canonicalize(const Query& query, const Classification& cls);
+
+}  // namespace pgrid::query

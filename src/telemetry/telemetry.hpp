@@ -11,6 +11,7 @@
 // time.  Exporters (export.hpp) turn the ledger into CSV/JSON.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <map>
@@ -155,6 +156,29 @@ class CostLedger {
     return it == by_trace_.end() ? TraceCosts{} : it->second;
   }
 
+  /// Moves `share` of the costs already attributed to `from` onto `to`.
+  /// Global totals are untouched — this is per-subscriber attribution when
+  /// one shared transmission serves many traces, not a new charge.  Each
+  /// counter is clamped to what `from` actually holds, so a row can never
+  /// go negative (unsigned counters would wrap) and the ledger stays
+  /// conserved: sum over rows == totals, before and after.
+  void reattribute(TraceId from, TraceId to, const TraceCosts& share) {
+    if (from == to) return;
+    TraceCosts& src = by_trace_[from];
+    TraceCosts& dst = by_trace_[to];
+    for (std::size_t i = 0; i < kSubsystemCount; ++i) {
+      Cost moved = share.by_subsystem[i];
+      Cost& avail = src.by_subsystem[i];
+      moved.bytes = std::min(moved.bytes, avail.bytes);
+      moved.count = std::min(moved.count, avail.count);
+      moved.joules = std::min(moved.joules, avail.joules);
+      moved.ops = std::min(moved.ops, avail.ops);
+      moved.sim_seconds = std::min(moved.sim_seconds, avail.sim_seconds);
+      avail = avail - moved;
+      dst.by_subsystem[i] += moved;
+    }
+  }
+
   /// Traces with at least one charge, ascending (includes 0 if untraced
   /// activity occurred).
   std::vector<TraceId> trace_ids() const {
@@ -183,6 +207,36 @@ class CostLedger {
   TraceId next_trace_ = 1;
   int open_spans_ = 0;
 };
+
+/// Splits `total` into `n` shares that sum EXACTLY to `total`: integer
+/// counters divide evenly with the remainder on the last share, and
+/// floating counters give the last share the exact residual of the even
+/// split — so reattributing every share out of a row drains it to zero and
+/// conservation checks hold to the bit, not just to a tolerance.
+inline std::vector<TraceCosts> split_even(const TraceCosts& total,
+                                          std::size_t n) {
+  std::vector<TraceCosts> shares(n);
+  if (n == 0) return shares;
+  for (std::size_t s = 0; s < kSubsystemCount; ++s) {
+    const Cost& whole = total.by_subsystem[s];
+    const std::uint64_t count = static_cast<std::uint64_t>(n);
+    Cost even;
+    even.bytes = whole.bytes / count;
+    even.count = whole.count / count;
+    even.joules = whole.joules / static_cast<double>(n);
+    even.ops = whole.ops / static_cast<double>(n);
+    even.sim_seconds = whole.sim_seconds / static_cast<double>(n);
+    for (std::size_t i = 0; i + 1 < n; ++i) shares[i].by_subsystem[s] = even;
+    Cost& last = shares[n - 1].by_subsystem[s];
+    last.bytes = whole.bytes - even.bytes * (count - 1);
+    last.count = whole.count - even.count * (count - 1);
+    last.joules = whole.joules - even.joules * static_cast<double>(n - 1);
+    last.ops = whole.ops - even.ops * static_cast<double>(n - 1);
+    last.sim_seconds =
+        whole.sim_seconds - even.sim_seconds * static_cast<double>(n - 1);
+  }
+  return shares;
+}
 
 /// Sets the simulation kernel's trace context for the current scope and
 /// restores the previous one on exit.  Events scheduled inside the scope

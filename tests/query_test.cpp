@@ -2,6 +2,12 @@
 // predicate evaluation, normalization, and the four-way classification.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "query/canonical.hpp"
 #include "query/classifier.hpp"
 #include "query/parser.hpp"
 
@@ -265,6 +271,157 @@ TEST_F(ClassifierTest, RegisteredComplexFunction) {
 TEST_F(ClassifierTest, AggregateNameCaseInsensitive) {
   auto c = classify("SELECT avg(temp) FROM sensors");
   EXPECT_EQ(c.primary, QueryClass::kAggregate);
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization (query/canonical.hpp): the multi-query sharing keys.
+// Equal keys may share one TAG collection, so the property that matters is
+// two-sided: AST-equivalent rewrites never split a group, and anything that
+// could change which sensors qualify (or when they are sampled) never merges.
+// ---------------------------------------------------------------------------
+
+class CanonicalTest : public ::testing::Test {
+ protected:
+  CanonicalQuery canon(const std::string& text) {
+    auto r = parse_query(text);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return canonicalize(r.value(), classifier_.classify(r.value()));
+  }
+  QueryClassifier classifier_;
+};
+
+TEST_F(CanonicalTest, OnlyContinuousAggregatesOverSensorsShare) {
+  EXPECT_TRUE(canon("SELECT AVG(temp) FROM sensors EPOCH DURATION 5")
+                  .shareable);
+  // One-shot aggregate: no epoch schedule to share.
+  EXPECT_FALSE(canon("SELECT AVG(temp) FROM sensors").shareable);
+  // Continuous simple read: no aggregate partial state.
+  EXPECT_FALSE(
+      canon("SELECT temp FROM sensors WHERE sensor = 10 EPOCH DURATION 5")
+          .shareable);
+  // Complex function: executes on the grid, not in a TAG tree.
+  EXPECT_FALSE(
+      canon("SELECT TEMP_DISTRIBUTION(temp) FROM sensors EPOCH DURATION 5")
+          .shareable);
+}
+
+TEST_F(CanonicalTest, StableUnderPredicateOrderWhitespaceAndCase) {
+  const auto a = canon(
+      "SELECT AVG(temp) FROM sensors WHERE room = 210 AND temp > 30 "
+      "EPOCH DURATION 5");
+  const auto b = canon(
+      "select   avg(temp)   from SENSORS where TEMP > 30 and ROOM = 210 "
+      "epoch duration 5");
+  ASSERT_TRUE(a.shareable);
+  ASSERT_TRUE(b.shareable);
+  EXPECT_EQ(a.key.text, b.key.text);
+  EXPECT_EQ(a.key.hash, b.key.hash);
+}
+
+TEST_F(CanonicalTest, DuplicatePredicatesCollapse) {
+  const auto a = canon(
+      "SELECT AVG(temp) FROM sensors WHERE room = 210 AND room = 210 "
+      "EPOCH DURATION 5");
+  const auto b =
+      canon("SELECT AVG(temp) FROM sensors WHERE room = 210 EPOCH DURATION 5");
+  EXPECT_EQ(a.key, b.key);
+}
+
+TEST_F(CanonicalTest, SensedAttributeAliasing) {
+  // The executor evaluates every non-identity attribute against the sensed
+  // reading (make_sensor_filter), so `temp > 30` and `temperature > 30`
+  // qualify the same sensors and must share.
+  const auto a =
+      canon("SELECT AVG(temp) FROM sensors WHERE temp > 30 EPOCH DURATION 5");
+  const auto b = canon(
+      "SELECT AVG(temperature) FROM sensors WHERE temperature > 30 "
+      "EPOCH DURATION 5");
+  EXPECT_EQ(a.key, b.key);
+}
+
+TEST_F(CanonicalTest, AggregateFunctionExcludedFromKey) {
+  // AVG, MAX, MIN, SUM and COUNT all finalize from the same merged partial
+  // state — one collection serves them all; only the finalizer differs.
+  const auto avg =
+      canon("SELECT AVG(temp) FROM sensors WHERE room = 210 EPOCH DURATION 5");
+  const auto max =
+      canon("SELECT MAX(temp) FROM sensors WHERE room = 210 EPOCH DURATION 5");
+  EXPECT_EQ(avg.key, max.key);
+  EXPECT_EQ(avg.aggregate, sensornet::AggregateFunction::kAvg);
+  EXPECT_EQ(max.aggregate, sensornet::AggregateFunction::kMax);
+}
+
+TEST_F(CanonicalTest, DifferentWhereSemanticsNeverMerge) {
+  const auto base =
+      canon("SELECT AVG(temp) FROM sensors WHERE room = 210 EPOCH DURATION 5");
+  // Different attribute, operator, or value — each changes the qualifying
+  // set and must keep its own key.
+  EXPECT_NE(base.key, canon("SELECT AVG(temp) FROM sensors WHERE room = 211 "
+                            "EPOCH DURATION 5")
+                          .key);
+  EXPECT_NE(base.key, canon("SELECT AVG(temp) FROM sensors WHERE room > 210 "
+                            "EPOCH DURATION 5")
+                          .key);
+  EXPECT_NE(base.key, canon("SELECT AVG(temp) FROM sensors WHERE floor = 210 "
+                            "EPOCH DURATION 5")
+                          .key);
+  // Identity attributes are never aliased to the sensed value.
+  EXPECT_NE(base.key, canon("SELECT AVG(temp) FROM sensors WHERE temp = 210 "
+                            "EPOCH DURATION 5")
+                          .key);
+  // Dropping the predicate entirely widens the set.
+  EXPECT_NE(base.key,
+            canon("SELECT AVG(temp) FROM sensors EPOCH DURATION 5").key);
+}
+
+TEST_F(CanonicalTest, CadenceAndCostStayInTheKey) {
+  const auto base =
+      canon("SELECT AVG(temp) FROM sensors WHERE room = 210 EPOCH DURATION 5");
+  // A different epoch means a different sampling schedule.
+  EXPECT_NE(base.key, canon("SELECT AVG(temp) FROM sensors WHERE room = 210 "
+                            "EPOCH DURATION 10")
+                          .key);
+  // A COST clause changes the per-round delivery budget.
+  EXPECT_NE(base.key, canon("SELECT AVG(temp) FROM sensors WHERE room = 210 "
+                            "COST TIME 3 EPOCH DURATION 5")
+                          .key);
+}
+
+TEST_F(CanonicalTest, NonShareableQueriesStillGetDistinctKeys) {
+  const auto simple = canon("SELECT temp FROM sensors WHERE sensor = 10");
+  const auto other = canon("SELECT temp FROM sensors WHERE sensor = 11");
+  EXPECT_FALSE(simple.shareable);
+  EXPECT_NE(simple.key, other.key);
+  // The SELECT list distinguishes non-shareable queries with equal WHERE.
+  EXPECT_NE(canon("SELECT temp FROM sensors").key,
+            canon("SELECT humidity FROM sensors").key);
+}
+
+TEST_F(CanonicalTest, RandomizedPredicateShufflesPreserveTheKey) {
+  // Property sweep: any permutation of the same conjunction canonicalizes
+  // identically.  The conjunction is rebuilt as text so the whole pipeline
+  // (parse -> classify -> canonicalize) is exercised each time.
+  const std::vector<std::string> preds = {"room = 210", "temp > 30",
+                                          "floor = 2", "x < 25.5"};
+  std::string reference;
+  std::vector<std::size_t> order = {0, 1, 2, 3};
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 24; ++trial) {
+    std::shuffle(order.begin(), order.end(), rng);
+    std::string text = "SELECT AVG(temp) FROM sensors WHERE ";
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (i > 0) text += " AND ";
+      text += preds[order[i]];
+    }
+    text += " EPOCH DURATION 5";
+    const auto c = canon(text);
+    ASSERT_TRUE(c.shareable) << text;
+    if (reference.empty()) {
+      reference = c.key.text;
+    } else {
+      EXPECT_EQ(c.key.text, reference) << text;
+    }
+  }
 }
 
 }  // namespace
