@@ -3,6 +3,13 @@
 //          neighbour index, versioned adjacency snapshot, LRU route cache)
 //          vs the naive O(N) scan / fresh-Dijkstra path, N ∈ {100, 400,
 //          1600, 6400}.
+// EXP-N3 — incremental topology epochs under mobility: a few roaming
+//          clients perturb one corner of the field every tick while the
+//          deployment keeps asking for routes.  Delta CSR patching plus
+//          scoped cache invalidation must answer bit-identically to the
+//          fresh-full-rebuild oracle and acquire steady-state routes >= 5x
+//          faster than the legacy global-flush discipline at N=1600
+//          (>= 2x at the --quick smoke size) — both gated in the exit code.
 //
 // "The data routing technique used in the network would not be the same for
 // all networks. A particular network may use flooding technique to route
@@ -23,6 +30,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "net/mobility.hpp"
 #include "net/routing.hpp"
 
 namespace {
@@ -233,9 +241,183 @@ int main(int argc, char** argv) {
                   "warm-cache route acquisition is a hash lookup + copy "
                   "regardless of N, and even cold acquisition beats naive "
                   "by sharing one CSR snapshot across the burst.");
+
+  // -------------------------------------------------------------------
+  // EXP-N3: incremental topology epochs under mobility.
+  struct MobilityResult {
+    double us_per_route = 0.0;
+    double hit_rate = 0.0;
+    double survival = 0.0;
+    std::uint64_t scoped_epochs = 0;
+    std::uint64_t global_epochs = 0;
+    std::uint64_t rows_patched = 0;
+    std::uint64_t moves = 0;
+    bool oracle_ok = true;
+  };
+  std::size_t n3_sink = 0;
+  auto run_mobility_mode = [&](std::size_t n, bool incremental,
+                               bool check_oracle) {
+    MobilityResult out;
+    core::PervasiveGridRuntime runtime(bench::standard_config(n));
+    auto& net = runtime.network();
+    auto& sim = runtime.simulator();
+    net.set_incremental_topology(incremental);
+    const auto sensors = runtime.sensors().sensors();
+    // The paper's mobile clients: a few walkers roaming one corner patch
+    // of the floor, not the whole field teleporting at once.  Everything
+    // else stands still, so most cached routes have no business dying.
+    std::vector<net::NodeId> walkers(
+        sensors.begin(),
+        sensors.begin() + std::min<std::size_t>(sensors.size(), 3));
+    net::WaypointConfig wconfig;
+    wconfig.width_m = runtime.config().sensors.width_m * 0.15;
+    wconfig.height_m = wconfig.width_m;
+    wconfig.min_speed_m_s = 1.0;
+    wconfig.max_speed_m_s = 2.0;
+    wconfig.min_pause = sim::SimTime::seconds(0.1);
+    wconfig.max_pause = sim::SimTime::seconds(0.2);
+    net::WaypointMobility mobility(net, walkers, wconfig,
+                                   common::Rng(0xA3ULL + n));
+    mobility.start();
+
+    common::Rng pair_rng(0x0e93ULL + n);
+    const std::size_t pair_count = quick ? 16 : 32;
+    std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
+    for (std::size_t i = 0; i < pair_count; ++i) {
+      pairs.emplace_back(static_cast<net::NodeId>(pair_rng.index(net.size())),
+                         static_cast<net::NodeId>(pair_rng.index(net.size())));
+    }
+    for (const auto& [src, dst] : pairs) {
+      n3_sink += net::cached_shortest_path(net, src, dst).size();  // warm up
+    }
+
+    const auto cache0 = net.route_cache().stats();
+    const std::size_t rounds = quick ? 8 : 16;
+    double elapsed = 0.0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      // Untimed: let the walkers take their next step (topology changes).
+      sim.run_until(sim.now() + sim::SimTime::seconds(1.0));
+      // Timed: steady-state route acquisition over the perturbed topology.
+      const auto t0 = std::chrono::steady_clock::now();
+      for (const auto& [src, dst] : pairs) {
+        n3_sink += net::cached_shortest_path(net, src, dst).size();
+      }
+      elapsed += seconds_since(t0);
+    }
+    out.us_per_route = elapsed * 1e6 / double(rounds * pair_count);
+    const auto cache1 = net.route_cache().stats();
+    const auto lookups = (cache1.hits - cache0.hits) +
+                         (cache1.misses - cache0.misses);
+    out.hit_rate = lookups == 0
+                       ? 0.0
+                       : double(cache1.hits - cache0.hits) / double(lookups);
+    const auto judged = (cache1.routes_kept - cache0.routes_kept) +
+                        (cache1.routes_dropped - cache0.routes_dropped);
+    out.survival = judged == 0 ? 0.0
+                               : double(cache1.routes_kept -
+                                        cache0.routes_kept) /
+                                     double(judged);
+    const auto tstats = net.topology_stats();
+    out.scoped_epochs = tstats.scoped_epochs;
+    out.global_epochs = tstats.global_epochs;
+    out.rows_patched = tstats.rows_patched;
+    out.moves = mobility.moves();
+
+    if (check_oracle) {
+      // Bit-identity against fresh oracles, then again after a liveness
+      // flip and after a deliberate global bump — every epoch class the
+      // patching must absorb.
+      auto probe = [&] {
+        const auto& snapshot = net.topology_snapshot();
+        for (net::NodeId id = 0; id < net.size(); ++id) {
+          const auto naive = net.neighbors_naive(id);
+          const auto row = snapshot.row(id);
+          if (!std::equal(row.begin(), row.end(), naive.begin(),
+                          naive.end())) {
+            out.oracle_ok = false;
+          }
+          const auto dist = snapshot.row_distance(id);
+          for (std::size_t k = 0; k < naive.size(); ++k) {
+            if (dist[k] !=
+                net::distance(net.node(id).pos, net.node(naive[k]).pos)) {
+              out.oracle_ok = false;
+            }
+          }
+        }
+        const std::size_t samples = n >= 6400 ? 4 : 8;
+        for (std::size_t i = 0; i < samples && i < pairs.size(); ++i) {
+          if (net::cached_shortest_path(net, pairs[i].first,
+                                        pairs[i].second) !=
+              net::shortest_path_naive(net, pairs[i].first,
+                                       pairs[i].second)) {
+            out.oracle_ok = false;
+          }
+        }
+      };
+      probe();
+      const net::NodeId flipped = sensors[sensors.size() / 2];
+      net.set_node_up(flipped, false);
+      probe();
+      net.set_node_up(flipped, true);
+      probe();
+      net.bump_topology_version();
+      probe();
+    }
+    return out;
+  };
+
+  common::Table mobility_table({"nodes", "mode", "us/route", "hit rate",
+                                "survival", "scoped epochs", "global epochs",
+                                "rows patched", "moves", "speedup", "gate"});
+  bool n3_ok = true;
+  for (std::size_t n : sweep) {
+    const MobilityResult base = run_mobility_mode(n, false, false);
+    const MobilityResult incr = run_mobility_mode(n, true, true);
+    n3_ok = n3_ok && incr.oracle_ok;
+    const double speedup = base.us_per_route / incr.us_per_route;
+    // The perf gate binds at the sweep's largest shared size: N=1600 full
+    // (>= 5x), N=400 in --quick (>= 2x).  Other sizes are informational.
+    std::string gate = "-";
+    if ((!quick && n == 1600) || (quick && n == 400)) {
+      const double floor = quick ? 2.0 : 5.0;
+      const bool pass = speedup >= floor && incr.oracle_ok;
+      n3_ok = n3_ok && pass;
+      gate = pass ? "PASS" : "FAIL";
+    } else if (!incr.oracle_ok) {
+      gate = "FAIL";
+    }
+    for (const MobilityResult* mode : {&base, &incr}) {
+      mobility_table.add_row(
+          {common::Table::num(std::uint64_t(n)),
+           mode == &incr ? "incremental" : "global-flush",
+           common::Table::num(mode->us_per_route, 3),
+           common::Table::num(mode->hit_rate, 3),
+           common::Table::num(mode->survival, 3),
+           common::Table::num(mode->scoped_epochs),
+           common::Table::num(mode->global_epochs),
+           common::Table::num(mode->rows_patched),
+           common::Table::num(mode->moves),
+           mode == &incr ? common::Table::num(speedup, 1) : "-",
+           mode == &incr ? gate : "-"});
+    }
+  }
+  experiment.series("mobility-route-acquisition", mobility_table);
+  experiment.note("EXP-N3 shape check: under corner mobility the "
+                  "incremental build keeps most cached routes alive "
+                  "(survival near 1, hit rate high) and patches a handful "
+                  "of adjacency rows per epoch, while the global-flush "
+                  "baseline rebuilds the snapshot and recomputes every "
+                  "route each tick; answers are bit-identical either way.");
+  if (n3_sink == 0) std::cerr << "";  // keep `n3_sink` observable
+
   if (!oracle_ok) {
     std::cerr << "FATAL: accelerated topology answers diverged from the "
                  "naive oracles\n";
+    return 1;
+  }
+  if (!n3_ok) {
+    std::cerr << "FATAL: EXP-N3 gate failure (oracle divergence or speedup "
+                 "below the floor)\n";
     return 1;
   }
   return 0;

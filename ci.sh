@@ -53,7 +53,7 @@ echo "=== chaos smoke: 25 seeds/mix, all invariants, asan-ubsan ==="
 PGRID_CHAOS_SEEDS=25 out/asan-ubsan/tests/test_chaos \
   --gtest_filter='ChaosSweep.*'
 
-echo "=== bench smoke: kernel + decision maker + topology + reliability + city + load ==="
+echo "=== bench smoke: kernel + decision maker + topology + reliability + city + load + mobile ==="
 # Quick-mode perf smoke on the plain build: the binaries must run, emit
 # schema-valid JSON, and the kernel/topology/reliability/scenario benches
 # must pass their built-in determinism/oracle/ablation gates (non-zero exit
@@ -71,14 +71,23 @@ echo "=== bench smoke: kernel + decision maker + topology + reliability + city +
 # standing aggregates with and without shared TAG trees on identical
 # seeds, gating on >=3x sustained qps at <=1% deadline-miss, strictly
 # fewer radio transmissions shared than unshared, and sharing kill-switch
-# fingerprint bit-identity; kept as BENCH_load.json.
+# fingerprint bit-identity; kept as BENCH_load.json.  The topology run
+# also carries EXP-N3: the incremental-topology-epoch mobility sweep —
+# patched snapshots and surviving cached routes checked bit-identical
+# against the fresh-full-rebuild oracle, with the steady-state route-
+# acquisition speedup gate (>=2x over global-flush at the --quick size,
+# >=5x at N=1600 in the full run) enforced in the exit code.  The mobile
+# run is the EXP-N3 scenario slice: the query suite under seeded waypoint
+# walkers once per incremental-epoch mode, gating on bit-identical query
+# fingerprints (the topology kill-switch contract end to end).
 out/default/bench/bench_sim_kernel --json --quick > BENCH_kernel.json
 out/default/bench/bench_decision_maker --json > /tmp/bench_dm.json
 out/default/bench/bench_routing --json --quick > BENCH_topology.json
 out/default/bench/bench_resilience --chaos --json > BENCH_resilience.json
 out/default/bench/bench_scenario --city --quick --json > BENCH_scenario.json
 out/default/bench/bench_scenario --load --quick --json > BENCH_load.json
-python3 - BENCH_kernel.json /tmp/bench_dm.json BENCH_topology.json BENCH_resilience.json BENCH_scenario.json BENCH_load.json <<'PY'
+out/default/bench/bench_scenario --mobile --json > /tmp/bench_mobile.json
+python3 - BENCH_kernel.json /tmp/bench_dm.json BENCH_topology.json BENCH_resilience.json BENCH_scenario.json BENCH_load.json /tmp/bench_mobile.json <<'PY'
 import json, sys
 for path in sys.argv[1:]:
     with open(path) as fh:

@@ -28,6 +28,10 @@ PervasiveGridRuntime::PervasiveGridRuntime(RuntimeConfig config,
                                            common::ThreadPool* shared_pool)
     : config_(std::move(config)), rng_(config_.seed) {
   network_ = std::make_unique<net::Network>(sim_, rng_.fork());
+  // Before any node exists: enabling incremental epochs draws no rng and
+  // schedules nothing, so the kill switch (off by default) keeps every
+  // path byte-identical to the global-bump build.
+  network_->set_incremental_topology(config_.topology.incremental);
   sensors_ = std::make_unique<sensornet::SensorNetwork>(
       *network_, config_.sensors, rng_.fork());
   field_ = std::make_unique<sensornet::BuildingTemperatureField>(

@@ -101,6 +101,11 @@ struct RuntimeConfig {
   /// default; with `sharing.enabled` false the layer is never constructed
   /// and every submission path runs bit-identically to a build without it.
   SharingConfig sharing;
+  /// Incremental topology epochs (net/network.hpp TopologyConfig,
+  /// DESIGN.md S26): delta CSR patching + scoped route/plan invalidation
+  /// under mobility.  Off by default — the legacy global-bump discipline,
+  /// byte-identical to the pre-epoch build.
+  net::TopologyConfig topology;
 };
 
 /// Everything known about one answered query.

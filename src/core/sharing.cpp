@@ -1,5 +1,7 @@
 #include "core/sharing.hpp"
 
+#include <algorithm>
+
 namespace pgrid::core {
 
 void QuerySharing::admit(const query::CanonicalQuery& canonical,
@@ -38,7 +40,18 @@ void QuerySharing::admit(const query::CanonicalQuery& canonical,
     return;
   }
   ++stats_.queued;
-  queue_.push_back({budget, std::move(proceed), std::move(shed)});
+  // Deadline-priority admission: the queue is kept ordered by remaining
+  // deadline budget (at a common "now", that is exactly the absolute
+  // deadline), so a tight-budget arrival overtakes slack ones and gets a
+  // slot while it can still finish.  Unbounded budgets carry the max
+  // deadline and therefore sort last; upper_bound keeps equal deadlines in
+  // FIFO arrival order.
+  auto slot = std::upper_bound(
+      queue_.begin(), queue_.end(), budget.deadline,
+      [](sim::SimTime deadline, const Waiting& waiting) {
+        return deadline < waiting.budget.deadline;
+      });
+  queue_.insert(slot, {budget, std::move(proceed), std::move(shed)});
 }
 
 void QuerySharing::on_complete() {

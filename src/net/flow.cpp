@@ -290,14 +290,45 @@ std::uint64_t FlowModel::plan_key(NodeId src, NodeId dst,
 }
 
 void FlowModel::sync_plan_version() {
+  // Apply any pending incremental delta first, so the versions below are
+  // final and the scoped delta (if any) reaches up to them.
+  network_.sync_topology_caches();
   const std::uint64_t topo = network_.topology_version();
   const std::uint64_t live = network_.liveness_version();
   if (plan_has_version_ && topo == plan_topology_version_ &&
       live == plan_liveness_version_) {
     return;
   }
-  if (plan_has_version_ && !plans_.empty()) ++stats_.plan_invalidations;
-  plans_.clear();
+  // Scoped path: the network's merged delta must span every version this
+  // cache missed.  The plan cache syncs less often than the route cache,
+  // so consecutive scoped epochs merge on the network side; a gap that is
+  // not covered (or a global epoch) falls back to the wholesale clear.
+  const ScopedDelta& delta = network_.last_scoped_delta();
+  if (plan_has_version_ && delta.valid &&
+      plan_topology_version_ >= delta.from_topology &&
+      plan_liveness_version_ >= delta.from_liveness &&
+      delta.to_topology == topo && delta.to_liveness == live) {
+    ++stats_.plan_scoped_epochs;
+    for (auto it = plans_.begin(); it != plans_.end();) {
+      bool drop = false;
+      for (NodeId hop : it->second.route) {
+        if (std::binary_search(delta.dirty.begin(), delta.dirty.end(), hop)) {
+          drop = true;
+          break;
+        }
+      }
+      if (drop) {
+        ++stats_.plans_dropped;
+        it = plans_.erase(it);
+      } else {
+        ++stats_.plans_kept;
+        ++it;
+      }
+    }
+  } else {
+    if (plan_has_version_ && !plans_.empty()) ++stats_.plan_invalidations;
+    plans_.clear();
+  }
   plan_topology_version_ = topo;
   plan_liveness_version_ = live;
   plan_has_version_ = true;

@@ -81,6 +81,9 @@ struct FlowStats {
   std::uint64_t plan_hits = 0;
   std::uint64_t plan_misses = 0;
   std::uint64_t plan_invalidations = 0;  ///< version-bump cache clears
+  std::uint64_t plan_scoped_epochs = 0;  ///< scoped (delta) plan syncs
+  std::uint64_t plans_dropped = 0;       ///< plans killed by a scoped epoch
+  std::uint64_t plans_kept = 0;          ///< plans surviving a scoped epoch
   /// Sum of analytic per-hop attempt expectations.  The packet tier counts
   /// every retry in NetworkStats::transmissions / bytes_sent; the flow tier
   /// counts each hop once and keeps the expected-retry mass here.
@@ -202,9 +205,14 @@ class FlowModel {
   };
 
   static std::uint64_t plan_key(NodeId src, NodeId dst, std::uint64_t bytes);
-  /// Drops every cached plan when the (topology, liveness) version moved —
-  /// the exact RouteCache discipline, so mobility/churn/chaos/death
-  /// invalidate analytic state whenever they invalidate routes.
+  /// Synchronizes the plan cache with the network's (topology, liveness)
+  /// versions — the exact RouteCache discipline, so mobility/churn/chaos/
+  /// death invalidate analytic state whenever they invalidate routes.
+  /// Under incremental epochs, when the network's last scoped delta covers
+  /// the whole version gap, only plans whose route touches a dirty row are
+  /// dropped (a plan is a pure function of its route nodes' state, and any
+  /// changed edge puts an endpoint row in the dirty set); otherwise the
+  /// legacy wholesale clear applies.
   void sync_plan_version();
   const FlowPlan& plan_for(const std::vector<NodeId>& route,
                            std::uint64_t bytes);

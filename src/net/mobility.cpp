@@ -42,6 +42,7 @@ void WaypointMobility::tick_leg(std::size_t index) {
   if (remaining <= step) {
     // Arrive, pause, then pick the next waypoint.
     network_.move_node(walker.node, walker.target);
+    ++moves_;
     ++legs_;
     const auto pause = sim::SimTime::seconds(rng_.uniform(
         config_.min_pause.to_seconds(), config_.max_pause.to_seconds()));
@@ -50,6 +51,7 @@ void WaypointMobility::tick_leg(std::size_t index) {
   }
   const Vec3 next = at + to_target * (step / remaining);
   network_.move_node(walker.node, next);
+  ++moves_;
   sim.schedule(config_.tick, [this, index] { tick_leg(index); });
 }
 

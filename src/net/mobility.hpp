@@ -9,6 +9,7 @@
 // discovery and composition all observe the change.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -44,6 +45,11 @@ class WaypointMobility {
 
   std::size_t legs_completed() const { return legs_; }
 
+  /// Number of actual position updates issued (move_node calls).  Each one
+  /// is a topology change the incremental-epoch machinery must absorb, so
+  /// benches use this to normalise cache-survival rates.
+  std::uint64_t moves() const { return moves_; }
+
  private:
   struct Walker {
     NodeId node;
@@ -59,6 +65,7 @@ class WaypointMobility {
   common::Rng rng_;
   std::vector<Walker> walkers_;
   std::size_t legs_ = 0;
+  std::uint64_t moves_ = 0;
 };
 
 /// Moves a node instantly (teleport); bumps topology. Convenience for

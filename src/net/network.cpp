@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <memory>
 #include <span>
 
@@ -35,6 +36,8 @@ NodeId Network::add_node(const NodeConfig& config) {
   if (config.radio.wireless) {
     grid_.insert(nodes_.back().id, config.pos, config.radio.range_m);
   }
+  // Growing the deployment resizes every CSR structure: not patchable.
+  note_global_change();
   ++topology_version_;
   return nodes_.back().id;
 }
@@ -52,6 +55,7 @@ void Network::add_wired_link(NodeId a, NodeId b, LinkClass link) {
     wired_peers_[a].push_back(b);
     wired_peers_[b].push_back(a);
   }
+  note_global_change();
   ++topology_version_;
 }
 
@@ -66,7 +70,10 @@ bool Network::consume_energy(Node& node, double joules) {
   // Battery death severs every link touching the node without going
   // through a topology bump; the internal liveness version keeps the
   // snapshot and route cache honest about it.
-  if (!was_dead && node.energy.dead()) ++liveness_version_;
+  if (!was_dead && node.energy.dead()) {
+    note_scoped_change(node.id);
+    ++liveness_version_;
+  }
   return ok;
 }
 
@@ -128,6 +135,7 @@ std::vector<NodeId> Network::neighbors_naive(NodeId id) const {
 }
 
 const TopologySnapshot& Network::topology_snapshot() const {
+  if (incremental_topology_) sync_topology_caches();
   if (snapshot_built_ && snapshot_.topology_version == topology_version_ &&
       snapshot_.liveness_version == liveness_version_) {
     return snapshot_;
@@ -153,6 +161,206 @@ const TopologySnapshot& Network::topology_snapshot() const {
   }
   snapshot_built_ = true;
   return snapshot_;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental topology epochs (DESIGN.md S26).  Mutators accumulate the set
+// of adjacency rows a change can affect; the delta is applied lazily at the
+// next cache access.  Everything below is inert while the kill switch is
+// off: the hooks return immediately and the legacy version checks rebuild /
+// flush wholesale, byte-identical to the pre-epoch build.
+
+void Network::begin_pending() const {
+  if (pending_.active) return;
+  pending_.active = true;
+  pending_.global = false;
+  pending_.from_topology = topology_version_;
+  pending_.from_liveness = liveness_version_;
+  pending_.nodes.clear();
+}
+
+void Network::note_scoped_change(NodeId id) const {
+  if (!incremental_topology_) return;
+  begin_pending();
+  if (pending_.global) return;
+  // The rows a change at `id` can affect: `id` itself, every node in its
+  // spatial gather block (connectivity requires d <= min(ra, rb) <= r_id,
+  // so any peer whose row lists `id` sits inside `id`'s own range box),
+  // and its wired peers (their rows carry hop distances to `id`).
+  pending_.nodes.push_back(id);
+  if (id < nodes_.size() && nodes_[id].radio.wireless) {
+    grid_.gather(id, pending_.nodes);
+  }
+  if (id < wired_peers_.size()) {
+    pending_.nodes.insert(pending_.nodes.end(), wired_peers_[id].begin(),
+                          wired_peers_[id].end());
+  }
+  // Runaway epochs (a whole-deployment shuffle) stop paying the
+  // accumulation cost and fall back to a rebuild.
+  if (pending_.nodes.size() > 4 * nodes_.size()) pending_.global = true;
+}
+
+void Network::note_global_change() const {
+  if (!incremental_topology_) return;
+  begin_pending();
+  pending_.global = true;
+  pending_.nodes.clear();
+}
+
+void Network::sync_topology_caches() const {
+  if (!incremental_topology_ || !pending_.active) return;
+  apply_pending();
+}
+
+void Network::apply_pending() const {
+  pending_.active = false;
+  auto& dirty = pending_.nodes;
+  bool patchable = snapshot_built_ && !pending_.global &&
+                   snapshot_.topology_version == pending_.from_topology &&
+                   snapshot_.liveness_version == pending_.from_liveness;
+  if (patchable) {
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+    // A delta touching most of the deployment costs more to patch + BFS
+    // than a straight rebuild; so does one naming rows the snapshot does
+    // not have (defensive — add_node always goes global).
+    if (dirty.size() > nodes_.size() / 2 ||
+        (!dirty.empty() && dirty.back() >= snapshot_.size())) {
+      patchable = false;
+    }
+  }
+  if (!patchable) {
+    ++topo_stats_.global_epochs;
+    last_delta_.valid = false;
+    snapshot_built_ = false;  // next access rebuilds; caches clear on sync
+    return;
+  }
+  ++topo_stats_.scoped_epochs;
+  patch_snapshot(dirty);
+  refresh_dirty_distance(dirty);
+  route_cache_.advance_epoch(pending_.from_topology, pending_.from_liveness,
+                             topology_version_, liveness_version_,
+                             dirty_flag_, bfs_dist_);
+  for (NodeId d : dirty) dirty_flag_[d] = 0;
+  // Publish the delta for slower consumers (the flow-plan cache), merging
+  // with the previous one when the version ranges abut so a consumer that
+  // skipped an epoch still sees one covering range.
+  if (last_delta_.valid &&
+      last_delta_.to_topology == pending_.from_topology &&
+      last_delta_.to_liveness == pending_.from_liveness) {
+    std::vector<NodeId> merged;
+    merged.reserve(last_delta_.dirty.size() + dirty.size());
+    std::set_union(last_delta_.dirty.begin(), last_delta_.dirty.end(),
+                   dirty.begin(), dirty.end(), std::back_inserter(merged));
+    last_delta_.dirty.swap(merged);
+    last_delta_.to_topology = topology_version_;
+    last_delta_.to_liveness = liveness_version_;
+    if (last_delta_.dirty.size() > nodes_.size() / 2) {
+      last_delta_.valid = false;  // too wide to be worth a scoped pass
+    }
+  } else {
+    last_delta_.valid = true;
+    last_delta_.from_topology = pending_.from_topology;
+    last_delta_.from_liveness = pending_.from_liveness;
+    last_delta_.to_topology = topology_version_;
+    last_delta_.to_liveness = liveness_version_;
+    last_delta_.dirty = dirty;
+  }
+}
+
+void Network::patch_snapshot(const std::vector<NodeId>& dirty) const {
+  const auto n = static_cast<NodeId>(nodes_.size());
+  patch_offsets_.clear();
+  patch_offsets_.reserve(n + 1);
+  patch_offsets_.push_back(0);
+  patch_adjacency_.clear();
+  patch_distance_.clear();
+  patch_adjacency_.reserve(snapshot_.adjacency.size() + 64);
+  patch_distance_.reserve(snapshot_.hop_distance.size() + 64);
+  NodeId next_clean = 0;
+  for (std::size_t k = 0; k <= dirty.size(); ++k) {
+    const NodeId stop = k < dirty.size() ? dirty[k] : n;
+    if (stop > next_clean) {
+      // Clean span [next_clean, stop): neighbour sets and hop distances
+      // are untouched (a changed edge or moved endpoint would have put
+      // one of these rows in the dirty set), so the rows copy verbatim
+      // with a constant offset shift.
+      const std::uint32_t old_begin = snapshot_.offsets[next_clean];
+      const std::uint32_t old_end = snapshot_.offsets[stop];
+      const auto base = static_cast<std::int64_t>(patch_adjacency_.size());
+      patch_adjacency_.insert(patch_adjacency_.end(),
+                              snapshot_.adjacency.begin() + old_begin,
+                              snapshot_.adjacency.begin() + old_end);
+      patch_distance_.insert(patch_distance_.end(),
+                             snapshot_.hop_distance.begin() + old_begin,
+                             snapshot_.hop_distance.begin() + old_end);
+      const std::int64_t shift = base - old_begin;
+      for (NodeId id = next_clean; id < stop; ++id) {
+        patch_offsets_.push_back(
+            static_cast<std::uint32_t>(snapshot_.offsets[id + 1] + shift));
+      }
+    }
+    if (k == dirty.size()) break;
+    patch_row_.clear();
+    collect_neighbors(stop, patch_row_);
+    for (NodeId peer : patch_row_) {
+      patch_adjacency_.push_back(peer);
+      patch_distance_.push_back(distance(nodes_[stop].pos, nodes_[peer].pos));
+    }
+    patch_offsets_.push_back(
+        static_cast<std::uint32_t>(patch_adjacency_.size()));
+    next_clean = stop + 1;
+  }
+  snapshot_.offsets.swap(patch_offsets_);
+  snapshot_.adjacency.swap(patch_adjacency_);
+  snapshot_.hop_distance.swap(patch_distance_);
+  snapshot_.topology_version = topology_version_;
+  snapshot_.liveness_version = liveness_version_;
+  ++topo_stats_.snapshot_patches;
+  topo_stats_.rows_patched += dirty.size();
+}
+
+void Network::refresh_dirty_distance(const std::vector<NodeId>& dirty) const {
+  const std::size_t n = nodes_.size();
+  bfs_dist_.assign(n, RouteCache::kUnreachable);
+  if (dirty_flag_.size() < n) dirty_flag_.resize(n, 0);
+  bfs_queue_.clear();
+  for (NodeId d : dirty) {
+    dirty_flag_[d] = 1;
+    bfs_dist_[d] = 0;
+    bfs_queue_.push_back(d);
+  }
+  // Rows are symmetric (connected() is), so a forward BFS from the dirty
+  // set yields every node's hop distance TO it.  Dead dirty nodes have
+  // empty rows and simply do not expand — correct, since no fresh route
+  // can run through them.
+  for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const NodeId at = bfs_queue_[head];
+    const std::uint32_t next = bfs_dist_[at] + 1;
+    for (NodeId peer : snapshot_.row(at)) {
+      if (bfs_dist_[peer] == RouteCache::kUnreachable) {
+        bfs_dist_[peer] = next;
+        bfs_queue_.push_back(peer);
+      }
+    }
+  }
+}
+
+void Network::set_incremental_topology(bool enabled) {
+  if (incremental_topology_ == enabled) return;
+  incremental_topology_ = enabled;
+  pending_.active = false;
+  pending_.global = false;
+  pending_.nodes.clear();
+  last_delta_.valid = false;
+  // Toggling changes which discipline downstream caches were filled
+  // under; bump so everything resynchronizes through the legacy path.
+  ++topology_version_;
+}
+
+void Network::bump_topology_version() {
+  note_global_change();
+  ++topology_version_;
 }
 
 std::optional<LinkClass> Network::link_between(NodeId a, NodeId b) const {
@@ -459,13 +667,19 @@ void Network::set_fault_injector(FaultInjector* injector) {
   if (fault_injector_ == injector) return;
   fault_injector_ = injector;
   // Installing or removing an injector can change connectivity answers
-  // (partitions, blackouts), so routing caches must not survive it.
+  // (partitions, blackouts) anywhere in the deployment, so routing caches
+  // must not survive it; there is no row set to scope to.
+  note_global_change();
   ++topology_version_;
 }
 
 void Network::set_node_up(NodeId id, bool up) {
   Node& n = nodes_.at(id);
   if (n.up != up) {
+    // The affected rows are `id`'s own and those of its (potential)
+    // neighbours — the same set whether the node is going down or coming
+    // up, since the gather block is purely geometric.
+    note_scoped_change(id);
     n.up = up;
     ++topology_version_;
   }
@@ -474,8 +688,10 @@ void Network::set_node_up(NodeId id, bool up) {
 void Network::move_node(NodeId id, Vec3 position) {
   Node& n = nodes_.at(id);
   if (!(n.pos == position)) {
+    note_scoped_change(id);  // rows near the OLD position
     n.pos = position;
     grid_.move(id, position);
+    note_scoped_change(id);  // rows near the NEW position
     ++topology_version_;
   }
 }
@@ -485,6 +701,15 @@ void Network::set_wired_link_up(NodeId a, NodeId b, bool up) {
   if (it == wired_index_.end()) return;
   WiredLink& w = wired_[it->second];
   if (w.up != up) {
+    // A wired toggle changes exactly the two endpoint rows — no gather
+    // needed, the link is not geometric.
+    if (incremental_topology_) {
+      begin_pending();
+      if (!pending_.global) {
+        pending_.nodes.push_back(a);
+        pending_.nodes.push_back(b);
+      }
+    }
     w.up = up;
     ++topology_version_;
   }
@@ -502,6 +727,8 @@ void Network::reset_stats() {
 void Network::reset_energy() {
   reset_stats();
   for (auto& n : nodes_) n.energy.reset();
+  // Mass resurrection: every dead node's links reappear at once.
+  note_global_change();
   ++topology_version_;
 }
 

@@ -63,10 +63,41 @@ struct Node {
 };
 
 /// Diagnostics for the topology acceleration layer (spatial index,
-/// adjacency snapshot); route-cache counters live on the RouteCache.
+/// adjacency snapshot, incremental epochs); route-cache counters live on
+/// the RouteCache.
 struct TopologyStats {
   std::uint64_t neighbor_queries = 0;  ///< indexed neighbors() calls
-  std::uint64_t snapshot_builds = 0;   ///< lazy CSR rebuilds (per version)
+  std::uint64_t snapshot_builds = 0;   ///< lazy full CSR rebuilds (per version)
+  std::uint64_t snapshot_patches = 0;  ///< delta CSR patches (scoped epochs)
+  std::uint64_t rows_patched = 0;      ///< adjacency rows rewritten by patches
+  std::uint64_t scoped_epochs = 0;     ///< pending deltas applied scoped
+  std::uint64_t global_epochs = 0;     ///< pending deltas widened to a rebuild
+};
+
+/// Kill switch for incremental topology epochs (DESIGN.md S26).  Off (the
+/// default) keeps the legacy all-or-nothing discipline: any topology bump
+/// or battery death rebuilds the whole CSR snapshot and flushes the route
+/// and flow-plan caches wholesale — byte-identical to the pre-epoch build.
+/// On, mutations accumulate a dirty-row delta that is applied lazily at
+/// the next cache access: the snapshot is patched row-wise and only the
+/// cached routes/plans a change could affect are dropped.  Answers are
+/// bit-identical either way; only the work is scoped.
+struct TopologyConfig {
+  bool incremental = false;
+};
+
+/// One applied scoped epoch: the half-open version advance and the sorted
+/// set of nodes whose adjacency rows changed.  Consumers holding caches
+/// keyed on older versions (the flow model's plan cache) can apply it
+/// scoped iff their versions lie within [from, to]; consecutive epochs
+/// merge so a consumer that syncs rarely still sees one covering delta.
+struct ScopedDelta {
+  bool valid = false;
+  std::uint64_t from_topology = 0;
+  std::uint64_t from_liveness = 0;
+  std::uint64_t to_topology = 0;
+  std::uint64_t to_liveness = 0;
+  std::vector<NodeId> dirty;  ///< sorted, deduplicated
 };
 
 /// Aggregate traffic/energy counters for one experiment run.
@@ -241,8 +272,26 @@ class Network {
 
   /// Explicit topology-version bump for external connectivity modifiers
   /// (the fault injector's partitions and blackouts change what
-  /// connected() answers without touching node or link state).
-  void bump_topology_version() { ++topology_version_; }
+  /// connected() answers without touching node or link state).  Always a
+  /// global epoch: the caller cannot name the affected rows.
+  void bump_topology_version();
+
+  /// Enables/disables incremental topology epochs (TopologyConfig).  Off
+  /// is the legacy global-bump discipline; toggling bumps the topology
+  /// version so every downstream cache resynchronizes.
+  void set_incremental_topology(bool enabled);
+  bool incremental_topology() const { return incremental_topology_; }
+
+  /// Applies any pending topology delta to the snapshot, route cache and
+  /// last_scoped_delta().  No-op when incremental epochs are off (the
+  /// legacy version checks handle everything) or nothing changed.  Called
+  /// by the cached-route and flow-plan paths before they consult their
+  /// caches; cheap enough to call speculatively.
+  void sync_topology_caches() const;
+
+  /// The most recent scoped epoch(s) applied, merged; invalid after a
+  /// global epoch (consumers must clear wholesale).
+  const ScopedDelta& last_scoped_delta() const { return last_delta_; }
 
   std::size_t max_retries() const { return max_retries_; }
   void set_max_retries(std::size_t retries) { max_retries_ = retries; }
@@ -299,6 +348,27 @@ class Network {
   /// Energy draw that bumps liveness_version_ on a death transition.
   bool consume_energy(Node& node, double joules);
 
+  /// Pending-delta accumulation (incremental epochs only; DESIGN.md S26).
+  /// Mutators call these BEFORE bumping a version, so the base versions
+  /// the delta advances from are captured exactly once per epoch.
+  void begin_pending() const;
+  /// Marks the rows a change at `id` can affect dirty: the node itself,
+  /// everything in its spatial gather block (any peer whose row lists `id`
+  /// lies within `id`'s own range box) and its wired peers.
+  void note_scoped_change(NodeId id) const;
+  /// Widens the pending delta to a full rebuild (unscopeable mutation).
+  void note_global_change() const;
+  /// Applies the pending delta: patch or rebuild + scoped cache epoch.
+  void apply_pending() const;
+  /// Rewrites exactly the dirty rows of snapshot_ in one splice pass;
+  /// clean row spans are copied verbatim (their neighbour sets and hop
+  /// distances are untouched by construction of the dirty set).
+  void patch_snapshot(const std::vector<NodeId>& dirty) const;
+  /// Multi-source BFS over the NEW snapshot from the dirty set, filling
+  /// bfs_dist_ (RouteCache::kUnreachable where disconnected) and
+  /// dirty_flag_.
+  void refresh_dirty_distance(const std::vector<NodeId>& dirty) const;
+
   sim::Simulator& sim_;
   common::Rng rng_;
   telemetry::CostLedger ledger_;
@@ -324,6 +394,25 @@ class Network {
   mutable RouteCache route_cache_;
   mutable std::vector<NodeId> scratch_;  ///< candidate buffer (single-threaded)
   mutable TopologyStats topo_stats_;
+
+  // Incremental-epoch state (inert while incremental_topology_ is false).
+  struct PendingDelta {
+    bool active = false;  ///< a delta is accumulating since (from_*)
+    bool global = false;  ///< widened: apply as a full rebuild + clear
+    std::uint64_t from_topology = 0;
+    std::uint64_t from_liveness = 0;
+    std::vector<NodeId> nodes;  ///< dirty candidates (unsorted, duplicates ok)
+  };
+  bool incremental_topology_ = false;
+  mutable PendingDelta pending_;
+  mutable ScopedDelta last_delta_;
+  mutable std::vector<char> dirty_flag_;          ///< per-node dirty marks
+  mutable std::vector<std::uint32_t> bfs_dist_;   ///< hops to nearest dirty
+  mutable std::vector<NodeId> bfs_queue_;
+  mutable std::vector<std::uint32_t> patch_offsets_;  ///< splice scratch
+  mutable std::vector<NodeId> patch_adjacency_;
+  mutable std::vector<double> patch_distance_;
+  mutable std::vector<NodeId> patch_row_;
 };
 
 /// Places `count` nodes on a uniform grid inside [0,width]x[0,height] at

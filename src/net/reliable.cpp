@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 #include <utility>
 
 #include "net/flow.hpp"
@@ -208,6 +209,22 @@ void ReliableChannel::route_failed(const std::shared_ptr<Transfer>& t) {
   ++t->reroutes;
   ++stats_.reroutes;
   const NodeId at = t->hop < t->route.size() ? t->route[t->hop] : t->src;
+  // Local repair first: splice around the failed hop back onto the
+  // remaining route within repair_depth hops.  Much cheaper than the full
+  // discovery below when mobility or a single death broke one link of an
+  // otherwise healthy route.
+  if (config_.repair_depth > 0 && t->route.size() >= 2) {
+    auto spliced = splice_route(t, at, now);
+    if (!spliced.empty()) {
+      ++stats_.local_repairs;
+      t->route = std::move(spliced);
+      t->hop = 0;
+      t->attempt = 0;
+      mark_route(t);
+      hop_cycle(t);
+      return;
+    }
+  }
   auto fresh = route_avoiding_open(at, t->dst, now);
   if (!fresh.empty()) {
     t->route = std::move(fresh);
@@ -264,6 +281,68 @@ sim::SimTime ReliableChannel::backoff_delay(std::size_t attempt) {
   const double jitter =
       1.0 + config_.jitter * (2.0 * rng_.uniform01() - 1.0);
   return sim::SimTime::seconds(base * jitter);
+}
+
+std::vector<NodeId> ReliableChannel::splice_route(
+    const std::shared_ptr<Transfer>& t, NodeId at, sim::SimTime now) const {
+  if (!network_.alive(at)) return {};
+  const TopologySnapshot& snapshot = network_.topology_snapshot();
+  const std::size_t n = snapshot.size();
+  if (at >= n) return {};
+  // Candidate targets: every node still ahead on the route.  Reaching one
+  // inherits the rest of the route from there, so the repair skips the
+  // broken link (and any prefix of the remaining route it can shortcut).
+  std::unordered_map<NodeId, std::size_t> target_index;
+  for (std::size_t i = t->hop + 1; i < t->route.size(); ++i) {
+    if (t->route[i] < n) target_index.emplace(t->route[i], i);
+  }
+  if (target_index.empty()) return {};
+  // The already-traversed prefix is banned: looping back through it could
+  // only re-enter this hop, and the receivers there have already accepted
+  // the payload (re-delivery would just burn ACK frames).
+  std::unordered_set<NodeId> banned(t->route.begin(),
+                                    t->route.begin() + t->hop + 1);
+  const NodeId failed_next =
+      t->hop + 1 < t->route.size() ? t->route[t->hop + 1] : kInvalidNode;
+  std::vector<NodeId> parent(n, kInvalidNode);
+  parent[at] = at;
+  std::vector<NodeId> frontier{at};
+  std::size_t best_index = 0;
+  NodeId best_target = kInvalidNode;
+  for (std::size_t depth = 1;
+       depth <= config_.repair_depth && !frontier.empty(); ++depth) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier) {
+      for (NodeId v : snapshot.row(u)) {
+        if (parent[v] != kInvalidNode || banned.count(v)) continue;
+        // Never retake the link that just failed (its breaker may not have
+        // tripped yet); the node behind it stays reachable via others.
+        if (depth == 1 && v == failed_next) continue;
+        if (breakers_.state(link_key(u, v), now) == BreakerState::kOpen) {
+          continue;
+        }
+        parent[v] = u;
+        auto hit = target_index.find(v);
+        if (hit != target_index.end() && hit->second >= best_index) {
+          // Same depth: prefer the target furthest along the route.
+          best_index = hit->second;
+          best_target = v;
+        }
+        next.push_back(v);
+      }
+    }
+    if (best_target != kInvalidNode) break;  // minimal-depth layer found
+    frontier = std::move(next);
+  }
+  if (best_target == kInvalidNode) return {};
+  std::vector<NodeId> bridge;
+  for (NodeId v = best_target; v != at; v = parent[v]) bridge.push_back(v);
+  bridge.push_back(at);
+  std::reverse(bridge.begin(), bridge.end());
+  // bridge ends at route[best_index]; append the untouched suffix.
+  bridge.insert(bridge.end(), t->route.begin() + best_index + 1,
+                t->route.end());
+  return bridge;
 }
 
 std::vector<NodeId> ReliableChannel::route_avoiding_open(

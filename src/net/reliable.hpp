@@ -248,6 +248,13 @@ struct ReliableConfig {
   /// Route recomputations per message when the budget is unlimited (bounded
   /// budgets instead re-route until the deadline).
   std::size_t max_reroutes = 3;
+  /// Local route repair radius (hops).  When a hop exhausts its attempts, a
+  /// bounded-depth BFS from the current holder first tries to splice around
+  /// the dead/moved hop back onto the remaining route — directed-diffusion
+  /// style local repair — before paying a full breaker-aware rediscovery.
+  /// 0 (the default) disables repair: the reroute path is bit-identical to
+  /// the pre-repair build.
+  std::size_t repair_depth = 0;
   BreakerConfig breaker;
 };
 
@@ -261,6 +268,7 @@ struct ReliableStats {
   std::uint64_t retransmissions = 0;
   std::uint64_t duplicates_suppressed = 0;  ///< re-received after lost ACK
   std::uint64_t reroutes = 0;
+  std::uint64_t local_repairs = 0;   ///< reroutes resolved by a splice
   std::uint64_t queued = 0;          ///< sends deferred by the window
 };
 
@@ -343,6 +351,14 @@ class ReliableChannel {
   /// is open (cooling).  Deterministic: ascending-id adjacency rows.
   std::vector<NodeId> route_avoiding_open(NodeId src, NodeId dst,
                                           sim::SimTime now) const;
+  /// Local repair (ReliableConfig::repair_depth): bounded-depth BFS from
+  /// the current holder `at`, avoiding open breakers, the already-visited
+  /// route prefix and the link that just failed, targeting any node on the
+  /// remaining route (minimal depth, then the target furthest along the
+  /// route).  Returns bridge + remaining suffix, or empty when no splice
+  /// exists within the radius.
+  std::vector<NodeId> splice_route(const std::shared_ptr<Transfer>& t,
+                                   NodeId at, sim::SimTime now) const;
 
   Network& network_;
   ReliableConfig config_;

@@ -80,11 +80,29 @@ std::vector<NodeId> shortest_path_naive(const Network& network, NodeId src,
 
 std::vector<NodeId> cached_shortest_path(const Network& network, NodeId src,
                                          NodeId dst) {
+  // Under incremental epochs any pending delta must be applied before the
+  // cache is consulted, so find()'s version check sees current versions
+  // and scoped survivors are served instead of flushed (no-op otherwise).
+  network.sync_topology_caches();
   RouteCache& cache = network.route_cache();
   const std::uint64_t topo = network.topology_version();
   const std::uint64_t live = network.liveness_version();
   if (const std::vector<NodeId>* hit = cache.find(src, dst, topo, live)) {
-    return *hit;
+    if (!network.incremental_topology()) return *hit;
+    // Cheap insurance on the scoped-survivor path: re-check every hop of
+    // the cached route against live connectivity.  The epoch rules make
+    // survivors provably fresh, so a failure here marks an invalidation
+    // bug — the recompute below restores correctness and counts it.
+    bool intact = true;
+    for (std::size_t i = 0; i + 1 < hit->size(); ++i) {
+      if (!network.connected((*hit)[i], (*hit)[i + 1])) {
+        intact = false;
+        break;
+      }
+    }
+    if (hit->size() == 1 && !network.alive((*hit)[0])) intact = false;
+    if (intact) return *hit;
+    cache.note_revalidation_failure();
   }
   std::vector<NodeId> route = shortest_path(network, src, dst);
   cache.insert(src, dst, topo, live, route);

@@ -153,6 +153,67 @@ void RouteCache::sync_version(std::uint64_t topology_version,
   has_version_ = true;
 }
 
+void RouteCache::advance_epoch(std::uint64_t from_topology,
+                               std::uint64_t from_liveness,
+                               std::uint64_t to_topology,
+                               std::uint64_t to_liveness,
+                               const std::vector<char>& dirty_flag,
+                               const std::vector<std::uint32_t>& dist_to_dirty) {
+  if (!has_version_ || topology_version_ != from_topology ||
+      liveness_version_ != from_liveness) {
+    // The delta does not start where this cache stands (a missed epoch, or
+    // a fresh cache): fall back to the wholesale clear.
+    sync_version(to_topology, to_liveness);
+    return;
+  }
+  ++stats_.scoped_epochs;
+  const auto dist_of = [&](NodeId id) {
+    return id < dist_to_dirty.size() ? dist_to_dirty[id] : kUnreachable;
+  };
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const std::uint64_t key = it->first;
+    const auto src = static_cast<NodeId>(key >> 32);
+    const auto dst = static_cast<NodeId>(key & 0xffffffffu);
+    const std::vector<NodeId>& route = it->second;
+    bool drop = false;
+    if (route.empty()) {
+      // "No route": a path can only have appeared through a changed row,
+      // so both endpoints would have to reach the dirty set.
+      drop = dist_of(src) != kUnreachable && dist_of(dst) != kUnreachable;
+    } else {
+      for (NodeId hop : route) {
+        if (hop < dirty_flag.size() && dirty_flag[hop]) {
+          drop = true;
+          break;
+        }
+      }
+      if (!drop) {
+        // Improvement bound: any fresh path through a dirty node has at
+        // least dist[src] + dist[dst] hops; unless that strictly exceeds
+        // the cached hop count the fresh optimum (or a tie) could run
+        // through the changed region, so the entry must be recomputed.
+        const std::uint32_t ds = dist_of(src);
+        const std::uint32_t dd = dist_of(dst);
+        const std::uint64_t hops = route.size() - 1;
+        if (ds != kUnreachable && dd != kUnreachable &&
+            std::uint64_t(ds) + std::uint64_t(dd) <= hops) {
+          drop = true;
+        }
+      }
+    }
+    if (drop) {
+      ++stats_.routes_dropped;
+      map_.erase(key);
+      it = lru_.erase(it);
+    } else {
+      ++stats_.routes_kept;
+      ++it;
+    }
+  }
+  topology_version_ = to_topology;
+  liveness_version_ = to_liveness;
+}
+
 const std::vector<NodeId>* RouteCache::find(NodeId src, NodeId dst,
                                             std::uint64_t topology_version,
                                             std::uint64_t liveness_version) {

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <list>
 #include <span>
 #include <unordered_map>
@@ -129,11 +130,13 @@ struct TopologySnapshot {
 };
 
 /// Bounded LRU cache of shortest-path results, keyed by (src, dst) and
-/// valid for exactly one (topology, liveness) version pair — any version
-/// change empties it wholesale, which is equivalent to (and cheaper than)
-/// keying entries by version.  Failed lookups (empty routes) are cached
-/// too: "no route" is as deterministic as a route, and recomputing it is
-/// the most expensive Dijkstra of all.
+/// valid for exactly one (topology, liveness) version pair.  Under the
+/// legacy discipline any version change empties it wholesale; under
+/// incremental topology epochs (DESIGN.md S26) the network instead calls
+/// advance_epoch() with the set of dirty rows, and only the entries a
+/// change could possibly affect are dropped.  Failed lookups (empty
+/// routes) are cached too: "no route" is as deterministic as a route, and
+/// recomputing it is the most expensive Dijkstra of all.
 class RouteCache {
  public:
   struct Stats {
@@ -141,6 +144,10 @@ class RouteCache {
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t invalidations = 0;  ///< whole-cache clears (version bumps)
+    std::uint64_t scoped_epochs = 0;  ///< advance_epoch() scoped applications
+    std::uint64_t routes_dropped = 0;  ///< entries killed by a scoped epoch
+    std::uint64_t routes_kept = 0;     ///< entries surviving a scoped epoch
+    std::uint64_t revalidation_failures = 0;  ///< hits rejected by route recheck
   };
 
   explicit RouteCache(std::size_t capacity = 1024)
@@ -154,6 +161,31 @@ class RouteCache {
 
   void insert(NodeId src, NodeId dst, std::uint64_t topology_version,
               std::uint64_t liveness_version, std::vector<NodeId> route);
+
+  /// Scoped invalidation for one incremental topology epoch.  `dirty_flag`
+  /// marks the nodes whose adjacency rows changed between the (from, to)
+  /// version pairs; `dist_to_dirty` is the hop distance from every node to
+  /// the nearest dirty node in the NEW graph (kUnreachable when none).
+  /// An entry survives only when the fresh Dijkstra provably returns the
+  /// identical answer:
+  ///  - a non-empty route survives iff no route node is dirty AND
+  ///    dist[src] + dist[dst] > hops — any fresh path through the changed
+  ///    region is then strictly worse, so the optimum (and its tie-break)
+  ///    lies entirely in the untouched subgraph;
+  ///  - a cached "no route" survives unless both endpoints can now reach
+  ///    the dirty set (a path can only have appeared through changed rows).
+  /// If the cache's versions do not match `from` (a missed epoch), the
+  /// whole cache is cleared — exactly the legacy discipline.
+  static constexpr std::uint32_t kUnreachable =
+      std::numeric_limits<std::uint32_t>::max();
+  void advance_epoch(std::uint64_t from_topology, std::uint64_t from_liveness,
+                     std::uint64_t to_topology, std::uint64_t to_liveness,
+                     const std::vector<char>& dirty_flag,
+                     const std::vector<std::uint32_t>& dist_to_dirty);
+
+  /// Books a hit whose route failed the per-hop revalidation check (the
+  /// caller recomputes; see cached_shortest_path).
+  void note_revalidation_failure() { ++stats_.revalidation_failures; }
 
   std::size_t size() const { return map_.size(); }
   std::size_t capacity() const { return capacity_; }

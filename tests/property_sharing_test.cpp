@@ -25,7 +25,10 @@
 #include "compose/provider.hpp"
 #include "compose/task.hpp"
 #include "core/runtime.hpp"
+#include "core/sharing.hpp"
 #include "net/mobility.hpp"
+#include "net/reliable.hpp"
+#include "query/canonical.hpp"
 #include "sim/chaos.hpp"
 #include "sim/invariants.hpp"
 
@@ -370,6 +373,53 @@ TEST(Admission, InfeasibleDeadlineBudgetShedsImmediately) {
   EXPECT_NE(outcome.error.find("budget"), std::string::npos);
   EXPECT_EQ(runtime.sharing()->stats().shed_budget, 1u);
   EXPECT_EQ(runtime.sharing()->stats().admitted, 0u);
+}
+
+TEST(Admission, TightBudgetArrivalOvertakesSlackAndUnboundedInQueue) {
+  // The arrival queue is ordered by remaining deadline budget, not FIFO: a
+  // late arrival that can barely make its deadline runs before earlier
+  // slack or unbounded arrivals, and equal deadlines keep arrival order.
+  auto config = sharing_config(16, true);
+  config.sharing.max_active = 1;
+  config.sharing.max_queue = 8;
+  core::PervasiveGridRuntime runtime(config);
+  auto& sharing = *runtime.sharing();
+
+  const query::CanonicalQuery unshared;  // shareable=false: never coalesces
+  auto no_shed = [](const std::string& reason) {
+    FAIL() << "unexpected shed: " << reason;
+  };
+
+  // Take the only slot so everything after queues.
+  bool holder_running = false;
+  sharing.admit(unshared, net::Budget::unlimited(), 0.0,
+                [&] { holder_running = true; }, no_shed);
+  ASSERT_TRUE(holder_running);
+
+  // Queue order of arrival: slack (t+100 s), unbounded, tight (t+5 s),
+  // then a second tight arrival at the same deadline.
+  std::vector<std::string> order;
+  auto enqueue = [&](const std::string& name, net::Budget budget) {
+    sharing.admit(unshared, budget, 0.0,
+                  [&order, name] { order.push_back(name); }, no_shed);
+  };
+  enqueue("slack", net::Budget::until(sim::SimTime::seconds(100.0)));
+  enqueue("unbounded", net::Budget::unlimited());
+  enqueue("tight-1", net::Budget::until(sim::SimTime::seconds(5.0)));
+  enqueue("tight-2", net::Budget::until(sim::SimTime::seconds(5.0)));
+  ASSERT_EQ(sharing.queue_depth(), 4u);
+  ASSERT_TRUE(order.empty()) << "queued arrivals must not run yet";
+
+  // Each completion frees the single slot and admits exactly one waiter:
+  // both tight arrivals (FIFO between equals) before slack, slack before
+  // unbounded.
+  for (int i = 0; i < 4; ++i) sharing.on_complete();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "tight-1");
+  EXPECT_EQ(order[1], "tight-2");
+  EXPECT_EQ(order[2], "slack");
+  EXPECT_EQ(order[3], "unbounded");
+  EXPECT_EQ(sharing.queue_depth(), 0u);
 }
 
 // ---------------------------------------------------------------------------
