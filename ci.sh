@@ -63,7 +63,11 @@ echo "=== bench smoke: kernel + decision maker + topology + reliability + city +
 # resilience run is the EXP-R1 sweep: reliability on/off over identical
 # seeded chaos schedules, with the success-rate, coverage, exactly-once,
 # ledger-conservation, and kill-switch bit-identity gates enforced inside
-# the binary.  The scenario run is EXP-N2 at CI size: the flow-tier
+# the binary.  The failover run is EXP-R2: protected / unprotected /
+# kill-switch arms over identical seeded base-station crashes plus the
+# two-region adoption arm, gating on exactly-once completion, mean
+# coverage >= 0.9 protected, demonstrable query loss unprotected, and
+# disabled-path bit-identity; kept as BENCH_failover.json.  The scenario run is EXP-N2 at CI size: the flow-tier
 # calibration sweep against the packet oracle, the flow kill-switch
 # bit-identity check, and a sharded multi-region city run in flow mode —
 # all gates enforced via the exit code (full scale: --city without --quick).
@@ -84,10 +88,11 @@ out/default/bench/bench_sim_kernel --json --quick > BENCH_kernel.json
 out/default/bench/bench_decision_maker --json > /tmp/bench_dm.json
 out/default/bench/bench_routing --json --quick > BENCH_topology.json
 out/default/bench/bench_resilience --chaos --json > BENCH_resilience.json
+out/default/bench/bench_resilience --failover --quick --json > BENCH_failover.json
 out/default/bench/bench_scenario --city --quick --json > BENCH_scenario.json
 out/default/bench/bench_scenario --load --quick --json > BENCH_load.json
 out/default/bench/bench_scenario --mobile --json > /tmp/bench_mobile.json
-python3 - BENCH_kernel.json /tmp/bench_dm.json BENCH_topology.json BENCH_resilience.json BENCH_scenario.json BENCH_load.json /tmp/bench_mobile.json <<'PY'
+python3 - BENCH_kernel.json /tmp/bench_dm.json BENCH_topology.json BENCH_resilience.json BENCH_failover.json BENCH_scenario.json BENCH_load.json /tmp/bench_mobile.json <<'PY'
 import json, sys
 for path in sys.argv[1:]:
     with open(path) as fh:

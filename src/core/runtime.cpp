@@ -1,12 +1,14 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <future>
 #include <map>
 #include <sstream>
 
 #include "common/log.hpp"
 #include "compose/provider.hpp"
+#include "partition/persistence.hpp"
 
 namespace pgrid::core {
 
@@ -79,6 +81,37 @@ PervasiveGridRuntime::PervasiveGridRuntime(RuntimeConfig config,
     sharing_ = std::make_unique<QuerySharing>(config_.sharing, *sensors_);
   }
 
+  if (config_.failover.enabled) {
+    // Like the sharing layer: pure bookkeeping until a continuous query
+    // registers (no events, no rng draws), so construction leaves every
+    // path bit-identical to the disabled build.
+    failover_ = std::make_unique<FailoverManager>(config_.failover, sim_,
+                                                  network_->telemetry());
+    failover_->set_segment_runner([this](std::uint64_t qid, bool readmit) {
+      run_failover_segment(qid, readmit);
+    });
+    failover_->set_experience_hooks(
+        /*save=*/[this] { return partition::save_experience(decision_maker_); },
+        /*load=*/
+        [this](const std::string& payload) {
+          (void)partition::load_experience(payload, decision_maker_);
+        },
+        /*reset=*/[this] { decision_maker_.reset(); });
+    failover_->set_crash_hook([this] {
+      if (sharing_) sharing_->crash_reset();
+    });
+    // Cross-process persistence: historic data survives a real restart, not
+    // just a simulated one (Section 4's learner needs it to accumulate).
+    if (!config_.failover.experience_path.empty()) {
+      std::ifstream in(config_.failover.experience_path, std::ios::binary);
+      if (in) {
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        (void)partition::load_experience(buffer.str(), decision_maker_);
+      }
+    }
+  }
+
   register_agents();
   // Let registrations and advertisements play out, then start experiments
   // from full batteries.
@@ -129,10 +162,20 @@ void PervasiveGridRuntime::register_agents() {
   // base's edge interface as a wired link to keep the sensor radio intact.
   network_->add_wired_link(base, handheld_node_, net::LinkClass::wifi());
 
+  // Under failover the handheld is a roaming client: answers that arrive
+  // while it is mid-handoff (or its node is in a crash window) are held and
+  // retried by a disconnection-managing deputy instead of failing the
+  // conversation — the StoreAndForwardDeputy bridges the gap.
+  std::unique_ptr<agent::AgentDeputy> handheld_deputy;
+  if (failover_ != nullptr) {
+    handheld_deputy = std::make_unique<agent::StoreAndForwardDeputy>(
+        sim::SimTime::seconds(0.5), sim::SimTime::seconds(120.0));
+  }
   handheld_agent_ = platform_->register_agent(
       std::make_unique<agent::LambdaAgent>(
           "handheld", handheld_node_,
-          [](agent::LambdaAgent&, const agent::Envelope&) {}));
+          [](agent::LambdaAgent&, const agent::Envelope&) {}),
+      std::move(handheld_deputy));
 
   // The base station's query-processor agent: receives query text from the
   // handheld, runs the pipeline, replies with the answer.
@@ -241,8 +284,33 @@ void PervasiveGridRuntime::run_pipeline(
   outcome->parsed = std::move(parsed).take();
   outcome->classification = classifier_.classify(outcome->parsed);
 
+  // Failover protection covers continuous queries (the standing state a
+  // station crash erases).  Registration happens *before* admission so a
+  // queued arrival is already checkpoint-visible: a crash while it waits
+  // replays it instead of silently dropping it.
+  std::uint64_t failover_qid = 0;
+  if (failover_ && outcome->classification.continuous) {
+    QueryCheckpoint meta;
+    meta.text = text;
+    meta.model = forced ? partition::to_string(*forced) : "-";
+    meta.total_epochs = config_.continuous_epochs;
+    meta.epoch_s = outcome->parsed.epoch_duration_s.value_or(1.0);
+    if (reliable_ != nullptr) {
+      double seconds = config_.reliability.query_budget_s;
+      if (outcome->parsed.cost.metric == query::CostMetric::kTime &&
+          outcome->parsed.cost.limit > 0) {
+        seconds = outcome->parsed.cost.limit;
+      }
+      if (seconds > 0.0) {
+        meta.deadline_s = sim_.now().to_seconds() + seconds;
+      }
+    }
+    failover_qid = failover_->register_query(std::move(meta));
+  }
+
   if (!sharing_) {
-    dispatch_query(std::move(outcome), forced, nullptr, std::move(done));
+    dispatch_query(std::move(outcome), forced, nullptr, std::move(done),
+                   failover_qid);
     return;
   }
 
@@ -274,16 +342,22 @@ void PervasiveGridRuntime::run_pipeline(
   sharing_->admit(
       *canonical, budget, min_runtime_s,
       /*proceed=*/
-      [this, outcome, forced, canonical, done_shared] {
+      [this, outcome, forced, canonical, done_shared, failover_qid] {
         // Completion frees the admission slot and drains the queue.
         dispatch_query(outcome, forced, canonical,
                        [this, done_shared](QueryOutcome result) {
                          (*done_shared)(std::move(result));
                          sharing_->on_complete();
-                       });
+                       },
+                       failover_qid);
       },
       /*shed=*/
-      [this, outcome, done_shared](const std::string& reason) {
+      [this, outcome, done_shared, failover_qid](const std::string& reason) {
+        // The legacy shed path answers the client directly; the arrival
+        // never held protected state worth replaying.
+        if (failover_ && failover_qid != 0) {
+          failover_->deregister(failover_qid);
+        }
         outcome->shed = true;
         outcome->error = reason;
         sim_.schedule(sim::SimTime::zero(),
@@ -295,7 +369,7 @@ void PervasiveGridRuntime::dispatch_query(
     std::shared_ptr<QueryOutcome> outcome,
     std::optional<partition::SolutionModel> forced,
     std::shared_ptr<const query::CanonicalQuery> canonical,
-    std::function<void(QueryOutcome)> done) {
+    std::function<void(QueryOutcome)> done, std::uint64_t failover_qid) {
   // The context must outlive the asynchronous execution.
   auto ctx = std::make_shared<partition::ExecutionContext>(
       execution_context());
@@ -383,6 +457,18 @@ void PervasiveGridRuntime::dispatch_query(
       decision_maker_.observe(inner, model, epoch_estimate, actual.energy_j,
                               actual.response_s);
     };
+    // Protected dispatch: the failover manager owns the query's lifecycle
+    // from here.  Its summarize closure becomes the record's finalize (the
+    // single completion, fenced across crash/restore/adoption cycles) and
+    // the segment runner re-derives the execution plan from the snapshot —
+    // same trace context, same synchronous launch, same model decisions as
+    // the legacy path below.
+    if (failover_ && failover_qid != 0) {
+      failover_->set_finalize(failover_qid, std::move(summarize), outcome);
+      failover_->mark_started(failover_qid);
+      failover_->launch_segment(failover_qid, /*readmit=*/false);
+      return;
+    }
     // Shared TAG tree path: a shareable continuous aggregate (unforced, or
     // forced to the tree model sharing uses anyway) rides its group's
     // single collection — one sensor transmission per epoch regardless of
@@ -426,6 +512,123 @@ void PervasiveGridRuntime::dispatch_query(
           outcome->error = outcome->actual.error;
         }
         finish();
+      });
+}
+
+void PervasiveGridRuntime::run_failover_segment(std::uint64_t qid,
+                                                bool readmit) {
+  FailoverManager::Record* record = failover_->find(qid);
+  if (record == nullptr || record->finalized) return;
+  const std::uint32_t gen = failover_->generation(qid);
+  // The serializable snapshot is the source of truth; the parse/classify/
+  // profile chain is pure, so a restored segment sees exactly the plan a
+  // fresh submission of the same text would.
+  auto parsed = query::parse_query(record->snap.text);
+  if (!parsed.ok()) {
+    failover_->segment_shed(qid, gen);
+    return;
+  }
+  const auto query = std::make_shared<const query::Query>(
+      std::move(parsed).take());
+  const auto cls = classifier_.classify(*query);
+  const std::optional<partition::SolutionModel> forced =
+      partition::model_from_string(record->snap.model);
+  const std::size_t committed = record->snap.epochs.size();
+  if (committed >= record->snap.total_epochs) {
+    failover_->segment_complete(qid, gen);
+    return;
+  }
+  const std::size_t remaining = record->snap.total_epochs - committed;
+  const double deadline_s = record->snap.deadline_s;
+  const double epoch_s = record->snap.epoch_s;
+  // The client-side shell, when this runtime dispatched the query itself
+  // (null for segments adopted from a peer region — there is no local
+  // conversation to stamp).
+  auto outcome = std::static_pointer_cast<QueryOutcome>(record->user_data);
+
+  auto ctx = std::make_shared<partition::ExecutionContext>(
+      execution_context());
+  const auto profile = partition::profile_from(*ctx, cls);
+  const auto inner = cls.inner;
+  const auto metric = query->cost.metric;
+
+  // Every accepted epoch commits under the generation fence *before* it
+  // feeds the learner: a stale segment (crashed timeline, extracted query)
+  // neither counts progress nor pollutes the calibration.
+  auto observe = [this, qid, gen, inner, profile](
+                     std::size_t, partition::SolutionModel model,
+                     const partition::ActualCost& actual) {
+    if (!failover_->commit_epoch(qid, gen, model, actual)) return;
+    const auto epoch_estimate = partition::estimate_cost(profile, inner, model);
+    decision_maker_.observe(inner, model, epoch_estimate, actual.energy_j,
+                            actual.response_s);
+  };
+  // segment_done owns ctx: the executor holds this callback until the
+  // segment finishes (or its abort token trips), so the execution context
+  // outlives every asynchronous epoch that references it.
+  auto segment_done = [this, ctx, qid, gen](
+                          std::vector<partition::ActualCost>,
+                          std::vector<partition::SolutionModel>) {
+    failover_->segment_complete(qid, gen);
+  };
+
+  auto execute = [this, ctx, query, cls, forced, remaining, observe,
+                  segment_done, qid, gen, outcome, inner, metric, profile] {
+    if (sharing_) {
+      const auto canonical = query::canonicalize(*query, cls);
+      if (canonical.shareable &&
+          (!forced || *forced == partition::SolutionModel::kTreeAggregate)) {
+        std::function<void()> cancel;
+        if (sharing_->execute_shared(ctx, canonical, remaining, observe,
+                                     segment_done, &cancel)) {
+          failover_->set_segment_cancel(qid, std::move(cancel));
+          if (outcome) {
+            outcome->shared = true;
+            outcome->model = partition::SolutionModel::kTreeAggregate;
+            outcome->estimate = decision_maker_.calibrated_estimate(
+                profile, inner, partition::SolutionModel::kTreeAggregate);
+          }
+          return;
+        }
+      }
+    }
+    const partition::AbortToken abort = failover_->begin_segment(qid);
+    if (forced) {
+      partition::execute_continuous_adaptive(
+          *ctx, *query, cls, remaining,
+          [model = *forced](std::size_t) { return model; }, observe,
+          segment_done, abort);
+      return;
+    }
+    partition::execute_continuous_adaptive(
+        *ctx, *query, cls, remaining,
+        [this, inner, metric, profile](std::size_t) {
+          return decision_maker_.decide(inner, metric, profile);
+        },
+        observe, segment_done, abort);
+  };
+
+  if (!readmit || !sharing_) {
+    execute();
+    return;
+  }
+  // Post-crash/adoption resume: the old admission slot died with the
+  // station, so the segment re-enters admission control — coalescing onto
+  // compatible live groups, queueing, or shedding under its original
+  // deadline budget like any other arrival.
+  const auto canonical = query::canonicalize(*query, cls);
+  const net::Budget budget =
+      deadline_s > 0.0
+          ? net::Budget::until(sim::SimTime::seconds(deadline_s))
+          : net::Budget::unlimited();
+  const double min_runtime_s =
+      remaining > 1 ? epoch_s * static_cast<double>(remaining - 1) : 0.0;
+  sharing_->admit(
+      canonical, budget, min_runtime_s,
+      /*proceed=*/[execute] { execute(); },
+      /*shed=*/
+      [this, qid, gen](const std::string&) {
+        failover_->segment_shed(qid, gen);
       });
 }
 
@@ -513,8 +716,12 @@ QueryOutcome PervasiveGridRuntime::run_trial(const std::string& query_text,
                                              common::ThreadPool* shared_pool) {
   // A scratch deployment from the same config and seed mirrors this one's
   // topology exactly; the physical field is copied so the clone observes
-  // the same world (fires included).
-  PervasiveGridRuntime clone(config_, shared_pool);
+  // the same world (fires included).  Trials must never touch the real
+  // experience file: a clone that loaded (or on destruction overwrote) it
+  // would leak trial state into the durable learner.
+  RuntimeConfig trial_config = config_;
+  trial_config.failover.experience_path.clear();
+  PervasiveGridRuntime clone(std::move(trial_config), shared_pool);
   *clone.field_ = *field_;
   return clone.submit_and_run(query_text, model);
 }

@@ -17,6 +17,7 @@
 
 #include "agent/platform.hpp"
 #include "common/rng.hpp"
+#include "core/failover.hpp"
 #include "core/sharing.hpp"
 #include "discovery/broker.hpp"
 #include "net/flow.hpp"
@@ -106,6 +107,12 @@ struct RuntimeConfig {
   /// under mobility.  Off by default — the legacy global-bump discipline,
   /// byte-identical to the pre-epoch build.
   net::TopologyConfig topology;
+  /// Base-station failover (core/failover.hpp): checkpointed continuous-
+  /// query state, crash/restore replay, adoption and roaming handoff.  Off
+  /// by default — with `failover.enabled` false no FailoverManager is
+  /// constructed and every submission path runs bit-identically to a build
+  /// without it.
+  FailoverConfig failover;
 };
 
 /// Everything known about one answered query.
@@ -210,6 +217,8 @@ class PervasiveGridRuntime {
   net::FlowModel* flow_model() { return flow_.get(); }
   /// The multi-query sharing layer, or null when disabled.
   QuerySharing* sharing() { return sharing_.get(); }
+  /// The base-station failover manager, or null when disabled.
+  FailoverManager* failover() { return failover_.get(); }
   /// The deployment's cost ledger (owned by the network, so what_if clones
   /// get their own and never pollute this one).
   telemetry::CostLedger& telemetry() { return network_->telemetry(); }
@@ -252,7 +261,13 @@ class PervasiveGridRuntime {
   void dispatch_query(std::shared_ptr<QueryOutcome> outcome,
                       std::optional<partition::SolutionModel> forced,
                       std::shared_ptr<const query::CanonicalQuery> canonical,
-                      std::function<void(QueryOutcome)> done);
+                      std::function<void(QueryOutcome)> done,
+                      std::uint64_t failover_qid = 0);
+  /// FailoverManager segment runner: executes epochs [committed, total) of
+  /// a protected query, re-deriving the plan from its serializable snapshot
+  /// (the parse/classify/profile chain is pure).  `readmit` routes the
+  /// resumed segment back through admission control.
+  void run_failover_segment(std::uint64_t qid, bool readmit);
   /// Sends the query envelope; model_name "-" lets the decision maker pick.
   void submit_internal(const std::string& query_text,
                        const std::string& model_name,
@@ -282,6 +297,9 @@ class PervasiveGridRuntime {
   std::unique_ptr<common::ThreadPool> pool_;  ///< null when borrowing
   common::ThreadPool* shared_pool_ = nullptr;
   std::unique_ptr<RuntimePending> pending_;
+  /// Declared last: destroyed first, while the learner (whose experience
+  /// the manager's destructor may persist) and the ledger are still alive.
+  std::unique_ptr<FailoverManager> failover_;
 };
 
 }  // namespace pgrid::core

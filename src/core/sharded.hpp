@@ -18,7 +18,9 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,6 +47,17 @@ struct ShardedDeploymentConfig {
   /// Must be >= the lockstep window (the conservative lookahead bound) or
   /// deliveries count as lookahead violations and are clamped.
   sim::SimTime backhaul_latency = sim::SimTime::milliseconds(10);
+};
+
+/// Cross-region failover counters.  Internally kept per lane (each lane
+/// only mutates its own slot, so parallel lane execution stays race-free)
+/// and summed on read.
+struct ShardedFailoverStats {
+  std::uint64_t station_outages = 0;    ///< base-station crashes observed
+  std::uint64_t checkpoints_shipped = 0;///< images sent to an adopter
+  std::uint64_t queries_adopted = 0;    ///< snapshots re-homed at a peer
+  std::uint64_t migrations_back = 0;    ///< in-flight queries returned home
+  std::uint64_t handoffs = 0;           ///< roaming-client query handoffs
 };
 
 class ShardedDeployment {
@@ -111,6 +124,28 @@ class ShardedDeployment {
   /// cross-shard delivery).  arm_chaos(to, ...) must have run first.
   void inject_remote(std::size_t to, sim::Fault fault);
 
+  // --- base-station failover (core/failover.hpp) ------------------------
+
+  /// Wires region `r`'s FailoverManager to its chaos engine's base-station
+  /// liveness callback and enables neighbor-region adoption: on a station
+  /// crash the last checkpoint ships over the wired backhaul to the next
+  /// region, which re-admits every unfinished query through its own
+  /// sharing layer; on restart the survivors migrate back.  No-op when the
+  /// region's failover layer is disabled (the kill switch).  Creates the
+  /// region's chaos engine if arm_chaos has not run yet.
+  void arm_station_failover(std::size_t r);
+
+  /// Roaming-client handoff: at time `at` (region `from`'s timeline) the
+  /// live protected query `qid` is extracted — fenced mid-epoch — and
+  /// re-homed in region `to` via the checkpoint path over the backhaul.
+  /// The answer flows back to the original submitter's callback in
+  /// `from`'s timeline, exactly once, no matter where the epochs ran.
+  void handoff_query(std::size_t from, std::size_t to, sim::SimTime at,
+                     std::uint64_t qid);
+
+  /// Summed cross-region failover counters (read after run()).
+  ShardedFailoverStats failover_stats() const;
+
   /// Runs lockstep windows until every region drains (run) or reaches
   /// `deadline` (run_until).  Lanes run on an internal pool when
   /// base.sharding.parallel and shards > 1; results are bit-identical
@@ -125,6 +160,25 @@ class ShardedDeployment {
 
  private:
   common::ThreadPool* lane_pool();
+  sim::ChaosEngine& ensure_chaos(std::size_t r);
+
+  // Station lifecycle handlers; each runs in the named region's lane.
+  void on_station_lost(std::size_t r);
+  void on_station_restored(std::size_t r);
+  /// Runs in `adopter`'s lane: parses `home`'s shipped checkpoint image and
+  /// adopts every unfinished query.
+  void adopt_checkpoint(std::size_t home, std::size_t adopter,
+                        const std::string& image);
+  /// Runs in `adopter`'s lane: extracts every adoption held for `home` and
+  /// posts the snapshots back for resume_migrated.
+  void return_adoptions(std::size_t adopter, std::size_t home);
+
+  /// One adoption held at a peer, tracked in the adopter's lane only.
+  struct HeldAdoption {
+    std::size_t home = 0;
+    std::uint64_t home_qid = 0;
+    std::uint64_t local_qid = 0;
+  };
 
   ShardedDeploymentConfig config_;
   std::vector<std::unique_ptr<PervasiveGridRuntime>> regions_;
@@ -132,6 +186,13 @@ class ShardedDeployment {
   std::vector<std::unique_ptr<sim::ChaosEngine>> chaos_;
   std::unique_ptr<sim::LockstepWorld> world_;
   std::unique_ptr<common::ThreadPool> lane_pool_;
+  // Per-lane failover state: index a = only ever touched from lane a's
+  // execution, so parallel lanes never contend.
+  std::vector<std::vector<HeldAdoption>> held_;
+  std::vector<std::map<std::uint64_t, FailoverManager::Finalize>>
+      handoff_returns_;
+  std::vector<std::uint64_t> next_handoff_key_;
+  std::vector<ShardedFailoverStats> fstats_;
 };
 
 }  // namespace pgrid::core

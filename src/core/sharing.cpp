@@ -72,12 +72,19 @@ void QuerySharing::on_complete() {
   }
 }
 
+void QuerySharing::crash_reset() {
+  queue_.clear();
+  active_ = 0;
+  registry_.teardown_all();
+}
+
 bool QuerySharing::execute_shared(
     std::shared_ptr<partition::ExecutionContext> ctx,
     const query::CanonicalQuery& canonical, std::size_t epochs,
     partition::EpochObserver observe,
     std::function<void(std::vector<partition::ActualCost>,
-                       std::vector<partition::SolutionModel>)> done) {
+                       std::vector<partition::SolutionModel>)> done,
+    std::function<void()>* cancel_out) {
   if (!config_.share_trees || !canonical.shareable || epochs == 0) {
     return false;
   }
@@ -145,6 +152,13 @@ bool QuerySharing::execute_shared(
     }
   };
   state->id = registry_.subscribe(std::move(sub));
+  if (cancel_out != nullptr) {
+    *cancel_out = [this, state] {
+      // Unsubscribing an id the registry no longer knows (already finished,
+      // or torn down by crash_reset) is a clean no-op.
+      registry_.unsubscribe(state->id);
+    };
+  }
   return true;
 }
 

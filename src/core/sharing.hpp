@@ -83,12 +83,22 @@ class QuerySharing {
   /// ledger share), and completes after `epochs` received rounds.  Returns
   /// false (no side effects) when the query is not shareable or tree
   /// sharing is disabled — the caller falls through to the legacy path.
+  /// `cancel_out`, when non-null, receives a canceller that detaches the
+  /// subscription (done never fires; the group refcount drops normally).
+  /// The failover layer holds it to fence a shared segment on handoff.
   bool execute_shared(
       std::shared_ptr<partition::ExecutionContext> ctx,
       const query::CanonicalQuery& canonical, std::size_t epochs,
       partition::EpochObserver observe,
       std::function<void(std::vector<partition::ActualCost>,
-                         std::vector<partition::SolutionModel>)> done);
+                         std::vector<partition::SolutionModel>)> done,
+      std::function<void()>* cancel_out = nullptr);
+
+  /// Crash semantics for a base-station failure: the admission queue and
+  /// active-slot accounting are station RAM — gone.  Queued waiters vanish
+  /// without callbacks (the failover layer replays them from its own
+  /// checkpoint) and every shared tree group dies via teardown_all().
+  void crash_reset();
 
   /// True when a live group already serves this canonical key.
   bool group_live(const query::CanonicalQuery& canonical) const {

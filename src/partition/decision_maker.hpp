@@ -98,6 +98,18 @@ class DecisionMaker {
     }
   }
 
+  /// Drops all accumulated experience: samples, the trained tree, and every
+  /// calibration cell.  Models a base-station crash losing its in-RAM
+  /// learner state; the failover layer follows up with load_experience from
+  /// the last checkpoint (whatever was persisted survives, nothing else).
+  void reset() {
+    samples_.clear();
+    tree_ = DecisionTree{};
+    for (auto& row : calibrations_) {
+      for (auto& cell : row) cell = Calibration{};
+    }
+  }
+
   /// Learned actual/estimate ratio (1.0 when unobserved).
   double energy_calibration(query::QueryClass inner,
                             SolutionModel model) const;

@@ -449,7 +449,8 @@ void execute_continuous_adaptive(
     const query::Classification& cls, std::size_t epochs,
     ModelProvider choose, EpochObserver observe,
     std::function<void(std::vector<ActualCost>,
-                       std::vector<SolutionModel>)> done) {
+                       std::vector<SolutionModel>)> done,
+    AbortToken abort) {
   const double epoch_s = query.epoch_duration_s.value_or(1.0);
   auto results = std::make_shared<std::vector<ActualCost>>();
   auto models = std::make_shared<std::vector<SolutionModel>>();
@@ -462,8 +463,15 @@ void execute_continuous_adaptive(
   query::Classification inner_cls = cls;
   inner_cls.continuous = false;
   *run_epoch = [&context, query, inner_cls, epochs, epoch_s, results, models,
-                done_shared, choose_shared, observe_shared,
+                done_shared, choose_shared, observe_shared, abort,
                 run_epoch](std::size_t epoch) {
+    if (abort && *abort) {
+      // Fenced: die silently at the epoch boundary; the owner of the token
+      // has taken over this query's completion.
+      context.sensors.network().simulator().schedule(
+          sim::SimTime::zero(), [run_epoch] { *run_epoch = nullptr; });
+      return;
+    }
     if (epoch >= epochs) {
       (*done_shared)(*results, *models);
       // `*run_epoch` captures `run_epoch`; break the cycle (deferred: we

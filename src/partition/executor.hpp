@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -98,6 +99,14 @@ using EpochObserver = std::function<void(std::size_t epoch,
                                          SolutionModel model,
                                          const ActualCost& actual)>;
 
+/// Cooperative cancellation for continuous executions: the owner keeps the
+/// mutable shared_ptr<bool> and flips it to true; the epoch loop checks it
+/// at each epoch boundary and stops silently (done never fires).  The
+/// failover layer uses this to fence live segments when a base station
+/// crashes — the in-RAM loop must die without finalizing, because the
+/// restored replay owns the query's single completion.
+using AbortToken = std::shared_ptr<const bool>;
+
 /// Adaptive continuous execution: the model is re-decided every epoch, so a
 /// long-standing query migrates between solution models as the learner's
 /// calibration converges or the network changes — Section 4's "the system
@@ -108,7 +117,8 @@ void execute_continuous_adaptive(
     const query::Classification& cls, std::size_t epochs,
     ModelProvider choose, EpochObserver observe,
     std::function<void(std::vector<ActualCost>,
-                       std::vector<SolutionModel>)> done);
+                       std::vector<SolutionModel>)> done,
+    AbortToken abort = nullptr);
 
 /// Builds the in-network WHERE filter from the query's selection
 /// predicates.  Supported attributes: `sensor` (index), `room` (floor-plan

@@ -52,6 +52,21 @@ void SharedTreeRegistry::unsubscribe(SubscriberId id) {
   teardown(group);
 }
 
+void SharedTreeRegistry::teardown_all() {
+  auto& sim = sensors_.network().simulator();
+  std::vector<std::shared_ptr<Group>> doomed;
+  doomed.reserve(groups_.size());
+  for (auto& [key, group] : groups_) doomed.push_back(group);
+  for (auto& group : doomed) {
+    if (!group->collecting) sim.cancel(group->next);
+    group->subs.clear();
+    teardown(group);
+  }
+  // Dangling subscriber ids (their groups are gone) — drop them so a later
+  // unsubscribe from a fenced caller is a clean no-op.
+  key_of_.clear();
+}
+
 std::size_t SharedTreeRegistry::subscriber_count(
     const std::string& key) const {
   auto it = groups_.find(key);

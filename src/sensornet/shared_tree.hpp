@@ -82,6 +82,14 @@ class SharedTreeRegistry {
   /// schedule down (deferred to round completion when one is in flight).
   void unsubscribe(SubscriberId id);
 
+  /// Crash semantics: every group dies at once, subscriber callbacks are
+  /// never invoked again (the owning station's RAM is gone — there is no
+  /// one left to deliver to).  Pending epoch events are cancelled; a round
+  /// in flight delivers to nobody and its charges stay on the group trace,
+  /// so ledger conservation holds.  Used by the failover layer when a base
+  /// station goes down; the restored replay re-subscribes from checkpoint.
+  void teardown_all();
+
   std::size_t active_groups() const { return groups_.size(); }
   /// Current subscriber count of the group for `key` (0 = no such group).
   std::size_t subscriber_count(const std::string& key) const;

@@ -17,6 +17,7 @@ std::string to_string(FaultKind kind) {
     case FaultKind::kDelayJitter: return "delay-jitter";
     case FaultKind::kCrash: return "crash";
     case FaultKind::kClockSkew: return "clock-skew";
+    case FaultKind::kStationCrash: return "station-crash";
   }
   return "?";
 }
@@ -83,6 +84,17 @@ ChaosMix ChaosMix::partition_storm() {
   return mix;
 }
 
+ChaosMix ChaosMix::station_outage() {
+  ChaosMix mix;
+  mix.name = "station-outage";
+  mix.weight[static_cast<std::size_t>(FaultKind::kStationCrash)] = 4.0;
+  mix.weight[static_cast<std::size_t>(FaultKind::kDrop)] = 1.0;
+  mix.weight[static_cast<std::size_t>(FaultKind::kLinkDegrade)] = 1.0;
+  mix.min_duration_s = 1.0;
+  mix.max_duration_s = 2.5;
+  return mix;
+}
+
 const std::vector<ChaosMix>& canned_mixes() {
   static const std::vector<ChaosMix> mixes = {
       ChaosMix::disconnection_heavy(), ChaosMix::lossy_mesh(),
@@ -94,6 +106,9 @@ const ChaosMix& mix_by_name(const std::string& name) {
   for (const auto& mix : canned_mixes()) {
     if (mix.name == name) return mix;
   }
+  // Named specials that are deliberately not in the canned sweep set.
+  static const ChaosMix station = ChaosMix::station_outage();
+  if (name == station.name) return station;
   throw std::out_of_range("unknown chaos mix: " + name);
 }
 
@@ -178,6 +193,12 @@ Schedule generate_schedule(const net::Network& network,
         break;
       case FaultKind::kClockSkew:
         fault.magnitude = rng.uniform(-5.0, 5.0);
+        if (!bases.empty()) fault.node = bases[rng.index(bases.size())];
+        break;
+      case FaultKind::kStationCrash:
+        // Reboot drain, as for kCrash; retarget to a base station (same
+        // retarget draw pattern as clock skew, keeping the stream stable).
+        fault.magnitude = rng.uniform(0.0, 0.01);
         if (!bases.empty()) fault.node = bases[rng.index(bases.size())];
         break;
     }
@@ -307,8 +328,13 @@ void ChaosEngine::apply(std::size_t index) {
       jitter_max_s_ += fault.magnitude;
       break;
     case FaultKind::kCrash:
+    case FaultKind::kStationCrash:
       network_.set_node_up(fault.node, false);
       if (on_transition_) on_transition_(fault.node, false);
+      if (on_station_ &&
+          network_.node(fault.node).kind == net::NodeKind::kBaseStation) {
+        on_station_(fault.node, false);
+      }
       break;
     case FaultKind::kClockSkew:
       slot(skew_s_, fault.node) += fault.magnitude;
@@ -347,7 +373,8 @@ void ChaosEngine::expire(std::size_t index) {
     case FaultKind::kDelayJitter:
       jitter_max_s_ -= fault.magnitude;
       break;
-    case FaultKind::kCrash: {
+    case FaultKind::kCrash:
+    case FaultKind::kStationCrash: {
       network_.set_node_up(fault.node, true);
       // Configurable state loss: rebooting costs battery (flash replay,
       // re-association).  Charged under the fault's trace, which this
@@ -362,6 +389,9 @@ void ChaosEngine::expire(std::size_t index) {
         network_.telemetry().charge(telemetry::Subsystem::kChaos, reboot);
       }
       if (on_transition_) on_transition_(fault.node, true);
+      if (on_station_ && node.kind == net::NodeKind::kBaseStation) {
+        on_station_(fault.node, true);
+      }
       break;
     }
     case FaultKind::kClockSkew:

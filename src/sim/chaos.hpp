@@ -47,8 +47,11 @@ enum class FaultKind : std::uint8_t {
   kCrash,            ///< node down, restart after duration; reboot drains
                      ///< `magnitude` joules (the configurable state loss)
   kClockSkew,        ///< reported timestamps at `node` offset by `magnitude` s
+  kStationCrash,     ///< a base station down, restart after duration: the
+                     ///< region's query-owning state is lost unless a
+                     ///< failover layer replays its last checkpoint
 };
-inline constexpr std::size_t kFaultKindCount = 8;
+inline constexpr std::size_t kFaultKindCount = 9;
 
 std::string to_string(FaultKind kind);
 
@@ -94,11 +97,17 @@ struct ChaosMix {
   static ChaosMix disconnection_heavy();
   static ChaosMix lossy_mesh();
   static ChaosMix partition_storm();
+  /// Base-station outages plus ambient mesh loss — the failover workload
+  /// (EXP-R2).  Not part of canned_mixes(): the legacy sweeps' invariants
+  /// assume query-owning state survives, which is exactly what a station
+  /// crash violates unless RuntimeConfig::failover is on.
+  static ChaosMix station_outage();
 };
 
 /// The three canned mixes, in a stable order (tests and benches sweep it).
 const std::vector<ChaosMix>& canned_mixes();
-/// Lookup by ChaosMix::name; throws std::out_of_range on unknown names.
+/// Lookup by ChaosMix::name; resolves the canned mixes plus the named
+/// specials (station-outage); throws std::out_of_range on unknown names.
 const ChaosMix& mix_by_name(const std::string& name);
 
 struct ChaosConfig {
@@ -164,6 +173,15 @@ class ChaosEngine final : public net::FaultInjector {
     on_transition_ = std::move(cb);
   }
 
+  /// Base-station liveness hook: fires (station, false/true) whenever a
+  /// crash-kind fault (kStationCrash, or a kCrash that happens to land on
+  /// a base station) downs or restarts a base-station node.  Fault managers
+  /// previously observed only sensor churn through the transition callback;
+  /// this one lets a failover layer watch station churn identically.
+  void set_station_callback(net::NodeChurn::TransitionCallback cb) {
+    on_station_ = std::move(cb);
+  }
+
   /// Test-only observation hook: invoked after each fault is applied.
   void set_fault_applied_hook(std::function<void(const Fault&)> hook) {
     on_fault_applied_ = std::move(hook);
@@ -208,6 +226,7 @@ class ChaosEngine final : public net::FaultInjector {
   std::size_t active_ = 0;
 
   net::NodeChurn::TransitionCallback on_transition_;
+  net::NodeChurn::TransitionCallback on_station_;
   std::function<void(const Fault&)> on_fault_applied_;
 };
 
